@@ -1,0 +1,34 @@
+//! # tpdf-apps
+//!
+//! The case-study applications of the TPDF paper, implemented end to end:
+//!
+//! * [`image`] + [`edge_detection`] — the **edge-detection** application
+//!   of Section IV-A / Figure 6: Quick Mask, Sobel, Prewitt and Canny
+//!   detectors running on synthetic images, with a Clock-driven
+//!   Transaction kernel selecting the best result available at a 500 ms
+//!   deadline.
+//! * [`dsp`] + [`ofdm`] — the **cognitive-radio OFDM demodulator** of
+//!   Section IV-B / Figures 7–8: sampler, cyclic-prefix removal, FFT,
+//!   QPSK/QAM demapping, with the buffer-size formulas used in Figure 8.
+//! * [`fm_radio`] — an FM-radio-like StreamIt-style pipeline, standing in
+//!   for the "several StreamIt benchmarks … must perform redundant
+//!   calculations that are not needed with models allowing dynamic
+//!   topology changes" claim of Section IV-B.
+//!
+//! Each application module provides both the **TPDF graph** (analysable
+//! with `tpdf-core`, executable with `tpdf-sim`, mappable with
+//! `tpdf-manycore`) and the **executable kernels** (real convolutions,
+//! FFT butterflies, demapping) so the examples process actual data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsp;
+pub mod edge_detection;
+pub mod fm_radio;
+pub mod image;
+pub mod ofdm;
+
+pub use edge_detection::{EdgeDetector, EdgeDetectionApp};
+pub use image::GrayImage;
+pub use ofdm::{OfdmConfig, OfdmDemodulator};

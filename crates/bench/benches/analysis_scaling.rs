@@ -1,0 +1,29 @@
+//! Criterion bench: cost of the full static-analysis chain (consistency,
+//! rate safety, liveness, boundedness) as the graph size grows — the
+//! "statically analyzable" claim of the paper must stay cheap even for
+//! large graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdf_core::analysis::analyze;
+use tpdf_core::examples::{fork_join, parametric_pipeline};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_scaling");
+    group.sample_size(20);
+    for &stages in &[10usize, 50, 200] {
+        let graph = parametric_pipeline(stages);
+        group.bench_with_input(BenchmarkId::new("pipeline", stages), &graph, |b, g| {
+            b.iter(|| analyze(g).expect("pipeline analysis"))
+        });
+    }
+    for &branches in &[4usize, 16, 64] {
+        let graph = fork_join(branches);
+        group.bench_with_input(BenchmarkId::new("fork_join", branches), &graph, |b, g| {
+            b.iter(|| analyze(g).expect("fork/join analysis"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 6 table: execution time of the four
+//! edge detectors on a synthetic image. The relative ordering
+//! (Quick Mask < Sobel ≈ Prewitt < Canny) is the reproduced result; the
+//! deadline-driven selection is exercised by `exp_fig6_edge`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdf_apps::edge_detection::EdgeDetector;
+use tpdf_apps::image::GrayImage;
+
+fn bench_detectors(c: &mut Criterion) {
+    let image = GrayImage::synthetic(256, 256, 7);
+    let mut group = c.benchmark_group("fig6_edge_detection");
+    group.sample_size(10);
+    for detector in EdgeDetector::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(detector.name()),
+            &detector,
+            |b, d| {
+                b.iter(|| d.run(&image));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Figure 8 experiment: time to compute the
+//! TPDF-vs-CSDF minimum buffer comparison of the OFDM demodulator for
+//! several vectorization degrees and symbol lengths.
+//!
+//! The actual buffer values (the figure's y-axis) are printed by
+//! `cargo run --bin exp_fig8_buffers`; this bench tracks the cost of the
+//! analysis itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
+
+fn bench_buffer_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_buffer_size");
+    group.sample_size(20);
+    for &n in &[512usize, 1024] {
+        for &beta in &[10usize, 50, 100] {
+            let config = OfdmConfig {
+                symbol_len: n,
+                cyclic_prefix: 1,
+                bits_per_symbol: 2,
+                vectorization: beta,
+            };
+            let demod = OfdmDemodulator::new(config);
+            group.bench_with_input(
+                BenchmarkId::new(format!("N{n}"), beta),
+                &demod,
+                |b, demod| {
+                    b.iter(|| demod.buffer_comparison().expect("buffer comparison"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_comparison);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: list scheduling of the canonical period onto the
+//! clustered platform (Section III-D) for the paper's two graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
+use tpdf_core::examples::figure2_graph;
+use tpdf_manycore::platform::Platform;
+use tpdf_manycore::scheduler::{schedule_graph, SchedulerConfig};
+use tpdf_symexpr::Binding;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manycore_scheduling");
+    group.sample_size(20);
+
+    let fig2 = figure2_graph();
+    for &p in &[4i64, 16, 64] {
+        let binding = Binding::from_pairs([("p", p)]);
+        let platform = Platform::mppa_like(4, 4, 10);
+        group.bench_with_input(BenchmarkId::new("figure2", p), &p, |b, _| {
+            b.iter(|| {
+                schedule_graph(&fig2, &binding, &platform, SchedulerConfig::paper_default())
+                    .expect("figure 2 schedules")
+            })
+        });
+    }
+
+    let config = OfdmConfig {
+        symbol_len: 64,
+        cyclic_prefix: 1,
+        bits_per_symbol: 2,
+        vectorization: 8,
+    };
+    let ofdm = OfdmDemodulator::new(config).tpdf_graph();
+    let binding = config.binding();
+    for &clusters in &[1usize, 4, 16] {
+        let platform = Platform::mppa_like(clusters, 16, 10);
+        group.bench_with_input(BenchmarkId::new("ofdm_clusters", clusters), &clusters, |b, _| {
+            b.iter(|| {
+                schedule_graph(&ofdm, &binding, &platform, SchedulerConfig::paper_default())
+                    .expect("OFDM schedules")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: throughput of the token-accurate simulator (firings
+//! per second) on the Figure 2 graph and the FM-radio pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpdf_apps::fm_radio::{FmRadio, FmRadioConfig};
+use tpdf_core::examples::figure2_graph;
+use tpdf_sim::engine::{SimulationConfig, Simulator};
+use tpdf_symexpr::Binding;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_throughput");
+    group.sample_size(20);
+
+    let fig2 = figure2_graph();
+    for &p in &[4i64, 32] {
+        let binding = Binding::from_pairs([("p", p)]);
+        let firings_per_iteration = 2 + 8 * p as u64;
+        group.throughput(Throughput::Elements(firings_per_iteration * 10));
+        group.bench_with_input(BenchmarkId::new("figure2_iterations", p), &p, |b, _| {
+            b.iter(|| {
+                Simulator::new(&fig2, SimulationConfig::new(binding.clone()))
+                    .expect("simulator")
+                    .run_iterations(10)
+                    .expect("simulation completes")
+            })
+        });
+    }
+
+    let radio = FmRadio::new(FmRadioConfig { bands: 10, block: 64 });
+    let graph = radio.tpdf_graph();
+    let binding = radio.binding();
+    group.throughput(Throughput::Elements(17 * 20));
+    group.bench_function("fm_radio_iterations", |b| {
+        b.iter(|| {
+            Simulator::new(&graph, SimulationConfig::new(binding.clone()))
+                .expect("simulator")
+                .run_iterations(20)
+                .expect("simulation completes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment: Figure 2 / Examples 1–3 — the TPDF running example.
+//!
+//! Reproduces the symbolic repetition vector `[2, 2p, p, p, 2p, 2p]`, the
+//! control area `Area(C) = {B, D, E, F}`, the local solution
+//! `B²CDE²F²` and the schedule `A²B²ᵖCᵖDᵖE²ᵖF²ᵖ`.
+
+use tpdf_bench::print_table;
+use tpdf_core::analysis::analyze;
+use tpdf_core::area::control_area;
+use tpdf_core::examples::figure2_graph;
+use tpdf_core::schedule::sequential::symbolic_schedule_string;
+use tpdf_symexpr::Binding;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = figure2_graph();
+    let report = analyze(&graph)?;
+    let q = report.repetition();
+
+    let rows: Vec<Vec<String>> = graph
+        .nodes()
+        .map(|(id, n)| {
+            vec![
+                n.name.clone(),
+                q.cycle_count(id).to_string(),
+                q.count(id).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2: symbolic repetition vector (paper: q = [2, 2p, p, p, 2p, 2p])",
+        &["node", "r (cycles)", "q (firings)"],
+        &rows,
+    );
+
+    let c = graph.node_by_name("C").expect("control actor C");
+    let area = control_area(&graph, c);
+    println!("\nArea(C) (paper: {{B, D, E, F}}): {:?}", area.member_names(&graph));
+    println!(
+        "local solution of Area(C) (paper: B^2 C D E^2 F^2): {}",
+        report.safety()[0].local.display(&graph)
+    );
+
+    let schedule = symbolic_schedule_string(&graph, q, &Binding::from_pairs([("p", 2)]))?;
+    println!("\nsymbolic schedule (paper: A^2 B^2p C^p D^p E^2p F^2p):");
+    println!("  {schedule}");
+    println!("\nboundedness (Theorem 2): {}", report.is_bounded());
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Experiment: Figure 6 — the edge-detection case study.
+//!
+//! Reproduces (a) the execution-time table of the four detectors and
+//! (b) the deadline-driven selection: with the paper's timings and a
+//! 500 ms Clock, the Transaction kernel picks the best result available
+//! at the deadline (Sobel), while a relaxed deadline lets Canny win.
+
+use std::time::Instant;
+use tpdf_apps::edge_detection::{detector_node_name, EdgeDetectionApp, EdgeDetector};
+use tpdf_apps::image::GrayImage;
+use tpdf_bench::print_table;
+use tpdf_sim::vtime::{TimedConfig, TimedSimulator};
+use tpdf_symexpr::Binding;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // (a) Execution-time table. The paper measured a 1024x1024 image on a
+    // Core i3 @ 2.53 GHz; we measure a 512x512 synthetic image on this
+    // machine and report both, normalised to Quick Mask = 1.0.
+    let image = GrayImage::synthetic(512, 512, 2024);
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    for detector in EdgeDetector::ALL {
+        let start = Instant::now();
+        let edges = detector.run(&image);
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        measured.push((detector, elapsed));
+        rows.push(vec![
+            detector.name().to_string(),
+            format!("{}", detector.paper_time_ms()),
+            format!("{elapsed:.1}"),
+            format!("{:.3}", edges.fraction_above(200.0)),
+        ]);
+    }
+    let quick = measured[0].1;
+    for (row, (_, t)) in rows.iter_mut().zip(&measured) {
+        row.push(format!("{:.2}x", t / quick));
+    }
+    print_table(
+        "Figure 6 table: edge-detector execution times",
+        &["method", "paper ms (1024x1024, i3)", "measured ms (512x512)", "edge fraction", "relative"],
+        &rows,
+    );
+
+    // (b) Deadline-driven selection via the timed TPDF simulation.
+    let mut rows = Vec::new();
+    for deadline in [250u64, 500, 600, 1200] {
+        let app = EdgeDetectionApp::with_deadline(deadline);
+        let graph = app.graph();
+        let trace = TimedSimulator::new(
+            &graph,
+            TimedConfig::new(Binding::new()).with_max_time(100_000),
+        )
+        .run()?;
+        let selected = trace.outcomes.first().and_then(|o| o.selected_channel).map(|c| {
+            let source = graph.channel(c).source;
+            graph.node(source).name.clone()
+        });
+        let expected = app
+            .expected_selection()
+            .map(|d| detector_node_name(d))
+            .unwrap_or_else(|| "none".to_string());
+        rows.push(vec![
+            format!("{deadline}"),
+            selected.unwrap_or_else(|| "none".to_string()),
+            expected,
+        ]);
+    }
+    print_table(
+        "Figure 6: result selected by the Transaction kernel at the deadline",
+        &["deadline (ms)", "simulated selection", "expected (best finishing in time)"],
+        &rows,
+    );
+    println!("\n(paper: with a 500 ms deadline the best available result is chosen,");
+    println!(" priority order Canny > Prewitt > Sobel > Quick Mask)");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Experiment: Section III-D — canonical-period list scheduling on an
+//! MPPA-like clustered many-core platform.
+//!
+//! Sweeps platform widths and mapping strategies for the Figure 2 graph
+//! and the OFDM demodulator, reporting makespan, speedup over a single
+//! core, and utilisation.
+
+use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
+use tpdf_bench::print_table;
+use tpdf_core::examples::figure2_graph;
+use tpdf_core::graph::TpdfGraph;
+use tpdf_manycore::mapping::MappingStrategy;
+use tpdf_manycore::platform::Platform;
+use tpdf_manycore::scheduler::{schedule_graph, SchedulerConfig};
+use tpdf_symexpr::Binding;
+
+fn sweep(name: &str, graph: &TpdfGraph, binding: &Binding) -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for (clusters, pes) in [(1, 1), (1, 4), (2, 4), (4, 4), (16, 16)] {
+        for strategy in [
+            MappingStrategy::RoundRobin,
+            MappingStrategy::Packed,
+            MappingStrategy::LoadBalanced,
+        ] {
+            let platform = Platform::mppa_like(clusters, pes, 10);
+            let config = SchedulerConfig {
+                mapping: strategy,
+                dedicated_control_pe: true,
+            };
+            let result = schedule_graph(graph, binding, &platform, config)?;
+            rows.push(vec![
+                format!("{clusters}x{pes}"),
+                format!("{strategy:?}"),
+                format!("{}", result.makespan),
+                format!("{:.2}", result.speedup()),
+                format!("{:.2}", result.utilization()),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Many-core scheduling of {name}"),
+        &["platform", "mapping", "makespan", "speedup", "utilization"],
+        &rows,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    sweep(
+        "the Figure 2 graph (p = 8)",
+        &figure2_graph(),
+        &Binding::from_pairs([("p", 8)]),
+    )?;
+
+    let config = OfdmConfig {
+        symbol_len: 64,
+        cyclic_prefix: 1,
+        bits_per_symbol: 2,
+        vectorization: 8,
+    };
+    sweep(
+        "the OFDM demodulator (beta = 8, N = 64)",
+        &OfdmDemodulator::new(config).tpdf_graph(),
+        &config.binding(),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Shared helpers for the experiment binaries and Criterion benches that
+//! regenerate the tables and figures of the TPDF paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a fixed-width text table: a header row followed by data rows.
+///
+/// Column widths are derived from the widest cell of each column, so the
+/// output lines up in a terminal and can be pasted into EXPERIMENTS.md.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .take(columns)
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    render(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    render(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        render(row);
+    }
+}
+
+/// Formats a value as a percentage string with one decimal.
+pub fn percent(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(29.03), "29.0%");
+        assert_eq!(percent(0.0), "0.0%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+        print_table("empty", &["x"], &[]);
+    }
+}

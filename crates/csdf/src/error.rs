@@ -1,0 +1,92 @@
+//! Error type for CSDF construction and analysis.
+
+use std::fmt;
+
+/// Errors produced while building or analysing CSDF graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsdfError {
+    /// An actor name was used twice.
+    DuplicateActor(String),
+    /// A channel references an unknown actor.
+    UnknownActor(String),
+    /// An actor has an empty execution (rate) sequence.
+    EmptyRateSequence(String),
+    /// The graph is empty.
+    EmptyGraph,
+    /// The graph is not connected (a repetition vector only covers one
+    /// component).
+    NotConnected,
+    /// The balance equations admit only the trivial solution; the graph
+    /// is rate-inconsistent.
+    Inconsistent {
+        /// A human-readable explanation referencing the offending channel.
+        detail: String,
+    },
+    /// No admissible schedule exists: the graph deadlocks.
+    Deadlock {
+        /// Actors that could not complete their repetition counts.
+        blocked: Vec<String>,
+    },
+    /// A numeric conversion or arithmetic operation failed.
+    Numeric(String),
+}
+
+impl fmt::Display for CsdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdfError::DuplicateActor(a) => write!(f, "actor `{a}` is defined more than once"),
+            CsdfError::UnknownActor(a) => write!(f, "actor `{a}` is not defined in the graph"),
+            CsdfError::EmptyRateSequence(a) => {
+                write!(f, "actor `{a}` has an empty cyclic rate sequence")
+            }
+            CsdfError::EmptyGraph => write!(f, "the graph contains no actors"),
+            CsdfError::NotConnected => write!(f, "the graph is not connected"),
+            CsdfError::Inconsistent { detail } => {
+                write!(f, "the graph is rate-inconsistent: {detail}")
+            }
+            CsdfError::Deadlock { blocked } => {
+                write!(f, "the graph deadlocks; blocked actors: {}", blocked.join(", "))
+            }
+            CsdfError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsdfError {}
+
+impl From<tpdf_symexpr::SymExprError> for CsdfError {
+    fn from(value: tpdf_symexpr::SymExprError) -> Self {
+        CsdfError::Numeric(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(CsdfError::DuplicateActor("A".into()).to_string().contains('A'));
+        assert!(CsdfError::UnknownActor("B".into()).to_string().contains('B'));
+        assert!(CsdfError::EmptyRateSequence("C".into()).to_string().contains('C'));
+        assert!(CsdfError::EmptyGraph.to_string().contains("no actors"));
+        assert!(CsdfError::NotConnected.to_string().contains("connected"));
+        assert!(CsdfError::Inconsistent { detail: "e1".into() }
+            .to_string()
+            .contains("e1"));
+        let d = CsdfError::Deadlock { blocked: vec!["A".into(), "B".into()] };
+        assert!(d.to_string().contains("A, B"));
+    }
+
+    #[test]
+    fn from_symexpr_error() {
+        let e: CsdfError = tpdf_symexpr::SymExprError::DivisionByZero.into();
+        assert!(matches!(e, CsdfError::Numeric(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CsdfError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Ready-made CSDF graphs used across the workspace: the paper's
+//! Figure 1 example and a few parameterised generators used by tests and
+//! benchmarks.
+
+use crate::graph::CsdfGraph;
+
+/// The CSDF graph of **Figure 1** of the paper.
+///
+/// Three actors `a1`, `a2`, `a3` connected in a cycle, with channel `e2`
+/// carrying two initial tokens. Its repetition vector is `[3, 2, 2]` and
+/// the only admissible start is firing `a3` twice, matching the schedule
+/// `(a3)²(a1)³(a2)²` given in Section II-A.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_csdf::{examples::figure1_graph, repetition_vector};
+/// # fn main() -> Result<(), tpdf_csdf::CsdfError> {
+/// let q = repetition_vector(&figure1_graph())?;
+/// assert_eq!(q.counts(), &[3, 2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn figure1_graph() -> CsdfGraph {
+    CsdfGraph::builder()
+        .actor("a1", &[1, 1, 1])
+        .actor("a2", &[1, 1])
+        .actor("a3", &[1, 1])
+        // e1: a1 -> a2, cyclic production [1,0,1], consumption [1,1]
+        .channel("a1", "a2", &[1, 0, 1], &[1, 1], 0)
+        // e2: a2 -> a3, production [0,2], consumption [1,1], 2 initial tokens
+        .channel("a2", "a3", &[0, 2], &[1, 1], 2)
+        // e3: a3 -> a1, production [1,2], consumption [1]
+        .channel("a3", "a1", &[1, 2], &[1], 0)
+        .build()
+        .expect("figure 1 graph is well-formed")
+}
+
+/// A two-actor producer/consumer SDF graph `P -[p]->[c]-> C`.
+pub fn producer_consumer(produce: u64, consume: u64) -> CsdfGraph {
+    CsdfGraph::builder()
+        .actor("P", &[1])
+        .actor("C", &[1])
+        .channel("P", "C", &[produce], &[consume], 0)
+        .build()
+        .expect("producer/consumer graph is well-formed")
+}
+
+/// A linear SDF chain of `n` actors with unit rates, used to benchmark
+/// analysis scalability.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn unit_chain(n: usize) -> CsdfGraph {
+    assert!(n > 0, "chain length must be positive");
+    let mut b = CsdfGraph::builder();
+    for i in 0..n {
+        b = b.actor(&format!("a{i}"), &[1]);
+    }
+    for i in 0..n.saturating_sub(1) {
+        b = b.channel(&format!("a{i}"), &format!("a{}", i + 1), &[1], &[1], 0);
+    }
+    b.build().expect("unit chain is well-formed")
+}
+
+/// A downsampling chain: each stage consumes `factor` tokens and produces
+/// one, so the repetition counts grow geometrically towards the source.
+/// Used by benchmarks to exercise large repetition vectors.
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `factor == 0`.
+pub fn downsample_chain(stages: usize, factor: u64) -> CsdfGraph {
+    assert!(stages > 0 && factor > 0);
+    let mut b = CsdfGraph::builder();
+    for i in 0..=stages {
+        b = b.actor(&format!("s{i}"), &[1]);
+    }
+    for i in 0..stages {
+        b = b.channel(&format!("s{i}"), &format!("s{}", i + 1), &[1], &[factor], 0);
+    }
+    b.build().expect("downsample chain is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repetition::repetition_vector;
+
+    #[test]
+    fn figure1_is_consistent() {
+        let g = figure1_graph();
+        assert_eq!(g.actor_count(), 3);
+        assert_eq!(g.channel_count(), 3);
+        assert!(g.is_connected());
+        let q = repetition_vector(&g).unwrap();
+        assert_eq!(q.counts(), &[3, 2, 2]);
+    }
+
+    #[test]
+    fn unit_chain_counts() {
+        let g = unit_chain(5);
+        let q = repetition_vector(&g).unwrap();
+        assert!(q.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn unit_chain_zero_panics() {
+        let _ = unit_chain(0);
+    }
+
+    #[test]
+    fn downsample_chain_grows_geometrically() {
+        let g = downsample_chain(3, 2);
+        let q = repetition_vector(&g).unwrap();
+        assert_eq!(q.counts(), &[8, 4, 2, 1]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # tpdf-csdf
+//!
+//! A Cyclo-Static Dataflow (CSDF) and Synchronous Dataflow (SDF)
+//! implementation: the *base model* that Transaction Parameterized
+//! Dataflow (TPDF) extends, and the *baseline* the paper compares
+//! against (Section IV-B, Figure 8).
+//!
+//! CSDF (Bilsen et al., 1995) models a streaming program as a directed
+//! graph whose nodes (*actors*) fire through a cyclic sequence of
+//! phases; the `n`-th firing of actor `a_j` produces/consumes
+//! `x_j(n mod τ_j)` / `y_j(n mod τ_j)` tokens on each of its channels.
+//!
+//! The crate provides:
+//!
+//! * [`graph`] — graph construction ([`CsdfGraph`], [`CsdfGraphBuilder`]).
+//! * [`repetition`] — the topology matrix and repetition-vector solver
+//!   (Theorem 1 of the paper).
+//! * [`schedule`] — single-processor Periodic Admissible Sequential
+//!   Schedule (PASS) construction and deadlock detection.
+//! * [`buffer`] — per-edge and total minimum buffer sizes obtained by
+//!   simulating one iteration under a chosen scheduling policy.
+//! * [`sdf`] — SDF (constant-rate) convenience constructors.
+//!
+//! ## Example — Figure 1 of the paper
+//!
+//! ```
+//! use tpdf_csdf::examples::figure1_graph;
+//! use tpdf_csdf::repetition::repetition_vector;
+//!
+//! # fn main() -> Result<(), tpdf_csdf::CsdfError> {
+//! let g = figure1_graph();
+//! let q = repetition_vector(&g)?;
+//! assert_eq!(q.counts(), &[3, 2, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod error;
+pub mod examples;
+pub mod graph;
+pub mod repetition;
+pub mod schedule;
+pub mod sdf;
+
+pub use buffer::{minimum_buffer_sizes, BufferReport};
+pub use error::CsdfError;
+pub use graph::{ActorId, ChannelId, CsdfActor, CsdfChannel, CsdfGraph, CsdfGraphBuilder};
+pub use repetition::{repetition_vector, RepetitionVector};
+pub use schedule::{single_processor_schedule, Schedule, ScheduleEntry};

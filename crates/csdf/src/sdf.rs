@@ -1,0 +1,112 @@
+//! Synchronous Dataflow (SDF) convenience layer.
+//!
+//! SDF (Lee & Messerschmitt, 1987) is the single-phase special case of
+//! CSDF: every actor produces and consumes a constant number of tokens
+//! per firing. This module offers a thin builder that produces ordinary
+//! [`CsdfGraph`]s so every CSDF analysis applies unchanged.
+
+use crate::graph::{CsdfGraph, CsdfGraphBuilder};
+use crate::CsdfError;
+
+/// Builder for SDF (constant-rate) graphs.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_csdf::sdf::SdfGraphBuilder;
+/// use tpdf_csdf::repetition_vector;
+///
+/// # fn main() -> Result<(), tpdf_csdf::CsdfError> {
+/// let g = SdfGraphBuilder::new()
+///     .actor("src", 1)
+///     .actor("fir", 3)
+///     .edge("src", "fir", 1, 4, 0)
+///     .build()?;
+/// assert_eq!(repetition_vector(&g)?.counts(), &[4, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SdfGraphBuilder {
+    inner: CsdfGraphBuilder,
+}
+
+impl SdfGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an actor with a constant execution time.
+    pub fn actor(mut self, name: &str, execution_time: u64) -> Self {
+        self.inner = self.inner.actor(name, &[execution_time]);
+        self
+    }
+
+    /// Adds an edge with constant production and consumption rates.
+    pub fn edge(
+        mut self,
+        source: &str,
+        target: &str,
+        production: u64,
+        consumption: u64,
+        initial_tokens: u64,
+    ) -> Self {
+        self.inner = self
+            .inner
+            .channel(source, target, &[production], &[consumption], initial_tokens);
+        self
+    }
+
+    /// Finalises the graph.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsdfGraphBuilder::build`].
+    pub fn build(self) -> Result<CsdfGraph, CsdfError> {
+        self.inner.build()
+    }
+}
+
+/// Returns `true` if every actor of the graph has a single phase and
+/// every channel uses constant rates, i.e. the graph is plain SDF.
+pub fn is_sdf(graph: &CsdfGraph) -> bool {
+    graph.actors().all(|(_, a)| a.phases == 1)
+        && graph
+            .channels()
+            .all(|(_, c)| c.production.len() == 1 && c.consumption.len() == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure1_graph;
+    use crate::repetition_vector;
+
+    #[test]
+    fn sdf_builder_roundtrip() {
+        let g = SdfGraphBuilder::new()
+            .actor("A", 1)
+            .actor("B", 2)
+            .edge("A", "B", 3, 2, 1)
+            .build()
+            .unwrap();
+        assert!(is_sdf(&g));
+        assert_eq!(repetition_vector(&g).unwrap().counts(), &[2, 3]);
+    }
+
+    #[test]
+    fn csdf_graph_is_not_sdf() {
+        assert!(!is_sdf(&figure1_graph()));
+    }
+
+    #[test]
+    fn builder_propagates_errors() {
+        assert!(SdfGraphBuilder::new().build().is_err());
+        assert!(SdfGraphBuilder::new()
+            .actor("A", 1)
+            .edge("A", "missing", 1, 1, 0)
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,513 @@
+//! Untimed, self-timed execution of TPDF graphs with control-token
+//! semantics.
+
+use crate::channel::ChannelState;
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tpdf_core::consistency::symbolic_repetition_vector;
+use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
+use tpdf_core::mode::Mode;
+use tpdf_symexpr::Binding;
+
+/// Policy deciding which [`Mode`] a control actor puts into the control
+/// tokens it emits.
+///
+/// In a real deployment the mode is computed from data (e.g. the value of
+/// `M` decides between QPSK and QAM in the cognitive-radio case study);
+/// for simulation and sizing experiments a policy is sufficient.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlPolicy {
+    /// Every control token selects all data inputs (CSDF-like behaviour).
+    WaitAll,
+    /// Every control token selects the data input with the given port
+    /// index (0-based among the kernel's data inputs).
+    SelectInput(usize),
+    /// Every control token asks the kernel to take the available input
+    /// with the highest priority.
+    HighestPriority,
+    /// Control tokens cycle through the given modes, one per firing of
+    /// the control actor.
+    Alternate(Vec<Mode>),
+}
+
+impl Default for ControlPolicy {
+    fn default() -> Self {
+        ControlPolicy::WaitAll
+    }
+}
+
+impl ControlPolicy {
+    fn mode_for(&self, control_firing: u64) -> Mode {
+        match self {
+            ControlPolicy::WaitAll => Mode::WaitAll,
+            ControlPolicy::SelectInput(i) => Mode::SelectOne(*i),
+            ControlPolicy::HighestPriority => Mode::HighestPriority,
+            ControlPolicy::Alternate(modes) => {
+                if modes.is_empty() {
+                    Mode::WaitAll
+                } else {
+                    modes[(control_firing as usize) % modes.len()].clone()
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of an untimed simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Concrete values of the graph's integer parameters.
+    pub binding: Binding,
+    /// Mode policy applied by every control actor.
+    pub control_policy: ControlPolicy,
+    /// Optional uniform channel capacity (tokens); `None` means
+    /// unbounded.
+    pub channel_capacity: Option<u64>,
+}
+
+impl SimulationConfig {
+    /// Creates a configuration with the default
+    /// [`ControlPolicy::WaitAll`] and unbounded channels.
+    pub fn new(binding: Binding) -> Self {
+        SimulationConfig {
+            binding,
+            control_policy: ControlPolicy::default(),
+            channel_capacity: None,
+        }
+    }
+
+    /// Sets the control policy.
+    pub fn with_policy(mut self, policy: ControlPolicy) -> Self {
+        self.control_policy = policy;
+        self
+    }
+
+    /// Bounds every channel to `capacity` tokens.
+    pub fn with_capacity(mut self, capacity: u64) -> Self {
+        self.channel_capacity = Some(capacity);
+        self
+    }
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Number of complete graph iterations executed.
+    pub iterations_completed: u64,
+    /// Total firings of each node (indexed by [`NodeId`]).
+    pub firings: Vec<u64>,
+    /// High-water mark of each channel (indexed by [`ChannelId`]).
+    pub channel_high_water: Vec<u64>,
+    /// Sum of the per-channel high-water marks: the total buffer memory a
+    /// single-processor self-timed execution needs.
+    pub total_buffer: u64,
+}
+
+/// Self-timed (data-driven) executor of one TPDF graph.
+///
+/// The simulator fires any node whose *selected* inputs carry enough
+/// tokens, honouring the TPDF rule that a kernel "does not have to wait
+/// until sufficient tokens are available at every data input port" when a
+/// control token rejects some of them. Channels rejected for a whole
+/// iteration are flushed back to their initial state at the end of the
+/// iteration, which models the paper's "unused edges are removed"
+/// behaviour and keeps iterations state-free.
+#[derive(Debug, Clone)]
+pub struct Simulator<'g> {
+    graph: &'g TpdfGraph,
+    config: SimulationConfig,
+    counts: Vec<u64>,
+    channels: Vec<ChannelState>,
+    /// Control-token mode queues, one per control channel.
+    control_queues: BTreeMap<ChannelId, VecDeque<Mode>>,
+    /// Data channels selected at least once during the current iteration.
+    selected_this_iteration: BTreeSet<ChannelId>,
+    firings_total: Vec<u64>,
+    control_firings: Vec<u64>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph` under the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Analysis`] if the graph is inconsistent or the
+    /// binding does not cover its parameters.
+    pub fn new(graph: &'g TpdfGraph, config: SimulationConfig) -> Result<Self, SimError> {
+        let repetition = symbolic_repetition_vector(graph)?;
+        let counts = repetition.concrete(&config.binding)?;
+        let channels = graph
+            .channels()
+            .map(|(_, c)| match config.channel_capacity {
+                Some(cap) => ChannelState::bounded(c.label.clone(), c.initial_tokens, cap),
+                None => ChannelState::new(c.label.clone(), c.initial_tokens),
+            })
+            .collect();
+        let control_queues = graph
+            .channels()
+            .filter(|(_, c)| c.is_control())
+            .map(|(id, _)| (id, VecDeque::new()))
+            .collect();
+        Ok(Simulator {
+            graph,
+            config,
+            counts,
+            channels,
+            control_queues,
+            selected_this_iteration: BTreeSet::new(),
+            firings_total: vec![0; graph.node_count()],
+            control_firings: vec![0; graph.node_count()],
+        })
+    }
+
+    /// Runs `iterations` complete graph iterations and reports occupancy
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] if `iterations` is zero;
+    /// * [`SimError::Stalled`] if an iteration cannot complete;
+    /// * [`SimError::CapacityExceeded`] if a bounded channel overflows.
+    pub fn run_iterations(mut self, iterations: u64) -> Result<SimulationReport, SimError> {
+        if iterations == 0 {
+            return Err(SimError::InvalidConfig(
+                "at least one iteration must be requested".to_string(),
+            ));
+        }
+        for i in 0..iterations {
+            self.run_single_iteration(i)?;
+        }
+        let channel_high_water: Vec<u64> =
+            self.channels.iter().map(ChannelState::high_water).collect();
+        let total_buffer = channel_high_water.iter().sum();
+        Ok(SimulationReport {
+            iterations_completed: iterations,
+            firings: self.firings_total.clone(),
+            channel_high_water,
+            total_buffer,
+        })
+    }
+
+    fn run_single_iteration(&mut self, iteration: u64) -> Result<(), SimError> {
+        let mut fired = vec![0u64; self.graph.node_count()];
+        let total: u64 = self.counts.iter().sum();
+        let mut done = 0u64;
+        self.selected_this_iteration.clear();
+
+        // Control actors first so their tokens are available as early as
+        // possible (Section III-D priority rule).
+        let mut order: Vec<NodeId> = self
+            .graph
+            .control_actors()
+            .map(|(id, _)| id)
+            .collect();
+        let control_set: BTreeSet<NodeId> = order.iter().copied().collect();
+        order.extend(
+            self.graph
+                .nodes()
+                .filter(|(id, _)| !control_set.contains(id))
+                .map(|(id, _)| id),
+        );
+
+        while done < total {
+            let mut progressed = false;
+            for &node in &order {
+                if fired[node.0] >= self.counts[node.0] {
+                    continue;
+                }
+                while fired[node.0] < self.counts[node.0] {
+                    match self.try_fire(node, fired[node.0])? {
+                        true => {
+                            fired[node.0] += 1;
+                            self.firings_total[node.0] += 1;
+                            done += 1;
+                            progressed = true;
+                        }
+                        false => break,
+                    }
+                }
+            }
+            if !progressed {
+                let blocked = self
+                    .graph
+                    .nodes()
+                    .filter(|(id, _)| fired[id.0] < self.counts[id.0])
+                    .map(|(_, n)| n.name.clone())
+                    .collect();
+                return Err(SimError::Stalled {
+                    blocked,
+                    at: iteration,
+                });
+            }
+        }
+
+        self.flush_rejected_channels();
+        Ok(())
+    }
+
+    /// Attempts to fire `node`; returns `Ok(true)` when it fired.
+    fn try_fire(&mut self, node: NodeId, firing: u64) -> Result<bool, SimError> {
+        let binding = self.config.binding.clone();
+        let is_control = self
+            .graph
+            .control_actors()
+            .any(|(id, _)| id == node);
+
+        // 1. Resolve the mode of this firing.
+        let control_port = self.graph.control_port(node);
+        let mode = if let Some(cp) = control_port {
+            let need = self
+                .graph
+                .channel(cp)
+                .consumption
+                .concrete(firing, &binding)?;
+            if need > 0 {
+                match self.control_queues.get(&cp).and_then(|q| q.front()) {
+                    Some(m) => m.clone(),
+                    None => return Ok(false),
+                }
+            } else {
+                Mode::WaitAll
+            }
+        } else {
+            Mode::WaitAll
+        };
+
+        // 2. Determine which data input channels this firing uses.
+        let data_inputs: Vec<(usize, ChannelId, u64)> = {
+            let mut v = Vec::new();
+            for (port, (cid, c)) in self.graph.data_input_channels(node).enumerate() {
+                let rate = c.consumption.concrete(firing, &binding)?;
+                v.push((port, cid, rate));
+            }
+            v
+        };
+        let port_count = data_inputs.len();
+        let selected: Vec<(ChannelId, u64)> = match &mode {
+            Mode::HighestPriority => {
+                // Pick the available input with the highest priority.
+                let mut candidates: Vec<(u32, ChannelId, u64)> = data_inputs
+                    .iter()
+                    .filter(|(_, cid, rate)| self.channels[cid.0].can_pop(*rate))
+                    .map(|(_, cid, rate)| (self.graph.channel(*cid).priority, *cid, *rate))
+                    .collect();
+                candidates.sort_by_key(|(prio, _, _)| std::cmp::Reverse(*prio));
+                match candidates.first() {
+                    Some((_, cid, rate)) => vec![(*cid, *rate)],
+                    None if port_count == 0 => Vec::new(),
+                    None => return Ok(false),
+                }
+            }
+            m => data_inputs
+                .iter()
+                .filter(|(port, _, _)| m.selects(*port, port_count))
+                .map(|(_, cid, rate)| (*cid, *rate))
+                .collect(),
+        };
+
+        // 3. Readiness: selected data inputs and the control token.
+        for (cid, rate) in &selected {
+            if !self.channels[cid.0].can_pop(*rate) {
+                return Ok(false);
+            }
+        }
+
+        // 4. Consume.
+        if let Some(cp) = control_port {
+            let need = self
+                .graph
+                .channel(cp)
+                .consumption
+                .concrete(firing, &binding)?;
+            if need > 0 {
+                self.channels[cp.0].pop(need);
+                if let Some(q) = self.control_queues.get_mut(&cp) {
+                    q.pop_front();
+                }
+            }
+        }
+        for (cid, rate) in &selected {
+            self.channels[cid.0].pop(*rate);
+            self.selected_this_iteration.insert(*cid);
+        }
+
+        // 5. Produce on every output channel.
+        for (cid, c) in self.graph.output_channels(node) {
+            let rate = c.production.concrete(firing, &binding)?;
+            self.channels[cid.0].push(rate)?;
+            if c.is_control() {
+                let mode = self
+                    .config
+                    .control_policy
+                    .mode_for(self.control_firings[node.0]);
+                if let Some(q) = self.control_queues.get_mut(&cid) {
+                    for _ in 0..rate {
+                        q.push_back(mode.clone());
+                    }
+                }
+            }
+        }
+        if is_control {
+            self.control_firings[node.0] += 1;
+        }
+        Ok(true)
+    }
+
+    /// Flushes data channels whose consuming port was rejected for the
+    /// whole iteration back to their initial token count.
+    fn flush_rejected_channels(&mut self) {
+        for (cid, c) in self.graph.channels() {
+            if c.is_control() {
+                continue;
+            }
+            let target_controlled = self.graph.control_port(c.target).is_some();
+            if target_controlled && !self.selected_this_iteration.contains(&cid) {
+                self.channels[cid.0].clear();
+                // Restore the initial tokens so the next iteration starts
+                // from the same state.
+                let _ = self.channels[cid.0].push(c.initial_tokens);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdf_core::examples::{figure2_graph, figure4a_graph, fork_join, ofdm_like_chain};
+
+    fn binding(p: i64) -> Binding {
+        Binding::from_pairs([("p", p)])
+    }
+
+    #[test]
+    fn figure2_wait_all_runs() {
+        let g = figure2_graph();
+        let report = Simulator::new(&g, SimulationConfig::new(binding(2)))
+            .unwrap()
+            .run_iterations(2)
+            .unwrap();
+        assert_eq!(report.iterations_completed, 2);
+        // q = [2, 2p, p, p, 2p, 2p] with p=2, two iterations.
+        assert_eq!(report.firings, vec![4, 8, 4, 4, 8, 8]);
+        assert!(report.total_buffer > 0);
+        assert_eq!(report.channel_high_water.len(), g.channel_count());
+    }
+
+    #[test]
+    fn figure2_select_input_skips_waiting() {
+        let g = figure2_graph();
+        let config =
+            SimulationConfig::new(binding(1)).with_policy(ControlPolicy::SelectInput(1));
+        let report = Simulator::new(&g, config).unwrap().run_iterations(1).unwrap();
+        // All nodes still complete their repetition counts.
+        assert_eq!(report.firings, vec![2, 2, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn figure2_highest_priority_policy() {
+        let g = figure2_graph();
+        let config =
+            SimulationConfig::new(binding(2)).with_policy(ControlPolicy::HighestPriority);
+        let report = Simulator::new(&g, config).unwrap().run_iterations(3).unwrap();
+        assert_eq!(report.iterations_completed, 3);
+    }
+
+    #[test]
+    fn alternate_policy_cycles_modes() {
+        let g = figure2_graph();
+        let config = SimulationConfig::new(binding(1)).with_policy(ControlPolicy::Alternate(vec![
+            Mode::SelectOne(0),
+            Mode::SelectOne(1),
+        ]));
+        let report = Simulator::new(&g, config).unwrap().run_iterations(2).unwrap();
+        assert_eq!(report.iterations_completed, 2);
+    }
+
+    #[test]
+    fn cyclic_graph_runs() {
+        let g = figure4a_graph();
+        let report = Simulator::new(&g, SimulationConfig::new(binding(3)))
+            .unwrap()
+            .run_iterations(2)
+            .unwrap();
+        assert_eq!(report.iterations_completed, 2);
+    }
+
+    #[test]
+    fn fork_join_and_ofdm_run() {
+        let g = fork_join(4);
+        let report = Simulator::new(&g, SimulationConfig::new(Binding::new()))
+            .unwrap()
+            .run_iterations(5)
+            .unwrap();
+        assert_eq!(report.firings.iter().sum::<u64>(), 5 * g.node_count() as u64);
+
+        let g = ofdm_like_chain();
+        let b = Binding::from_pairs([("beta", 2), ("N", 8), ("L", 1), ("M", 2)]);
+        let report = Simulator::new(&g, SimulationConfig::new(b))
+            .unwrap()
+            .run_iterations(1)
+            .unwrap();
+        assert_eq!(report.iterations_completed, 1);
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let g = figure2_graph();
+        let sim = Simulator::new(&g, SimulationConfig::new(binding(1))).unwrap();
+        assert!(matches!(
+            sim.run_iterations(0),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn missing_binding_rejected() {
+        let g = figure2_graph();
+        assert!(Simulator::new(&g, SimulationConfig::new(Binding::new())).is_err());
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let g = figure2_graph();
+        // Capacity 1 is far below the p=4 burst of A.
+        let config = SimulationConfig::new(binding(4)).with_capacity(1);
+        let sim = Simulator::new(&g, config).unwrap();
+        assert!(matches!(
+            sim.run_iterations(1),
+            Err(SimError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn buffers_grow_with_p() {
+        let g = figure2_graph();
+        let small = Simulator::new(&g, SimulationConfig::new(binding(1)))
+            .unwrap()
+            .run_iterations(1)
+            .unwrap();
+        let large = Simulator::new(&g, SimulationConfig::new(binding(8)))
+            .unwrap()
+            .run_iterations(1)
+            .unwrap();
+        assert!(large.total_buffer > small.total_buffer);
+    }
+
+    #[test]
+    fn iterations_are_state_free() {
+        // Running N iterations multiplies the firing counts but keeps the
+        // per-channel high-water marks bounded (no token accumulation).
+        let g = figure2_graph();
+        let one = Simulator::new(&g, SimulationConfig::new(binding(2)))
+            .unwrap()
+            .run_iterations(1)
+            .unwrap();
+        let many = Simulator::new(&g, SimulationConfig::new(binding(2)))
+            .unwrap()
+            .run_iterations(10)
+            .unwrap();
+        assert_eq!(many.channel_high_water, one.channel_high_water);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for simulation.
+
+use std::fmt;
+
+/// Errors produced by the dataflow execution engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The underlying static analysis failed (inconsistent graph, missing
+    /// parameter, …).
+    Analysis(String),
+    /// The simulation stalled: no node can fire although the iteration is
+    /// incomplete.
+    Stalled {
+        /// Names of nodes that still have firings left.
+        blocked: Vec<String>,
+        /// Virtual time (or firing count for untimed runs) at the stall.
+        at: u64,
+    },
+    /// A channel exceeded its configured capacity.
+    CapacityExceeded {
+        /// Channel label.
+        channel: String,
+        /// Capacity that was configured.
+        capacity: u64,
+        /// Occupancy that was attempted.
+        attempted: u64,
+    },
+    /// An invalid configuration was supplied (e.g. zero iterations).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            SimError::Stalled { blocked, at } => write!(
+                f,
+                "simulation stalled at {at}; blocked nodes: {}",
+                blocked.join(", ")
+            ),
+            SimError::CapacityExceeded {
+                channel,
+                capacity,
+                attempted,
+            } => write!(
+                f,
+                "channel {channel} exceeded its capacity ({attempted} > {capacity})"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<tpdf_core::TpdfError> for SimError {
+    fn from(value: tpdf_core::TpdfError) -> Self {
+        SimError::Analysis(value.to_string())
+    }
+}
+
+impl From<tpdf_csdf::CsdfError> for SimError {
+    fn from(value: tpdf_csdf::CsdfError) -> Self {
+        SimError::Analysis(value.to_string())
+    }
+}
+
+impl From<tpdf_symexpr::SymExprError> for SimError {
+    fn from(value: tpdf_symexpr::SymExprError) -> Self {
+        SimError::Analysis(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::Analysis("boom".into()).to_string().contains("boom"));
+        assert!(SimError::Stalled {
+            blocked: vec!["A".into()],
+            at: 7
+        }
+        .to_string()
+        .contains("7"));
+        assert!(SimError::CapacityExceeded {
+            channel: "e1".into(),
+            capacity: 4,
+            attempted: 9
+        }
+        .to_string()
+        .contains("e1"));
+        assert!(SimError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SimError = tpdf_core::TpdfError::EmptyGraph.into();
+        assert!(matches!(e, SimError::Analysis(_)));
+        let e: SimError = tpdf_csdf::CsdfError::EmptyGraph.into();
+        assert!(matches!(e, SimError::Analysis(_)));
+        let e: SimError = tpdf_symexpr::SymExprError::DivisionByZero.into();
+        assert!(matches!(e, SimError::Analysis(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SimError>();
+    }
+}

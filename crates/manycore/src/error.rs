@@ -1,0 +1,51 @@
+//! Error type for platform modelling and scheduling.
+
+use std::fmt;
+
+/// Errors produced while mapping or scheduling onto the platform model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManycoreError {
+    /// The platform has no processing element.
+    EmptyPlatform,
+    /// The underlying dataflow analysis failed.
+    Analysis(String),
+    /// The scheduler could not place every firing (cyclic dependencies or
+    /// an inconsistent mapping).
+    Unschedulable(String),
+}
+
+impl fmt::Display for ManycoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManycoreError::EmptyPlatform => write!(f, "the platform has no processing element"),
+            ManycoreError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            ManycoreError::Unschedulable(msg) => write!(f, "unschedulable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ManycoreError {}
+
+impl From<tpdf_core::TpdfError> for ManycoreError {
+    fn from(value: tpdf_core::TpdfError) -> Self {
+        ManycoreError::Analysis(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ManycoreError::EmptyPlatform.to_string().contains("no processing"));
+        assert!(ManycoreError::Analysis("x".into()).to_string().contains('x'));
+        assert!(ManycoreError::Unschedulable("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    fn conversion() {
+        let e: ManycoreError = tpdf_core::TpdfError::EmptyGraph.into();
+        assert!(matches!(e, ManycoreError::Analysis(_)));
+    }
+}

@@ -1,0 +1,60 @@
+//! # tpdf-manycore
+//!
+//! A clustered many-core platform model (in the spirit of the Kalray
+//! MPPA-256 the paper targets) and a static list scheduler that maps the
+//! canonical period of a TPDF graph onto it (Section III-D).
+//!
+//! The paper's scheduling heuristic has two distinctive rules, both
+//! implemented here:
+//!
+//! 1. **control actors have the highest priority** — whenever a control
+//!    actor's firing is ready it gets a processing element before any
+//!    kernel, and message-passing time is accounted for so the system
+//!    behaves as if control delivery were instantaneous;
+//! 2. **kernels are fired immediately after receiving their control
+//!    token** — a kernel whose data is not ready yet "passes into a
+//!    sleeping queue" and wakes up when its selected inputs arrive.
+//!
+//! ## Modules
+//!
+//! * [`platform`] — clusters, processing elements and the NoC latency
+//!   model.
+//! * [`mapping`] — actor-to-cluster/PE mapping strategies.
+//! * [`scheduler`] — list scheduling of a [`tpdf_core::schedule::CanonicalPeriod`]
+//!   onto a [`platform::Platform`], producing a Gantt chart, makespan and
+//!   utilisation statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use tpdf_core::examples::figure2_graph;
+//! use tpdf_manycore::platform::Platform;
+//! use tpdf_manycore::scheduler::{schedule_graph, SchedulerConfig};
+//! use tpdf_symexpr::Binding;
+//!
+//! # fn main() -> Result<(), tpdf_manycore::ManycoreError> {
+//! let graph = figure2_graph();
+//! let platform = Platform::mppa_like(2, 4, 10);
+//! let result = schedule_graph(
+//!     &graph,
+//!     &Binding::from_pairs([("p", 2)]),
+//!     &platform,
+//!     SchedulerConfig::default(),
+//! )?;
+//! assert!(result.makespan > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod mapping;
+pub mod platform;
+pub mod scheduler;
+
+pub use error::ManycoreError;
+pub use mapping::{Mapping, MappingStrategy};
+pub use platform::{ClusterId, Platform, ProcessingElement};
+pub use scheduler::{schedule_graph, MappedSchedule, SchedulerConfig};

@@ -1,0 +1,72 @@
+//! Error type for symbolic arithmetic.
+
+use std::fmt;
+
+/// Errors produced by symbolic-expression operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymExprError {
+    /// A parameter was needed during evaluation but no value was bound.
+    UnboundParameter(String),
+    /// An exact division was requested but the divisor does not divide
+    /// the dividend (e.g. dividing `p` by `q`).
+    InexactDivision {
+        /// Human-readable dividend.
+        dividend: String,
+        /// Human-readable divisor.
+        divisor: String,
+    },
+    /// Division by zero (numeric or symbolic).
+    DivisionByZero,
+    /// An arithmetic operation overflowed the underlying `i128` storage.
+    Overflow,
+    /// A negative value was produced where a non-negative one is required
+    /// (e.g. evaluating a dataflow rate).
+    NegativeValue(String),
+}
+
+impl fmt::Display for SymExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExprError::UnboundParameter(p) => {
+                write!(f, "parameter `{p}` has no bound value")
+            }
+            SymExprError::InexactDivision { dividend, divisor } => {
+                write!(f, "`{divisor}` does not exactly divide `{dividend}`")
+            }
+            SymExprError::DivisionByZero => write!(f, "division by zero"),
+            SymExprError::Overflow => write!(f, "arithmetic overflow in symbolic expression"),
+            SymExprError::NegativeValue(e) => {
+                write!(f, "expression `{e}` evaluated to a negative value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SymExprError::UnboundParameter("p".into());
+        assert!(e.to_string().contains('p'));
+        let e = SymExprError::InexactDivision {
+            dividend: "p".into(),
+            divisor: "q".into(),
+        };
+        assert!(e.to_string().contains('q'));
+        assert!(SymExprError::DivisionByZero.to_string().contains("zero"));
+        assert!(SymExprError::Overflow.to_string().contains("overflow"));
+        assert!(SymExprError::NegativeValue("x".into())
+            .to_string()
+            .contains("negative"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SymExprError>();
+    }
+}

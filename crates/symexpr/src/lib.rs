@@ -1,0 +1,127 @@
+//! # tpdf-symexpr
+//!
+//! Exact rational and symbolic (parametric) arithmetic used by the TPDF
+//! and CSDF analyses of this workspace.
+//!
+//! Parametric dataflow models such as TPDF annotate channel rates with
+//! *integer parameters* (e.g. `p`, `β`, `N`). Solving the balance
+//! equations of such a graph therefore requires arithmetic over symbolic
+//! quantities: the repetition vector of the graph in Figure 2 of the
+//! paper is `[2, 2p, p, p, 2p, 2p]`, and the buffer-size formulas of
+//! Figure 8 are polynomials such as `3 + β·(12·N + L)`.
+//!
+//! This crate provides three layers:
+//!
+//! * [`Rational`] — exact `i128` rationals with gcd normalisation.
+//! * [`Monomial`] — a rational coefficient times a product of named
+//!   parameters raised to non-negative powers (e.g. `3/2·p·N²`).
+//! * [`Poly`] — a sum of monomials (a multivariate polynomial with
+//!   rational coefficients), with substitution and evaluation against a
+//!   [`Binding`] of parameter values.
+//!
+//! ## Example
+//!
+//! ```
+//! use tpdf_symexpr::{Poly, Binding};
+//!
+//! # fn main() -> Result<(), tpdf_symexpr::SymExprError> {
+//! // Buffer formula of Figure 8 (TPDF): 3 + β·(12·N + L)
+//! let beta = Poly::param("beta");
+//! let n = Poly::param("N");
+//! let l = Poly::param("L");
+//! let buf = Poly::from_integer(3) + beta * (Poly::from_integer(12) * n + l);
+//!
+//! let mut binding = Binding::new();
+//! binding.set("beta", 10);
+//! binding.set("N", 512);
+//! binding.set("L", 1);
+//! assert_eq!(buf.eval(&binding)?, 3 + 10 * (12 * 512 + 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod error;
+mod monomial;
+mod poly;
+mod rational;
+
+pub use binding::Binding;
+pub use error::SymExprError;
+pub use monomial::Monomial;
+pub use poly::Poly;
+pub use rational::{denominator_lcm, numerator_gcd, Rational};
+
+/// Computes the greatest common divisor of two non-negative integers.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tpdf_symexpr::gcd(12, 18), 6);
+/// assert_eq!(tpdf_symexpr::gcd(0, 7), 7);
+/// ```
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Computes the least common multiple of two non-negative integers.
+///
+/// # Panics
+///
+/// Panics if the result overflows `u128`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tpdf_symexpr::lcm(4, 6), 12);
+/// assert_eq!(tpdf_symexpr::lcm(0, 5), 0);
+/// ```
+pub fn lcm(a: u128, b: u128) -> u128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(54, 24), 6);
+        assert_eq!(gcd(24, 54), 6);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 0), 0);
+        assert_eq!(lcm(3, 5), 15);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(6, 4), 12);
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        for a in 1..60u128 {
+            for b in 1..60u128 {
+                let g = gcd(a, b);
+                assert_eq!(a % g, 0);
+                assert_eq!(b % g, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! One-shot analysis pipeline: consistency → rate safety → liveness →
+//! boundedness (Theorem 2).
+
+use crate::boundedness::{boundedness_verdict, BoundednessReport};
+use crate::consistency::{symbolic_repetition_vector, validate_control_rates, SymbolicRepetition};
+use crate::graph::TpdfGraph;
+use crate::liveness::{check_liveness, LivenessReport};
+use crate::safety::{check_rate_safety, RateSafetyReport};
+use crate::TpdfError;
+
+/// The result of the full static-analysis pipeline of Section III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    repetition: SymbolicRepetition,
+    safety: Vec<RateSafetyReport>,
+    liveness: LivenessReport,
+    boundedness: BoundednessReport,
+}
+
+impl AnalysisReport {
+    /// The symbolic repetition vector (Section III-A).
+    pub fn repetition(&self) -> &SymbolicRepetition {
+        &self.repetition
+    }
+
+    /// The per-control-actor rate-safety reports (Section III-B).
+    pub fn safety(&self) -> &[RateSafetyReport] {
+        &self.safety
+    }
+
+    /// The liveness report with one local schedule per clustered cycle
+    /// (Section III-C).
+    pub fn liveness(&self) -> &LivenessReport {
+        &self.liveness
+    }
+
+    /// The boundedness verdict (Theorem 2).
+    pub fn boundedness(&self) -> &BoundednessReport {
+        &self.boundedness
+    }
+
+    /// Returns `true` when the graph is consistent, rate-safe and live,
+    /// and therefore bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.boundedness.bounded
+    }
+}
+
+/// Runs the complete static-analysis chain on a TPDF graph.
+///
+/// Order follows the paper: control-port rates are validated first
+/// (Definition 2 requires them in `{0, 1}`), then rate consistency
+/// (III-A), rate safety over control areas (III-B), liveness by cycle
+/// clustering (III-C), and finally the boundedness verdict of Theorem 2.
+///
+/// # Errors
+///
+/// Any failure of the individual analyses is propagated unchanged, so
+/// callers can distinguish inconsistency, rate-safety violations,
+/// deadlock and undecidable cases.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::prelude::*;
+///
+/// # fn main() -> Result<(), tpdf_core::TpdfError> {
+/// let report = analyze(&tpdf_core::examples::figure2_graph())?;
+/// assert!(report.is_bounded());
+/// assert_eq!(report.safety().len(), 1);
+/// assert!(report.liveness().is_acyclic());
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(graph: &TpdfGraph) -> Result<AnalysisReport, TpdfError> {
+    validate_control_rates(graph)?;
+    let repetition = symbolic_repetition_vector(graph)?;
+    let safety = check_rate_safety(graph, &repetition)?;
+    let liveness = check_liveness(graph, &repetition)?;
+    let boundedness = boundedness_verdict(&repetition, &safety, &liveness);
+    Ok(AnalysisReport {
+        repetition,
+        safety,
+        liveness,
+        boundedness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{
+        figure2_graph, figure3_graph, figure4_deadlocked_graph, figure4a_graph, figure4b_graph,
+        fork_join, ofdm_like_chain, parametric_pipeline,
+    };
+    use crate::graph::TpdfGraph;
+    use crate::rate::RateSeq;
+
+    #[test]
+    fn paper_examples_are_bounded() {
+        for (name, g) in [
+            ("fig2", figure2_graph()),
+            ("fig3", figure3_graph()),
+            ("fig4a", figure4a_graph()),
+            ("fig4b", figure4b_graph()),
+            ("ofdm", ofdm_like_chain()),
+            ("forkjoin", fork_join(4)),
+            ("pipeline", parametric_pipeline(6)),
+        ] {
+            let report = analyze(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.is_bounded(), "{name} must be bounded");
+        }
+    }
+
+    #[test]
+    fn deadlocked_graph_is_reported() {
+        assert!(matches!(
+            analyze(&figure4_deadlocked_graph()),
+            Err(TpdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_control_rate_is_reported_first() {
+        let g = TpdfGraph::builder()
+            .control("C")
+            .kernel("K")
+            .control_channel("C", "K", RateSeq::constant(1), RateSeq::constant(3))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            analyze(&g),
+            Err(TpdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let g = figure2_graph();
+        let report = analyze(&g).unwrap();
+        assert_eq!(report.repetition().len(), 6);
+        assert_eq!(report.safety().len(), 1);
+        assert!(report.liveness().is_acyclic());
+        assert_eq!(report.boundedness().checked_areas, 1);
+        assert_eq!(report.boundedness().clustered_cycles, 0);
+    }
+
+    #[test]
+    fn cyclic_graph_reports_clusters() {
+        let report = analyze(&figure4a_graph()).unwrap();
+        assert_eq!(report.boundedness().clustered_cycles, 1);
+        assert!(!report.liveness().is_acyclic());
+    }
+}

@@ -1,0 +1,172 @@
+//! Control areas (Definition 3 of the paper).
+
+use crate::graph::{NodeId, TpdfGraph};
+use std::collections::BTreeSet;
+
+/// The control area of a control actor `g`:
+///
+/// ```text
+/// Area(g) = prec(g) ∪ succ(g) ∪ infl(g)
+/// infl(g) = (succ(prec(g)) ∩ prec(succ(g))) \ {g}
+/// ```
+///
+/// i.e. the sources of `g`, the kernels/controls that receive its control
+/// tokens, and all actors lying between them that are influenced by the
+/// reconfiguration. For Figure 2, `Area(C) = {B, D, E, F}` (Example 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlArea {
+    /// The control actor the area belongs to.
+    pub control: NodeId,
+    /// `prec(g)`: direct predecessors.
+    pub predecessors: BTreeSet<NodeId>,
+    /// `succ(g)`: direct successors.
+    pub successors: BTreeSet<NodeId>,
+    /// `infl(g)`: influenced actors strictly between the two.
+    pub influenced: BTreeSet<NodeId>,
+}
+
+impl ControlArea {
+    /// All members of the area (`prec ∪ succ ∪ infl`), excluding the
+    /// control actor itself.
+    pub fn members(&self) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        out.extend(self.predecessors.iter().copied());
+        out.extend(self.successors.iter().copied());
+        out.extend(self.influenced.iter().copied());
+        out.remove(&self.control);
+        out
+    }
+
+    /// The members plus the control actor itself (the subset `Z` over
+    /// which local solutions are computed).
+    pub fn members_with_control(&self) -> BTreeSet<NodeId> {
+        let mut out = self.members();
+        out.insert(self.control);
+        out
+    }
+
+    /// Returns `true` if `node` belongs to the area.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members().contains(&node)
+    }
+
+    /// Renders the member names, sorted, for diagnostics.
+    pub fn member_names(&self, graph: &TpdfGraph) -> Vec<String> {
+        self.members()
+            .iter()
+            .map(|&id| graph.node(id).name.clone())
+            .collect()
+    }
+}
+
+/// Computes the control area of a control actor (Definition 3).
+///
+/// # Panics
+///
+/// Panics if `control` is out of range for the graph.
+pub fn control_area(graph: &TpdfGraph, control: NodeId) -> ControlArea {
+    let predecessors = graph.predecessors(control);
+    let successors = graph.successors(control);
+
+    // succ(prec(g)): successors of every predecessor.
+    let mut succ_of_prec: BTreeSet<NodeId> = BTreeSet::new();
+    for &p in &predecessors {
+        succ_of_prec.extend(graph.successors(p));
+    }
+    // prec(succ(g)): predecessors of every successor.
+    let mut prec_of_succ: BTreeSet<NodeId> = BTreeSet::new();
+    for &s in &successors {
+        prec_of_succ.extend(graph.predecessors(s));
+    }
+    let mut influenced: BTreeSet<NodeId> = succ_of_prec
+        .intersection(&prec_of_succ)
+        .copied()
+        .collect();
+    influenced.remove(&control);
+
+    ControlArea {
+        control,
+        predecessors,
+        successors,
+        influenced,
+    }
+}
+
+/// Computes the control areas of every control actor in the graph.
+pub fn control_areas(graph: &TpdfGraph) -> Vec<ControlArea> {
+    graph
+        .control_actors()
+        .map(|(id, _)| control_area(graph, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{figure2_graph, figure3_graph, fork_join};
+
+    #[test]
+    fn figure2_area_matches_example3() {
+        let g = figure2_graph();
+        let c = g.node_by_name("C").unwrap();
+        let area = control_area(&g, c);
+        let names = area.member_names(&g);
+        assert_eq!(names, vec!["B", "D", "E", "F"]);
+        assert!(!area.contains(c));
+        assert!(area.members_with_control().contains(&c));
+        assert!(area.contains(g.node_by_name("D").unwrap()));
+        assert!(!area.contains(g.node_by_name("A").unwrap()));
+    }
+
+    #[test]
+    fn figure2_prec_and_succ() {
+        let g = figure2_graph();
+        let c = g.node_by_name("C").unwrap();
+        let area = control_area(&g, c);
+        assert_eq!(area.predecessors.len(), 1);
+        assert!(area.predecessors.contains(&g.node_by_name("B").unwrap()));
+        assert_eq!(area.successors.len(), 1);
+        assert!(area.successors.contains(&g.node_by_name("F").unwrap()));
+        assert_eq!(area.influenced.len(), 2);
+    }
+
+    #[test]
+    fn all_control_areas() {
+        let g = figure2_graph();
+        let areas = control_areas(&g);
+        assert_eq!(areas.len(), 1);
+        assert_eq!(areas[0].control, g.node_by_name("C").unwrap());
+    }
+
+    #[test]
+    fn figure3_area_covers_both_branches() {
+        let g = figure3_graph();
+        let c = g.node_by_name("C").unwrap();
+        let area = control_area(&g, c);
+        let names = area.member_names(&g);
+        // prec(C) = {B}, succ(C) = {F}, infl = {D, E}
+        assert_eq!(names, vec!["B", "D", "E", "F"]);
+    }
+
+    #[test]
+    fn fork_join_area_is_shallow() {
+        // Definition 3 only captures direct predecessors, direct
+        // successors and the actors lying *directly* between them, so the
+        // workers behind the extra `dup` stage are not part of the area.
+        let g = fork_join(3);
+        let ctl = g.node_by_name("ctl").unwrap();
+        let area = control_area(&g, ctl);
+        assert!(area.contains(g.node_by_name("tran").unwrap()));
+        assert!(area.contains(g.node_by_name("src").unwrap()));
+        for w in ["w0", "w1", "w2"] {
+            assert!(!area.contains(g.node_by_name(w).unwrap()), "{w} not in area");
+        }
+        assert!(!area.contains(g.node_by_name("snk").unwrap()));
+    }
+
+    #[test]
+    fn graph_without_control_actor_has_no_areas() {
+        let g = crate::examples::figure4a_graph();
+        assert!(control_areas(&g).is_empty());
+    }
+}

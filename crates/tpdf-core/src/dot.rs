@@ -1,0 +1,128 @@
+//! Graphviz (DOT) export of TPDF graphs and canonical periods.
+//!
+//! Rendering the graphs the way the paper draws them (kernels as boxes,
+//! control actors as diamonds, control channels dashed) makes it easy to
+//! compare a constructed graph against the paper's figures:
+//!
+//! ```
+//! use tpdf_core::dot::graph_to_dot;
+//! use tpdf_core::examples::figure2_graph;
+//!
+//! let dot = graph_to_dot(&figure2_graph());
+//! assert!(dot.contains("digraph"));
+//! ```
+
+use crate::graph::TpdfGraph;
+use crate::schedule::CanonicalPeriod;
+use std::fmt::Write as _;
+
+/// Renders a TPDF graph as a Graphviz `digraph`.
+///
+/// Kernels are drawn as boxes (Select-duplicate and Transaction kernels
+/// are annotated), control actors and clocks as diamonds, data channels
+/// as solid edges labelled `production/consumption (+initial tokens)` and
+/// control channels as dashed edges.
+pub fn graph_to_dot(graph: &TpdfGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph tpdf {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (_, node) in graph.nodes() {
+        let (shape, extra) = match node.kernel_kind() {
+            None => ("diamond", String::new()),
+            Some(k) if k.is_clock() => ("diamond", format!("\\n{k}")),
+            Some(k) if k.is_transaction() || k.is_select_duplicate() => {
+                ("box", format!("\\n{k}"))
+            }
+            Some(_) => ("box", String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, label=\"{}{extra}\"];",
+            node.name, node.name
+        );
+    }
+    for (_, c) in graph.channels() {
+        let style = if c.is_control() { "dashed" } else { "solid" };
+        let mut label = format!("{} / {}", c.production, c.consumption);
+        if c.initial_tokens > 0 {
+            let _ = write!(label, " ({}i)", c.initial_tokens);
+        }
+        if c.priority > 0 && c.priority != u32::MAX {
+            let _ = write!(label, " p{}", c.priority);
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [style={style}, label=\"{label}\"];",
+            graph.node(c.source).name,
+            graph.node(c.target).name
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a canonical period as a Graphviz `digraph` whose vertices are
+/// firings (`A1`, `A2`, …) and whose edges are the firing dependencies —
+/// the layout of Figure 5.
+pub fn canonical_period_to_dot(graph: &TpdfGraph, period: &CanonicalPeriod) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph canonical_period {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (_, firing) in period.firings() {
+        let name = format!("{}{}", graph.node(firing.node).name, firing.ordinal + 1);
+        let shape = if firing.is_control { "diamond" } else { "ellipse" };
+        let _ = writeln!(out, "  \"{name}\" [shape={shape}];");
+    }
+    for (fid, firing) in period.firings() {
+        let to = format!("{}{}", graph.node(firing.node).name, firing.ordinal + 1);
+        for pred in period.predecessors(fid) {
+            let p = period.firing(*pred);
+            let from = format!("{}{}", graph.node(p.node).name, p.ordinal + 1);
+            let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{figure2_graph, figure4a_graph};
+    use tpdf_symexpr::Binding;
+
+    #[test]
+    fn figure2_dot_contains_all_nodes_and_styles() {
+        let g = figure2_graph();
+        let dot = graph_to_dot(&g);
+        for name in ["A", "B", "C", "D", "E", "F"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing node {name}");
+        }
+        // Control actor drawn as a diamond, control channel dashed.
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("style=dashed"));
+        // Parametric rate label present.
+        assert!(dot.contains("[p]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn initial_tokens_and_priorities_are_labelled() {
+        let dot = graph_to_dot(&figure4a_graph());
+        assert!(dot.contains("(2i)"), "initial tokens missing: {dot}");
+        let dot = graph_to_dot(&figure2_graph());
+        assert!(dot.contains(" p1"), "priority label missing");
+    }
+
+    #[test]
+    fn canonical_period_dot_matches_figure5() {
+        let g = figure2_graph();
+        let period = CanonicalPeriod::build(&g, &Binding::from_pairs([("p", 1)])).unwrap();
+        let dot = canonical_period_to_dot(&g, &period);
+        for vertex in ["A1", "A2", "B1", "B2", "C1", "D1", "E1", "E2", "F1", "F2"] {
+            assert!(dot.contains(&format!("\"{vertex}\"")), "missing {vertex}");
+        }
+        // The control dependency C1 -> F1 of Figure 5 is drawn.
+        assert!(dot.contains("\"C1\" -> \"F1\""));
+    }
+}

@@ -1,0 +1,155 @@
+//! Error type for TPDF construction, analysis and scheduling.
+
+use std::fmt;
+
+/// Errors produced while building, analysing or scheduling TPDF graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpdfError {
+    /// A node name was used twice.
+    DuplicateNode(String),
+    /// A channel references an unknown node.
+    UnknownNode(String),
+    /// A rate sequence is empty.
+    EmptyRateSequence(String),
+    /// The graph contains no nodes.
+    EmptyGraph,
+    /// The graph is not (weakly) connected.
+    NotConnected,
+    /// A kernel has more than one control port (the paper assumes at most
+    /// one control port per kernel).
+    MultipleControlPorts(String),
+    /// A control channel does not originate from a control actor
+    /// (Definition 2: control channels start only from control actors).
+    InvalidControlChannel {
+        /// Channel label.
+        channel: String,
+        /// Offending source node name.
+        source: String,
+    },
+    /// The balance equations admit only the trivial solution or cannot be
+    /// solved symbolically.
+    Inconsistent {
+        /// Explanation referencing the offending channel.
+        detail: String,
+    },
+    /// A rate-safety violation (Definition 5): a control actor would not
+    /// fire exactly once per local iteration of its area.
+    RateUnsafe {
+        /// The control actor.
+        control: String,
+        /// Explanation of the violated equation.
+        detail: String,
+    },
+    /// The graph (or a clustered cycle) deadlocks.
+    Deadlock {
+        /// Nodes that could not complete their (local) repetition counts.
+        blocked: Vec<String>,
+    },
+    /// A quantity that must be a compile-time constant is still
+    /// parametric (e.g. a local solution used by the rate-safety check).
+    NotStaticallyDecidable {
+        /// What was being computed.
+        what: String,
+        /// The symbolic value obtained.
+        value: String,
+    },
+    /// A parameter binding is missing or invalid for a concrete
+    /// evaluation (scheduling, simulation).
+    Binding(String),
+    /// An error bubbled up from the symbolic arithmetic layer.
+    Symbolic(String),
+}
+
+impl fmt::Display for TpdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpdfError::DuplicateNode(n) => write!(f, "node `{n}` is defined more than once"),
+            TpdfError::UnknownNode(n) => write!(f, "node `{n}` is not defined in the graph"),
+            TpdfError::EmptyRateSequence(n) => write!(f, "empty rate sequence on `{n}`"),
+            TpdfError::EmptyGraph => write!(f, "the graph contains no nodes"),
+            TpdfError::NotConnected => write!(f, "the graph is not connected"),
+            TpdfError::MultipleControlPorts(n) => {
+                write!(f, "kernel `{n}` has more than one control port")
+            }
+            TpdfError::InvalidControlChannel { channel, source } => write!(
+                f,
+                "control channel `{channel}` starts from `{source}`, which is not a control actor"
+            ),
+            TpdfError::Inconsistent { detail } => {
+                write!(f, "the graph is rate-inconsistent: {detail}")
+            }
+            TpdfError::RateUnsafe { control, detail } => {
+                write!(f, "rate safety violated for control actor `{control}`: {detail}")
+            }
+            TpdfError::Deadlock { blocked } => {
+                write!(f, "the graph deadlocks; blocked nodes: {}", blocked.join(", "))
+            }
+            TpdfError::NotStaticallyDecidable { what, value } => {
+                write!(f, "{what} is not a compile-time constant (got `{value}`)")
+            }
+            TpdfError::Binding(msg) => write!(f, "invalid parameter binding: {msg}"),
+            TpdfError::Symbolic(msg) => write!(f, "symbolic arithmetic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TpdfError {}
+
+impl From<tpdf_symexpr::SymExprError> for TpdfError {
+    fn from(value: tpdf_symexpr::SymExprError) -> Self {
+        TpdfError::Symbolic(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(TpdfError::DuplicateNode("A".into()).to_string().contains('A'));
+        assert!(TpdfError::UnknownNode("B".into()).to_string().contains('B'));
+        assert!(TpdfError::EmptyRateSequence("C".into()).to_string().contains('C'));
+        assert!(TpdfError::EmptyGraph.to_string().contains("no nodes"));
+        assert!(TpdfError::NotConnected.to_string().contains("connected"));
+        assert!(TpdfError::MultipleControlPorts("K".into())
+            .to_string()
+            .contains("control port"));
+        assert!(TpdfError::InvalidControlChannel {
+            channel: "e5".into(),
+            source: "B".into()
+        }
+        .to_string()
+        .contains("e5"));
+        assert!(TpdfError::Inconsistent { detail: "x".into() }.to_string().contains('x'));
+        assert!(TpdfError::RateUnsafe {
+            control: "C".into(),
+            detail: "mismatch".into()
+        }
+        .to_string()
+        .contains("mismatch"));
+        assert!(TpdfError::Deadlock { blocked: vec!["A".into()] }
+            .to_string()
+            .contains('A'));
+        assert!(TpdfError::NotStaticallyDecidable {
+            what: "local solution".into(),
+            value: "p/2".into()
+        }
+        .to_string()
+        .contains("p/2"));
+        assert!(TpdfError::Binding("missing p".into()).to_string().contains("missing p"));
+        assert!(TpdfError::Symbolic("overflow".into()).to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn from_symexpr() {
+        let e: TpdfError = tpdf_symexpr::SymExprError::UnboundParameter("p".into()).into();
+        assert!(matches!(e, TpdfError::Symbolic(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<TpdfError>();
+    }
+}

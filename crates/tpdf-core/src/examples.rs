@@ -1,0 +1,342 @@
+//! Ready-made TPDF graphs: the paper's running examples (Figures 2–4)
+//! and synthetic generators used by tests and benchmarks.
+
+use crate::actors::KernelKind;
+use crate::graph::TpdfGraph;
+use crate::rate::RateSeq;
+use tpdf_symexpr::Poly;
+
+/// The TPDF graph of **Figure 2** of the paper: six nodes `A`–`F`, an
+/// integer parameter `p`, control actor `C` and control channel `e5`
+/// feeding the Transaction kernel `F`.
+///
+/// Its repetition vector is `[2, 2p, p, p, 2p, 2p]` (Example 2), the
+/// control area of `C` is `{B, D, E, F}` (Example 3) and
+/// `A²B²ᵖCᵖDᵖE²ᵖF²ᵖ` is a valid schedule.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::examples::figure2_graph;
+/// use tpdf_core::consistency::symbolic_repetition_vector;
+///
+/// # fn main() -> Result<(), tpdf_core::TpdfError> {
+/// let g = figure2_graph();
+/// let q = symbolic_repetition_vector(&g)?;
+/// assert_eq!(q.count_by_name(&g, "E").unwrap().to_string(), "2*p");
+/// # Ok(())
+/// # }
+/// ```
+pub fn figure2_graph() -> TpdfGraph {
+    TpdfGraph::builder()
+        .parameter("p")
+        .kernel("A")
+        .kernel("B")
+        .control("C")
+        .kernel("D")
+        .kernel("E")
+        .kernel_with("F", KernelKind::Transaction { votes_required: 0 }, 1)
+        // e1: A -> B, production [p], consumption [1]
+        .channel("A", "B", RateSeq::param("p"), RateSeq::constant(1), 0)
+        // e2: B -> C, production [1], consumption [2]
+        .channel("B", "C", RateSeq::constant(1), RateSeq::constant(2), 0)
+        // e3: B -> D, production [1], consumption [2]
+        .channel("B", "D", RateSeq::constant(1), RateSeq::constant(2), 0)
+        // e4: B -> E, production [1], consumption [1]
+        .channel("B", "E", RateSeq::constant(1), RateSeq::constant(1), 0)
+        // e5: C -> F (control channel), production [2], consumption [1,1]
+        .control_channel("C", "F", RateSeq::constant(2), RateSeq::constants(&[1, 1]))
+        // e6: D -> F, production [2], consumption [0,2], priority 1
+        .channel_with_priority(
+            "D",
+            "F",
+            RateSeq::constant(2),
+            RateSeq::constants(&[0, 2]),
+            0,
+            1,
+        )
+        // e7: E -> F, production [1], consumption [1,1], priority 2
+        .channel_with_priority(
+            "E",
+            "F",
+            RateSeq::constant(1),
+            RateSeq::constants(&[1, 1]),
+            0,
+            2,
+        )
+        .build()
+        .expect("figure 2 graph is well-formed")
+}
+
+/// The Select-duplicate example of **Figure 3** (left-hand graph): kernel
+/// `B` duplicates each token of `A` towards `D` and/or `E`, steered by
+/// control actor `C`; the selected results are merged by the virtual
+/// Transaction `F`.
+pub fn figure3_graph() -> TpdfGraph {
+    TpdfGraph::builder()
+        .kernel("A")
+        .kernel_with("B", KernelKind::SelectDuplicate, 1)
+        .control("C")
+        .kernel("D")
+        .kernel("E")
+        .kernel_with("F", KernelKind::Transaction { votes_required: 0 }, 1)
+        .channel("A", "B", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .channel("B", "D", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .channel("B", "E", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .channel("B", "C", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .control_channel("C", "F", RateSeq::constant(1), RateSeq::constant(1))
+        .channel("D", "F", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .channel("E", "F", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .build()
+        .expect("figure 3 graph is well-formed")
+}
+
+/// The live cyclic graph of **Figure 4(a)**: `A → B ⇄ C` where the cycle
+/// `(B, C)` carries two initial tokens and is schedulable as `(B²C²)ᵖ`.
+pub fn figure4a_graph() -> TpdfGraph {
+    TpdfGraph::builder()
+        .parameter("p")
+        .kernel("A")
+        .kernel("B")
+        .kernel("C")
+        // A -> B, production [p,p], consumption [1,1]
+        .channel(
+            "A",
+            "B",
+            RateSeq::new(vec![Poly::param("p"), Poly::param("p")]),
+            RateSeq::constants(&[1, 1]),
+            0,
+        )
+        // B -> C, production [0,2], consumption [1]
+        .channel("B", "C", RateSeq::constants(&[0, 2]), RateSeq::constant(1), 0)
+        // C -> B, production [1], consumption [1,1], 2 initial tokens
+        .channel("C", "B", RateSeq::constant(1), RateSeq::constants(&[1, 1]), 2)
+        .build()
+        .expect("figure 4(a) graph is well-formed")
+}
+
+/// The live cyclic graph of **Figure 4(b)**: as Figure 4(a) but the cycle
+/// holds a single initial token and `B` produces `[2,0]`, so only the
+/// *late* interleaved schedule `(BCCB)ᵖ` exists.
+pub fn figure4b_graph() -> TpdfGraph {
+    TpdfGraph::builder()
+        .parameter("p")
+        .kernel("A")
+        .kernel("B")
+        .kernel("C")
+        .channel(
+            "A",
+            "B",
+            RateSeq::new(vec![Poly::param("p"), Poly::param("p")]),
+            RateSeq::constants(&[1, 1]),
+            0,
+        )
+        .channel("B", "C", RateSeq::constants(&[2, 0]), RateSeq::constant(1), 0)
+        .channel("C", "B", RateSeq::constant(1), RateSeq::constants(&[1, 1]), 1)
+        .build()
+        .expect("figure 4(b) graph is well-formed")
+}
+
+/// A deadlocked variant of Figure 4: the cycle `(B, C)` holds no initial
+/// token, so no schedule exists. Used by liveness tests.
+pub fn figure4_deadlocked_graph() -> TpdfGraph {
+    TpdfGraph::builder()
+        .parameter("p")
+        .kernel("A")
+        .kernel("B")
+        .kernel("C")
+        .channel(
+            "A",
+            "B",
+            RateSeq::new(vec![Poly::param("p"), Poly::param("p")]),
+            RateSeq::constants(&[1, 1]),
+            0,
+        )
+        .channel("B", "C", RateSeq::constants(&[0, 2]), RateSeq::constant(1), 0)
+        .channel("C", "B", RateSeq::constant(1), RateSeq::constants(&[1, 1]), 0)
+        .build()
+        .expect("deadlocked figure 4 graph is well-formed")
+}
+
+/// A compact OFDM-like TPDF chain with parameters `beta`, `N`, `L` and
+/// `M`, structurally similar to Figure 7 (the full application lives in
+/// the `tpdf-apps` crate). Useful for consistency and scheduling tests
+/// without pulling in the DSP kernels.
+pub fn ofdm_like_chain() -> TpdfGraph {
+    let beta = Poly::param("beta");
+    let n = Poly::param("N");
+    let l = Poly::param("L");
+    let bn = beta.clone() * n.clone();
+    let bnl = beta.clone() * (n + l);
+    TpdfGraph::builder()
+        .parameter("beta")
+        .parameter("N")
+        .parameter("L")
+        .parameter("M")
+        .kernel("SRC")
+        .kernel("RCP")
+        .kernel("FFT")
+        .kernel_with("DUP", KernelKind::SelectDuplicate, 1)
+        .kernel("QPSK")
+        .kernel("QAM")
+        .control("CON")
+        .kernel_with("TRAN", KernelKind::Transaction { votes_required: 0 }, 1)
+        .kernel("SNK")
+        .channel("SRC", "RCP", RateSeq::poly(bnl.clone()), RateSeq::poly(bnl), 0)
+        .channel("RCP", "FFT", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
+        .channel("FFT", "DUP", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
+        .channel("DUP", "QPSK", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
+        .channel("DUP", "QAM", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
+        .channel(
+            "QPSK",
+            "TRAN",
+            RateSeq::poly(Poly::from_integer(2) * bn.clone()),
+            RateSeq::poly(Poly::from_integer(2) * bn.clone()),
+            0,
+        )
+        .channel(
+            "QAM",
+            "TRAN",
+            RateSeq::poly(Poly::from_integer(4) * bn.clone()),
+            RateSeq::poly(Poly::from_integer(4) * bn.clone()),
+            0,
+        )
+        .channel("SRC", "CON", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .control_channel("CON", "TRAN", RateSeq::constant(1), RateSeq::constant(1))
+        .channel("TRAN", "SNK", RateSeq::poly(bn.clone()), RateSeq::poly(bn), 0)
+        .build()
+        .expect("OFDM-like chain is well-formed")
+}
+
+/// A parametric pipeline of `stages` kernels where every stage `i`
+/// produces `p` tokens consumed one-by-one downstream; used by the
+/// analysis-scalability benchmark.
+///
+/// # Panics
+///
+/// Panics if `stages < 2`.
+pub fn parametric_pipeline(stages: usize) -> TpdfGraph {
+    assert!(stages >= 2, "pipeline needs at least two stages");
+    let mut b = TpdfGraph::builder().parameter("p");
+    for i in 0..stages {
+        b = b.kernel(&format!("k{i}"));
+    }
+    for i in 0..stages - 1 {
+        // Alternate parametric and unit rates so repetition counts stay
+        // small while still exercising symbolic arithmetic.
+        if i % 2 == 0 {
+            b = b.channel(
+                &format!("k{i}"),
+                &format!("k{}", i + 1),
+                RateSeq::param("p"),
+                RateSeq::param("p"),
+                0,
+            );
+        } else {
+            b = b.channel(
+                &format!("k{i}"),
+                &format!("k{}", i + 1),
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+            );
+        }
+    }
+    b.build().expect("parametric pipeline is well-formed")
+}
+
+/// A fork/join graph with one Select-duplicate fanning out to `branches`
+/// workers merged by a Transaction kernel under the control of a single
+/// control actor; used by scheduling benchmarks and area/safety tests.
+///
+/// # Panics
+///
+/// Panics if `branches == 0`.
+pub fn fork_join(branches: usize) -> TpdfGraph {
+    assert!(branches > 0, "fork/join needs at least one branch");
+    let mut b = TpdfGraph::builder()
+        .kernel("src")
+        .kernel_with("dup", KernelKind::SelectDuplicate, 1)
+        .control("ctl")
+        .kernel_with("tran", KernelKind::Transaction { votes_required: 0 }, 1)
+        .kernel("snk")
+        .channel("src", "dup", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .channel("src", "ctl", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .control_channel("ctl", "tran", RateSeq::constant(1), RateSeq::constant(1))
+        .channel("tran", "snk", RateSeq::constant(1), RateSeq::constant(1), 0);
+    for i in 0..branches {
+        let name = format!("w{i}");
+        b = b
+            .kernel(&name)
+            .channel("dup", &name, RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel_with_priority(
+                &name,
+                "tran",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+                (i + 1) as u32,
+            );
+    }
+    b.build().expect("fork/join graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::symbolic_repetition_vector;
+
+    #[test]
+    fn all_examples_build_and_are_connected() {
+        for (name, g) in [
+            ("fig2", figure2_graph()),
+            ("fig3", figure3_graph()),
+            ("fig4a", figure4a_graph()),
+            ("fig4b", figure4b_graph()),
+            ("fig4-dead", figure4_deadlocked_graph()),
+            ("ofdm", ofdm_like_chain()),
+            ("pipeline", parametric_pipeline(5)),
+            ("forkjoin", fork_join(4)),
+        ] {
+            assert!(g.node_count() > 0, "{name}");
+            assert!(g.is_connected(), "{name} must be connected");
+        }
+    }
+
+    #[test]
+    fn figure2_has_one_control_actor() {
+        let g = figure2_graph();
+        assert_eq!(g.control_actors().count(), 1);
+        let f = g.node_by_name("F").unwrap();
+        assert!(g.control_port(f).is_some());
+    }
+
+    #[test]
+    fn figure3_select_duplicate_kind() {
+        let g = figure3_graph();
+        let b = g.node_by_name("B").unwrap();
+        assert!(g.node(b).kernel_kind().unwrap().is_select_duplicate());
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(q.counts().iter().all(|c| c.to_string() == "1"));
+    }
+
+    #[test]
+    fn fork_join_scales() {
+        let g = fork_join(8);
+        assert_eq!(g.node_count(), 5 + 8);
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(q.counts().iter().all(|c| c.to_string() == "1"));
+    }
+
+    #[test]
+    fn parametric_pipeline_is_consistent() {
+        let g = parametric_pipeline(8);
+        assert!(symbolic_repetition_vector(&g).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn pipeline_too_short_panics() {
+        let _ = parametric_pipeline(1);
+    }
+}

@@ -1,0 +1,91 @@
+//! # tpdf-core
+//!
+//! Transaction Parameterized Dataflow (TPDF): the model of computation,
+//! static analyses and scheduling heuristics introduced in *"Transaction
+//! Parameterized Dataflow: A Model for Context-Dependent Streaming
+//! Applications"* (Do, Louise, Cohen — DATE 2016).
+//!
+//! TPDF extends Cyclo-Static Dataflow (CSDF) with:
+//!
+//! * **integer parameters** on rates (e.g. a kernel producing `p` tokens
+//!   per firing), fixed during one graph iteration but changeable between
+//!   iterations;
+//! * **control actors**, **control channels** and **control ports**: a
+//!   control actor sends control tokens that select a kernel's *mode*
+//!   (which data inputs/outputs are used), enabling dynamic topology
+//!   changes inside a statically analysable graph;
+//! * **special kernels** — [`KernelKind::SelectDuplicate`],
+//!   [`KernelKind::Transaction`] and the [`KernelKind::Clock`] watchdog —
+//!   which provide speculation, redundancy with vote, and
+//!   *best-result-by-deadline* semantics.
+//!
+//! The crate is organised as the paper is:
+//!
+//! | Paper section | Module |
+//! |---------------|--------|
+//! | II-B model definition | [`graph`], [`mode`], [`actors`], [`rate`] |
+//! | III-A rate consistency | [`consistency`] |
+//! | III-B boundedness (control areas, rate safety) | [`area`], [`safety`], [`boundedness`] |
+//! | III-C liveness (clustering, late schedules) | [`liveness`] |
+//! | III-D scheduling (canonical period) | [`schedule`] |
+//!
+//! A one-shot [`analysis::analyze`] entry point chains all analyses and
+//! returns an [`analysis::AnalysisReport`].
+//!
+//! ## Example — the paper's running example (Figure 2)
+//!
+//! ```
+//! use tpdf_core::prelude::*;
+//!
+//! # fn main() -> Result<(), tpdf_core::TpdfError> {
+//! let graph = tpdf_core::examples::figure2_graph();
+//! let report = analyze(&graph)?;
+//!
+//! // Repetition vector [2, 2p, p, p, 2p, 2p] (Example 2).
+//! let q = report.repetition();
+//! assert_eq!(q.count_by_name(&graph, "B").unwrap().to_string(), "2*p");
+//! assert!(report.is_bounded());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod analysis;
+pub mod area;
+pub mod boundedness;
+pub mod consistency;
+pub mod dot;
+pub mod error;
+pub mod examples;
+pub mod graph;
+pub mod liveness;
+pub mod mode;
+pub mod rate;
+pub mod safety;
+pub mod schedule;
+
+pub use actors::KernelKind;
+pub use analysis::{analyze, AnalysisReport};
+pub use error::TpdfError;
+pub use graph::{
+    ChannelClass, ChannelId, NodeClass, NodeId, TpdfChannel, TpdfGraph, TpdfGraphBuilder, TpdfNode,
+};
+pub use mode::{ControlToken, Mode};
+pub use rate::RateSeq;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::actors::KernelKind;
+    pub use crate::analysis::{analyze, AnalysisReport};
+    pub use crate::consistency::{symbolic_repetition_vector, SymbolicRepetition};
+    pub use crate::error::TpdfError;
+    pub use crate::graph::{
+        ChannelClass, ChannelId, NodeClass, NodeId, TpdfGraph, TpdfGraphBuilder,
+    };
+    pub use crate::mode::{ControlToken, Mode};
+    pub use crate::rate::RateSeq;
+    pub use tpdf_symexpr::{Binding, Poly};
+}

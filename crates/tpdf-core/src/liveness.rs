@@ -1,0 +1,410 @@
+//! Liveness analysis: cycle clustering and late schedules
+//! (Section III-C of the paper).
+
+use crate::consistency::SymbolicRepetition;
+use crate::graph::{ChannelId, NodeId, TpdfGraph};
+use crate::safety::local_solution;
+use crate::TpdfError;
+use std::collections::BTreeSet;
+
+/// The local schedule found for one clustered cycle.
+///
+/// Following the paper, every cycle `Z` is clustered into a virtual actor
+/// `Ω`; the cycle is live if its members can fire their local repetition
+/// counts (`q^L`) starting from the cycle's initial tokens. The firing
+/// sequence discovered is, in general, an interleaved *late schedule*
+/// (e.g. `B C C B` for Figure 4(b)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSchedule {
+    /// Members of the cycle.
+    pub members: Vec<NodeId>,
+    /// Local firing counts (constant values of `q^L`).
+    pub local_counts: Vec<u64>,
+    /// A feasible firing order realising the local iteration.
+    pub firing_sequence: Vec<NodeId>,
+}
+
+impl ClusterSchedule {
+    /// Renders the firing sequence with node names, e.g. `B C C B`.
+    pub fn display(&self, graph: &TpdfGraph) -> String {
+        self.firing_sequence
+            .iter()
+            .map(|&n| graph.node(n).name.clone())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// The result of the liveness analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessReport {
+    /// One schedule per non-trivial cycle (strongly connected component
+    /// with more than one node, or with a self-loop).
+    pub clusters: Vec<ClusterSchedule>,
+}
+
+impl LivenessReport {
+    /// Returns `true` if the graph contains no cycle at all (liveness is
+    /// then immediate for a consistent graph).
+    pub fn is_acyclic(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+/// Computes the strongly connected components of the graph (over both
+/// data and control channels) in reverse topological order, using an
+/// iterative Kosaraju algorithm.
+pub fn strongly_connected_components(graph: &TpdfGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+
+    // First pass: record finish order with an explicit stack.
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut stack = vec![(start, false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                order.push(node);
+                continue;
+            }
+            if visited[node] {
+                continue;
+            }
+            visited[node] = true;
+            stack.push((node, true));
+            for (_, c) in graph.output_channels(NodeId(node)) {
+                if !visited[c.target.0] {
+                    stack.push((c.target.0, false));
+                }
+            }
+        }
+    }
+
+    // Second pass: reverse graph, in reverse finish order.
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for &start in order.iter().rev() {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        component[start] = id;
+        while let Some(node) = stack.pop() {
+            members.push(NodeId(node));
+            for (_, c) in graph.input_channels(NodeId(node)) {
+                if component[c.source.0] == usize::MAX {
+                    component[c.source.0] = id;
+                    stack.push(c.source.0);
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// Returns the non-trivial cycles of the graph: strongly connected
+/// components with more than one node, or single nodes with a self-loop.
+pub fn cycles(graph: &TpdfGraph) -> Vec<Vec<NodeId>> {
+    strongly_connected_components(graph)
+        .into_iter()
+        .filter(|scc| {
+            scc.len() > 1
+                || scc.iter().any(|&n| {
+                    graph
+                        .output_channels(n)
+                        .any(|(_, c)| c.target == n)
+                })
+        })
+        .collect()
+}
+
+/// Checks liveness of a consistent TPDF graph (Section III-C).
+///
+/// Control tokens only *select* among data tokens; they never add firing
+/// constraints, so topology changes cannot introduce deadlocks (first
+/// bullet of Section III-C). Deadlock can therefore only come from
+/// cycles. Each cycle `Z` is clustered and checked in isolation: its
+/// members must be able to fire their local solution `q^L` using only
+/// the tokens circulating inside the cycle. The data-driven search
+/// naturally discovers interleaved *late schedules* such as `B C C B`
+/// (Figure 4(b)).
+///
+/// # Errors
+///
+/// * [`TpdfError::Deadlock`] if some cycle cannot complete a local
+///   iteration;
+/// * [`TpdfError::NotStaticallyDecidable`] if a local solution or an
+///   internal rate of a cycle is not a compile-time constant.
+pub fn check_liveness(
+    graph: &TpdfGraph,
+    repetition: &SymbolicRepetition,
+) -> Result<LivenessReport, TpdfError> {
+    let mut clusters = Vec::new();
+    for cycle in cycles(graph) {
+        clusters.push(schedule_cycle(graph, repetition, &cycle)?);
+    }
+    Ok(LivenessReport { clusters })
+}
+
+/// Attempts to schedule one local iteration of a cycle, returning the
+/// discovered firing sequence.
+fn schedule_cycle(
+    graph: &TpdfGraph,
+    repetition: &SymbolicRepetition,
+    members: &[NodeId],
+) -> Result<ClusterSchedule, TpdfError> {
+    let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+    let local = local_solution(repetition, members)?;
+    let local_counts: Vec<u64> = members
+        .iter()
+        .map(|&m| {
+            local
+                .constant_count(m)
+                .ok_or_else(|| TpdfError::NotStaticallyDecidable {
+                    what: format!("local solution of `{}` in a cycle", graph.node(m).name),
+                    value: local
+                        .count(m)
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "<missing>".to_string()),
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Channels internal to the cycle, with concrete rates.
+    let internal: Vec<(ChannelId, InternalChannel)> = graph
+        .channels()
+        .filter(|(_, c)| member_set.contains(&c.source) && member_set.contains(&c.target))
+        .map(|(id, c)| {
+            let prod = concrete_rates(graph, &c.production, &c.label)?;
+            let cons = concrete_rates(graph, &c.consumption, &c.label)?;
+            Ok((
+                id,
+                InternalChannel {
+                    source: c.source,
+                    target: c.target,
+                    production: prod,
+                    consumption: cons,
+                    tokens: c.initial_tokens,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, TpdfError>>()?;
+
+    let mut channels: Vec<InternalChannel> = internal.into_iter().map(|(_, c)| c).collect();
+    let mut fired: Vec<u64> = vec![0; members.len()];
+    let total: u64 = local_counts.iter().sum();
+    let mut sequence = Vec::with_capacity(total as usize);
+
+    let mut done = 0u64;
+    while done < total {
+        let mut progressed = false;
+        for (mi, &node) in members.iter().enumerate() {
+            if fired[mi] >= local_counts[mi] {
+                continue;
+            }
+            let firing = fired[mi];
+            let ready = channels
+                .iter()
+                .filter(|c| c.target == node)
+                .all(|c| c.tokens >= c.consumption_rate(firing));
+            if !ready {
+                continue;
+            }
+            for c in channels.iter_mut() {
+                if c.target == node {
+                    c.tokens -= c.consumption_rate(firing);
+                }
+            }
+            for c in channels.iter_mut() {
+                if c.source == node {
+                    c.tokens += c.production_rate(firing);
+                }
+            }
+            fired[mi] += 1;
+            done += 1;
+            sequence.push(node);
+            progressed = true;
+        }
+        if !progressed {
+            let blocked = members
+                .iter()
+                .enumerate()
+                .filter(|(mi, _)| fired[*mi] < local_counts[*mi])
+                .map(|(_, &m)| graph.node(m).name.clone())
+                .collect();
+            return Err(TpdfError::Deadlock { blocked });
+        }
+    }
+    Ok(ClusterSchedule {
+        members: members.to_vec(),
+        local_counts,
+        firing_sequence: sequence,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct InternalChannel {
+    source: NodeId,
+    target: NodeId,
+    production: Vec<u64>,
+    consumption: Vec<u64>,
+    tokens: u64,
+}
+
+impl InternalChannel {
+    fn production_rate(&self, firing: u64) -> u64 {
+        self.production[(firing as usize) % self.production.len()]
+    }
+    fn consumption_rate(&self, firing: u64) -> u64 {
+        self.consumption[(firing as usize) % self.consumption.len()]
+    }
+}
+
+fn concrete_rates(
+    graph: &TpdfGraph,
+    seq: &crate::rate::RateSeq,
+    label: &str,
+) -> Result<Vec<u64>, TpdfError> {
+    let _ = graph;
+    seq.iter()
+        .map(|p| {
+            p.as_constant()
+                .and_then(|r| r.to_integer())
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| TpdfError::NotStaticallyDecidable {
+                    what: format!("rate of cycle-internal channel {label}"),
+                    value: p.to_string(),
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::symbolic_repetition_vector;
+    use crate::examples::{
+        figure2_graph, figure4_deadlocked_graph, figure4a_graph, figure4b_graph, ofdm_like_chain,
+    };
+    use crate::graph::TpdfGraph;
+    use crate::rate::RateSeq;
+
+    #[test]
+    fn acyclic_graph_is_live() {
+        let g = figure2_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let report = check_liveness(&g, &q).unwrap();
+        assert!(report.is_acyclic());
+    }
+
+    #[test]
+    fn figure4a_cycle_is_live() {
+        let g = figure4a_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let report = check_liveness(&g, &q).unwrap();
+        assert_eq!(report.clusters.len(), 1);
+        let cluster = &report.clusters[0];
+        // Local solution B^2 C^2 (q_G(Z) = p).
+        assert_eq!(cluster.local_counts.iter().sum::<u64>(), 4);
+        assert_eq!(cluster.firing_sequence.len(), 4);
+    }
+
+    #[test]
+    fn figure4b_finds_late_schedule() {
+        let g = figure4b_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let report = check_liveness(&g, &q).unwrap();
+        let cluster = &report.clusters[0];
+        let text = cluster.display(&g);
+        // The single initial token rules out the block schedule B B C C;
+        // only an interleaved ("late") schedule such as B C C B or
+        // B C B C realises the local iteration.
+        assert_eq!(cluster.firing_sequence.len(), 4);
+        assert!(text.starts_with('B'));
+        assert_ne!(text, "B B C C");
+    }
+
+    #[test]
+    fn deadlocked_cycle_detected() {
+        let g = figure4_deadlocked_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(matches!(
+            check_liveness(&g, &q),
+            Err(TpdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn scc_computation() {
+        let g = figure4a_graph();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        let cyc = cycles(&g);
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(cyc[0].len(), 2);
+    }
+
+    #[test]
+    fn self_loop_with_token_is_live() {
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "A", RateSeq::constant(1), RateSeq::constant(1), 1)
+            .channel("A", "B", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .build()
+            .unwrap();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let report = check_liveness(&g, &q).unwrap();
+        assert_eq!(report.clusters.len(), 1);
+        assert_eq!(report.clusters[0].members.len(), 1);
+    }
+
+    #[test]
+    fn self_loop_without_token_deadlocks() {
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "A", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel("A", "B", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .build()
+            .unwrap();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(matches!(
+            check_liveness(&g, &q),
+            Err(TpdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn parametric_cycle_rate_is_rejected() {
+        // A cycle whose internal rate depends on p cannot be checked
+        // statically.
+        let g = TpdfGraph::builder()
+            .parameter("p")
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "B", RateSeq::param("p"), RateSeq::param("p"), 0)
+            .channel("B", "A", RateSeq::param("p"), RateSeq::param("p"), 5)
+            .build()
+            .unwrap();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(matches!(
+            check_liveness(&g, &q),
+            Err(TpdfError::NotStaticallyDecidable { .. })
+        ));
+    }
+
+    #[test]
+    fn ofdm_chain_is_live() {
+        let g = ofdm_like_chain();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(check_liveness(&g, &q).unwrap().is_acyclic());
+    }
+}

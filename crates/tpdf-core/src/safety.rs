@@ -1,0 +1,323 @@
+//! Local solutions and rate safety (Definitions 4 and 5 of the paper).
+
+use crate::area::{control_areas, ControlArea};
+use crate::consistency::SymbolicRepetition;
+use crate::graph::{NodeId, TpdfGraph};
+use crate::TpdfError;
+use std::collections::BTreeMap;
+use tpdf_symexpr::{Monomial, Poly, Rational};
+
+/// The local solution of a subset of actors `Z` (Definition 4):
+/// `q^L_{a_i} = q_{a_i} / q_G(Z)` where `q_G(Z) = gcd(q_{a_i}/τ_i)`.
+///
+/// Local solutions act as a repetition vector for the subset: for the
+/// area of `C` in Figure 2 the local solution is `B²CDE²F²` (Example 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalSolution {
+    /// The subset the solution was computed over.
+    pub members: Vec<NodeId>,
+    /// The symbolic gcd `q_G(Z)` that was divided out.
+    pub scale: Poly,
+    /// Per-member local firing counts `q^L`, parallel to `members`.
+    pub counts: Vec<Poly>,
+}
+
+impl LocalSolution {
+    /// Returns the local count of a node, if it belongs to the subset.
+    pub fn count(&self, node: NodeId) -> Option<&Poly> {
+        self.members
+            .iter()
+            .position(|&m| m == node)
+            .map(|i| &self.counts[i])
+    }
+
+    /// Returns the local count as a concrete integer, if it is constant.
+    pub fn constant_count(&self, node: NodeId) -> Option<u64> {
+        self.count(node)
+            .and_then(Poly::as_constant)
+            .and_then(|r| r.to_integer())
+            .and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// Renders the solution in the paper's compact notation, e.g.
+    /// `B^2 C D E^2 F^2`.
+    pub fn display(&self, graph: &TpdfGraph) -> String {
+        let mut parts = Vec::new();
+        for (node, count) in self.members.iter().zip(&self.counts) {
+            let name = &graph.node(*node).name;
+            match count.as_constant().and_then(|r| r.to_integer()) {
+                Some(1) => parts.push(name.clone()),
+                Some(c) => parts.push(format!("{name}^{c}")),
+                None => parts.push(format!("{name}^({count})")),
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+/// Computes the symbolic greatest common divisor of a set of polynomials
+/// that are single monomials (which repetition-vector entries always
+/// are): gcd of the integer coefficients and minimum exponent of each
+/// shared parameter.
+///
+/// # Errors
+///
+/// Returns [`TpdfError::NotStaticallyDecidable`] if some entry is not a
+/// single monomial with an integer coefficient.
+pub fn symbolic_gcd(values: &[Poly]) -> Result<Poly, TpdfError> {
+    let mut coeff_gcd: u128 = 0;
+    let mut common: Option<BTreeMap<String, u32>> = None;
+    for v in values {
+        let m = v.as_monomial().ok_or_else(|| TpdfError::NotStaticallyDecidable {
+            what: "symbolic gcd of a multi-term polynomial".to_string(),
+            value: v.to_string(),
+        })?;
+        let coeff = m.coeff();
+        let int = coeff
+            .to_integer()
+            .ok_or_else(|| TpdfError::NotStaticallyDecidable {
+                what: "symbolic gcd of a fractional coefficient".to_string(),
+                value: v.to_string(),
+            })?;
+        coeff_gcd = tpdf_symexpr::gcd(coeff_gcd, int.unsigned_abs());
+        let vars: BTreeMap<String, u32> = m.vars().map(|(k, e)| (k.to_string(), e)).collect();
+        common = Some(match common {
+            None => vars,
+            Some(prev) => prev
+                .into_iter()
+                .filter_map(|(k, e)| vars.get(&k).map(|e2| (k, e.min(*e2))))
+                .filter(|(_, e)| *e > 0)
+                .collect(),
+        });
+    }
+    let coeff = Rational::from_integer(coeff_gcd.max(1) as i128);
+    Ok(Poly::from_monomial(Monomial::from_parts(
+        coeff,
+        common.unwrap_or_default(),
+    )))
+}
+
+/// Computes the local solution (Definition 4) of a subset of nodes.
+///
+/// # Errors
+///
+/// Returns [`TpdfError::NotStaticallyDecidable`] if the symbolic gcd or a
+/// division cannot be carried out (e.g. counts with several terms).
+pub fn local_solution(
+    repetition: &SymbolicRepetition,
+    members: &[NodeId],
+) -> Result<LocalSolution, TpdfError> {
+    let cycle_counts: Vec<Poly> = members
+        .iter()
+        .map(|&m| repetition.cycle_count(m).clone())
+        .collect();
+    let scale = symbolic_gcd(&cycle_counts)?;
+    let counts = members
+        .iter()
+        .map(|&m| {
+            repetition
+                .count(m)
+                .checked_div(&scale)
+                .map_err(|e| TpdfError::NotStaticallyDecidable {
+                    what: format!("local solution of node {m}"),
+                    value: e.to_string(),
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(LocalSolution {
+        members: members.to_vec(),
+        scale,
+        counts,
+    })
+}
+
+/// The outcome of the rate-safety analysis for one control actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateSafetyReport {
+    /// The control actor.
+    pub control: NodeId,
+    /// Its control area.
+    pub area: ControlArea,
+    /// The local solution of the area (including the control actor).
+    pub local: LocalSolution,
+}
+
+/// Checks rate safety (Definition 5) for every control actor of the
+/// graph.
+///
+/// For each control actor `g` and each neighbour `a_i ∈ prec(g) ∪ succ(g)`
+/// connected by channel `e_u`, the tokens exchanged by a *single* firing
+/// of `g` must equal the tokens exchanged by `q^L_{a_i}` firings of the
+/// neighbour:
+///
+/// * `X_g^u(1) = Y_i^u(q^L_{a_i})` when `g` produces on `e_u`;
+/// * `Y_g^u(1) = X_i^u(q^L_{a_i})` when `g` consumes from `e_u`.
+///
+/// This guarantees that the control actor fires exactly once per local
+/// iteration of its area, so every kernel of the area receives a
+/// coherent set of control tokens.
+///
+/// # Errors
+///
+/// * [`TpdfError::RateUnsafe`] if a safety equation is violated;
+/// * [`TpdfError::NotStaticallyDecidable`] if a local solution is not a
+///   compile-time constant.
+pub fn check_rate_safety(
+    graph: &TpdfGraph,
+    repetition: &SymbolicRepetition,
+) -> Result<Vec<RateSafetyReport>, TpdfError> {
+    let mut reports = Vec::new();
+    for area in control_areas(graph) {
+        let g = area.control;
+        let members: Vec<NodeId> = area.members_with_control().into_iter().collect();
+        let local = local_solution(repetition, &members)?;
+
+        for (_, channel) in graph.channels() {
+            let (neighbour, g_produces) = if channel.source == g {
+                (channel.target, true)
+            } else if channel.target == g {
+                (channel.source, false)
+            } else {
+                continue;
+            };
+            let local_count = local.constant_count(neighbour).ok_or_else(|| {
+                TpdfError::NotStaticallyDecidable {
+                    what: format!(
+                        "local solution of `{}` in the area of `{}`",
+                        graph.node(neighbour).name,
+                        graph.node(g).name
+                    ),
+                    value: local
+                        .count(neighbour)
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "<missing>".to_string()),
+                }
+            })?;
+            let (lhs, rhs) = if g_produces {
+                (
+                    channel.production.cumulative(1),
+                    channel.consumption.cumulative(local_count),
+                )
+            } else {
+                (
+                    channel.consumption.cumulative(1),
+                    channel.production.cumulative(local_count),
+                )
+            };
+            if lhs != rhs {
+                return Err(TpdfError::RateUnsafe {
+                    control: graph.node(g).name.clone(),
+                    detail: format!(
+                        "on channel {}: one firing of the control actor exchanges `{lhs}` tokens but a local iteration of `{}` exchanges `{rhs}`",
+                        channel.label,
+                        graph.node(neighbour).name
+                    ),
+                });
+            }
+        }
+
+        reports.push(RateSafetyReport {
+            control: g,
+            area,
+            local,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::symbolic_repetition_vector;
+    use crate::examples::{figure2_graph, figure3_graph, fork_join, ofdm_like_chain};
+    use crate::graph::TpdfGraph;
+    use crate::rate::RateSeq;
+
+    #[test]
+    fn symbolic_gcd_of_monomials() {
+        let p = Poly::param("p");
+        let values = vec![
+            Poly::from_integer(2) * p.clone(),
+            p.clone(),
+            Poly::from_integer(4) * p.clone(),
+        ];
+        assert_eq!(symbolic_gcd(&values).unwrap().to_string(), "p");
+        let values = vec![Poly::from_integer(6), Poly::from_integer(4)];
+        assert_eq!(symbolic_gcd(&values).unwrap().to_string(), "2");
+        let values = vec![Poly::from_integer(2), Poly::from_integer(2) * p];
+        assert_eq!(symbolic_gcd(&values).unwrap().to_string(), "2");
+    }
+
+    #[test]
+    fn symbolic_gcd_rejects_sums() {
+        let bad = vec![Poly::param("p") + Poly::one()];
+        assert!(matches!(
+            symbolic_gcd(&bad),
+            Err(TpdfError::NotStaticallyDecidable { .. })
+        ));
+    }
+
+    #[test]
+    fn figure2_local_solution_matches_example3() {
+        let g = figure2_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let c = g.node_by_name("C").unwrap();
+        let area = crate::area::control_area(&g, c);
+        let members: Vec<NodeId> = area.members_with_control().into_iter().collect();
+        let local = local_solution(&q, &members).unwrap();
+        // Example 3: local solution B^2 C D E^2 F^2 (q_G = p).
+        assert_eq!(local.scale.to_string(), "p");
+        assert_eq!(local.constant_count(g.node_by_name("B").unwrap()), Some(2));
+        assert_eq!(local.constant_count(c), Some(1));
+        assert_eq!(local.constant_count(g.node_by_name("D").unwrap()), Some(1));
+        assert_eq!(local.constant_count(g.node_by_name("E").unwrap()), Some(2));
+        assert_eq!(local.constant_count(g.node_by_name("F").unwrap()), Some(2));
+        let display = local.display(&g);
+        assert!(display.contains("B^2"));
+        assert!(display.contains("F^2"));
+    }
+
+    #[test]
+    fn figure2_is_rate_safe() {
+        let g = figure2_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let reports = check_rate_safety(&g, &q).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].area.member_names(&g), vec!["B", "D", "E", "F"]);
+    }
+
+    #[test]
+    fn figure3_and_fork_join_are_rate_safe() {
+        for g in [figure3_graph(), fork_join(3), ofdm_like_chain()] {
+            let q = symbolic_repetition_vector(&g).unwrap();
+            assert!(check_rate_safety(&g, &q).is_ok());
+        }
+    }
+
+    #[test]
+    fn rate_unsafe_graph_detected() {
+        // Consistent graph in which the control actor C must fire twice
+        // per local iteration of its area (q^L_C = 2): one firing of C
+        // reads 1 token from B, but one local iteration of B produces 2,
+        // violating Definition 5.
+        let g = TpdfGraph::builder()
+            .kernel("B")
+            .control("C")
+            .kernel("F")
+            .channel("B", "C", RateSeq::constant(2), RateSeq::constant(1), 0)
+            .control_channel("C", "F", RateSeq::constant(1), RateSeq::constant(1))
+            .channel("B", "F", RateSeq::constant(2), RateSeq::constant(1), 0)
+            .build()
+            .unwrap();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        let result = check_rate_safety(&g, &q);
+        assert!(matches!(result, Err(TpdfError::RateUnsafe { .. })), "{result:?}");
+    }
+
+    #[test]
+    fn graph_without_control_actors_is_trivially_safe() {
+        let g = crate::examples::figure4a_graph();
+        let q = symbolic_repetition_vector(&g).unwrap();
+        assert!(check_rate_safety(&g, &q).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Actor Dependence Function (ADF).
+//!
+//! The ADF, introduced in the authors' earlier work on data-dependent
+//! task latency and reused by the TPDF scheduler (Section III-D), maps a
+//! consumer firing to the minimal number of producer firings it depends
+//! on through a channel. The canonical-period construction and the
+//! scheduler use it to know which firings can be skipped when a control
+//! token rejects an input port ("the scheduler uses the Actor Dependence
+//! Function … to stop unnecessary firings").
+
+use crate::graph::{ChannelId, TpdfGraph};
+use crate::TpdfError;
+use tpdf_symexpr::Binding;
+
+/// Returns the minimal number of producer firings that must have
+/// completed before the consumer of `channel` can execute its
+/// `consumer_firing`-th firing (0-based), under a concrete binding.
+///
+/// Formally it is the least `m ≥ 0` such that
+/// `initial_tokens + X(m) ≥ Y(consumer_firing + 1)`.
+///
+/// # Errors
+///
+/// Returns an error if a rate does not evaluate under `binding`.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::examples::figure2_graph;
+/// use tpdf_core::schedule::actor_dependence;
+/// use tpdf_core::graph::ChannelId;
+/// use tpdf_symexpr::Binding;
+///
+/// # fn main() -> Result<(), tpdf_core::TpdfError> {
+/// let g = figure2_graph();
+/// let binding = Binding::from_pairs([("p", 1)]);
+/// // Channel e1 (A -> B): B's first firing needs one firing of A.
+/// assert_eq!(actor_dependence(&g, ChannelId(0), 0, &binding)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn actor_dependence(
+    graph: &TpdfGraph,
+    channel: ChannelId,
+    consumer_firing: u64,
+    binding: &Binding,
+) -> Result<u64, TpdfError> {
+    let c = graph.channel(channel);
+    let needed = c
+        .consumption
+        .concrete_cumulative(consumer_firing + 1, binding)?;
+    if needed <= c.initial_tokens {
+        return Ok(0);
+    }
+    let shortfall = needed - c.initial_tokens;
+    let mut produced = 0u64;
+    let mut firings = 0u64;
+    while produced < shortfall {
+        produced += c.production.concrete(firings, binding)?;
+        firings += 1;
+        // A producer that never supplies enough tokens would loop forever;
+        // the consistency analysis prevents this, but guard anyway.
+        if firings > shortfall.saturating_add(c.production.phases() as u64 + 1) && produced == 0 {
+            return Err(TpdfError::Inconsistent {
+                detail: format!(
+                    "channel {} never accumulates the {shortfall} tokens required",
+                    c.label
+                ),
+            });
+        }
+    }
+    Ok(firings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure2_graph;
+    use crate::graph::TpdfGraph;
+    use crate::rate::RateSeq;
+
+    #[test]
+    fn unit_rate_dependency_is_one_to_one() {
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "B", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .build()
+            .unwrap();
+        let b = Binding::new();
+        for n in 0..5 {
+            assert_eq!(actor_dependence(&g, ChannelId(0), n, &b).unwrap(), n + 1);
+        }
+    }
+
+    #[test]
+    fn initial_tokens_remove_dependencies() {
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "B", RateSeq::constant(1), RateSeq::constant(1), 2)
+            .build()
+            .unwrap();
+        let b = Binding::new();
+        assert_eq!(actor_dependence(&g, ChannelId(0), 0, &b).unwrap(), 0);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 1, &b).unwrap(), 0);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 2, &b).unwrap(), 1);
+    }
+
+    #[test]
+    fn bursty_producer() {
+        // Producer emits 4 tokens per firing, consumer takes 1.
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "B", RateSeq::constant(4), RateSeq::constant(1), 0)
+            .build()
+            .unwrap();
+        let b = Binding::new();
+        assert_eq!(actor_dependence(&g, ChannelId(0), 0, &b).unwrap(), 1);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 3, &b).unwrap(), 1);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 4, &b).unwrap(), 2);
+    }
+
+    #[test]
+    fn parametric_rates_follow_binding() {
+        let g = figure2_graph();
+        // e1: A -> B with production [p], consumption [1].
+        let small = Binding::from_pairs([("p", 1)]);
+        let large = Binding::from_pairs([("p", 4)]);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 3, &small).unwrap(), 4);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 3, &large).unwrap(), 1);
+    }
+
+    #[test]
+    fn cyclo_static_consumer() {
+        // Consumer reads [0,2]: firing 0 needs nothing, firing 1 needs 2.
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .channel("A", "B", RateSeq::constant(1), RateSeq::constants(&[0, 2]), 0)
+            .build()
+            .unwrap();
+        let b = Binding::new();
+        assert_eq!(actor_dependence(&g, ChannelId(0), 0, &b).unwrap(), 0);
+        assert_eq!(actor_dependence(&g, ChannelId(0), 1, &b).unwrap(), 2);
+    }
+}

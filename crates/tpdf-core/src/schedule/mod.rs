@@ -1,0 +1,18 @@
+//! Scheduling of TPDF graphs (Section III-C/D of the paper).
+//!
+//! * [`sequential`] — single-processor sequential schedules for one graph
+//!   iteration (used both as the liveness witness and as a baseline).
+//! * [`adf`] — the Actor Dependence Function relating consumer firings to
+//!   the producer firings they depend on.
+//! * [`canonical`] — the canonical period: the partial-order graph of all
+//!   firings of one iteration (Figure 5), which the many-core list
+//!   scheduler of the `tpdf-manycore` crate maps onto processing
+//!   elements.
+
+pub mod adf;
+pub mod canonical;
+pub mod sequential;
+
+pub use adf::actor_dependence;
+pub use canonical::{CanonicalPeriod, Firing, FiringId};
+pub use sequential::{sequential_schedule, SequentialSchedule, SequentialEntry};

@@ -1,0 +1,52 @@
+//! Map the Figure 2 graph onto MPPA-like platforms of increasing width
+//! and compare mapping strategies (Section III-D).
+//!
+//! Run with `cargo run --example manycore_mapping`.
+
+use tpdf_suite::core::examples::figure2_graph;
+use tpdf_suite::manycore::mapping::MappingStrategy;
+use tpdf_suite::manycore::platform::Platform;
+use tpdf_suite::manycore::scheduler::{schedule_graph, SchedulerConfig};
+use tpdf_suite::symexpr::Binding;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = figure2_graph();
+    let binding = Binding::from_pairs([("p", 16)]);
+
+    println!("canonical-period list scheduling of the Figure 2 graph (p = 16):\n");
+    println!("{:<10} {:<14} {:>9} {:>8} {:>12}", "platform", "mapping", "makespan", "speedup", "utilization");
+    for (clusters, pes) in [(1usize, 1usize), (1, 8), (4, 4), (16, 16)] {
+        for strategy in [
+            MappingStrategy::RoundRobin,
+            MappingStrategy::Packed,
+            MappingStrategy::LoadBalanced,
+        ] {
+            let platform = Platform::mppa_like(clusters, pes, 10);
+            let config = SchedulerConfig {
+                mapping: strategy,
+                dedicated_control_pe: true,
+            };
+            let result = schedule_graph(&graph, &binding, &platform, config)?;
+            println!(
+                "{:<10} {:<14} {:>9} {:>8.2} {:>11.1}%",
+                format!("{clusters}x{pes}"),
+                format!("{strategy:?}"),
+                result.makespan,
+                result.speedup(),
+                100.0 * result.utilization()
+            );
+        }
+    }
+
+    // Show the Gantt chart of a small configuration (Figure 5 style).
+    let platform = Platform::mppa_like(2, 2, 5);
+    let result = schedule_graph(
+        &graph,
+        &Binding::from_pairs([("p", 1)]),
+        &platform,
+        SchedulerConfig::paper_default(),
+    )?;
+    println!("\nGantt chart for p = 1 on a 2x2 platform (control actor on PE0):");
+    println!("{}", result.display(&graph));
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # tpdf-suite
+//!
+//! Umbrella crate for the Transaction Parameterized Dataflow (TPDF)
+//! reproduction. It re-exports the individual crates of the workspace so
+//! that examples and integration tests can use a single dependency.
+//!
+//! The workspace reproduces the model, analyses, scheduling heuristic and
+//! evaluation of *"Transaction Parameterized Dataflow: A Model for
+//! Context-Dependent Streaming Applications"* (Do, Louise, Cohen — DATE
+//! 2016).
+//!
+//! ## Crates
+//!
+//! * [`symexpr`] — exact rational and symbolic (parametric) arithmetic.
+//! * [`csdf`] — the Cyclo-Static Dataflow baseline model.
+//! * [`core`] — the TPDF model of computation and its static analyses.
+//! * [`sim`] — a token-accurate dataflow execution engine.
+//! * [`manycore`] — an MPPA-like clustered many-core platform model and
+//!   static list scheduler.
+//! * [`apps`] — the paper's case studies (edge detection, OFDM/cognitive
+//!   radio, FM radio).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tpdf_suite::core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the running example of the paper (Figure 2) and analyse it.
+//! let graph = tpdf_suite::core::examples::figure2_graph();
+//! let report = analyze(&graph)?;
+//! assert!(report.is_bounded());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use tpdf_apps as apps;
+pub use tpdf_core as core;
+pub use tpdf_csdf as csdf;
+pub use tpdf_manycore as manycore;
+pub use tpdf_sim as sim;
+pub use tpdf_symexpr as symexpr;

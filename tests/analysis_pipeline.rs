@@ -1,0 +1,68 @@
+//! Cross-crate property tests: the static analyses of `tpdf-core` must
+//! agree with the concrete behaviour observed by `tpdf-sim` and the CSDF
+//! baseline of `tpdf-csdf`.
+
+use proptest::prelude::*;
+use tpdf_suite::core::consistency::symbolic_repetition_vector;
+use tpdf_suite::core::examples::{figure2_graph, fork_join, parametric_pipeline};
+use tpdf_suite::csdf::repetition_vector;
+use tpdf_suite::sim::engine::{SimulationConfig, Simulator};
+use tpdf_suite::symexpr::Binding;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The symbolic repetition vector evaluated at a concrete p equals
+    /// (up to a common factor) the repetition vector of the CSDF graph
+    /// obtained by freezing the parameters, for the paper's main example.
+    #[test]
+    fn symbolic_and_concrete_repetition_agree(p in 1i64..12) {
+        let g = figure2_graph();
+        let binding = Binding::from_pairs([("p", p)]);
+        let symbolic = symbolic_repetition_vector(&g).unwrap().concrete(&binding).unwrap();
+        let csdf = g.to_csdf(&binding).unwrap();
+        let concrete = repetition_vector(&csdf).unwrap();
+        let ratio = symbolic[0] / concrete.counts()[0];
+        prop_assert!(ratio >= 1);
+        for (s, c) in symbolic.iter().zip(concrete.counts()) {
+            prop_assert_eq!(*s, c * ratio);
+        }
+    }
+
+    /// Simulated firing counts always match the analysed repetition
+    /// vector, whatever the parameter value and iteration count.
+    #[test]
+    fn simulation_respects_the_repetition_vector(p in 1i64..8, iterations in 1u64..4) {
+        let g = figure2_graph();
+        let binding = Binding::from_pairs([("p", p)]);
+        let expected = symbolic_repetition_vector(&g).unwrap().concrete(&binding).unwrap();
+        let report = Simulator::new(&g, SimulationConfig::new(binding))
+            .unwrap()
+            .run_iterations(iterations)
+            .unwrap();
+        for (fired, per_iteration) in report.firings.iter().zip(&expected) {
+            prop_assert_eq!(*fired, per_iteration * iterations);
+        }
+    }
+
+    /// Synthetic pipelines and fork/join graphs of any size stay
+    /// analysable and simulable.
+    #[test]
+    fn generated_graphs_are_well_behaved(stages in 2usize..12, branches in 1usize..8) {
+        let pipeline = parametric_pipeline(stages);
+        let binding = Binding::from_pairs([("p", 3)]);
+        prop_assert!(symbolic_repetition_vector(&pipeline).is_ok());
+        let report = Simulator::new(&pipeline, SimulationConfig::new(binding))
+            .unwrap()
+            .run_iterations(1)
+            .unwrap();
+        prop_assert!(report.total_buffer > 0);
+
+        let fj = fork_join(branches);
+        let report = Simulator::new(&fj, SimulationConfig::new(Binding::new()))
+            .unwrap()
+            .run_iterations(2)
+            .unwrap();
+        prop_assert_eq!(report.firings.iter().sum::<u64>(), 2 * fj.node_count() as u64);
+    }
+}

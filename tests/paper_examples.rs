@@ -1,0 +1,92 @@
+//! Cross-crate integration tests reproducing the paper's worked
+//! examples: Figure 1 (CSDF), Figure 2 / Examples 1–3 (TPDF), Figure 4
+//! (liveness) and Figure 5 (canonical period + many-core mapping).
+
+use tpdf_suite::core::analysis::analyze;
+use tpdf_suite::core::area::control_area;
+use tpdf_suite::core::examples::{figure2_graph, figure4a_graph, figure4b_graph};
+use tpdf_suite::core::schedule::{sequential_schedule, CanonicalPeriod};
+use tpdf_suite::csdf::examples::figure1_graph;
+use tpdf_suite::csdf::schedule::SchedulePolicy;
+use tpdf_suite::csdf::{repetition_vector, single_processor_schedule};
+use tpdf_suite::manycore::platform::Platform;
+use tpdf_suite::manycore::scheduler::{schedule_graph, SchedulerConfig};
+use tpdf_suite::symexpr::Binding;
+
+#[test]
+fn figure1_csdf_example() {
+    let g = figure1_graph();
+    let q = repetition_vector(&g).expect("figure 1 is consistent");
+    assert_eq!(q.counts(), &[3, 2, 2]);
+    let schedule = single_processor_schedule(&g, SchedulePolicy::Greedy).expect("schedulable");
+    assert_eq!(schedule.display(&g).to_string(), "(a3)^2 (a1)^3 (a2)^2");
+}
+
+#[test]
+fn figure2_tpdf_example() {
+    let g = figure2_graph();
+    let report = analyze(&g).expect("figure 2 analyses");
+    let q = report.repetition();
+    assert_eq!(q.count_by_name(&g, "A").unwrap().to_string(), "2");
+    assert_eq!(q.count_by_name(&g, "B").unwrap().to_string(), "2*p");
+    assert_eq!(q.count_by_name(&g, "C").unwrap().to_string(), "p");
+    assert_eq!(q.count_by_name(&g, "D").unwrap().to_string(), "p");
+    assert_eq!(q.count_by_name(&g, "E").unwrap().to_string(), "2*p");
+    assert_eq!(q.count_by_name(&g, "F").unwrap().to_string(), "2*p");
+
+    // Example 3: Area(C) = {B, D, E, F}.
+    let c = g.node_by_name("C").unwrap();
+    let area = control_area(&g, c);
+    assert_eq!(area.member_names(&g), vec!["B", "D", "E", "F"]);
+    assert!(report.is_bounded());
+}
+
+#[test]
+fn figure2_schedule_for_several_parameter_values() {
+    let g = figure2_graph();
+    for p in [1i64, 2, 5, 10] {
+        let binding = Binding::from_pairs([("p", p)]);
+        let schedule = sequential_schedule(&g, &binding).expect("schedulable");
+        assert_eq!(schedule.total_firings(), (2 + 8 * p) as u64, "p = {p}");
+    }
+}
+
+#[test]
+fn figure4_liveness_examples() {
+    for (name, graph) in [("4a", figure4a_graph()), ("4b", figure4b_graph())] {
+        let report = analyze(&graph).unwrap_or_else(|e| panic!("figure {name}: {e}"));
+        assert!(report.is_bounded(), "figure {name}");
+        assert_eq!(report.boundedness().clustered_cycles, 1, "figure {name}");
+    }
+}
+
+#[test]
+fn figure5_canonical_period_maps_onto_the_platform() {
+    let g = figure2_graph();
+    let binding = Binding::from_pairs([("p", 1)]);
+    let period = CanonicalPeriod::build(&g, &binding).expect("canonical period");
+    assert_eq!(period.len(), 10);
+
+    let platform = Platform::mppa_like(2, 4, 5);
+    let mapped = schedule_graph(&g, &binding, &platform, SchedulerConfig::paper_default())
+        .expect("mapped schedule");
+    assert_eq!(mapped.entries.len(), 10);
+    // The control actor C is pinned to the dedicated PE 0.
+    let c = g.node_by_name("C").unwrap();
+    assert!(mapped
+        .entries
+        .iter()
+        .filter(|e| e.node == c)
+        .all(|e| e.pe.0 == 0));
+    // F fires only after the control token (C's firing) is produced.
+    let f = g.node_by_name("F").unwrap();
+    let c_end = mapped.entries.iter().find(|e| e.node == c).unwrap().end;
+    let f_start = mapped
+        .entries
+        .iter()
+        .filter(|e| e.node == f)
+        .map(|e| e.start)
+        .min()
+        .unwrap();
+    assert!(f_start >= c_end);
+}
