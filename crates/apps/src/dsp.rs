@@ -14,6 +14,10 @@ pub struct Complex {
     pub im: f64,
 }
 
+// The inherent `mul`/`add`/`sub` are the crate's established call style
+// (`a.mul(b)` reads naturally in the FFT butterflies); silence clippy's
+// suggestion to move them onto the std operator traits.
+#[allow(clippy::should_implement_trait)]
 impl Complex {
     /// Creates a complex number.
     pub fn new(re: f64, im: f64) -> Self {
@@ -75,7 +79,10 @@ pub fn add_cyclic_prefix(symbol: &[Complex], cp_len: usize) -> Vec<Complex> {
 ///
 /// Panics if the input is shorter than `cp_len`.
 pub fn remove_cyclic_prefix(symbol: &[Complex], cp_len: usize) -> Vec<Complex> {
-    assert!(symbol.len() >= cp_len, "input shorter than the cyclic prefix");
+    assert!(
+        symbol.len() >= cp_len,
+        "input shorter than the cyclic prefix"
+    );
     symbol[cp_len..].to_vec()
 }
 

@@ -233,7 +233,10 @@ impl Default for EdgeDetectionApp {
         EdgeDetectionApp {
             deadline: 500,
             execution_times: [
-                (EdgeDetector::QuickMask, EdgeDetector::QuickMask.paper_time_ms()),
+                (
+                    EdgeDetector::QuickMask,
+                    EdgeDetector::QuickMask.paper_time_ms(),
+                ),
                 (EdgeDetector::Sobel, EdgeDetector::Sobel.paper_time_ms()),
                 (EdgeDetector::Prewitt, EdgeDetector::Prewitt.paper_time_ms()),
                 (EdgeDetector::Canny, EdgeDetector::Canny.paper_time_ms()),
@@ -279,14 +282,32 @@ impl EdgeDetectionApp {
             )
             .kernel_with("Trans", KernelKind::Transaction { votes_required: 0 }, 1)
             .kernel_with("IWrite", KernelKind::Regular, 10)
-            .channel("IRead", "IDuplicate", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel(
+                "IRead",
+                "IDuplicate",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+            )
             .control_channel("Clock", "Trans", RateSeq::constant(1), RateSeq::constant(1))
-            .channel("Trans", "IWrite", RateSeq::constant(1), RateSeq::constant(1), 0);
+            .channel(
+                "Trans",
+                "IWrite",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+            );
         for detector in EdgeDetector::ALL {
             let name = detector_node_name(detector);
             b = b
                 .kernel_with(&name, KernelKind::Regular, self.execution_time(detector))
-                .channel("IDuplicate", &name, RateSeq::constant(1), RateSeq::constant(1), 0)
+                .channel(
+                    "IDuplicate",
+                    &name,
+                    RateSeq::constant(1),
+                    RateSeq::constant(1),
+                    0,
+                )
                 .channel_with_priority(
                     &name,
                     "Trans",

@@ -29,7 +29,10 @@ pub struct FmRadioConfig {
 
 impl Default for FmRadioConfig {
     fn default() -> Self {
-        FmRadioConfig { bands: 10, block: 64 }
+        FmRadioConfig {
+            bands: 10,
+            block: 64,
+        }
     }
 }
 
@@ -78,7 +81,13 @@ impl FmRadio {
             .channel("src", "lowpass", block.clone(), block.clone(), 0)
             .channel("lowpass", "demod", block.clone(), block.clone(), 0)
             .channel("demod", "dup", block.clone(), block.clone(), 0)
-            .channel("src", "profile", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel(
+                "src",
+                "profile",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+            )
             .control_channel("profile", "sum", RateSeq::constant(1), RateSeq::constant(1))
             .channel("sum", "sink", block.clone(), block.clone(), 0);
         for i in 0..self.config.bands {
@@ -106,7 +115,10 @@ impl FmRadio {
     /// # Errors
     ///
     /// Returns an error if the analysis fails.
-    pub fn buffer_comparison(&self, active_band: usize) -> Result<BufferComparison, tpdf_sim::SimError> {
+    pub fn buffer_comparison(
+        &self,
+        active_band: usize,
+    ) -> Result<BufferComparison, tpdf_sim::SimError> {
         let selection = PortSelection::from([("sum".to_string(), active_band)]);
         compare_buffers(&self.tpdf_graph(), &self.binding(), &selection)
     }
@@ -159,7 +171,10 @@ mod tests {
 
     #[test]
     fn dynamic_topology_saves_buffers() {
-        let radio = FmRadio::new(FmRadioConfig { bands: 8, block: 32 });
+        let radio = FmRadio::new(FmRadioConfig {
+            bands: 8,
+            block: 32,
+        });
         let cmp = radio.buffer_comparison(0).unwrap();
         assert!(cmp.tpdf_total < cmp.csdf_total);
         // With only 1 of 8 bands active the saving is substantial.
@@ -168,12 +183,18 @@ mod tests {
 
     #[test]
     fn more_bands_more_savings() {
-        let few = FmRadio::new(FmRadioConfig { bands: 4, block: 32 })
-            .buffer_comparison(0)
-            .unwrap();
-        let many = FmRadio::new(FmRadioConfig { bands: 16, block: 32 })
-            .buffer_comparison(0)
-            .unwrap();
+        let few = FmRadio::new(FmRadioConfig {
+            bands: 4,
+            block: 32,
+        })
+        .buffer_comparison(0)
+        .unwrap();
+        let many = FmRadio::new(FmRadioConfig {
+            bands: 16,
+            block: 32,
+        })
+        .buffer_comparison(0)
+        .unwrap();
         assert!(many.improvement_percent > few.improvement_percent);
     }
 

@@ -29,6 +29,6 @@ pub mod fm_radio;
 pub mod image;
 pub mod ofdm;
 
-pub use edge_detection::{EdgeDetector, EdgeDetectionApp};
+pub use edge_detection::{EdgeDetectionApp, EdgeDetector};
 pub use image::GrayImage;
 pub use ofdm::{OfdmConfig, OfdmDemodulator};

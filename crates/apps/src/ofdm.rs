@@ -75,8 +75,8 @@ pub fn paper_buffer_polynomials() -> (Poly, Poly) {
     let beta = Poly::param("beta");
     let n = Poly::param("N");
     let l = Poly::param("L");
-    let tpdf = Poly::from_integer(3)
-        + beta.clone() * (Poly::from_integer(12) * n.clone() + l.clone());
+    let tpdf =
+        Poly::from_integer(3) + beta.clone() * (Poly::from_integer(12) * n.clone() + l.clone());
     let csdf = beta * (Poly::from_integer(17) * n + l);
     (tpdf, csdf)
 }
@@ -132,11 +132,41 @@ impl OfdmDemodulator {
             .kernel_with("TRAN", KernelKind::Transaction { votes_required: 0 }, 1)
             .kernel_with("SNK", KernelKind::Regular, 2)
             // Sample path.
-            .channel("SRC", "RCP", RateSeq::poly(bnl.clone()), RateSeq::poly(bnl), 0)
-            .channel("RCP", "FFT", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
-            .channel("FFT", "DUP", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
-            .channel("DUP", "QPSK", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
-            .channel("DUP", "QAM", RateSeq::poly(bn.clone()), RateSeq::poly(bn), 0)
+            .channel(
+                "SRC",
+                "RCP",
+                RateSeq::poly(bnl.clone()),
+                RateSeq::poly(bnl),
+                0,
+            )
+            .channel(
+                "RCP",
+                "FFT",
+                RateSeq::poly(bn.clone()),
+                RateSeq::poly(bn.clone()),
+                0,
+            )
+            .channel(
+                "FFT",
+                "DUP",
+                RateSeq::poly(bn.clone()),
+                RateSeq::poly(bn.clone()),
+                0,
+            )
+            .channel(
+                "DUP",
+                "QPSK",
+                RateSeq::poly(bn.clone()),
+                RateSeq::poly(bn.clone()),
+                0,
+            )
+            .channel(
+                "DUP",
+                "QAM",
+                RateSeq::poly(bn.clone()),
+                RateSeq::poly(bn),
+                0,
+            )
             // Demapped bits; QPSK yields 2 bits and QAM 4 bits per carrier.
             .channel_with_priority(
                 "QPSK",
@@ -158,7 +188,13 @@ impl OfdmDemodulator {
             .channel("SRC", "CON", RateSeq::constant(1), RateSeq::constant(1), 0)
             .control_channel("CON", "TRAN", RateSeq::constant(1), RateSeq::constant(1))
             // Selected bits to the sink (βMN bits per iteration).
-            .channel("TRAN", "SNK", RateSeq::poly(bmn.clone()), RateSeq::poly(bmn), 0)
+            .channel(
+                "TRAN",
+                "SNK",
+                RateSeq::poly(bmn.clone()),
+                RateSeq::poly(bmn),
+                0,
+            )
             .build()
             .expect("OFDM demodulator graph is well-formed")
     }
@@ -167,7 +203,11 @@ impl OfdmDemodulator {
     /// `TRAN` keeps its QPSK input when `M = 2`, its QAM input when
     /// `M = 4`.
     pub fn selection(&self) -> PortSelection {
-        let port = if self.config.bits_per_symbol == 4 { 1 } else { 0 };
+        let port = if self.config.bits_per_symbol == 4 {
+            1
+        } else {
+            0
+        };
         PortSelection::from([("TRAN".to_string(), port)])
     }
 
@@ -180,7 +220,11 @@ impl OfdmDemodulator {
     /// Returns an error if the graph analysis fails for this
     /// configuration.
     pub fn buffer_comparison(&self) -> Result<BufferComparison, tpdf_sim::SimError> {
-        compare_buffers(&self.tpdf_graph(), &self.config.binding(), &self.selection())
+        compare_buffers(
+            &self.tpdf_graph(),
+            &self.config.binding(),
+            &self.selection(),
+        )
     }
 
     /// Generates `β` random OFDM symbols (time domain, with cyclic
@@ -194,10 +238,7 @@ impl OfdmDemodulator {
         let mut symbols = Vec::new();
         for _ in 0..self.config.vectorization {
             let bits: Vec<u8> = (0..n * m).map(|_| rng.gen_range(0..2u8)).collect();
-            let carriers: Vec<Complex> = bits
-                .chunks(m)
-                .map(|chunk| modulate(chunk, m))
-                .collect();
+            let carriers: Vec<Complex> = bits.chunks(m).map(|chunk| modulate(chunk, m)).collect();
             let time_domain = ifft(&carriers);
             symbols.push(add_cyclic_prefix(&time_domain, self.config.cyclic_prefix));
             all_bits.extend(bits);
@@ -228,11 +269,7 @@ impl OfdmDemodulator {
         if sent.is_empty() {
             return 0.0;
         }
-        let errors = sent
-            .iter()
-            .zip(received)
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors = sent.iter().zip(received).filter(|(a, b)| a != b).count();
         errors as f64 / sent.len() as f64
     }
 }
@@ -280,7 +317,10 @@ mod tests {
         assert_eq!(cfg.paper_tpdf_buffer(), 3 + 10 * (12 * 512 + 1));
         assert_eq!(cfg.paper_csdf_buffer(), 10 * (17 * 512 + 1));
         let improvement = cfg.paper_improvement_percent();
-        assert!((improvement - 29.0).abs() < 1.0, "improvement = {improvement}");
+        assert!(
+            (improvement - 29.0).abs() < 1.0,
+            "improvement = {improvement}"
+        );
         let (tpdf, csdf) = paper_buffer_polynomials();
         let b = cfg.binding();
         assert_eq!(tpdf.eval(&b).unwrap() as u64, cfg.paper_tpdf_buffer());
@@ -314,8 +354,12 @@ mod tests {
 
     #[test]
     fn buffers_scale_linearly_with_beta() {
-        let small = OfdmDemodulator::new(small_config(2, 5)).buffer_comparison().unwrap();
-        let large = OfdmDemodulator::new(small_config(2, 20)).buffer_comparison().unwrap();
+        let small = OfdmDemodulator::new(small_config(2, 5))
+            .buffer_comparison()
+            .unwrap();
+        let large = OfdmDemodulator::new(small_config(2, 20))
+            .buffer_comparison()
+            .unwrap();
         let ratio_tpdf = large.tpdf_total as f64 / small.tpdf_total as f64;
         let ratio_csdf = large.csdf_total as f64 / small.csdf_total as f64;
         assert!((ratio_tpdf - 4.0).abs() < 0.6, "TPDF ratio {ratio_tpdf}");
@@ -325,11 +369,15 @@ mod tests {
     #[test]
     fn qam_selection_targets_port_one() {
         assert_eq!(
-            OfdmDemodulator::new(small_config(4, 1)).selection().get("TRAN"),
+            OfdmDemodulator::new(small_config(4, 1))
+                .selection()
+                .get("TRAN"),
             Some(&1)
         );
         assert_eq!(
-            OfdmDemodulator::new(small_config(2, 1)).selection().get("TRAN"),
+            OfdmDemodulator::new(small_config(2, 1))
+                .selection()
+                .get("TRAN"),
             Some(&0)
         );
     }
@@ -353,7 +401,10 @@ mod tests {
 
     #[test]
     fn ber_counts_flipped_bits() {
-        assert_eq!(OfdmDemodulator::bit_error_rate(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.25);
+        assert_eq!(
+            OfdmDemodulator::bit_error_rate(&[0, 1, 1, 0], &[0, 1, 0, 0]),
+            0.25
+        );
         assert_eq!(OfdmDemodulator::bit_error_rate(&[], &[]), 0.0);
     }
 

@@ -34,12 +34,16 @@ fn bench_scheduling(c: &mut Criterion) {
     let binding = config.binding();
     for &clusters in &[1usize, 4, 16] {
         let platform = Platform::mppa_like(clusters, 16, 10);
-        group.bench_with_input(BenchmarkId::new("ofdm_clusters", clusters), &clusters, |b, _| {
-            b.iter(|| {
-                schedule_graph(&ofdm, &binding, &platform, SchedulerConfig::paper_default())
-                    .expect("OFDM schedules")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ofdm_clusters", clusters),
+            &clusters,
+            |b, _| {
+                b.iter(|| {
+                    schedule_graph(&ofdm, &binding, &platform, SchedulerConfig::paper_default())
+                        .expect("OFDM schedules")
+                })
+            },
+        );
     }
     group.finish();
 }

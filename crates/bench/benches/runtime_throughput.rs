@@ -1,0 +1,124 @@
+//! Criterion bench: tokens/sec of the `tpdf-runtime` executor on the
+//! Figure 2 graph at 1, 2, 4 and 8 worker threads, plus the untimed
+//! `tpdf-sim` engine as a single-threaded baseline.
+//!
+//! Besides the usual console report, the bench writes a JSON summary to
+//! `BENCH_runtime_throughput.json` in the workspace root so the
+//! trajectory of runtime performance is tracked across commits.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use tpdf_core::examples::figure2_graph;
+use tpdf_runtime::{Executor, KernelRegistry, RuntimeConfig};
+use tpdf_sim::engine::{SimulationConfig, Simulator};
+use tpdf_symexpr::Binding;
+
+const P: i64 = 16;
+const ITERATIONS: u64 = 20;
+
+/// Tokens produced per run of the Figure 2 graph: measured once (and
+/// cached — both the Throughput annotation and the JSON export need it)
+/// so the annotation is exact.
+fn tokens_per_run() -> u64 {
+    static TOKENS: OnceLock<u64> = OnceLock::new();
+    *TOKENS.get_or_init(|| {
+        let graph = figure2_graph();
+        let config = RuntimeConfig::new(Binding::from_pairs([("p", P)]))
+            .with_threads(1)
+            .with_iterations(ITERATIONS);
+        let metrics = Executor::new(&graph, config)
+            .expect("executor")
+            .run(&KernelRegistry::new())
+            .expect("run");
+        metrics.total_tokens
+    })
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let graph = figure2_graph();
+    let binding = Binding::from_pairs([("p", P)]);
+    let tokens = tokens_per_run();
+
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tokens));
+
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("figure2_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let config = RuntimeConfig::new(binding.clone())
+                        .with_threads(threads)
+                        .with_iterations(ITERATIONS);
+                    Executor::new(&graph, config)
+                        .expect("executor")
+                        .run(&KernelRegistry::new())
+                        .expect("run completes")
+                })
+            },
+        );
+    }
+
+    // Single-threaded untimed engine as the baseline the runtime is
+    // cross-validated against.
+    group.bench_with_input(BenchmarkId::new("sim_baseline", 1), &1, |b, _| {
+        b.iter(|| {
+            Simulator::new(&graph, SimulationConfig::new(binding.clone()))
+                .expect("simulator")
+                .run_iterations(ITERATIONS)
+                .expect("simulation completes")
+        })
+    });
+    group.finish();
+}
+
+/// Escapes nothing fancy: bench ids are plain `[a-z0-9_/]` strings.
+fn to_json(samples: &[criterion::Sample], tokens: u64) -> String {
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"tokens_per_sec\": {}}}",
+                s.id,
+                s.mean.as_nanos(),
+                s.min.as_nanos(),
+                s.max.as_nanos(),
+                s.elements_per_sec
+                    .map(|e| format!("{e:.0}"))
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"graph\": \"figure2\",\n  \"p\": {P},\n  \"iterations\": {ITERATIONS},\n  \"tokens_per_run\": {tokens},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+// NOTE: the JSON export below uses `Criterion::samples()` /
+// `criterion::Sample`, an extension of the offline criterion stub
+// (crates/stubs/criterion). Swapping in the real criterion crate keeps
+// the benchmarks themselves compiling but requires porting this export
+// to criterion's own JSON output directory.
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+
+    let tokens = tokens_per_run();
+    let json = to_json(criterion.samples(), tokens);
+    // CARGO_MANIFEST_DIR = crates/bench; the summary lives in the
+    // workspace root next to the other BENCH_*.json trajectories.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_runtime_throughput.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_runtime);

@@ -26,7 +26,10 @@ fn bench_simulation(c: &mut Criterion) {
         });
     }
 
-    let radio = FmRadio::new(FmRadioConfig { bands: 10, block: 64 });
+    let radio = FmRadio::new(FmRadioConfig {
+        bands: 10,
+        block: 64,
+    });
     let graph = radio.tpdf_graph();
     let binding = radio.binding();
     group.throughput(Throughput::Elements(17 * 20));

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .actors()
         .map(|(id, a)| vec![a.name.clone(), q.count(id).to_string()])
         .collect();
-    print_table("Figure 1: repetition vector (paper: [3, 2, 2])", &["actor", "q"], &rows);
+    print_table(
+        "Figure 1: repetition vector (paper: [3, 2, 2])",
+        &["actor", "q"],
+        &rows,
+    );
 
     println!("\nschedule (paper: (a3)^2 (a1)^3 (a2)^2):");
     println!("  {}", schedule.display(&graph));

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let c = graph.node_by_name("C").expect("control actor C");
     let area = control_area(&graph, c);
-    println!("\nArea(C) (paper: {{B, D, E, F}}): {:?}", area.member_names(&graph));
+    println!(
+        "\nArea(C) (paper: {{B, D, E, F}}): {:?}",
+        area.member_names(&graph)
+    );
     println!(
         "local solution of Area(C) (paper: B^2 C D E^2 F^2): {}",
         report.safety()[0].local.display(&graph)

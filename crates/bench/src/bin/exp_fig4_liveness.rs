@@ -11,7 +11,10 @@ use tpdf_core::examples::{figure4_deadlocked_graph, figure4a_graph, figure4b_gra
 use tpdf_core::liveness::check_liveness;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (name, graph) in [("Figure 4(a)", figure4a_graph()), ("Figure 4(b)", figure4b_graph())] {
+    for (name, graph) in [
+        ("Figure 4(a)", figure4a_graph()),
+        ("Figure 4(b)", figure4b_graph()),
+    ] {
         let q = symbolic_repetition_vector(&graph)?;
         let report = check_liveness(&graph, &q)?;
         println!("== {name} ==");

@@ -16,11 +16,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("canonical period for p = 1 (paper: A1 A2 B1 B2 C1 D1 E1 E2 F1 F2):");
     println!("  {}", period.display(&graph));
-    println!("  firings: {}, dependencies: {}", period.len(), period.edge_count());
+    println!(
+        "  firings: {}, dependencies: {}",
+        period.len(),
+        period.edge_count()
+    );
     println!("  critical path length: {}", period.critical_path_length()?);
 
     let platform = Platform::mppa_like(2, 4, 5);
-    let mapped = schedule_graph(&graph, &binding, &platform, SchedulerConfig::paper_default())?;
+    let mapped = schedule_graph(
+        &graph,
+        &binding,
+        &platform,
+        SchedulerConfig::paper_default(),
+    )?;
     println!("\nlist schedule on a 2x4 clustered platform (control actor pinned to PE0):");
     println!("{}", mapped.display(&graph));
 

@@ -37,7 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Figure 6 table: edge-detector execution times",
-        &["method", "paper ms (1024x1024, i3)", "measured ms (512x512)", "edge fraction", "relative"],
+        &[
+            "method",
+            "paper ms (1024x1024, i3)",
+            "measured ms (512x512)",
+            "edge fraction",
+            "relative",
+        ],
         &rows,
     );
 
@@ -51,13 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TimedConfig::new(Binding::new()).with_max_time(100_000),
         )
         .run()?;
-        let selected = trace.outcomes.first().and_then(|o| o.selected_channel).map(|c| {
-            let source = graph.channel(c).source;
-            graph.node(source).name.clone()
-        });
+        let selected = trace
+            .outcomes
+            .first()
+            .and_then(|o| o.selected_channel)
+            .map(|c| {
+                let source = graph.channel(c).source;
+                graph.node(source).name.clone()
+            });
         let expected = app
             .expected_selection()
-            .map(|d| detector_node_name(d))
+            .map(detector_node_name)
             .unwrap_or_else(|| "none".to_string());
         rows.push(vec![
             format!("{deadline}"),
@@ -67,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Figure 6: result selected by the Transaction kernel at the deadline",
-        &["deadline (ms)", "simulated selection", "expected (best finishing in time)"],
+        &[
+            "deadline (ms)",
+            "simulated selection",
+            "expected (best finishing in time)",
+        ],
         &rows,
     );
     println!("\n(paper: with a 500 ms deadline the best available result is chosen,");

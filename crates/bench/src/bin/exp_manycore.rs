@@ -14,7 +14,11 @@ use tpdf_manycore::platform::Platform;
 use tpdf_manycore::scheduler::{schedule_graph, SchedulerConfig};
 use tpdf_symexpr::Binding;
 
-fn sweep(name: &str, graph: &TpdfGraph, binding: &Binding) -> Result<(), Box<dyn std::error::Error>> {
+fn sweep(
+    name: &str,
+    graph: &TpdfGraph,
+    binding: &Binding,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for (clusters, pes) in [(1, 1), (1, 4), (2, 4), (4, 4), (16, 16)] {
         for strategy in [

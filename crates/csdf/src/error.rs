@@ -45,7 +45,11 @@ impl fmt::Display for CsdfError {
                 write!(f, "the graph is rate-inconsistent: {detail}")
             }
             CsdfError::Deadlock { blocked } => {
-                write!(f, "the graph deadlocks; blocked actors: {}", blocked.join(", "))
+                write!(
+                    f,
+                    "the graph deadlocks; blocked actors: {}",
+                    blocked.join(", ")
+                )
             }
             CsdfError::Numeric(msg) => write!(f, "numeric error: {msg}"),
         }
@@ -66,15 +70,25 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        assert!(CsdfError::DuplicateActor("A".into()).to_string().contains('A'));
-        assert!(CsdfError::UnknownActor("B".into()).to_string().contains('B'));
-        assert!(CsdfError::EmptyRateSequence("C".into()).to_string().contains('C'));
+        assert!(CsdfError::DuplicateActor("A".into())
+            .to_string()
+            .contains('A'));
+        assert!(CsdfError::UnknownActor("B".into())
+            .to_string()
+            .contains('B'));
+        assert!(CsdfError::EmptyRateSequence("C".into())
+            .to_string()
+            .contains('C'));
         assert!(CsdfError::EmptyGraph.to_string().contains("no actors"));
         assert!(CsdfError::NotConnected.to_string().contains("connected"));
-        assert!(CsdfError::Inconsistent { detail: "e1".into() }
-            .to_string()
-            .contains("e1"));
-        let d = CsdfError::Deadlock { blocked: vec!["A".into(), "B".into()] };
+        assert!(CsdfError::Inconsistent {
+            detail: "e1".into()
+        }
+        .to_string()
+        .contains("e1"));
+        let d = CsdfError::Deadlock {
+            blocked: vec!["A".into(), "B".into()],
+        };
         assert!(d.to_string().contains("A, B"));
     }
 

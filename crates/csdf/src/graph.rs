@@ -191,12 +191,18 @@ impl CsdfGraph {
     }
 
     /// Channels produced by `actor`.
-    pub fn output_channels(&self, actor: ActorId) -> impl Iterator<Item = (ChannelId, &CsdfChannel)> {
+    pub fn output_channels(
+        &self,
+        actor: ActorId,
+    ) -> impl Iterator<Item = (ChannelId, &CsdfChannel)> {
         self.channels().filter(move |(_, c)| c.source == actor)
     }
 
     /// Channels consumed by `actor`.
-    pub fn input_channels(&self, actor: ActorId) -> impl Iterator<Item = (ChannelId, &CsdfChannel)> {
+    pub fn input_channels(
+        &self,
+        actor: ActorId,
+    ) -> impl Iterator<Item = (ChannelId, &CsdfChannel)> {
         self.channels().filter(move |(_, c)| c.target == actor)
     }
 
@@ -380,7 +386,10 @@ mod tests {
             Err(CsdfError::EmptyGraph)
         ));
         assert!(matches!(
-            CsdfGraph::builder().actor("A", &[1]).actor("A", &[1]).build(),
+            CsdfGraph::builder()
+                .actor("A", &[1])
+                .actor("A", &[1])
+                .build(),
             Err(CsdfError::DuplicateActor(_))
         ));
         assert!(matches!(

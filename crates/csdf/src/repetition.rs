@@ -95,8 +95,8 @@ pub fn repetition_vector(graph: &CsdfGraph) -> Result<RepetitionVector, CsdfErro
     while changed {
         changed = false;
         for (_, c) in graph.channels() {
-            let produced = c.total_produced(cycle_len(graph, c.source) * 1) as i128;
-            let consumed = c.total_consumed(cycle_len(graph, c.target) * 1) as i128;
+            let produced = c.total_produced(cycle_len(graph, c.source)) as i128;
+            let consumed = c.total_consumed(cycle_len(graph, c.target)) as i128;
             // Balance per full cycle: r_src * produced_per_cycle == r_dst * consumed_per_cycle
             match (ratios[c.source.0], ratios[c.target.0]) {
                 (Some(rs), None) => {
@@ -174,7 +174,7 @@ pub fn repetition_vector(graph: &CsdfGraph) -> Result<RepetitionVector, CsdfErro
         })
         .collect();
 
-    if cycle_counts.iter().any(|&c| c == 0) {
+    if cycle_counts.contains(&0) {
         return Err(CsdfError::Inconsistent {
             detail: "the only solution of the balance equations is trivial".to_string(),
         });

@@ -57,7 +57,10 @@ impl Schedule {
 
     /// Renders the schedule with actor names, e.g. `(a3)^2 (a1)^3 (a2)^2`.
     pub fn display<'a>(&'a self, graph: &'a CsdfGraph) -> ScheduleDisplay<'a> {
-        ScheduleDisplay { schedule: self, graph }
+        ScheduleDisplay {
+            schedule: self,
+            graph,
+        }
     }
 }
 

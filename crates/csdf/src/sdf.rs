@@ -52,9 +52,13 @@ impl SdfGraphBuilder {
         consumption: u64,
         initial_tokens: u64,
     ) -> Self {
-        self.inner = self
-            .inner
-            .channel(source, target, &[production], &[consumption], initial_tokens);
+        self.inner = self.inner.channel(
+            source,
+            target,
+            &[production],
+            &[consumption],
+            initial_tokens,
+        );
         self
     }
 

@@ -197,8 +197,8 @@ pub fn prune_unselected(graph: &TpdfGraph, selection: &PortSelection) -> TpdfGra
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpdf_core::examples::{figure2_graph, ofdm_like_chain};
     use proptest::prelude::*;
+    use tpdf_core::examples::{figure2_graph, ofdm_like_chain};
 
     fn ofdm_binding(beta: i64, n: i64) -> Binding {
         Binding::from_pairs([("beta", beta), ("N", n), ("L", 1), ("M", 2)])
@@ -244,7 +244,10 @@ mod tests {
         assert!(large.tpdf_total > small.tpdf_total);
         assert!(large.csdf_total > small.csdf_total);
         let ratio = large.csdf_total as f64 / small.csdf_total as f64;
-        assert!((ratio - 4.0).abs() < 0.5, "CSDF growth should be ~linear in β");
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "CSDF growth should be ~linear in β"
+        );
     }
 
     #[test]

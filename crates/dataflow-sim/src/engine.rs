@@ -16,9 +16,10 @@ use tpdf_symexpr::Binding;
 /// In a real deployment the mode is computed from data (e.g. the value of
 /// `M` decides between QPSK and QAM in the cognitive-radio case study);
 /// for simulation and sizing experiments a policy is sufficient.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ControlPolicy {
     /// Every control token selects all data inputs (CSDF-like behaviour).
+    #[default]
     WaitAll,
     /// Every control token selects the data input with the given port
     /// index (0-based among the kernel's data inputs).
@@ -31,14 +32,12 @@ pub enum ControlPolicy {
     Alternate(Vec<Mode>),
 }
 
-impl Default for ControlPolicy {
-    fn default() -> Self {
-        ControlPolicy::WaitAll
-    }
-}
-
 impl ControlPolicy {
-    fn mode_for(&self, control_firing: u64) -> Mode {
+    /// The [`Mode`] carried by the control token emitted at the given
+    /// firing ordinal of a control actor. Public so that other executors
+    /// (e.g. `tpdf-runtime`) apply the exact same mode sequence as this
+    /// engine.
+    pub fn mode_for(&self, control_firing: u64) -> Mode {
         match self {
             ControlPolicy::WaitAll => Mode::WaitAll,
             ControlPolicy::SelectInput(i) => Mode::SelectOne(*i),
@@ -197,11 +196,7 @@ impl<'g> Simulator<'g> {
 
         // Control actors first so their tokens are available as early as
         // possible (Section III-D priority rule).
-        let mut order: Vec<NodeId> = self
-            .graph
-            .control_actors()
-            .map(|(id, _)| id)
-            .collect();
+        let mut order: Vec<NodeId> = self.graph.control_actors().map(|(id, _)| id).collect();
         let control_set: BTreeSet<NodeId> = order.iter().copied().collect();
         order.extend(
             self.graph
@@ -249,10 +244,7 @@ impl<'g> Simulator<'g> {
     /// Attempts to fire `node`; returns `Ok(true)` when it fired.
     fn try_fire(&mut self, node: NodeId, firing: u64) -> Result<bool, SimError> {
         let binding = self.config.binding.clone();
-        let is_control = self
-            .graph
-            .control_actors()
-            .any(|(id, _)| id == node);
+        let is_control = self.graph.control_actors().any(|(id, _)| id == node);
 
         // 1. Resolve the mode of this firing.
         let control_port = self.graph.control_port(node);
@@ -398,9 +390,11 @@ mod tests {
     #[test]
     fn figure2_select_input_skips_waiting() {
         let g = figure2_graph();
-        let config =
-            SimulationConfig::new(binding(1)).with_policy(ControlPolicy::SelectInput(1));
-        let report = Simulator::new(&g, config).unwrap().run_iterations(1).unwrap();
+        let config = SimulationConfig::new(binding(1)).with_policy(ControlPolicy::SelectInput(1));
+        let report = Simulator::new(&g, config)
+            .unwrap()
+            .run_iterations(1)
+            .unwrap();
         // All nodes still complete their repetition counts.
         assert_eq!(report.firings, vec![2, 2, 1, 1, 2, 2]);
     }
@@ -408,9 +402,11 @@ mod tests {
     #[test]
     fn figure2_highest_priority_policy() {
         let g = figure2_graph();
-        let config =
-            SimulationConfig::new(binding(2)).with_policy(ControlPolicy::HighestPriority);
-        let report = Simulator::new(&g, config).unwrap().run_iterations(3).unwrap();
+        let config = SimulationConfig::new(binding(2)).with_policy(ControlPolicy::HighestPriority);
+        let report = Simulator::new(&g, config)
+            .unwrap()
+            .run_iterations(3)
+            .unwrap();
         assert_eq!(report.iterations_completed, 3);
     }
 
@@ -421,7 +417,10 @@ mod tests {
             Mode::SelectOne(0),
             Mode::SelectOne(1),
         ]));
-        let report = Simulator::new(&g, config).unwrap().run_iterations(2).unwrap();
+        let report = Simulator::new(&g, config)
+            .unwrap()
+            .run_iterations(2)
+            .unwrap();
         assert_eq!(report.iterations_completed, 2);
     }
 
@@ -442,7 +441,10 @@ mod tests {
             .unwrap()
             .run_iterations(5)
             .unwrap();
-        assert_eq!(report.firings.iter().sum::<u64>(), 5 * g.node_count() as u64);
+        assert_eq!(
+            report.firings.iter().sum::<u64>(),
+            5 * g.node_count() as u64
+        );
 
         let g = ofdm_like_chain();
         let b = Binding::from_pairs([("beta", 2), ("N", 8), ("L", 1), ("M", 2)]);

@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SimError::Analysis("boom".into()).to_string().contains("boom"));
+        assert!(SimError::Analysis("boom".into())
+            .to_string()
+            .contains("boom"));
         assert!(SimError::Stalled {
             blocked: vec!["A".into()],
             at: 7
@@ -91,7 +93,9 @@ mod tests {
         }
         .to_string()
         .contains("e1"));
-        assert!(SimError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(SimError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

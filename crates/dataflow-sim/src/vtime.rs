@@ -176,11 +176,7 @@ impl<'g> TimedSimulator<'g> {
 
         let mut now = 0u64;
         loop {
-            if fired
-                .iter()
-                .zip(&targets)
-                .all(|(f, t)| f >= t)
-            {
+            if fired.iter().zip(&targets).all(|(f, t)| f >= t) {
                 break;
             }
             if now > self.config.max_time {
@@ -201,9 +197,10 @@ impl<'g> TimedSimulator<'g> {
                         let rate = c.production.concrete(ordinal, binding)?;
                         channels[cid.0].push(rate)?;
                         if c.is_control() {
-                            control_tokens.entry(cid).or_default().extend(
-                                std::iter::repeat(now).take(rate as usize),
-                            );
+                            control_tokens
+                                .entry(cid)
+                                .or_default()
+                                .extend(std::iter::repeat_n(now, rate as usize));
                         }
                     }
                     fired[id.0] += 1;
@@ -227,7 +224,7 @@ impl<'g> TimedSimulator<'g> {
                             control_tokens
                                 .entry(cid)
                                 .or_default()
-                                .extend(std::iter::repeat(now).take(rate as usize));
+                                .extend(std::iter::repeat_n(now, rate as usize));
                         }
                     }
                     events.push(FiringEvent {
@@ -255,7 +252,11 @@ impl<'g> TimedSimulator<'g> {
                 {
                     // Consume inputs at start time.
                     if let Some(cp) = self.graph.control_port(id) {
-                        let need = self.graph.channel(cp).consumption.concrete(ordinal, binding)?;
+                        let need = self
+                            .graph
+                            .channel(cp)
+                            .consumption
+                            .concrete(ordinal, binding)?;
                         if need > 0 {
                             channels[cp.0].pop(need);
                             let deadline = control_tokens
@@ -342,7 +343,11 @@ impl<'g> TimedSimulator<'g> {
     ) -> Result<Option<Vec<(ChannelId, u64)>>, SimError> {
         // Control token must be present if the port consumes one.
         let has_control_port = if let Some(cp) = self.graph.control_port(node) {
-            let need = self.graph.channel(cp).consumption.concrete(ordinal, binding)?;
+            let need = self
+                .graph
+                .channel(cp)
+                .consumption
+                .concrete(ordinal, binding)?;
             if need > 0 {
                 let available = control_tokens.get(&cp).map(|v| v.len() as u64).unwrap_or(0);
                 if available < need {
@@ -417,10 +422,30 @@ mod tests {
             .kernel("sink")
             .channel("src", "fast", RateSeq::constant(1), RateSeq::constant(1), 0)
             .channel("src", "slow", RateSeq::constant(1), RateSeq::constant(1), 0)
-            .channel_with_priority("fast", "tran", RateSeq::constant(1), RateSeq::constant(1), 0, 1)
-            .channel_with_priority("slow", "tran", RateSeq::constant(1), RateSeq::constant(1), 0, 2)
+            .channel_with_priority(
+                "fast",
+                "tran",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+                1,
+            )
+            .channel_with_priority(
+                "slow",
+                "tran",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+                2,
+            )
             .control_channel("clock", "tran", RateSeq::constant(1), RateSeq::constant(1))
-            .channel("tran", "sink", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel(
+                "tran",
+                "sink",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+            )
             .build()
             .unwrap()
     }
@@ -497,7 +522,10 @@ mod tests {
             .build()
             .unwrap();
         let result = TimedSimulator::new(&g, TimedConfig::new(Binding::new())).run();
-        assert!(matches!(result, Err(SimError::Stalled { .. }) | Err(SimError::Analysis(_))));
+        assert!(matches!(
+            result,
+            Err(SimError::Stalled { .. }) | Err(SimError::Analysis(_))
+        ));
     }
 
     #[test]

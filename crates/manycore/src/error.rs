@@ -38,9 +38,15 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(ManycoreError::EmptyPlatform.to_string().contains("no processing"));
-        assert!(ManycoreError::Analysis("x".into()).to_string().contains('x'));
-        assert!(ManycoreError::Unschedulable("y".into()).to_string().contains('y'));
+        assert!(ManycoreError::EmptyPlatform
+            .to_string()
+            .contains("no processing"));
+        assert!(ManycoreError::Analysis("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(ManycoreError::Unschedulable("y".into())
+            .to_string()
+            .contains('y'));
     }
 
     #[test]

@@ -191,7 +191,12 @@ pub fn schedule_period(
         let mut ready: Vec<FiringId> = remaining
             .iter()
             .copied()
-            .filter(|f| period.predecessors(*f).iter().all(|p| finish[p.0].is_some()))
+            .filter(|f| {
+                period
+                    .predecessors(*f)
+                    .iter()
+                    .all(|p| finish[p.0].is_some())
+            })
             .collect();
         if ready.is_empty() {
             return Err(ManycoreError::Unschedulable(
@@ -202,7 +207,10 @@ pub fn schedule_period(
         // level.
         ready.sort_by_key(|f| {
             let firing = period.firing(*f);
-            (std::cmp::Reverse(firing.is_control), std::cmp::Reverse(bottom[f.0]))
+            (
+                std::cmp::Reverse(firing.is_control),
+                std::cmp::Reverse(bottom[f.0]),
+            )
         });
         let fid = ready[0];
         remaining.retain(|&f| f != fid);
@@ -253,10 +261,7 @@ pub fn schedule_period(
 
     entries.sort_by_key(|e| (e.start, e.pe));
     let makespan = entries.iter().map(|e| e.end).max().unwrap_or(0);
-    let sequential_time = period
-        .firings()
-        .map(|(_, f)| f.execution_time.max(1))
-        .sum();
+    let sequential_time = period.firings().map(|(_, f)| f.execution_time.max(1)).sum();
     Ok(MappedSchedule {
         entries,
         makespan,

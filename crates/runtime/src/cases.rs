@@ -1,0 +1,373 @@
+//! The paper's case studies ported to the runtime: edge detection
+//! (Section IV-A / Figure 6) and the cognitive-radio OFDM demodulator
+//! (Section IV-B / Figure 7), running on real pixels and real samples.
+//!
+//! Each port pairs the TPDF graph from `tpdf-apps` with a
+//! [`KernelRegistry`] of executable behaviours and returns an
+//! [`OutputCapture`] handle from which the tokens that reached the sink
+//! can be read back after the run — that is what the cross-validation
+//! suite compares against the direct (graph-free) computation.
+
+use crate::kernel::KernelRegistry;
+use crate::token::Token;
+use crate::RuntimeError;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tpdf_apps::dsp::{demap, fft, remove_cyclic_prefix, Complex};
+use tpdf_apps::edge_detection::{detector_node_name, EdgeDetectionApp, EdgeDetector};
+use tpdf_apps::image::GrayImage;
+use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
+use tpdf_core::graph::TpdfGraph;
+
+/// Collects every token a sink kernel consumed, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct OutputCapture {
+    tokens: Arc<Mutex<Vec<Token>>>,
+}
+
+impl OutputCapture {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the named node as a capturing sink in `registry`.
+    pub fn install(&self, registry: &mut KernelRegistry, node: &str) {
+        let tokens = Arc::clone(&self.tokens);
+        registry.register_fn(node, move |ctx| {
+            let consumed = ctx.concatenated_inputs();
+            tokens
+                .lock()
+                .expect("capture lock")
+                .extend(consumed.iter().cloned());
+            // A sink may still have outputs in some graphs; forward.
+            ctx.fill_outputs_cycling(&consumed);
+            Ok(())
+        });
+    }
+
+    /// All captured tokens, in arrival order.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.tokens.lock().expect("capture lock").clone()
+    }
+
+    /// The captured tokens interpreted as a bit stream (non-byte tokens
+    /// are skipped).
+    pub fn bits(&self) -> Vec<u8> {
+        self.tokens().iter().filter_map(Token::as_byte).collect()
+    }
+
+    /// The captured tokens interpreted as images.
+    pub fn images(&self) -> Vec<GrayImage> {
+        self.tokens()
+            .iter()
+            .filter_map(|t| t.as_image().cloned())
+            .collect()
+    }
+}
+
+/// The edge-detection application bound to a concrete input image.
+#[derive(Debug, Clone)]
+pub struct EdgeDetectionRuntime {
+    app: EdgeDetectionApp,
+    image: GrayImage,
+}
+
+impl EdgeDetectionRuntime {
+    /// Creates the port for the given application parameters and input
+    /// image.
+    pub fn new(app: EdgeDetectionApp, image: GrayImage) -> Self {
+        EdgeDetectionRuntime { app, image }
+    }
+
+    /// The Figure 6 TPDF graph.
+    pub fn graph(&self) -> TpdfGraph {
+        self.app.graph()
+    }
+
+    /// The application parameters.
+    pub fn app(&self) -> &EdgeDetectionApp {
+        &self.app
+    }
+
+    /// Builds the kernel registry: `IRead` emits the input image, each
+    /// detector kernel runs its real detector, `IWrite` captures the
+    /// result selected by the Transaction kernel.
+    ///
+    /// With `simulated_times = Some(unit)` every detector additionally
+    /// sleeps its configured execution time (in units of `unit`) before
+    /// computing, reproducing the paper's Figure 6 timing profile in
+    /// real time — that is what makes the Clock's 500-unit deadline
+    /// select Sobel rather than the slower, better Prewitt/Canny.
+    pub fn registry(&self, simulated_times: Option<Duration>) -> (KernelRegistry, OutputCapture) {
+        let mut registry = KernelRegistry::new();
+
+        let image = self.image.clone();
+        registry.register_fn("IRead", move |ctx| {
+            let token = Token::image(image.clone());
+            ctx.fill_outputs_cycling(std::slice::from_ref(&token));
+            Ok(())
+        });
+
+        for detector in EdgeDetector::ALL {
+            let delay = simulated_times.map(|unit| unit * self.app.execution_time(detector) as u32);
+            registry.register_fn(detector_node_name(detector), move |ctx| {
+                if let Some(delay) = delay {
+                    std::thread::sleep(delay);
+                }
+                let input = ctx
+                    .inputs
+                    .first()
+                    .and_then(|p| p.tokens.first())
+                    .and_then(Token::as_image)
+                    .ok_or_else(|| RuntimeError::KernelFailed {
+                        node: ctx.node.clone(),
+                        message: "expected an image token".to_string(),
+                    })?;
+                let edges = Token::image(detector.run(input));
+                ctx.fill_outputs_cycling(std::slice::from_ref(&edges));
+                Ok(())
+            });
+        }
+
+        let capture = OutputCapture::new();
+        capture.install(&mut registry, "IWrite");
+        (registry, capture)
+    }
+
+    /// The edge map the graph-free reference computation produces for
+    /// `detector` on the bound image.
+    pub fn reference_edges(&self, detector: EdgeDetector) -> GrayImage {
+        detector.run(&self.image)
+    }
+}
+
+/// The OFDM demodulator bound to a concrete generated symbol stream.
+#[derive(Debug, Clone)]
+pub struct OfdmRuntime {
+    demod: OfdmDemodulator,
+    symbols: Vec<Vec<Complex>>,
+    sent_bits: Vec<u8>,
+}
+
+impl OfdmRuntime {
+    /// Creates the port: generates `β` OFDM symbols (and the payload
+    /// bits they encode) with the transmitter-side model.
+    pub fn new(config: OfdmConfig, seed: u64) -> Self {
+        let demod = OfdmDemodulator::new(config);
+        let (symbols, sent_bits) = demod.generate_symbols(seed);
+        OfdmRuntime {
+            demod,
+            symbols,
+            sent_bits,
+        }
+    }
+
+    /// The Figure 7 TPDF graph.
+    pub fn graph(&self) -> TpdfGraph {
+        self.demod.tpdf_graph()
+    }
+
+    /// The demodulator configuration.
+    pub fn config(&self) -> &OfdmConfig {
+        self.demod.config()
+    }
+
+    /// The payload bits encoded in the generated symbols.
+    pub fn sent_bits(&self) -> &[u8] {
+        &self.sent_bits
+    }
+
+    /// The bit stream the graph-free reference demodulation produces
+    /// (`RCP → FFT → demap` applied directly).
+    pub fn reference_bits(&self) -> Vec<u8> {
+        self.demod.demodulate(&self.symbols)
+    }
+
+    /// Builds the kernel registry implementing Figure 7 on real samples:
+    /// `SRC` replays the generated symbols, `RCP` strips cyclic
+    /// prefixes, `FFT` transforms each symbol, `QPSK`/`QAM` demap, and
+    /// the Transaction forwards the constellation selected by the
+    /// control token to the capturing `SNK`.
+    pub fn registry(&self) -> (KernelRegistry, OutputCapture) {
+        let mut registry = KernelRegistry::new();
+        let config = *self.demod.config();
+        let n = config.symbol_len;
+        let cp = config.cyclic_prefix;
+        let m = config.bits_per_symbol;
+
+        let samples: Vec<Token> = self
+            .symbols
+            .iter()
+            .flat_map(|symbol| symbol.iter().map(|&c| Token::Complex(c)))
+            .collect();
+        registry.register_fn("SRC", move |ctx| {
+            // Port 0: the β(N+L) time-domain samples; port 1: the active
+            // constellation (M) towards the control actor.
+            for out in &mut ctx.outputs {
+                out.tokens = match out.port {
+                    0 => samples.iter().take(out.rate as usize).cloned().collect(),
+                    _ => vec![Token::Int(m as i64); out.rate as usize],
+                };
+            }
+            Ok(())
+        });
+
+        registry.register_fn("RCP", move |ctx| {
+            let samples = complex_inputs(ctx)?;
+            let trimmed: Vec<Token> = samples
+                .chunks(n + cp)
+                .flat_map(|symbol| remove_cyclic_prefix(symbol, cp))
+                .map(Token::Complex)
+                .collect();
+            ctx.fill_outputs_cycling(&trimmed);
+            Ok(())
+        });
+
+        registry.register_fn("FFT", move |ctx| {
+            let samples = complex_inputs(ctx)?;
+            let spectrum: Vec<Token> = samples
+                .chunks(n)
+                .flat_map(fft)
+                .map(Token::Complex)
+                .collect();
+            ctx.fill_outputs_cycling(&spectrum);
+            Ok(())
+        });
+
+        registry.register_fn("QPSK", move |ctx| {
+            let spectrum = complex_inputs(ctx)?;
+            let bits: Vec<Token> = demap(&spectrum, 2).into_iter().map(Token::Byte).collect();
+            ctx.fill_outputs_cycling(&bits);
+            Ok(())
+        });
+
+        registry.register_fn("QAM", move |ctx| {
+            let spectrum = complex_inputs(ctx)?;
+            let bits: Vec<Token> = demap(&spectrum, 4).into_iter().map(Token::Byte).collect();
+            ctx.fill_outputs_cycling(&bits);
+            Ok(())
+        });
+
+        let capture = OutputCapture::new();
+        capture.install(&mut registry, "SNK");
+        (registry, capture)
+    }
+
+    /// The data-input port of `TRAN` matching the configured
+    /// constellation (0 = QPSK, 1 = QAM), i.e. the `SelectInput` policy
+    /// choice that makes the runtime demodulate correctly.
+    pub fn matching_port(&self) -> usize {
+        if self.demod.config().bits_per_symbol == 4 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// The complex payloads of every consumed token, in order.
+fn complex_inputs(ctx: &crate::kernel::FiringContext) -> Result<Vec<Complex>, RuntimeError> {
+    ctx.concatenated_inputs()
+        .iter()
+        .map(|t| {
+            t.as_complex().ok_or_else(|| RuntimeError::KernelFailed {
+                node: ctx.node.clone(),
+                message: format!("expected a complex sample, got {t}"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, RuntimeConfig};
+    use tpdf_sim::engine::ControlPolicy;
+    use tpdf_symexpr::Binding;
+
+    #[test]
+    fn edge_detection_runs_real_pixels_on_four_threads() {
+        let port =
+            EdgeDetectionRuntime::new(EdgeDetectionApp::default(), GrayImage::synthetic(48, 48, 9));
+        let graph = port.graph();
+        let (registry, capture) = port.registry(None);
+        // WaitAll: the Transaction sees all four detectors and forwards
+        // the highest-priority (Canny) result.
+        let config = RuntimeConfig::new(Binding::new())
+            .with_threads(4)
+            .with_iterations(2);
+        let metrics = Executor::new(&graph, config)
+            .unwrap()
+            .run(&registry)
+            .unwrap();
+        assert_eq!(metrics.iterations, 2);
+        let images = capture.images();
+        assert_eq!(images.len(), 2);
+        let expected = port.reference_edges(EdgeDetector::Canny);
+        assert_eq!(images[0], expected);
+        assert_eq!(images[1], expected);
+    }
+
+    #[test]
+    fn edge_detection_select_input_forwards_that_detector() {
+        let port =
+            EdgeDetectionRuntime::new(EdgeDetectionApp::default(), GrayImage::synthetic(40, 40, 4));
+        let graph = port.graph();
+        for (input, detector) in EdgeDetector::ALL.iter().enumerate() {
+            let (registry, capture) = port.registry(None);
+            let config = RuntimeConfig::new(Binding::new())
+                .with_threads(4)
+                .with_policy(ControlPolicy::SelectInput(input));
+            Executor::new(&graph, config)
+                .unwrap()
+                .run(&registry)
+                .unwrap();
+            assert_eq!(capture.images(), vec![port.reference_edges(*detector)]);
+        }
+    }
+
+    #[test]
+    fn ofdm_qpsk_demodulates_error_free_on_four_threads() {
+        let config = OfdmConfig {
+            symbol_len: 32,
+            cyclic_prefix: 2,
+            bits_per_symbol: 2,
+            vectorization: 3,
+        };
+        let port = OfdmRuntime::new(config, 77);
+        let graph = port.graph();
+        let (registry, capture) = port.registry();
+        let run_config = RuntimeConfig::new(port.config().binding())
+            .with_threads(4)
+            .with_policy(ControlPolicy::SelectInput(port.matching_port()));
+        let metrics = Executor::new(&graph, run_config)
+            .unwrap()
+            .run(&registry)
+            .unwrap();
+        assert_eq!(metrics.iterations, 1);
+        assert_eq!(capture.bits(), port.reference_bits());
+        assert_eq!(capture.bits(), port.sent_bits());
+    }
+
+    #[test]
+    fn ofdm_qam_demodulates_error_free() {
+        let config = OfdmConfig {
+            symbol_len: 16,
+            cyclic_prefix: 1,
+            bits_per_symbol: 4,
+            vectorization: 2,
+        };
+        let port = OfdmRuntime::new(config, 5);
+        let graph = port.graph();
+        let (registry, capture) = port.registry();
+        let run_config = RuntimeConfig::new(port.config().binding())
+            .with_threads(4)
+            .with_policy(ControlPolicy::SelectInput(port.matching_port()));
+        Executor::new(&graph, run_config)
+            .unwrap()
+            .run(&registry)
+            .unwrap();
+        assert_eq!(capture.bits(), port.sent_bits());
+    }
+}

@@ -1,0 +1,1286 @@
+//! The multi-threaded, token-level executor.
+//!
+//! ## Execution model
+//!
+//! The executor runs `iterations` complete graph iterations (repetition
+//! counts come from `tpdf_core::consistency`), firing any node whose
+//! *mode-selected* inputs are ready — the untimed `tpdf-sim` engine's
+//! semantics, but on real worker threads moving real [`Token`] values:
+//!
+//! * Each data channel is a fixed-capacity [`RingBuffer`] sized from a
+//!   reference `tpdf-sim` execution (per-channel high-water marks times
+//!   a configurable slack), so memory is bounded by the static analysis.
+//! * A firing is *claimed* under the scheduler lock: its control token
+//!   is popped (selecting the [`Mode`]), its selected input tokens are
+//!   popped, and its output space is reserved. The kernel computation
+//!   then runs outside the lock, in parallel with other nodes; outputs
+//!   are published on completion. Each node is sequential with itself,
+//!   so every channel sees a deterministic token order (single producer,
+//!   single consumer, in-order firings — a Kahn-style determinacy
+//!   argument), which is what makes cross-validation against the
+//!   single-threaded engine exact.
+//! * Control actors emit control tokens whose [`Mode`] comes from the
+//!   same [`ControlPolicy`] sequence as the reference engine.
+//! * [`KernelKind::Clock`] watchdogs either fire as ordinary control
+//!   actors ([`ClockMode::Virtual`], used for cross-validation) or at
+//!   real wall-clock deadlines ([`ClockMode::RealTime`], in which a
+//!   clock-driven Transaction in [`Mode::HighestPriority`] takes the
+//!   best result available *now* — and fires empty, counting a deadline
+//!   miss, when nothing is ready).
+//! * At the end of each iteration, data channels whose consuming port
+//!   was rejected for the whole iteration are flushed back to their
+//!   initial state (the paper's "unused edges are removed").
+
+use crate::kernel::{
+    fire_default, fire_select_duplicate, fire_transaction, FiringContext, KernelRegistry,
+    PortInput, PortOutput,
+};
+use crate::metrics::{DeadlineSelection, Metrics};
+use crate::ring::RingBuffer;
+use crate::token::Token;
+use crate::RuntimeError;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tpdf_core::actors::KernelKind;
+use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
+use tpdf_core::mode::Mode;
+use tpdf_sim::engine::{ControlPolicy, SimulationConfig, Simulator};
+use tpdf_symexpr::Binding;
+
+/// How [`KernelKind::Clock`] watchdogs are driven.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Clocks fire as ordinary control actors, as fast as the dataflow
+    /// allows. This matches the untimed `tpdf-sim` engine and is the
+    /// mode cross-validation uses.
+    Virtual,
+    /// Clocks fire at real wall-clock deadlines: tick `k` of a clock
+    /// with period `P` fires at `start + k · P · time_unit`.
+    RealTime {
+        /// Wall-clock duration of one virtual time unit (graph
+        /// execution times and clock periods are expressed in it).
+        time_unit: Duration,
+    },
+}
+
+/// Configuration of a runtime execution.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Concrete values of the graph's integer parameters.
+    pub binding: Binding,
+    /// Mode sequence applied by control actors (same semantics as the
+    /// `tpdf-sim` engine).
+    pub control_policy: ControlPolicy,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Complete graph iterations to execute.
+    pub iterations: u64,
+    /// Clock driving mode.
+    pub clock_mode: ClockMode,
+    /// Ring capacity = reference high-water × this slack factor (≥ 1).
+    /// Slack 1 is the tightest sizing the reference execution proves
+    /// deadlock-free; larger values give producers headroom to run
+    /// ahead.
+    pub capacity_slack: u64,
+    /// Safety net: a worker finding nothing to do wakes up after this
+    /// long to re-check for stalls.
+    pub stall_timeout: Duration,
+}
+
+impl RuntimeConfig {
+    /// Creates a configuration: 4 threads, 1 iteration, virtual clocks,
+    /// capacity slack 2.
+    pub fn new(binding: Binding) -> Self {
+        RuntimeConfig {
+            binding,
+            control_policy: ControlPolicy::default(),
+            threads: 4,
+            iterations: 1,
+            clock_mode: ClockMode::Virtual,
+            capacity_slack: 2,
+            stall_timeout: Duration::from_millis(100),
+        }
+    }
+
+    /// Sets the control policy.
+    pub fn with_policy(mut self, policy: ControlPolicy) -> Self {
+        self.control_policy = policy;
+        self
+    }
+
+    /// Sets the worker thread count (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the number of iterations.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Drives clocks from the wall clock, one virtual time unit lasting
+    /// `time_unit`.
+    pub fn with_real_time(mut self, time_unit: Duration) -> Self {
+        self.clock_mode = ClockMode::RealTime { time_unit };
+        self
+    }
+
+    /// Sets the ring-capacity slack factor (clamped to ≥ 1).
+    pub fn with_capacity_slack(mut self, slack: u64) -> Self {
+        self.capacity_slack = slack.max(1);
+        self
+    }
+}
+
+/// A control token in flight: the mode it selects.
+#[derive(Debug, Clone)]
+struct ControlMsg {
+    mode: Mode,
+}
+
+/// Per-channel storage: a bounded ring for data, an unbounded queue for
+/// control tokens (which are mode values, not payloads).
+#[derive(Debug)]
+enum ChannelStore {
+    Data(RingBuffer<Token>),
+    Control {
+        queue: VecDeque<ControlMsg>,
+        high_water: u64,
+    },
+}
+
+/// Static, per-node facts precomputed at executor construction.
+#[derive(Debug)]
+struct NodeInfo {
+    name: String,
+    /// Control actor in the paper's sense (includes Clock kernels).
+    is_control_actor: bool,
+    is_clock: bool,
+    clock_period: u64,
+    is_transaction: bool,
+    votes_required: u32,
+    is_select_duplicate: bool,
+    control_port: Option<usize>,
+    /// The control port is fed by a Clock (deadline semantics apply).
+    control_from_clock: bool,
+    /// Data input channels in port order.
+    data_inputs: Vec<usize>,
+    /// All output channels.
+    outputs: Vec<usize>,
+}
+
+/// Static, per-channel facts with rates made concrete.
+#[derive(Debug)]
+struct ChanInfo {
+    label: String,
+    target: usize,
+    is_control: bool,
+    initial_tokens: u64,
+    priority: u32,
+    prod_rates: Vec<u64>,
+    cons_rates: Vec<u64>,
+    /// The consuming node owns a control port (flush rule applies).
+    target_controlled: bool,
+}
+
+impl ChanInfo {
+    fn prod_rate(&self, ordinal: u64) -> u64 {
+        self.prod_rates[(ordinal as usize) % self.prod_rates.len()]
+    }
+
+    fn cons_rate(&self, ordinal: u64) -> u64 {
+        self.cons_rates[(ordinal as usize) % self.cons_rates.len()]
+    }
+}
+
+/// Mutable execution state, guarded by the scheduler lock.
+#[derive(Debug)]
+struct ExecState {
+    iteration: u64,
+    fired_iter: Vec<u64>,
+    fired_total: Vec<u64>,
+    in_flight: Vec<bool>,
+    in_flight_count: usize,
+    channels: Vec<ChannelStore>,
+    /// Output tokens reserved by claimed-but-unfinished firings.
+    reserved: Vec<u64>,
+    /// Data channels consumed at least once this iteration.
+    selected: BTreeSet<usize>,
+    /// Firing counts used to index the control policy's mode sequence.
+    control_firings: Vec<u64>,
+    tokens_pushed: Vec<u64>,
+    deadline_misses: u64,
+    vote_failures: u64,
+    deadline_selections: Vec<DeadlineSelection>,
+    error: Option<RuntimeError>,
+    done: bool,
+}
+
+/// A claimed firing: inputs consumed, outputs reserved, ready to compute.
+struct Claim {
+    node: usize,
+    ordinal_total: u64,
+    mode: Mode,
+    inputs: Vec<PortInput>,
+    /// `(channel, rate)` for data outputs, in port order.
+    data_outputs: Vec<(usize, u64)>,
+    /// `(channel, rate)` for control outputs.
+    control_outputs: Vec<(usize, u64)>,
+    deadline_missed: bool,
+    /// Record a [`DeadlineSelection`] for this firing.
+    record_deadline: bool,
+}
+
+/// The multi-threaded executor of one TPDF graph.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::examples::figure2_graph;
+/// use tpdf_runtime::executor::{Executor, RuntimeConfig};
+/// use tpdf_runtime::kernel::KernelRegistry;
+/// use tpdf_symexpr::Binding;
+///
+/// # fn main() -> Result<(), tpdf_runtime::RuntimeError> {
+/// let graph = figure2_graph();
+/// let config = RuntimeConfig::new(Binding::from_pairs([("p", 2)]))
+///     .with_threads(4)
+///     .with_iterations(3);
+/// let metrics = Executor::new(&graph, config)?.run(&KernelRegistry::new())?;
+/// // q = [2, 2p, p, p, 2p, 2p] with p = 2, three iterations.
+/// assert_eq!(metrics.firings, vec![6, 12, 6, 6, 12, 12]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Executor<'g> {
+    /// Kept for diagnostics and lifetime-tying to the analysed graph.
+    graph: &'g TpdfGraph,
+    config: RuntimeConfig,
+    counts: Vec<u64>,
+    nodes: Vec<NodeInfo>,
+    chans: Vec<ChanInfo>,
+    capacities: Vec<u64>,
+    /// Claim scan order: control actors first (Section III-D priority
+    /// rule), then kernels.
+    scan_order: Vec<usize>,
+}
+
+impl<'g> Executor<'g> {
+    /// Builds an executor: checks consistency, concretises rates and
+    /// sizes every data ring from a reference `tpdf-sim` execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Analysis`] when the graph is inconsistent
+    /// or the binding incomplete, and propagates any error of the
+    /// reference sizing run.
+    pub fn new(graph: &'g TpdfGraph, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        if config.iterations == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "at least one iteration must be requested".to_string(),
+            ));
+        }
+        // `with_threads` clamps, but `threads` is a public field: a zero
+        // slipping through would make `run` return an empty Ok no-op.
+        if config.threads == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "at least one worker thread is required".to_string(),
+            ));
+        }
+        let repetition = tpdf_core::consistency::symbolic_repetition_vector(graph)
+            .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
+        let counts = repetition
+            .concrete(&config.binding)
+            .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
+
+        // Reference execution: per-channel high-water marks under the
+        // same policy and binding determine the ring capacities.
+        let sim_config = SimulationConfig::new(config.binding.clone())
+            .with_policy(config.control_policy.clone());
+        let reference = Simulator::new(graph, sim_config)
+            .map_err(|e| RuntimeError::Analysis(e.to_string()))?
+            .run_iterations(1)
+            .map_err(|e| RuntimeError::Analysis(format!("reference sizing run failed: {e}")))?;
+
+        let clock_sources: BTreeSet<NodeId> = graph
+            .nodes()
+            .filter(|(_, n)| matches!(n.kernel_kind(), Some(k) if k.is_clock()))
+            .map(|(id, _)| id)
+            .collect();
+        let control_actor_ids: BTreeSet<NodeId> =
+            graph.control_actors().map(|(id, _)| id).collect();
+
+        let mut nodes = Vec::with_capacity(graph.node_count());
+        for (id, node) in graph.nodes() {
+            let kind = node.kernel_kind();
+            let control_port = graph.control_port(id).map(|c| c.0);
+            let control_from_clock = graph
+                .control_port(id)
+                .map(|cp| clock_sources.contains(&graph.channel(cp).source))
+                .unwrap_or(false);
+            nodes.push(NodeInfo {
+                name: node.name.clone(),
+                is_control_actor: control_actor_ids.contains(&id),
+                is_clock: matches!(kind, Some(k) if k.is_clock()),
+                clock_period: kind.and_then(|k| k.clock_period()).unwrap_or(0),
+                is_transaction: matches!(kind, Some(k) if k.is_transaction()),
+                votes_required: match kind {
+                    Some(KernelKind::Transaction { votes_required }) => *votes_required,
+                    _ => 0,
+                },
+                is_select_duplicate: matches!(kind, Some(k) if k.is_select_duplicate()),
+                control_port,
+                control_from_clock,
+                data_inputs: graph.data_input_channels(id).map(|(c, _)| c.0).collect(),
+                outputs: graph.output_channels(id).map(|(c, _)| c.0).collect(),
+            });
+        }
+
+        let mut chans = Vec::with_capacity(graph.channel_count());
+        for (id, chan) in graph.channels() {
+            let concretise = |rates: &tpdf_core::rate::RateSeq| -> Result<Vec<u64>, RuntimeError> {
+                (0..rates.phases() as u64)
+                    .map(|i| {
+                        rates
+                            .concrete(i, &config.binding)
+                            .map_err(|e| RuntimeError::Analysis(e.to_string()))
+                    })
+                    .collect()
+            };
+            chans.push(ChanInfo {
+                label: chan.label.clone(),
+                target: chan.target.0,
+                is_control: chan.is_control(),
+                initial_tokens: chan.initial_tokens,
+                priority: chan.priority,
+                prod_rates: concretise(&chan.production)?,
+                cons_rates: concretise(&chan.consumption)?,
+                target_controlled: graph.control_port(chan.target).is_some(),
+            });
+            debug_assert_eq!(id.0, chans.len() - 1);
+        }
+
+        let capacities: Vec<u64> = reference
+            .channel_high_water
+            .iter()
+            .zip(&chans)
+            .map(|(hw, info)| {
+                if info.is_control {
+                    0
+                } else {
+                    hw.max(&info.initial_tokens).max(&1) * config.capacity_slack
+                }
+            })
+            .collect();
+
+        let mut scan_order: Vec<usize> = (0..graph.node_count())
+            .filter(|&n| nodes[n].is_control_actor)
+            .collect();
+        scan_order.extend((0..graph.node_count()).filter(|&n| !nodes[n].is_control_actor));
+
+        Ok(Executor {
+            graph,
+            config,
+            counts,
+            nodes,
+            chans,
+            capacities,
+            scan_order,
+        })
+    }
+
+    /// The graph this executor runs.
+    pub fn graph(&self) -> &'g TpdfGraph {
+        self.graph
+    }
+
+    /// The configured ring capacity of every channel (0 = unbounded
+    /// control queue).
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// The per-iteration repetition count of every node.
+    pub fn repetition_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Executes the configured number of iterations on the worker pool
+    /// and reports [`Metrics`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Stalled`] when no node can make progress;
+    /// * [`RuntimeError::RateMismatch`] when a behaviour produced the
+    ///   wrong number of tokens;
+    /// * any [`RuntimeError::KernelFailed`] raised by a behaviour.
+    pub fn run(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
+        let state = Mutex::new(self.initial_state());
+        let ready = Condvar::new();
+        let start = Instant::now();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|| self.worker_loop(&state, &ready, registry, start));
+            }
+        });
+
+        let elapsed = start.elapsed();
+        let state = state.into_inner().expect("no worker may panic");
+        if let Some(error) = state.error {
+            return Err(error);
+        }
+        let total_tokens: u64 = state.tokens_pushed.iter().sum();
+        let channel_high_water: Vec<u64> = state
+            .channels
+            .iter()
+            .map(|c| match c {
+                ChannelStore::Data(ring) => ring.high_water() as u64,
+                ChannelStore::Control { high_water, .. } => *high_water,
+            })
+            .collect();
+        Ok(Metrics {
+            iterations: state.iteration,
+            threads: self.config.threads,
+            firings: state.fired_total,
+            tokens_pushed: state.tokens_pushed,
+            channel_high_water,
+            channel_capacity: self.capacities.clone(),
+            total_tokens,
+            elapsed,
+            tokens_per_sec: if elapsed.is_zero() {
+                0.0
+            } else {
+                total_tokens as f64 / elapsed.as_secs_f64()
+            },
+            deadline_misses: state.deadline_misses,
+            vote_failures: state.vote_failures,
+            deadline_selections: state.deadline_selections,
+        })
+    }
+
+    fn initial_state(&self) -> ExecState {
+        let channels = self
+            .chans
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                if info.is_control {
+                    ChannelStore::Control {
+                        queue: VecDeque::new(),
+                        high_water: 0,
+                    }
+                } else {
+                    let mut ring = RingBuffer::new(info.label.clone(), self.capacities[i] as usize);
+                    for _ in 0..info.initial_tokens {
+                        ring.push(Token::Unit)
+                            .expect("capacity covers initial tokens");
+                    }
+                    ChannelStore::Data(ring)
+                }
+            })
+            .collect();
+        ExecState {
+            iteration: 0,
+            fired_iter: vec![0; self.nodes.len()],
+            fired_total: vec![0; self.nodes.len()],
+            in_flight: vec![false; self.nodes.len()],
+            in_flight_count: 0,
+            channels,
+            reserved: vec![0; self.chans.len()],
+            selected: BTreeSet::new(),
+            control_firings: vec![0; self.nodes.len()],
+            tokens_pushed: vec![0; self.chans.len()],
+            deadline_misses: 0,
+            vote_failures: 0,
+            deadline_selections: Vec::new(),
+            error: None,
+            done: false,
+        }
+    }
+
+    fn worker_loop(
+        &self,
+        state: &Mutex<ExecState>,
+        ready: &Condvar,
+        registry: &KernelRegistry,
+        start: Instant,
+    ) {
+        let mut guard = state.lock().expect("scheduler lock");
+        loop {
+            if guard.done || guard.error.is_some() {
+                ready.notify_all();
+                return;
+            }
+
+            // 1. Real-time clock ticks that are due fire immediately.
+            if let ClockMode::RealTime { time_unit } = &self.config.clock_mode {
+                if let Some(clock) = self.due_clock(&guard, start, *time_unit) {
+                    self.fire_clock(&mut guard, clock);
+                    self.finish_iteration_if_complete(&mut guard);
+                    ready.notify_all();
+                    continue;
+                }
+            }
+
+            // 2. Claim and execute a ready firing.
+            if let Some(claim) = self.try_claim(&mut guard) {
+                drop(guard);
+                let outcome = self.execute(claim, registry, start);
+                guard = state.lock().expect("scheduler lock");
+                match outcome {
+                    Ok((claim, outputs)) => {
+                        if let Err(e) = self.complete(&mut guard, claim, outputs, start) {
+                            guard.error = Some(e);
+                        }
+                        self.finish_iteration_if_complete(&mut guard);
+                    }
+                    Err(e) => guard.error = Some(e),
+                }
+                ready.notify_all();
+                continue;
+            }
+
+            // 3. Nothing claimable: wait for a completion or the next
+            //    clock tick — or report a stall.
+            let next_tick = match &self.config.clock_mode {
+                ClockMode::RealTime { time_unit } => self.next_tick_in(&guard, start, *time_unit),
+                ClockMode::Virtual => None,
+            };
+            if guard.in_flight_count == 0 && next_tick.is_none() {
+                guard.error = Some(RuntimeError::Stalled {
+                    blocked: self.blocked_names(&guard),
+                    iteration: guard.iteration,
+                });
+                ready.notify_all();
+                return;
+            }
+            let timeout = next_tick.unwrap_or(self.config.stall_timeout);
+            let (g, _) = ready.wait_timeout(guard, timeout).expect("scheduler lock");
+            guard = g;
+        }
+    }
+
+    /// Names of nodes with remaining firings, for stall diagnostics.
+    fn blocked_names(&self, state: &ExecState) -> Vec<String> {
+        self.scan_order
+            .iter()
+            .filter(|&&n| state.fired_iter[n] < self.counts[n])
+            .map(|&n| self.nodes[n].name.clone())
+            .collect()
+    }
+
+    /// The wall-clock instant of real-time clock tick `k` (0-based) of
+    /// `node`. Computed in 128-bit nanoseconds: a `Duration * u32`
+    /// shortcut would wrap after ~4 G virtual units (minutes to hours
+    /// into a fine-grained streaming run).
+    fn tick_instant(&self, start: Instant, node: usize, k: u64, unit: Duration) -> Instant {
+        let ticks = (k + 1).saturating_mul(self.nodes[node].clock_period);
+        let nanos = unit.as_nanos().saturating_mul(ticks as u128);
+        let secs = (nanos / 1_000_000_000) as u64;
+        let subsec = (nanos % 1_000_000_000) as u32;
+        start + Duration::new(secs, subsec)
+    }
+
+    /// A clock whose next tick is due now, if any.
+    fn due_clock(&self, state: &ExecState, start: Instant, unit: Duration) -> Option<usize> {
+        let now = Instant::now();
+        (0..self.nodes.len()).find(|&n| {
+            self.nodes[n].is_clock
+                && state.fired_iter[n] < self.counts[n]
+                && now >= self.tick_instant(start, n, state.fired_total[n], unit)
+        })
+    }
+
+    /// Time until the earliest pending clock tick, if any clock still
+    /// has firings left this iteration.
+    fn next_tick_in(&self, state: &ExecState, start: Instant, unit: Duration) -> Option<Duration> {
+        let now = Instant::now();
+        (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].is_clock && state.fired_iter[n] < self.counts[n])
+            .map(|n| {
+                let tick = self.tick_instant(start, n, state.fired_total[n], unit);
+                tick.saturating_duration_since(now)
+            })
+            .min()
+    }
+
+    /// Fires a real-time clock: emits its control tokens (and any data
+    /// tokens) without consuming anything, exactly like the virtual-time
+    /// engine's tick handling.
+    fn fire_clock(&self, state: &mut ExecState, node: usize) {
+        let ordinal = state.fired_iter[node];
+        let policy_mode = self
+            .config
+            .control_policy
+            .mode_for(state.control_firings[node]);
+        for &chan in &self.nodes[node].outputs {
+            let rate = self.chans[chan].prod_rate(ordinal);
+            match &mut state.channels[chan] {
+                ChannelStore::Control { queue, high_water } => {
+                    for _ in 0..rate {
+                        queue.push_back(ControlMsg {
+                            mode: policy_mode.clone(),
+                        });
+                    }
+                    *high_water = (*high_water).max(queue.len() as u64);
+                }
+                ChannelStore::Data(ring) => {
+                    for _ in 0..rate {
+                        if let Err(e) = ring.push(Token::Unit) {
+                            state.error = Some(e);
+                            return;
+                        }
+                    }
+                }
+            }
+            state.tokens_pushed[chan] += rate;
+        }
+        state.control_firings[node] += 1;
+        state.fired_iter[node] += 1;
+        state.fired_total[node] += 1;
+    }
+
+    /// Attempts to claim one ready firing, consuming its inputs and
+    /// reserving its output space. Must run under the scheduler lock.
+    fn try_claim(&self, state: &mut ExecState) -> Option<Claim> {
+        let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
+        for &node in &self.scan_order {
+            if state.in_flight[node]
+                || state.fired_iter[node] >= self.counts[node]
+                || (real_time && self.nodes[node].is_clock)
+            {
+                continue;
+            }
+            if let Some(claim) = self.try_claim_node(state, node, real_time) {
+                return Some(claim);
+            }
+        }
+        None
+    }
+
+    fn try_claim_node(&self, state: &mut ExecState, node: usize, real_time: bool) -> Option<Claim> {
+        let info = &self.nodes[node];
+        let ordinal_iter = state.fired_iter[node];
+
+        // 1. Resolve the mode of this firing from the control port.
+        let control_need = info
+            .control_port
+            .map(|cp| self.chans[cp].cons_rate(ordinal_iter))
+            .unwrap_or(0);
+        let mode = if control_need > 0 {
+            let cp = info.control_port.expect("need implies port");
+            match &state.channels[cp] {
+                // All `control_need` tokens must be present (they are
+                // popped below); the firing's mode comes from the first.
+                ChannelStore::Control { queue, .. } => {
+                    if (queue.len() as u64) < control_need {
+                        return None;
+                    }
+                    queue.front().expect("length checked").mode.clone()
+                }
+                ChannelStore::Data(_) => unreachable!("control port backed by data ring"),
+            }
+        } else {
+            Mode::WaitAll
+        };
+
+        // 2. Determine the selected data inputs.
+        let port_count = info.data_inputs.len();
+        let rates: Vec<u64> = info
+            .data_inputs
+            .iter()
+            .map(|&c| self.chans[c].cons_rate(ordinal_iter))
+            .collect();
+        let available = |state: &ExecState, chan: usize, rate: u64| -> bool {
+            match &state.channels[chan] {
+                ChannelStore::Data(ring) => ring.len() as u64 >= rate,
+                ChannelStore::Control { .. } => unreachable!("data port backed by control queue"),
+            }
+        };
+        let mut deadline_missed = false;
+        let selected: Vec<(usize, usize, u64)> = match &mode {
+            Mode::HighestPriority => {
+                let mut candidates: Vec<(u32, usize, usize, u64)> = info
+                    .data_inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(port, &chan)| available(state, chan, rates[*port]))
+                    .map(|(port, &chan)| (self.chans[chan].priority, port, chan, rates[port]))
+                    .collect();
+                candidates.sort_by_key(|(prio, _, _, _)| std::cmp::Reverse(*prio));
+                match candidates.first() {
+                    Some(&(_, port, chan, rate)) => vec![(port, chan, rate)],
+                    None if port_count == 0 => Vec::new(),
+                    None if real_time && info.is_transaction && info.control_from_clock => {
+                        // Deadline semantics: the clock token forces the
+                        // firing even though no result is ready yet.
+                        deadline_missed = true;
+                        Vec::new()
+                    }
+                    None => return None,
+                }
+            }
+            m => {
+                let picked: Vec<(usize, usize, u64)> = info
+                    .data_inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(port, _)| m.selects(*port, port_count))
+                    .map(|(port, &chan)| (port, chan, rates[port]))
+                    .collect();
+                if picked
+                    .iter()
+                    .any(|&(_, chan, rate)| !available(state, chan, rate))
+                {
+                    return None;
+                }
+                picked
+            }
+        };
+
+        // 3. Output space must be reservable for every data output.
+        let mut data_outputs = Vec::new();
+        let mut control_outputs = Vec::new();
+        for &chan in &info.outputs {
+            let rate = self.chans[chan].prod_rate(ordinal_iter);
+            if self.chans[chan].is_control {
+                control_outputs.push((chan, rate));
+            } else {
+                let occupied = match &state.channels[chan] {
+                    ChannelStore::Data(ring) => ring.len() as u64,
+                    ChannelStore::Control { .. } => unreachable!(),
+                };
+                if occupied + state.reserved[chan] + rate > self.capacities[chan] {
+                    return None;
+                }
+                data_outputs.push((chan, rate));
+            }
+        }
+
+        // 4. Commit: pop the control token and the selected inputs,
+        //    reserve the outputs.
+        if control_need > 0 {
+            let cp = info.control_port.expect("need implies port");
+            if let ChannelStore::Control { queue, .. } = &mut state.channels[cp] {
+                for _ in 0..control_need {
+                    queue.pop_front();
+                }
+            }
+        }
+        let inputs: Vec<PortInput> = selected
+            .iter()
+            .map(|&(port, chan, rate)| {
+                state.selected.insert(chan);
+                let tokens = match &mut state.channels[chan] {
+                    ChannelStore::Data(ring) => ring.pop_many(rate as usize),
+                    ChannelStore::Control { .. } => unreachable!(),
+                };
+                PortInput {
+                    port,
+                    priority: self.chans[chan].priority,
+                    channel: self.chans[chan].label.clone(),
+                    tokens,
+                }
+            })
+            .collect();
+        for &(chan, rate) in &data_outputs {
+            state.reserved[chan] += rate;
+        }
+        state.in_flight[node] = true;
+        state.in_flight_count += 1;
+
+        Some(Claim {
+            node,
+            ordinal_total: state.fired_total[node],
+            mode,
+            inputs,
+            data_outputs,
+            control_outputs,
+            deadline_missed,
+            record_deadline: info.is_transaction && info.control_from_clock && control_need > 0,
+        })
+    }
+
+    /// Runs the kernel computation for a claim, outside the lock.
+    #[allow(clippy::type_complexity)]
+    fn execute(
+        &self,
+        claim: Claim,
+        registry: &KernelRegistry,
+        _start: Instant,
+    ) -> Result<(Claim, FiringContext), RuntimeError> {
+        let info = &self.nodes[claim.node];
+        let mut ctx = FiringContext {
+            node: info.name.clone(),
+            ordinal: claim.ordinal_total,
+            mode: claim.mode.clone(),
+            inputs: claim.inputs.clone(),
+            outputs: claim
+                .data_outputs
+                .iter()
+                .enumerate()
+                .map(|(port, &(chan, rate))| PortOutput {
+                    port,
+                    channel: self.chans[chan].label.clone(),
+                    rate,
+                    tokens: Vec::new(),
+                })
+                .collect(),
+            deadline_missed: claim.deadline_missed,
+            vote_failed: false,
+        };
+        match registry.get(&info.name) {
+            Some(behavior) => behavior.fire(&mut ctx)?,
+            None if info.is_select_duplicate => fire_select_duplicate(&mut ctx),
+            None if info.is_transaction => fire_transaction(&mut ctx, info.votes_required),
+            None => fire_default(&mut ctx),
+        }
+        Ok((claim, ctx))
+    }
+
+    /// Publishes the outputs of a finished firing. Must run under the
+    /// scheduler lock.
+    fn complete(
+        &self,
+        state: &mut ExecState,
+        claim: Claim,
+        ctx: FiringContext,
+        start: Instant,
+    ) -> Result<(), RuntimeError> {
+        let node = claim.node;
+        let info = &self.nodes[node];
+
+        for (port, &(chan, rate)) in claim.data_outputs.iter().enumerate() {
+            let produced = &ctx.outputs[port].tokens;
+            if produced.len() as u64 != rate {
+                return Err(RuntimeError::RateMismatch {
+                    node: info.name.clone(),
+                    channel: self.chans[chan].label.clone(),
+                    expected: rate,
+                    got: produced.len() as u64,
+                });
+            }
+            state.reserved[chan] -= rate;
+            if let ChannelStore::Data(ring) = &mut state.channels[chan] {
+                for token in produced {
+                    ring.push(token.clone())?;
+                }
+            }
+            state.tokens_pushed[chan] += rate;
+        }
+
+        let policy_mode = self
+            .config
+            .control_policy
+            .mode_for(state.control_firings[node]);
+        for &(chan, rate) in &claim.control_outputs {
+            if let ChannelStore::Control { queue, high_water } = &mut state.channels[chan] {
+                for _ in 0..rate {
+                    queue.push_back(ControlMsg {
+                        mode: policy_mode.clone(),
+                    });
+                }
+                *high_water = (*high_water).max(queue.len() as u64);
+            }
+            state.tokens_pushed[chan] += rate;
+        }
+        if info.is_control_actor {
+            state.control_firings[node] += 1;
+        }
+
+        if claim.record_deadline {
+            let selected_channel = claim
+                .inputs
+                .first()
+                .map(|p| ChannelId(info.data_inputs[p.port]));
+            state.deadline_selections.push(DeadlineSelection {
+                transaction: NodeId(node),
+                selected_channel,
+                selected_priority: claim.inputs.first().map(|p| p.priority),
+                at: start.elapsed(),
+            });
+        }
+        if ctx.deadline_missed {
+            state.deadline_misses += 1;
+        }
+        if ctx.vote_failed {
+            state.vote_failures += 1;
+        }
+
+        state.fired_iter[node] += 1;
+        state.fired_total[node] += 1;
+        state.in_flight[node] = false;
+        state.in_flight_count -= 1;
+        Ok(())
+    }
+
+    /// When every node completed its repetition count and nothing is in
+    /// flight: flush rejected channels, advance (or finish) the
+    /// iteration. Must run under the scheduler lock.
+    fn finish_iteration_if_complete(&self, state: &mut ExecState) {
+        if state.error.is_some() || state.done || state.in_flight_count > 0 {
+            return;
+        }
+        let complete = (0..self.nodes.len()).all(|n| state.fired_iter[n] >= self.counts[n]);
+        if !complete {
+            return;
+        }
+        // Flush data channels whose consuming (controlled) port was
+        // rejected for the whole iteration back to their initial state.
+        for (i, info) in self.chans.iter().enumerate() {
+            if info.is_control || !info.target_controlled || state.selected.contains(&i) {
+                continue;
+            }
+            let _ = self.nodes[info.target].name; // target is a kernel with a control port
+            if let ChannelStore::Data(ring) = &mut state.channels[i] {
+                ring.clear();
+                for _ in 0..info.initial_tokens {
+                    ring.push(Token::Unit)
+                        .expect("capacity covers initial tokens");
+                }
+            }
+        }
+        state.selected.clear();
+        for f in &mut state.fired_iter {
+            *f = 0;
+        }
+        state.iteration += 1;
+        if state.iteration >= self.config.iterations {
+            state.done = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+    use tpdf_core::examples::{figure2_graph, figure4_deadlocked_graph, figure4a_graph};
+    use tpdf_core::graph::TpdfGraph;
+    use tpdf_core::rate::RateSeq;
+    use tpdf_sim::engine::SimulationReport;
+
+    fn binding(p: i64) -> Binding {
+        Binding::from_pairs([("p", p)])
+    }
+
+    fn sim_reference(graph: &TpdfGraph, config: &RuntimeConfig) -> SimulationReport {
+        Simulator::new(
+            graph,
+            SimulationConfig::new(config.binding.clone())
+                .with_policy(config.control_policy.clone()),
+        )
+        .unwrap()
+        .run_iterations(config.iterations)
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_matches_reference_across_thread_counts() {
+        let g = figure2_graph();
+        for threads in [1usize, 2, 4, 8] {
+            let config = RuntimeConfig::new(binding(3))
+                .with_threads(threads)
+                .with_iterations(4);
+            let reference = sim_reference(&g, &config);
+            let metrics = Executor::new(&g, config)
+                .unwrap()
+                .run(&KernelRegistry::new())
+                .unwrap();
+            assert_eq!(metrics.firings, reference.firings, "threads = {threads}");
+            assert_eq!(metrics.iterations, 4);
+            assert_eq!(metrics.threads, threads);
+            assert!(metrics.total_tokens > 0);
+            assert!(metrics.tokens_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn alternate_policy_and_cycles_match_reference() {
+        let g = figure2_graph();
+        let config = RuntimeConfig::new(binding(2))
+            .with_threads(4)
+            .with_iterations(3)
+            .with_policy(ControlPolicy::Alternate(vec![
+                Mode::SelectOne(0),
+                Mode::SelectOne(1),
+            ]));
+        let reference = sim_reference(&g, &config);
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&KernelRegistry::new())
+            .unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+
+        let g = figure4a_graph();
+        let config = RuntimeConfig::new(binding(3))
+            .with_threads(4)
+            .with_iterations(2);
+        let reference = sim_reference(&g, &config);
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&KernelRegistry::new())
+            .unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+    }
+
+    #[test]
+    fn strict_capacities_still_complete() {
+        // Slack 1 sizes every ring at exactly the reference high-water
+        // mark; the reservation discipline must still find a schedule.
+        let g = figure2_graph();
+        let config = RuntimeConfig::new(binding(4))
+            .with_threads(4)
+            .with_iterations(3)
+            .with_capacity_slack(1);
+        let reference = sim_reference(&g, &config);
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&KernelRegistry::new())
+            .unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+        for (hw, cap) in metrics
+            .channel_high_water
+            .iter()
+            .zip(&metrics.channel_capacity)
+        {
+            if *cap > 0 {
+                assert!(hw <= cap, "high water {hw} exceeds capacity {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let g = figure2_graph();
+        assert!(matches!(
+            Executor::new(&g, RuntimeConfig::new(binding(1)).with_iterations(0)),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Executor::new(&g, RuntimeConfig::new(Binding::new())),
+            Err(RuntimeError::Analysis(_))
+        ));
+        // The public `threads` field can bypass with_threads' clamp.
+        let mut config = RuntimeConfig::new(binding(1));
+        config.threads = 0;
+        assert!(matches!(
+            Executor::new(&g, config),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn control_port_waits_for_its_full_consumption_rate() {
+        // K consumes two control tokens per firing; C produces one per
+        // firing and fires twice per iteration. The runtime must wait
+        // for both tokens (not fire on the first), and one K firing
+        // consumes both.
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .control("C")
+            .kernel("K")
+            .channel("A", "C", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel("A", "K", RateSeq::constant(1), RateSeq::constant(2), 0)
+            .control_channel("C", "K", RateSeq::constant(1), RateSeq::constant(2))
+            .build()
+            .unwrap();
+        let config = RuntimeConfig::new(Binding::new())
+            .with_threads(2)
+            .with_iterations(3)
+            .with_policy(ControlPolicy::SelectInput(0));
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&KernelRegistry::new())
+            .unwrap();
+        let k = g.node_by_name("K").unwrap();
+        let c = g.node_by_name("C").unwrap();
+        assert_eq!(metrics.firings[k.0], 3);
+        assert_eq!(metrics.firings[c.0], 6);
+    }
+
+    #[test]
+    fn deadlocked_graph_reports_error() {
+        let g = figure4_deadlocked_graph();
+        // The reference sizing run already detects the deadlock.
+        let result = Executor::new(&g, RuntimeConfig::new(binding(2)));
+        assert!(matches!(result, Err(RuntimeError::Analysis(_))));
+    }
+
+    #[test]
+    fn transaction_vote_selects_majority_value() {
+        let g = fork_join_with_vote(3, 2);
+        let mut registry = KernelRegistry::new();
+        for (worker, value) in [("w0", 5i64), ("w1", 9), ("w2", 5)] {
+            registry.register_fn(worker, move |ctx| {
+                ctx.fill_outputs_cycling(&[Token::Int(value)]);
+                Ok(())
+            });
+        }
+        let capture = crate::cases::OutputCapture::new();
+        capture.install(&mut registry, "snk");
+        let config = RuntimeConfig::new(Binding::new()).with_threads(4);
+        let metrics = Executor::new(&g, config).unwrap().run(&registry).unwrap();
+        // w1 disagrees; the two agreeing workers (value 5) win the vote.
+        assert_eq!(capture.tokens(), vec![Token::Int(5)]);
+        assert_eq!(metrics.vote_failures, 0);
+    }
+
+    #[test]
+    fn transaction_vote_failure_is_counted() {
+        let g = fork_join_with_vote(3, 3);
+        let mut registry = KernelRegistry::new();
+        for (worker, value) in [("w0", 1i64), ("w1", 2), ("w2", 3)] {
+            registry.register_fn(worker, move |ctx| {
+                ctx.fill_outputs_cycling(&[Token::Int(value)]);
+                Ok(())
+            });
+        }
+        let config = RuntimeConfig::new(Binding::new()).with_threads(2);
+        let metrics = Executor::new(&g, config).unwrap().run(&registry).unwrap();
+        assert_eq!(metrics.vote_failures, 1);
+    }
+
+    /// `fork_join` with a voting Transaction: src → dup → w0..wn → tran.
+    fn fork_join_with_vote(branches: usize, votes: u32) -> TpdfGraph {
+        let mut b = TpdfGraph::builder()
+            .kernel("src")
+            .kernel_with("dup", KernelKind::SelectDuplicate, 1)
+            .control("ctl")
+            .kernel_with(
+                "tran",
+                KernelKind::Transaction {
+                    votes_required: votes,
+                },
+                1,
+            )
+            .kernel("snk")
+            .channel("src", "dup", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel("src", "ctl", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .control_channel("ctl", "tran", RateSeq::constant(1), RateSeq::constant(1))
+            .channel("tran", "snk", RateSeq::constant(1), RateSeq::constant(1), 0);
+        for i in 0..branches {
+            let name = format!("w{i}");
+            b = b
+                .kernel(&name)
+                .channel("dup", &name, RateSeq::constant(1), RateSeq::constant(1), 0)
+                .channel_with_priority(
+                    &name,
+                    "tran",
+                    RateSeq::constant(1),
+                    RateSeq::constant(1),
+                    0,
+                    (i + 1) as u32,
+                );
+        }
+        b.build().unwrap()
+    }
+
+    /// src fans out to a fast and a slow kernel; a clock-driven
+    /// Transaction picks the best result available at the deadline.
+    fn deadline_graph() -> TpdfGraph {
+        TpdfGraph::builder()
+            .kernel("src")
+            .kernel("fast")
+            .kernel("slow")
+            .kernel_with("clock", KernelKind::Clock { period: 50 }, 0)
+            .kernel_with("tran", KernelKind::Transaction { votes_required: 0 }, 1)
+            .kernel("snk")
+            .channel("src", "fast", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel("src", "slow", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel_with_priority(
+                "fast",
+                "tran",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+                1,
+            )
+            .channel_with_priority(
+                "slow",
+                "tran",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+                2,
+            )
+            .control_channel("clock", "tran", RateSeq::constant(1), RateSeq::constant(1))
+            .channel("tran", "snk", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .build()
+            .unwrap()
+    }
+
+    fn sleepy_registry(fast_ms: u64, slow_ms: u64) -> KernelRegistry {
+        let mut registry = KernelRegistry::new();
+        for (name, delay, value) in [("fast", fast_ms, 1i64), ("slow", slow_ms, 2)] {
+            registry.register_fn(name, move |ctx| {
+                std::thread::sleep(Duration::from_millis(delay));
+                ctx.fill_outputs_cycling(&[Token::Int(value)]);
+                Ok(())
+            });
+        }
+        registry
+    }
+
+    #[test]
+    fn real_deadline_takes_best_available_result() {
+        // Clock period 50 units × 1 ms/unit = 50 ms deadline. The fast
+        // kernel (10 ms) finishes before it, the slow one (250 ms) does
+        // not: the Transaction must select the fast (lower-priority)
+        // result at the deadline.
+        let g = deadline_graph();
+        let config = RuntimeConfig::new(Binding::new())
+            .with_threads(4)
+            .with_policy(ControlPolicy::HighestPriority)
+            .with_real_time(Duration::from_millis(1));
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&sleepy_registry(10, 250))
+            .unwrap();
+        assert_eq!(metrics.deadline_misses, 0);
+        assert_eq!(metrics.deadline_selections.len(), 1);
+        let selection = &metrics.deadline_selections[0];
+        assert_eq!(selection.selected_priority, Some(1), "fast input wins");
+        let fast = g.node_by_name("fast").unwrap();
+        let chan = selection.selected_channel.unwrap();
+        assert_eq!(g.channel(chan).source, fast);
+        // The deadline fired at ≈ 50 ms, well before the slow kernel.
+        assert!(
+            selection.at >= Duration::from_millis(45),
+            "{:?}",
+            selection.at
+        );
+        assert!(
+            selection.at < Duration::from_millis(240),
+            "{:?}",
+            selection.at
+        );
+    }
+
+    #[test]
+    fn real_deadline_miss_is_detected_and_survived() {
+        // Both kernels are slower than the 50 ms deadline: the
+        // Transaction fires empty at the deadline (a miss) and the sink
+        // still receives a placeholder token.
+        let g = deadline_graph();
+        let config = RuntimeConfig::new(Binding::new())
+            .with_threads(4)
+            .with_policy(ControlPolicy::HighestPriority)
+            .with_real_time(Duration::from_millis(1));
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&sleepy_registry(150, 250))
+            .unwrap();
+        assert_eq!(metrics.deadline_misses, 1);
+        assert_eq!(metrics.deadline_selections.len(), 1);
+        assert_eq!(metrics.deadline_selections[0].selected_channel, None);
+        let snk = g.node_by_name("snk").unwrap();
+        assert_eq!(metrics.firings[snk.0], 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Executable kernel behaviours and the paper's special kernels.
+//!
+//! The graph (`tpdf_core::TpdfGraph`) says *when* a kernel may fire and
+//! at which rates; a [`KernelBehavior`] says *what the firing computes*.
+//! Applications register a behaviour per node name in a
+//! [`KernelRegistry`]; nodes without a registered behaviour get the
+//! built-in semantics:
+//!
+//! * **Select-Duplicate** kernels copy their input stream to every
+//!   output selected by the current mode (speculation / forking — the
+//!   copies are `Clone`s of [`Token`], so images are shared, not
+//!   duplicated).
+//! * **Transaction** kernels forward the tokens of the highest-priority
+//!   input that participated in the firing; with `votes_required > 0`
+//!   they first look for `votes_required` inputs that agree
+//!   (redundancy with vote).
+//! * **Regular** kernels and control actors forward their concatenated
+//!   input tokens cyclically to each output (or emit [`Token::Unit`]
+//!   markers when the firing consumed nothing), which keeps rate-only
+//!   graphs — e.g. the Figure 2 running example — executable without any
+//!   registration.
+
+use crate::token::Token;
+use crate::RuntimeError;
+use std::collections::BTreeMap;
+use tpdf_core::mode::Mode;
+
+/// The tokens one data-input port contributed to a firing.
+#[derive(Debug, Clone)]
+pub struct PortInput {
+    /// Port index among the kernel's data inputs (declaration order).
+    pub port: usize,
+    /// Priority `α` of the port (higher wins Transaction selection).
+    pub priority: u32,
+    /// Channel label (e.g. `e6`), for diagnostics.
+    pub channel: String,
+    /// The consumed tokens, oldest first.
+    pub tokens: Vec<Token>,
+}
+
+/// One data-output port a firing must fill.
+#[derive(Debug, Clone)]
+pub struct PortOutput {
+    /// Port index among the kernel's data outputs (declaration order).
+    pub port: usize,
+    /// Channel label, for diagnostics.
+    pub channel: String,
+    /// Number of tokens the firing must produce on this port.
+    pub rate: u64,
+    /// The produced tokens; must contain exactly `rate` tokens when the
+    /// behaviour returns.
+    pub tokens: Vec<Token>,
+}
+
+/// Everything a kernel behaviour sees and produces during one firing.
+#[derive(Debug)]
+pub struct FiringContext {
+    /// Node name.
+    pub node: String,
+    /// Global firing ordinal of this node (across iterations).
+    pub ordinal: u64,
+    /// The mode this firing executes in (from the control token, or
+    /// [`Mode::WaitAll`] for unsteered kernels).
+    pub mode: Mode,
+    /// Data consumed, one entry per *selected* input port.
+    pub inputs: Vec<PortInput>,
+    /// Data to produce, one entry per output port of this firing.
+    pub outputs: Vec<PortOutput>,
+    /// Set by the executor when a real-time deadline forced this firing
+    /// before any input was available.
+    pub deadline_missed: bool,
+    /// Set by the built-in Transaction behaviour when a vote could not
+    /// reach `votes_required` agreeing inputs.
+    pub vote_failed: bool,
+}
+
+impl FiringContext {
+    /// All consumed tokens, port after port, oldest first.
+    pub fn concatenated_inputs(&self) -> Vec<Token> {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.tokens.iter().cloned())
+            .collect()
+    }
+
+    /// Fills every output port by cycling through `source` (or with
+    /// [`Token::Unit`] markers when `source` is empty).
+    pub fn fill_outputs_cycling(&mut self, source: &[Token]) {
+        for out in &mut self.outputs {
+            out.tokens = cycle_to(source, out.rate);
+        }
+    }
+}
+
+/// Produces `rate` tokens by cycling through `source`; [`Token::Unit`]
+/// markers when `source` is empty.
+fn cycle_to(source: &[Token], rate: u64) -> Vec<Token> {
+    if source.is_empty() {
+        return vec![Token::Unit; rate as usize];
+    }
+    (0..rate as usize)
+        .map(|i| source[i % source.len()].clone())
+        .collect()
+}
+
+/// What a node computes when it fires.
+pub trait KernelBehavior: Send + Sync {
+    /// Executes one firing: reads `ctx.inputs`, fills `ctx.outputs`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report unrecoverable application errors as
+    /// [`RuntimeError::KernelFailed`]; the executor aborts the run.
+    fn fire(&self, ctx: &mut FiringContext) -> Result<(), RuntimeError>;
+}
+
+/// Wraps a closure as a [`KernelBehavior`].
+struct FnBehavior<F>(F);
+
+impl<F> KernelBehavior for FnBehavior<F>
+where
+    F: Fn(&mut FiringContext) -> Result<(), RuntimeError> + Send + Sync,
+{
+    fn fire(&self, ctx: &mut FiringContext) -> Result<(), RuntimeError> {
+        (self.0)(ctx)
+    }
+}
+
+/// Maps node names to their executable behaviour.
+#[derive(Default)]
+pub struct KernelRegistry {
+    behaviors: BTreeMap<String, Box<dyn KernelBehavior>>,
+}
+
+impl std::fmt::Debug for KernelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelRegistry")
+            .field("nodes", &self.behaviors.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl KernelRegistry {
+    /// Creates an empty registry (every node gets built-in semantics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a behaviour for the named node.
+    pub fn register(&mut self, node: impl Into<String>, behavior: Box<dyn KernelBehavior>) {
+        self.behaviors.insert(node.into(), behavior);
+    }
+
+    /// Registers a closure as the behaviour of the named node.
+    pub fn register_fn<F>(&mut self, node: impl Into<String>, f: F)
+    where
+        F: Fn(&mut FiringContext) -> Result<(), RuntimeError> + Send + Sync + 'static,
+    {
+        self.register(node, Box::new(FnBehavior(f)));
+    }
+
+    /// The behaviour registered for `node`, if any.
+    pub fn get(&self, node: &str) -> Option<&dyn KernelBehavior> {
+        self.behaviors.get(node).map(|b| b.as_ref())
+    }
+
+    /// Number of registered behaviours.
+    pub fn len(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// Returns `true` when no behaviour is registered.
+    pub fn is_empty(&self) -> bool {
+        self.behaviors.is_empty()
+    }
+}
+
+/// Built-in semantics of the Select-Duplicate kernel: every selected
+/// output receives a copy of the input stream.
+pub(crate) fn fire_select_duplicate(ctx: &mut FiringContext) {
+    let source = ctx.concatenated_inputs();
+    ctx.fill_outputs_cycling(&source);
+}
+
+/// Built-in semantics of the Transaction kernel: vote when configured,
+/// then forward the best participating input.
+pub(crate) fn fire_transaction(ctx: &mut FiringContext, votes_required: u32) {
+    let chosen: Option<Vec<Token>> = if votes_required > 0 {
+        match winning_vote(&ctx.inputs, votes_required) {
+            Some(tokens) => Some(tokens),
+            None => {
+                ctx.vote_failed = true;
+                best_input(&ctx.inputs)
+            }
+        }
+    } else {
+        best_input(&ctx.inputs)
+    };
+    match chosen {
+        Some(tokens) => ctx.fill_outputs_cycling(&tokens),
+        None => ctx.fill_outputs_cycling(&[]),
+    }
+}
+
+/// The token stream of the highest-priority participating input.
+fn best_input(inputs: &[PortInput]) -> Option<Vec<Token>> {
+    inputs
+        .iter()
+        .max_by_key(|p| p.priority)
+        .map(|p| p.tokens.clone())
+}
+
+/// The token stream shared by at least `votes_required` inputs, if any
+/// (ties broken towards higher priority).
+fn winning_vote(inputs: &[PortInput], votes_required: u32) -> Option<Vec<Token>> {
+    let mut candidates: Vec<&PortInput> = inputs.iter().collect();
+    candidates.sort_by_key(|p| std::cmp::Reverse(p.priority));
+    for candidate in &candidates {
+        let agreeing = inputs
+            .iter()
+            .filter(|other| other.tokens == candidate.tokens)
+            .count() as u32;
+        if agreeing >= votes_required {
+            return Some(candidate.tokens.clone());
+        }
+    }
+    None
+}
+
+/// Built-in semantics of regular kernels and control actors: forward
+/// inputs cyclically (unit markers when nothing was consumed).
+pub(crate) fn fire_default(ctx: &mut FiringContext) {
+    let source = ctx.concatenated_inputs();
+    ctx.fill_outputs_cycling(&source);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(inputs: Vec<PortInput>, rates: &[u64]) -> FiringContext {
+        FiringContext {
+            node: "t".to_string(),
+            ordinal: 0,
+            mode: Mode::WaitAll,
+            inputs,
+            outputs: rates
+                .iter()
+                .enumerate()
+                .map(|(port, &rate)| PortOutput {
+                    port,
+                    channel: format!("o{port}"),
+                    rate,
+                    tokens: Vec::new(),
+                })
+                .collect(),
+            deadline_missed: false,
+            vote_failed: false,
+        }
+    }
+
+    fn port(port: usize, priority: u32, tokens: Vec<Token>) -> PortInput {
+        PortInput {
+            port,
+            priority,
+            channel: format!("i{port}"),
+            tokens,
+        }
+    }
+
+    #[test]
+    fn select_duplicate_copies_to_every_output() {
+        let mut ctx = ctx_with(vec![port(0, 0, vec![Token::Int(7)])], &[1, 1, 2]);
+        fire_select_duplicate(&mut ctx);
+        assert_eq!(ctx.outputs[0].tokens, vec![Token::Int(7)]);
+        assert_eq!(ctx.outputs[1].tokens, vec![Token::Int(7)]);
+        assert_eq!(ctx.outputs[2].tokens, vec![Token::Int(7), Token::Int(7)]);
+    }
+
+    #[test]
+    fn transaction_forwards_highest_priority() {
+        let mut ctx = ctx_with(
+            vec![
+                port(0, 1, vec![Token::Int(1)]),
+                port(1, 3, vec![Token::Int(3)]),
+                port(2, 2, vec![Token::Int(2)]),
+            ],
+            &[1],
+        );
+        fire_transaction(&mut ctx, 0);
+        assert_eq!(ctx.outputs[0].tokens, vec![Token::Int(3)]);
+        assert!(!ctx.vote_failed);
+    }
+
+    #[test]
+    fn transaction_vote_picks_majority() {
+        let mut ctx = ctx_with(
+            vec![
+                port(0, 3, vec![Token::Int(9)]), // outlier with top priority
+                port(1, 2, vec![Token::Int(5)]),
+                port(2, 1, vec![Token::Int(5)]),
+            ],
+            &[1],
+        );
+        fire_transaction(&mut ctx, 2);
+        assert_eq!(ctx.outputs[0].tokens, vec![Token::Int(5)]);
+        assert!(!ctx.vote_failed);
+    }
+
+    #[test]
+    fn transaction_vote_failure_falls_back_to_priority() {
+        let mut ctx = ctx_with(
+            vec![
+                port(0, 1, vec![Token::Int(1)]),
+                port(1, 2, vec![Token::Int(2)]),
+                port(2, 3, vec![Token::Int(3)]),
+            ],
+            &[1],
+        );
+        fire_transaction(&mut ctx, 2);
+        assert!(ctx.vote_failed);
+        assert_eq!(ctx.outputs[0].tokens, vec![Token::Int(3)]);
+    }
+
+    #[test]
+    fn transaction_with_no_inputs_emits_unit_markers() {
+        let mut ctx = ctx_with(Vec::new(), &[2]);
+        fire_transaction(&mut ctx, 0);
+        assert_eq!(ctx.outputs[0].tokens, vec![Token::Unit, Token::Unit]);
+    }
+
+    #[test]
+    fn default_forwards_cyclically() {
+        let mut ctx = ctx_with(vec![port(0, 0, vec![Token::Int(1), Token::Int(2)])], &[5]);
+        fire_default(&mut ctx);
+        assert_eq!(
+            ctx.outputs[0].tokens,
+            vec![
+                Token::Int(1),
+                Token::Int(2),
+                Token::Int(1),
+                Token::Int(2),
+                Token::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut registry = KernelRegistry::new();
+        assert!(registry.is_empty());
+        registry.register_fn("a", |ctx| {
+            ctx.fill_outputs_cycling(&[Token::Int(42)]);
+            Ok(())
+        });
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("b").is_none());
+        let mut ctx = ctx_with(Vec::new(), &[1]);
+        registry.get("a").unwrap().fire(&mut ctx).unwrap();
+        assert_eq!(ctx.outputs[0].tokens, vec![Token::Int(42)]);
+        assert!(format!("{registry:?}").contains("a"));
+    }
+}

@@ -1,0 +1,200 @@
+//! # tpdf-runtime
+//!
+//! A multi-threaded, token-level execution engine that runs
+//! [`tpdf_core::TpdfGraph`]s on **real data** — the step from the
+//! analyses and count-level simulators of this workspace to an actual
+//! streaming system:
+//!
+//! | Module | Provides |
+//! |--------|----------|
+//! | [`token`] | [`token::Token`]: the values flowing through channels (units, scalars, bits, complex samples, shared images) |
+//! | [`ring`] | [`ring::RingBuffer`]: fixed-capacity channel storage, sized from `tpdf-sim` buffer analysis |
+//! | [`kernel`] | [`kernel::KernelBehavior`] / [`kernel::KernelRegistry`]: what each node computes, plus built-in Select-Duplicate, Transaction-with-vote and default semantics |
+//! | [`executor`] | [`executor::Executor`]: the worker-pool scheduler with control-token mode switching and real-deadline [`tpdf_core::KernelKind::Clock`] watchdogs |
+//! | [`metrics`] | [`metrics::Metrics`]: per-actor firings, tokens/sec, deadline misses |
+//! | [`cases`] | the edge-detection and OFDM case studies ported to run end-to-end |
+//!
+//! ## Semantics
+//!
+//! The executor implements the untimed `tpdf-sim` engine's semantics on
+//! a pool of worker threads: kernels fire when their *mode-selected*
+//! inputs are ready, control tokens switch modes at run time exactly as
+//! in [`tpdf_core::mode`], and channels rejected for a whole iteration
+//! are flushed (the paper's dynamic-topology rule). Because every node
+//! is sequential with itself and every channel has a single producer
+//! and a single consumer, token streams are deterministic whatever the
+//! thread count — which the cross-validation suite exploits to compare
+//! the runtime token-for-token against the reference engine.
+//!
+//! With [`executor::ClockMode::RealTime`], Clock watchdogs fire at wall-clock
+//! deadlines ([`std::time::Instant`]) and a clock-driven Transaction
+//! returns the *best result available at the deadline* — the paper's
+//! "an average quality result at the right time is far better than an
+//! excellent result, later".
+//!
+//! ## Example
+//!
+//! ```
+//! use tpdf_core::examples::figure2_graph;
+//! use tpdf_runtime::{Executor, KernelRegistry, RuntimeConfig};
+//! use tpdf_symexpr::Binding;
+//!
+//! # fn main() -> Result<(), tpdf_runtime::RuntimeError> {
+//! let graph = figure2_graph();
+//! let config = RuntimeConfig::new(Binding::from_pairs([("p", 2)])).with_threads(2);
+//! let metrics = Executor::new(&graph, config)?.run(&KernelRegistry::new())?;
+//! assert_eq!(metrics.firings, vec![2, 4, 2, 2, 4, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod executor;
+pub mod kernel;
+pub mod metrics;
+pub mod ring;
+pub mod token;
+
+pub use cases::{EdgeDetectionRuntime, OfdmRuntime, OutputCapture};
+pub use executor::{ClockMode, Executor, RuntimeConfig};
+pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
+pub use metrics::{DeadlineSelection, Metrics};
+pub use ring::RingBuffer;
+pub use token::Token;
+
+use std::fmt;
+
+/// Errors produced by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The underlying static analysis (or the reference sizing run)
+    /// failed.
+    Analysis(String),
+    /// An invalid configuration was supplied.
+    InvalidConfig(String),
+    /// No node can make progress although the iteration is incomplete.
+    Stalled {
+        /// Names of nodes with remaining firings.
+        blocked: Vec<String>,
+        /// Iteration index at the stall.
+        iteration: u64,
+    },
+    /// A ring buffer overflowed (indicates an executor bug — output
+    /// space is reserved before firing).
+    CapacityExceeded {
+        /// Channel label.
+        channel: String,
+        /// Configured capacity.
+        capacity: u64,
+    },
+    /// A kernel behaviour produced the wrong number of tokens.
+    RateMismatch {
+        /// Node name.
+        node: String,
+        /// Channel label.
+        channel: String,
+        /// Tokens the rate sequence requires.
+        expected: u64,
+        /// Tokens the behaviour produced.
+        got: u64,
+    },
+    /// A kernel behaviour reported an application error.
+    KernelFailed {
+        /// Node name.
+        node: String,
+        /// Error description.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid runtime configuration: {msg}"),
+            RuntimeError::Stalled { blocked, iteration } => write!(
+                f,
+                "runtime stalled in iteration {iteration}; blocked nodes: {}",
+                blocked.join(", ")
+            ),
+            RuntimeError::CapacityExceeded { channel, capacity } => {
+                write!(f, "ring {channel} overflowed its capacity of {capacity}")
+            }
+            RuntimeError::RateMismatch {
+                node,
+                channel,
+                expected,
+                got,
+            } => write!(
+                f,
+                "kernel {node} produced {got} tokens on {channel}, rate requires {expected}"
+            ),
+            RuntimeError::KernelFailed { node, message } => {
+                write!(f, "kernel {node} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<tpdf_sim::SimError> for RuntimeError {
+    fn from(value: tpdf_sim::SimError) -> Self {
+        RuntimeError::Analysis(value.to_string())
+    }
+}
+
+impl From<tpdf_core::TpdfError> for RuntimeError {
+    fn from(value: tpdf_core::TpdfError) -> Self {
+        RuntimeError::Analysis(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_variants() {
+        assert!(RuntimeError::Analysis("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(RuntimeError::InvalidConfig("zero".into())
+            .to_string()
+            .contains("zero"));
+        let stalled = RuntimeError::Stalled {
+            blocked: vec!["A".into(), "B".into()],
+            iteration: 3,
+        };
+        assert!(stalled.to_string().contains("A, B"));
+        assert!(RuntimeError::CapacityExceeded {
+            channel: "e1".into(),
+            capacity: 8
+        }
+        .to_string()
+        .contains("e1"));
+        assert!(RuntimeError::RateMismatch {
+            node: "K".into(),
+            channel: "e2".into(),
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("rate requires 4"));
+        assert!(RuntimeError::KernelFailed {
+            node: "K".into(),
+            message: "bad token".into()
+        }
+        .to_string()
+        .contains("bad token"));
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: RuntimeError = tpdf_sim::SimError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, RuntimeError::Analysis(_)));
+    }
+}

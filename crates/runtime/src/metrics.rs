@@ -1,0 +1,123 @@
+//! Execution statistics reported by the runtime.
+
+use std::time::Duration;
+use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
+
+/// One deadline decision taken by a clock-driven Transaction kernel
+/// (the runtime analogue of `tpdf_sim::DeadlineOutcome`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineSelection {
+    /// The Transaction kernel.
+    pub transaction: NodeId,
+    /// The data input whose result was selected, or `None` when the
+    /// deadline arrived before any result (a deadline miss).
+    pub selected_channel: Option<ChannelId>,
+    /// Priority of the selected input (higher is better).
+    pub selected_priority: Option<u32>,
+    /// Wall-clock offset of the firing from the start of the run.
+    pub at: Duration,
+}
+
+/// Aggregate statistics of one runtime execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Complete graph iterations executed.
+    pub iterations: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total firings of each node (indexed by [`NodeId`]).
+    pub firings: Vec<u64>,
+    /// Tokens pushed onto each channel (indexed by [`ChannelId`]);
+    /// control channels count control tokens.
+    pub tokens_pushed: Vec<u64>,
+    /// Highest observed occupancy of each channel.
+    pub channel_high_water: Vec<u64>,
+    /// Configured ring capacity of each data channel (`0` for control
+    /// channels, whose queues are unbounded).
+    pub channel_capacity: Vec<u64>,
+    /// Sum of [`Metrics::tokens_pushed`].
+    pub total_tokens: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// [`Metrics::total_tokens`] per second of [`Metrics::elapsed`].
+    pub tokens_per_sec: f64,
+    /// Clock-driven Transaction firings that found no input available at
+    /// their real-time deadline.
+    pub deadline_misses: u64,
+    /// Transaction votes that failed to reach the required agreement.
+    pub vote_failures: u64,
+    /// Every deadline decision taken by clock-driven Transactions, in
+    /// firing order.
+    pub deadline_selections: Vec<DeadlineSelection>,
+}
+
+impl Metrics {
+    /// Firing count of the named node.
+    pub fn firings_of(&self, graph: &TpdfGraph, name: &str) -> Option<u64> {
+        graph.node_by_name(name).map(|id| self.firings[id.0])
+    }
+
+    /// Per-actor firing rate in firings per second.
+    pub fn firings_per_sec(&self) -> f64 {
+        let total: u64 = self.firings.iter().sum();
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        total as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} iterations on {} threads in {:?}: {} tokens ({:.0} tokens/s, {:.0} firings/s), {} deadline misses",
+            self.iterations,
+            self.threads,
+            self.elapsed,
+            self.total_tokens,
+            self.tokens_per_sec,
+            self.firings_per_sec(),
+            self.deadline_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdf_core::examples::figure2_graph;
+
+    fn sample() -> Metrics {
+        Metrics {
+            iterations: 2,
+            threads: 4,
+            firings: vec![4, 8, 4, 4, 8, 8],
+            tokens_pushed: vec![10; 7],
+            channel_high_water: vec![4; 7],
+            channel_capacity: vec![8; 7],
+            total_tokens: 70,
+            elapsed: Duration::from_millis(500),
+            tokens_per_sec: 140.0,
+            deadline_misses: 1,
+            vote_failures: 0,
+            deadline_selections: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn firings_lookup_by_name() {
+        let g = figure2_graph();
+        let m = sample();
+        assert_eq!(m.firings_of(&g, "B"), Some(8));
+        assert_eq!(m.firings_of(&g, "nope"), None);
+    }
+
+    #[test]
+    fn rates_and_summary() {
+        let m = sample();
+        assert!((m.firings_per_sec() - 72.0).abs() < 1e-9);
+        let s = m.summary();
+        assert!(s.contains("2 iterations"));
+        assert!(s.contains("4 threads"));
+        assert!(s.contains("1 deadline misses"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-capacity ring buffers backing the data channels of the runtime.
+//!
+//! Each data channel of an executing graph is one [`RingBuffer`] whose
+//! capacity comes from the `tpdf-sim` buffer analysis (the per-channel
+//! high-water marks of a reference execution — see
+//! [`crate::executor::Executor`]). The executor reserves output space
+//! when it claims a firing, so `push` on a well-formed execution can
+//! never overflow; an overflow therefore reports a bug, not a transient
+//! condition.
+
+use crate::RuntimeError;
+
+/// A bounded FIFO over a circular array.
+///
+/// Single-owner discipline: the executor mutates rings only while
+/// holding its scheduler lock, so the ring itself needs no interior
+/// synchronisation.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    label: String,
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+    high_water: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(label: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            label: label.into(),
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The channel label this ring backs.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no element is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Highest occupancy observed so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Appends one element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::CapacityExceeded`] when the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), RuntimeError> {
+        if self.len == self.capacity() {
+            return Err(RuntimeError::CapacityExceeded {
+                channel: self.label.clone(),
+                capacity: self.capacity() as u64,
+            });
+        }
+        let tail = (self.head + self.len) % self.capacity();
+        self.slots[tail] = Some(value);
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest element, or `None` when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.capacity();
+        self.len -= 1;
+        value
+    }
+
+    /// Removes and returns the `count` oldest elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` elements are stored; the executor
+    /// checks availability before claiming a firing.
+    pub fn pop_many(&mut self, count: usize) -> Vec<T> {
+        assert!(
+            self.len >= count,
+            "ring {} underflow: {} < {count}",
+            self.label,
+            self.len
+        );
+        (0..count)
+            .map(|_| self.pop().expect("length checked"))
+            .collect()
+    }
+
+    /// Discards every stored element, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.len;
+        while self.pop().is_some() {}
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let mut r: RingBuffer<u32> = RingBuffer::new("e1", 3);
+        assert_eq!(r.capacity(), 3);
+        assert!(r.is_empty());
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.pop(), Some(1));
+        r.push(3).unwrap();
+        r.push(4).unwrap();
+        // Wrapped around the backing array.
+        assert_eq!(r.pop_many(3), vec![2, 3, 4]);
+        assert!(r.pop().is_none());
+        assert_eq!(r.high_water(), 3);
+    }
+
+    #[test]
+    fn push_full_errors() {
+        let mut r: RingBuffer<u32> = RingBuffer::new("e2", 1);
+        r.push(1).unwrap();
+        assert_eq!(r.free(), 0);
+        assert!(matches!(
+            r.push(2),
+            Err(RuntimeError::CapacityExceeded { .. })
+        ));
+        // The failed push must not corrupt the stored element.
+        assert_eq!(r.pop(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn pop_many_underflow_panics() {
+        let mut r: RingBuffer<u32> = RingBuffer::new("e3", 2);
+        r.pop_many(1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut r: RingBuffer<u32> = RingBuffer::new("e4", 4);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.clear(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: RingBuffer<u32> = RingBuffer::new("e5", 0);
+    }
+}

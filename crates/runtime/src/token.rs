@@ -1,0 +1,143 @@
+//! Run-time token values flowing through the channels of a TPDF graph.
+//!
+//! The `tpdf-sim` engines only count tokens; this runtime moves real
+//! values. [`Token`] is the closed set of payloads the ported case
+//! studies need: unit markers for rate-only actors, scalars, demodulated
+//! bits, complex samples (OFDM) and shared images (edge detection).
+//! Images are reference-counted so duplicating one through a
+//! Select-Duplicate kernel costs a pointer, not a copy.
+
+use std::fmt;
+use std::sync::Arc;
+use tpdf_apps::dsp::Complex;
+use tpdf_apps::image::GrayImage;
+
+/// One data token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A pure rate marker carrying no payload (what the untimed
+    /// simulator's counted tokens correspond to).
+    Unit,
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point scalar.
+    Float(f64),
+    /// One (demodulated) bit or byte.
+    Byte(u8),
+    /// A complex baseband sample.
+    Complex(Complex),
+    /// A shared grayscale image (edge-detection case study).
+    Image(Arc<GrayImage>),
+}
+
+impl Token {
+    /// Wraps an image into a shared token.
+    pub fn image(image: GrayImage) -> Self {
+        Token::Image(Arc::new(image))
+    }
+
+    /// The image payload, if this token carries one.
+    pub fn as_image(&self) -> Option<&GrayImage> {
+        match self {
+            Token::Image(img) => Some(img),
+            _ => None,
+        }
+    }
+
+    /// The complex payload, if this token carries one.
+    pub fn as_complex(&self) -> Option<Complex> {
+        match self {
+            Token::Complex(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The byte payload, if this token carries one.
+    pub fn as_byte(&self) -> Option<u8> {
+        match self {
+            Token::Byte(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this token carries one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Token::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Unit => write!(f, "·"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Byte(b) => write!(f, "{b}"),
+            Token::Complex(c) => write!(f, "{}+{}i", c.re, c.im),
+            Token::Image(img) => write!(f, "image({}x{})", img.width(), img.height()),
+        }
+    }
+}
+
+impl From<u8> for Token {
+    fn from(b: u8) -> Self {
+        Token::Byte(b)
+    }
+}
+
+impl From<i64> for Token {
+    fn from(i: i64) -> Self {
+        Token::Int(i)
+    }
+}
+
+impl From<f64> for Token {
+    fn from(x: f64) -> Self {
+        Token::Float(x)
+    }
+}
+
+impl From<Complex> for Token {
+    fn from(c: Complex) -> Self {
+        Token::Complex(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Token::from(3u8).as_byte(), Some(3));
+        assert_eq!(Token::from(-2i64).as_int(), Some(-2));
+        assert_eq!(Token::Unit.as_byte(), None);
+        let c = Complex::new(1.0, -1.0);
+        assert_eq!(Token::from(c).as_complex(), Some(c));
+        let img = GrayImage::synthetic(4, 4, 1);
+        let t = Token::image(img.clone());
+        assert_eq!(t.as_image(), Some(&img));
+        assert_eq!(t.as_complex(), None);
+    }
+
+    #[test]
+    fn image_tokens_share_storage() {
+        let img = Arc::new(GrayImage::synthetic(8, 8, 2));
+        let a = Token::Image(Arc::clone(&img));
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(Arc::strong_count(&img), 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Token::Unit.to_string(), "·");
+        assert_eq!(Token::Byte(1).to_string(), "1");
+        assert!(Token::image(GrayImage::new(2, 3))
+            .to_string()
+            .contains("2x3"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stub of the `criterion` crate (the subset this workspace
+//! uses).
+//!
+//! The build container has no access to crates.io, so this crate
+//! provides an API-compatible harness for the `[[bench]] harness = false`
+//! targets: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical
+//! machinery it times a fixed number of samples per benchmark and prints
+//! mean / min / max wall-clock times (plus derived element throughput),
+//! which is enough to compare configurations and to feed the JSON
+//! summaries the bench binaries emit.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing statistics of one benchmark, also returned to callers so bench
+/// binaries can export machine-readable summaries.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark identifier (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Slowest observed iteration.
+    pub max: Duration,
+    /// Elements per second, when a [`Throughput`] was configured.
+    pub elements_per_sec: Option<f64>,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    samples: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let sample = run_benchmark(id.into().id, 10, None, |b| f(b));
+        self.samples.push(sample);
+    }
+
+    /// All samples recorded so far (used by bench binaries to export
+    /// JSON summaries).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches a function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let sample = run_benchmark(id, self.sample_size, self.throughput, |b| f(b));
+        self.criterion.samples.push(sample);
+        self
+    }
+
+    /// Benches a function against an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        let sample = run_benchmark(id, self.sample_size, self.throughput, |b| f(b, input));
+        self.criterion.samples.push(sample);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    durations: Vec<Duration>,
+    samples_requested: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each run.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up run.
+        black_box(routine());
+        for _ in 0..self.samples_requested {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) -> Sample {
+    let mut bencher = Bencher {
+        durations: Vec::new(),
+        samples_requested: sample_size,
+    };
+    f(&mut bencher);
+    let durations = if bencher.durations.is_empty() {
+        vec![Duration::ZERO]
+    } else {
+        bencher.durations
+    };
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = *durations.iter().min().expect("at least one sample");
+    let max = *durations.iter().max().expect("at least one sample");
+    let elements_per_sec = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            Some(n as f64 / mean.as_secs_f64())
+        }
+        _ => None,
+    };
+    match elements_per_sec {
+        Some(eps) => {
+            println!("bench {id:<50} mean {mean:>12?} (min {min:?}, max {max:?}, {eps:.0} elem/s)")
+        }
+        None => println!("bench {id:<50} mean {mean:>12?} (min {min:?}, max {max:?})"),
+    }
+    Sample {
+        id,
+        mean,
+        min,
+        max,
+        elements_per_sec,
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.bench_function(BenchmarkId::from_parameter("plain"), |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 * 2));
+    }
+
+    criterion_group!(benches, demo_bench);
+
+    #[test]
+    fn harness_records_samples() {
+        let mut criterion = Criterion::default();
+        benches(&mut criterion);
+        assert_eq!(criterion.samples().len(), 3);
+        assert!(criterion.samples()[0].id.starts_with("demo/square/4"));
+        assert!(criterion.samples()[0].elements_per_sec.is_some());
+        for sample in criterion.samples() {
+            assert!(sample.min <= sample.mean && sample.mean <= sample.max);
+        }
+    }
+}

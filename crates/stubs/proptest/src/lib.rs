@@ -1,0 +1,289 @@
+//! Offline stub of the `proptest` crate (the subset this workspace uses).
+//!
+//! The build container has no access to crates.io, so this crate
+//! reimplements the slice of proptest the test suites rely on:
+//!
+//! * the [`proptest!`] macro with the `name(arg in strategy, ...)` form
+//!   and an optional `#![proptest_config(...)]` header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * integer-range strategies (`0u64..100`), tuples of strategies,
+//!   [`collection::vec`] and [`sample::select`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated values visible in the assertion message. Generation is
+//! deterministic per test (seeded from the test's module path), so
+//! failures are reproducible across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of test values, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_small_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_small_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<i128> {
+        type Value = i128;
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start.wrapping_add((wide % span) as i128)
+        }
+    }
+
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end - self.start;
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start + wide % span
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of values with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Creates a strategy producing vectors whose elements come from
+    /// `element` and whose length lies in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Creates a strategy that picks one of `options` per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() as usize) % self.options.len();
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic RNG driving generation.
+
+    /// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Creates a configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 32 keeps the offline suite
+            // fast while still sweeping each property's input space.
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test identifier (module path +
+        /// function name), so each property gets a stable stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("self-test");
+        for _ in 0..200 {
+            let v = (0u64..10).generate(&mut rng);
+            assert!(v < 10);
+            let (a, b) = (0u64..4, -3i64..3).generate(&mut rng);
+            assert!(a < 4 && (-3..3).contains(&b));
+            let xs = crate::collection::vec(0u64..9, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 9));
+            let pick = crate::sample::select(vec![2usize, 4]).generate(&mut rng);
+            assert!(pick == 2 || pick == 4);
+            let wide = (-50i128..50).generate(&mut rng);
+            assert!((-50..50).contains(&wide));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, asserts and multiple arguments.
+        #[test]
+        fn macro_smoke(x in 0u64..100, y in 1u64..10) {
+            prop_assert!(x < 100);
+            prop_assert_eq!((x * y) / y, x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(sel in prop::sample::select(vec![512usize, 1024])) {
+            prop_assert!(sel == 512 || sel == 1024);
+        }
+    }
+}

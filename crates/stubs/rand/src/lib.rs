@@ -1,0 +1,156 @@
+//! Offline stub of the `rand` crate (the subset this workspace uses).
+//!
+//! Provides [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over integer and float ranges, backed by a
+//! deterministic SplitMix64 generator. Statistical quality is more than
+//! sufficient for the synthetic test signals and images generated here;
+//! the API mirrors rand 0.8 (including the `SampleUniform` blanket impl
+//! shape, which type inference relies on) so the real crate can be
+//! dropped in later.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Minimal clone of `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Minimal clone of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a uniform sampling rule (clone of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly from `[start, end)`.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R, start: &Self, end: &Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from<R: RngCore + ?Sized>(rng: &mut R, start: &Self, end: &Self) -> Self {
+                let span = (*end as i128 - *start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (*start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R, start: &Self, end: &Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + (end - start) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R, start: &Self, end: &Self) -> Self {
+        f64::sample_from(rng, &(*start as f64), &(*end as f64)) as f32
+    }
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_from(rng, &self.start, &self.end)
+    }
+}
+
+/// Minimal clone of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Pre-built generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood, 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let b = rng.gen_range(0..2u8);
+            assert!(b < 2);
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_inference_matches_context() {
+        // Mirrors the call shape used by the image synthesizer: the f32
+        // context must pin the float literals to f32.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: f32 = 0.0;
+        v += rng.gen_range(-8.0..8.0);
+        assert!((-8.0..8.0).contains(&v));
+    }
+
+    #[test]
+    fn values_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let first = rng.gen_range(0u64..u64::MAX);
+        let second = rng.gen_range(0u64..u64::MAX);
+        assert_ne!(first, second);
+    }
+}

@@ -185,7 +185,7 @@ impl Monomial {
                 .get(name)
                 .ok_or_else(|| SymExprError::UnboundParameter(name.clone()))?;
             for _ in 0..*exp {
-                acc = acc * Rational::from_integer(value as i128);
+                acc *= Rational::from_integer(value as i128);
             }
         }
         Ok(acc)

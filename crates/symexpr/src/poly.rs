@@ -75,7 +75,8 @@ impl Poly {
 
     /// Returns `true` if the polynomial is a constant.
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.contains_key(&BTreeMap::new()))
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.contains_key(&BTreeMap::new()))
     }
 
     /// Returns the constant value if this polynomial has no parameters.
@@ -175,10 +176,12 @@ impl Poly {
         if divisor.is_zero() {
             return Err(SymExprError::DivisionByZero);
         }
-        let divisor_mono = divisor.as_monomial().ok_or_else(|| SymExprError::InexactDivision {
-            dividend: self.to_string(),
-            divisor: divisor.to_string(),
-        })?;
+        let divisor_mono = divisor
+            .as_monomial()
+            .ok_or_else(|| SymExprError::InexactDivision {
+                dividend: self.to_string(),
+                divisor: divisor.to_string(),
+            })?;
         let mut out = Poly::zero();
         for m in self.terms.values() {
             out.add_monomial(m.checked_div(&divisor_mono)?);
@@ -207,7 +210,7 @@ impl Poly {
                     Poly::param(var)
                 };
                 for _ in 0..exp {
-                    term = term * factor.clone();
+                    term *= factor.clone();
                 }
             }
             out += term;
@@ -384,7 +387,10 @@ mod tests {
     fn constants_and_params() {
         assert!(Poly::zero().is_zero());
         assert!(Poly::one().is_constant());
-        assert_eq!(Poly::from_integer(7).as_constant().unwrap().to_integer(), Some(7));
+        assert_eq!(
+            Poly::from_integer(7).as_constant().unwrap().to_integer(),
+            Some(7)
+        );
         assert!(!Poly::param("p").is_constant());
         assert_eq!(Poly::param("p").params(), vec!["p".to_string()]);
     }
@@ -415,8 +421,8 @@ mod tests {
         let beta = Poly::param("beta");
         let n = Poly::param("N");
         let l = Poly::param("L");
-        let tpdf = Poly::from_integer(3)
-            + beta.clone() * (Poly::from_integer(12) * n.clone() + l.clone());
+        let tpdf =
+            Poly::from_integer(3) + beta.clone() * (Poly::from_integer(12) * n.clone() + l.clone());
         let csdf = beta * (Poly::from_integer(17) * n + l);
         let b = binding();
         assert_eq!(tpdf.eval(&b).unwrap(), 3 + 10 * (12 * 512 + 1));
@@ -428,7 +434,8 @@ mod tests {
     #[test]
     fn division_by_monomial() {
         let p = Poly::param("p");
-        let expr = Poly::from_integer(2) * p.clone() * p.clone() + Poly::from_integer(4) * p.clone();
+        let expr =
+            Poly::from_integer(2) * p.clone() * p.clone() + Poly::from_integer(4) * p.clone();
         let quot = expr.checked_div(&p).unwrap();
         assert_eq!(quot.to_string(), "4 + 2*p");
         assert!(expr.checked_div(&Poly::zero()).is_err());
@@ -508,7 +515,7 @@ mod tests {
         #[test]
         fn prop_sub_self_is_zero(a in -10i64..10, e in 0u32..3) {
             let mut x = Poly::from_integer(a);
-            for _ in 0..e { x = x * Poly::param("p"); }
+            for _ in 0..e { x *= Poly::param("p"); }
             prop_assert!((x.clone() - x).is_zero());
         }
     }

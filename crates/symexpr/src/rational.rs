@@ -293,7 +293,10 @@ mod tests {
     fn ordering() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
-        assert_eq!(Rational::new(2, 4).cmp(&Rational::new(1, 2)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(2, 4).cmp(&Rational::new(1, 2)),
+            Ordering::Equal
+        );
     }
 
     #[test]
@@ -311,7 +314,11 @@ mod tests {
 
     #[test]
     fn denominator_lcm_and_numerator_gcd() {
-        let v = vec![Rational::new(1, 2), Rational::new(3, 4), Rational::new(5, 6)];
+        let v = vec![
+            Rational::new(1, 2),
+            Rational::new(3, 4),
+            Rational::new(5, 6),
+        ];
         assert_eq!(denominator_lcm(&v), 12);
         let v = vec![Rational::from_integer(4), Rational::from_integer(6)];
         assert_eq!(numerator_gcd(&v), 2);

@@ -22,9 +22,10 @@ use std::fmt;
 ///   period elapses; it is a *control actor* kind and gives TPDF its
 ///   time-triggered semantics (e.g. the 500 ms deadline of the
 ///   edge-detection case study).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum KernelKind {
     /// An ordinary computation kernel.
+    #[default]
     Regular,
     /// A 1 → n data-distribution kernel duplicating each input token to
     /// the enabled outputs.
@@ -67,12 +68,6 @@ impl KernelKind {
             KernelKind::Clock { period } => Some(*period),
             _ => None,
         }
-    }
-}
-
-impl Default for KernelKind {
-    fn default() -> Self {
-        KernelKind::Regular
     }
 }
 

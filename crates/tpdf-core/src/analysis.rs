@@ -128,10 +128,7 @@ mod tests {
             .control_channel("C", "K", RateSeq::constant(1), RateSeq::constant(3))
             .build()
             .unwrap();
-        assert!(matches!(
-            analyze(&g),
-            Err(TpdfError::Inconsistent { .. })
-        ));
+        assert!(matches!(analyze(&g), Err(TpdfError::Inconsistent { .. })));
     }
 
     #[test]

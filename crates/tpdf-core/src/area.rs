@@ -78,10 +78,8 @@ pub fn control_area(graph: &TpdfGraph, control: NodeId) -> ControlArea {
     for &s in &successors {
         prec_of_succ.extend(graph.predecessors(s));
     }
-    let mut influenced: BTreeSet<NodeId> = succ_of_prec
-        .intersection(&prec_of_succ)
-        .copied()
-        .collect();
+    let mut influenced: BTreeSet<NodeId> =
+        succ_of_prec.intersection(&prec_of_succ).copied().collect();
     influenced.remove(&control);
 
     ControlArea {
@@ -159,7 +157,10 @@ mod tests {
         assert!(area.contains(g.node_by_name("tran").unwrap()));
         assert!(area.contains(g.node_by_name("src").unwrap()));
         for w in ["w0", "w1", "w2"] {
-            assert!(!area.contains(g.node_by_name(w).unwrap()), "{w} not in area");
+            assert!(
+                !area.contains(g.node_by_name(w).unwrap()),
+                "{w} not in area"
+            );
         }
         assert!(!area.contains(g.node_by_name("snk").unwrap()));
     }

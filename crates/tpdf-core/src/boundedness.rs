@@ -121,8 +121,8 @@ pub fn expand_select_duplicate(
         if graph.node(succ).is_control() {
             continue;
         }
-        for (_, c) in graph.data_output_channels(succ) {
-            // Mirror only the first outgoing data channel of the successor.
+        // Mirror only the first outgoing data channel of the successor.
+        if let Some((_, c)) = graph.data_output_channels(succ).next() {
             b = b.channel(
                 &graph.node(succ).name,
                 &vjoin,
@@ -130,7 +130,6 @@ pub fn expand_select_duplicate(
                 c.production.clone(),
                 0,
             );
-            break;
         }
     }
 

@@ -298,17 +298,15 @@ fn normalize(ratios: &[Poly]) -> Result<Vec<Poly>, TpdfError> {
         }
     }
     let common = common.unwrap_or_default();
-    let divisor = Poly::from_monomial(Monomial::from_parts(
-        Rational::from_integer(gcd),
-        common,
-    ));
+    let divisor = Poly::from_monomial(Monomial::from_parts(Rational::from_integer(gcd), common));
 
     scaled
         .iter()
         .map(|p| {
-            p.checked_div(&divisor).map_err(|e| TpdfError::Inconsistent {
-                detail: format!("normalisation failed: {e}"),
-            })
+            p.checked_div(&divisor)
+                .map_err(|e| TpdfError::Inconsistent {
+                    detail: format!("normalisation failed: {e}"),
+                })
         })
         .collect()
 }
@@ -419,7 +417,11 @@ mod tests {
 
     #[test]
     fn disconnected_graph_detected() {
-        let g = TpdfGraph::builder().kernel("A").kernel("B").build().unwrap();
+        let g = TpdfGraph::builder()
+            .kernel("A")
+            .kernel("B")
+            .build()
+            .unwrap();
         assert!(matches!(
             symbolic_repetition_vector(&g),
             Err(TpdfError::NotConnected)

@@ -30,9 +30,7 @@ pub fn graph_to_dot(graph: &TpdfGraph) -> String {
         let (shape, extra) = match node.kernel_kind() {
             None => ("diamond", String::new()),
             Some(k) if k.is_clock() => ("diamond", format!("\\n{k}")),
-            Some(k) if k.is_transaction() || k.is_select_duplicate() => {
-                ("box", format!("\\n{k}"))
-            }
+            Some(k) if k.is_transaction() || k.is_select_duplicate() => ("box", format!("\\n{k}")),
             Some(_) => ("box", String::new()),
         };
         let _ = writeln!(
@@ -70,7 +68,11 @@ pub fn canonical_period_to_dot(graph: &TpdfGraph, period: &CanonicalPeriod) -> S
     let _ = writeln!(out, "  rankdir=TB;");
     for (_, firing) in period.firings() {
         let name = format!("{}{}", graph.node(firing.node).name, firing.ordinal + 1);
-        let shape = if firing.is_control { "diamond" } else { "ellipse" };
+        let shape = if firing.is_control {
+            "diamond"
+        } else {
+            "ellipse"
+        };
         let _ = writeln!(out, "  \"{name}\" [shape={shape}];");
     }
     for (fid, firing) in period.firings() {

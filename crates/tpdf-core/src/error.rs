@@ -79,10 +79,17 @@ impl fmt::Display for TpdfError {
                 write!(f, "the graph is rate-inconsistent: {detail}")
             }
             TpdfError::RateUnsafe { control, detail } => {
-                write!(f, "rate safety violated for control actor `{control}`: {detail}")
+                write!(
+                    f,
+                    "rate safety violated for control actor `{control}`: {detail}"
+                )
             }
             TpdfError::Deadlock { blocked } => {
-                write!(f, "the graph deadlocks; blocked nodes: {}", blocked.join(", "))
+                write!(
+                    f,
+                    "the graph deadlocks; blocked nodes: {}",
+                    blocked.join(", ")
+                )
             }
             TpdfError::NotStaticallyDecidable { what, value } => {
                 write!(f, "{what} is not a compile-time constant (got `{value}`)")
@@ -107,9 +114,13 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        assert!(TpdfError::DuplicateNode("A".into()).to_string().contains('A'));
+        assert!(TpdfError::DuplicateNode("A".into())
+            .to_string()
+            .contains('A'));
         assert!(TpdfError::UnknownNode("B".into()).to_string().contains('B'));
-        assert!(TpdfError::EmptyRateSequence("C".into()).to_string().contains('C'));
+        assert!(TpdfError::EmptyRateSequence("C".into())
+            .to_string()
+            .contains('C'));
         assert!(TpdfError::EmptyGraph.to_string().contains("no nodes"));
         assert!(TpdfError::NotConnected.to_string().contains("connected"));
         assert!(TpdfError::MultipleControlPorts("K".into())
@@ -121,24 +132,32 @@ mod tests {
         }
         .to_string()
         .contains("e5"));
-        assert!(TpdfError::Inconsistent { detail: "x".into() }.to_string().contains('x'));
+        assert!(TpdfError::Inconsistent { detail: "x".into() }
+            .to_string()
+            .contains('x'));
         assert!(TpdfError::RateUnsafe {
             control: "C".into(),
             detail: "mismatch".into()
         }
         .to_string()
         .contains("mismatch"));
-        assert!(TpdfError::Deadlock { blocked: vec!["A".into()] }
-            .to_string()
-            .contains('A'));
+        assert!(TpdfError::Deadlock {
+            blocked: vec!["A".into()]
+        }
+        .to_string()
+        .contains('A'));
         assert!(TpdfError::NotStaticallyDecidable {
             what: "local solution".into(),
             value: "p/2".into()
         }
         .to_string()
         .contains("p/2"));
-        assert!(TpdfError::Binding("missing p".into()).to_string().contains("missing p"));
-        assert!(TpdfError::Symbolic("overflow".into()).to_string().contains("overflow"));
+        assert!(TpdfError::Binding("missing p".into())
+            .to_string()
+            .contains("missing p"));
+        assert!(TpdfError::Symbolic("overflow".into())
+            .to_string()
+            .contains("overflow"));
     }
 
     #[test]

@@ -108,9 +108,21 @@ pub fn figure4a_graph() -> TpdfGraph {
             0,
         )
         // B -> C, production [0,2], consumption [1]
-        .channel("B", "C", RateSeq::constants(&[0, 2]), RateSeq::constant(1), 0)
+        .channel(
+            "B",
+            "C",
+            RateSeq::constants(&[0, 2]),
+            RateSeq::constant(1),
+            0,
+        )
         // C -> B, production [1], consumption [1,1], 2 initial tokens
-        .channel("C", "B", RateSeq::constant(1), RateSeq::constants(&[1, 1]), 2)
+        .channel(
+            "C",
+            "B",
+            RateSeq::constant(1),
+            RateSeq::constants(&[1, 1]),
+            2,
+        )
         .build()
         .expect("figure 4(a) graph is well-formed")
 }
@@ -131,8 +143,20 @@ pub fn figure4b_graph() -> TpdfGraph {
             RateSeq::constants(&[1, 1]),
             0,
         )
-        .channel("B", "C", RateSeq::constants(&[2, 0]), RateSeq::constant(1), 0)
-        .channel("C", "B", RateSeq::constant(1), RateSeq::constants(&[1, 1]), 1)
+        .channel(
+            "B",
+            "C",
+            RateSeq::constants(&[2, 0]),
+            RateSeq::constant(1),
+            0,
+        )
+        .channel(
+            "C",
+            "B",
+            RateSeq::constant(1),
+            RateSeq::constants(&[1, 1]),
+            1,
+        )
         .build()
         .expect("figure 4(b) graph is well-formed")
 }
@@ -152,8 +176,20 @@ pub fn figure4_deadlocked_graph() -> TpdfGraph {
             RateSeq::constants(&[1, 1]),
             0,
         )
-        .channel("B", "C", RateSeq::constants(&[0, 2]), RateSeq::constant(1), 0)
-        .channel("C", "B", RateSeq::constant(1), RateSeq::constants(&[1, 1]), 0)
+        .channel(
+            "B",
+            "C",
+            RateSeq::constants(&[0, 2]),
+            RateSeq::constant(1),
+            0,
+        )
+        .channel(
+            "C",
+            "B",
+            RateSeq::constant(1),
+            RateSeq::constants(&[1, 1]),
+            0,
+        )
         .build()
         .expect("deadlocked figure 4 graph is well-formed")
 }
@@ -182,11 +218,41 @@ pub fn ofdm_like_chain() -> TpdfGraph {
         .control("CON")
         .kernel_with("TRAN", KernelKind::Transaction { votes_required: 0 }, 1)
         .kernel("SNK")
-        .channel("SRC", "RCP", RateSeq::poly(bnl.clone()), RateSeq::poly(bnl), 0)
-        .channel("RCP", "FFT", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
-        .channel("FFT", "DUP", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
-        .channel("DUP", "QPSK", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
-        .channel("DUP", "QAM", RateSeq::poly(bn.clone()), RateSeq::poly(bn.clone()), 0)
+        .channel(
+            "SRC",
+            "RCP",
+            RateSeq::poly(bnl.clone()),
+            RateSeq::poly(bnl),
+            0,
+        )
+        .channel(
+            "RCP",
+            "FFT",
+            RateSeq::poly(bn.clone()),
+            RateSeq::poly(bn.clone()),
+            0,
+        )
+        .channel(
+            "FFT",
+            "DUP",
+            RateSeq::poly(bn.clone()),
+            RateSeq::poly(bn.clone()),
+            0,
+        )
+        .channel(
+            "DUP",
+            "QPSK",
+            RateSeq::poly(bn.clone()),
+            RateSeq::poly(bn.clone()),
+            0,
+        )
+        .channel(
+            "DUP",
+            "QAM",
+            RateSeq::poly(bn.clone()),
+            RateSeq::poly(bn.clone()),
+            0,
+        )
         .channel(
             "QPSK",
             "TRAN",
@@ -203,7 +269,13 @@ pub fn ofdm_like_chain() -> TpdfGraph {
         )
         .channel("SRC", "CON", RateSeq::constant(1), RateSeq::constant(1), 0)
         .control_channel("CON", "TRAN", RateSeq::constant(1), RateSeq::constant(1))
-        .channel("TRAN", "SNK", RateSeq::poly(bn.clone()), RateSeq::poly(bn), 0)
+        .channel(
+            "TRAN",
+            "SNK",
+            RateSeq::poly(bn.clone()),
+            RateSeq::poly(bn),
+            0,
+        )
         .build()
         .expect("OFDM-like chain is well-formed")
 }

@@ -211,9 +211,8 @@ impl TpdfGraph {
     /// delivered as control tokens, so for every structural and safety
     /// purpose it acts as a control actor.
     pub fn control_actors(&self) -> impl Iterator<Item = (NodeId, &TpdfNode)> {
-        self.nodes().filter(|(_, n)| {
-            n.is_control() || matches!(n.kernel_kind(), Some(k) if k.is_clock())
-        })
+        self.nodes()
+            .filter(|(_, n)| n.is_control() || matches!(n.kernel_kind(), Some(k) if k.is_clock()))
     }
 
     /// Channels produced by `node` (data and control).
@@ -501,8 +500,7 @@ impl TpdfGraphBuilder {
                 .ok_or_else(|| TpdfError::UnknownNode(pc.target.clone()))?;
             let label = format!("e{}", i + 1);
             let source_node = &self.nodes[source.0];
-            let source_is_clock =
-                matches!(source_node.kernel_kind(), Some(k) if k.is_clock());
+            let source_is_clock = matches!(source_node.kernel_kind(), Some(k) if k.is_clock());
             if pc.class == ChannelClass::Control && !source_node.is_control() && !source_is_clock {
                 return Err(TpdfError::InvalidControlChannel {
                     channel: label,

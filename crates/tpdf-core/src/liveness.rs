@@ -116,11 +116,9 @@ pub fn cycles(graph: &TpdfGraph) -> Vec<Vec<NodeId>> {
         .into_iter()
         .filter(|scc| {
             scc.len() > 1
-                || scc.iter().any(|&n| {
-                    graph
-                        .output_channels(n)
-                        .any(|(_, c)| c.target == n)
-                })
+                || scc
+                    .iter()
+                    .any(|&n| graph.output_channels(n).any(|(_, c)| c.target == n))
         })
         .collect()
 }

@@ -12,7 +12,7 @@ use std::fmt;
 /// tokens are discarded at the end of the local iteration), which is how
 /// TPDF expresses dynamic topology changes without breaking static
 /// analysability.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Mode {
     /// Select exactly one data input (or output), identified by its port
     /// index among the kernel's data ports.
@@ -25,6 +25,7 @@ pub enum Mode {
     HighestPriority,
     /// Wait until *all* data inputs are available (the default dataflow
     /// behaviour of kernels without control ports).
+    #[default]
     WaitAll,
 }
 
@@ -51,12 +52,6 @@ impl Mode {
             Mode::HighestPriority => 1,
             Mode::WaitAll => port_count,
         }
-    }
-}
-
-impl Default for Mode {
-    fn default() -> Self {
-        Mode::WaitAll
     }
 }
 

@@ -51,7 +51,12 @@ impl RateSeq {
 
     /// A multi-phase constant-rate sequence (CSDF style), e.g. `[1, 0, 1]`.
     pub fn constants(rates: &[u64]) -> Self {
-        RateSeq::new(rates.iter().map(|&r| Poly::from_integer(r as i64)).collect())
+        RateSeq::new(
+            rates
+                .iter()
+                .map(|&r| Poly::from_integer(r as i64))
+                .collect(),
+        )
     }
 
     /// A single-phase parametric rate consisting of one parameter.
@@ -91,7 +96,9 @@ impl RateSeq {
         let len = self.seq.len() as u64;
         let full_cycles = n / len;
         let remainder = (n % len) as usize;
-        let mut acc = self.cycle_sum().scale(tpdf_symexpr::Rational::from_integer(full_cycles as i128));
+        let mut acc = self
+            .cycle_sum()
+            .scale(tpdf_symexpr::Rational::from_integer(full_cycles as i128));
         for r in &self.seq[..remainder] {
             acc += r.clone();
         }

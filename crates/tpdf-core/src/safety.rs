@@ -68,10 +68,12 @@ pub fn symbolic_gcd(values: &[Poly]) -> Result<Poly, TpdfError> {
     let mut coeff_gcd: u128 = 0;
     let mut common: Option<BTreeMap<String, u32>> = None;
     for v in values {
-        let m = v.as_monomial().ok_or_else(|| TpdfError::NotStaticallyDecidable {
-            what: "symbolic gcd of a multi-term polynomial".to_string(),
-            value: v.to_string(),
-        })?;
+        let m = v
+            .as_monomial()
+            .ok_or_else(|| TpdfError::NotStaticallyDecidable {
+                what: "symbolic gcd of a multi-term polynomial".to_string(),
+                value: v.to_string(),
+            })?;
         let coeff = m.coeff();
         let int = coeff
             .to_integer()
@@ -311,7 +313,10 @@ mod tests {
             .unwrap();
         let q = symbolic_repetition_vector(&g).unwrap();
         let result = check_rate_safety(&g, &q);
-        assert!(matches!(result, Err(TpdfError::RateUnsafe { .. })), "{result:?}");
+        assert!(
+            matches!(result, Err(TpdfError::RateUnsafe { .. })),
+            "{result:?}"
+        );
     }
 
     #[test]

@@ -138,7 +138,13 @@ mod tests {
         let g = TpdfGraph::builder()
             .kernel("A")
             .kernel("B")
-            .channel("A", "B", RateSeq::constant(1), RateSeq::constants(&[0, 2]), 0)
+            .channel(
+                "A",
+                "B",
+                RateSeq::constant(1),
+                RateSeq::constants(&[0, 2]),
+                0,
+            )
             .build()
             .unwrap();
         let b = Binding::new();

@@ -286,7 +286,7 @@ mod tests {
         assert_eq!(cp.len(), 10);
         assert!(!cp.is_empty());
         let c = g.node_by_name("C").unwrap();
-        assert_eq!(cp.firing_id(c, 0).is_some(), true);
+        assert!(cp.firing_id(c, 0).is_some());
         assert_eq!(cp.firing_id(c, 1), None, "C fires once when p = 1");
         let text = cp.display(&g);
         assert!(text.contains("A1 A2"));

@@ -15,4 +15,4 @@ pub mod sequential;
 
 pub use adf::actor_dependence;
 pub use canonical::{CanonicalPeriod, Firing, FiringId};
-pub use sequential::{sequential_schedule, SequentialSchedule, SequentialEntry};
+pub use sequential::{sequential_schedule, SequentialEntry, SequentialSchedule};

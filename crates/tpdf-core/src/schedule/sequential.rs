@@ -126,11 +126,13 @@ pub fn sequential_schedule_with(
     let mut done = 0u64;
 
     // Control actors first, then kernels, to honour the priority rule.
-    let mut order: Vec<NodeId> = graph
-        .control_actors()
-        .map(|(id, _)| id)
-        .collect();
-    order.extend(graph.nodes().filter(|(_, n)| !n.is_control()).map(|(id, _)| id));
+    let mut order: Vec<NodeId> = graph.control_actors().map(|(id, _)| id).collect();
+    order.extend(
+        graph
+            .nodes()
+            .filter(|(_, n)| !n.is_control())
+            .map(|(id, _)| id),
+    );
 
     while done < total {
         let mut progressed = false;
@@ -266,8 +268,7 @@ mod tests {
     fn figure2_symbolic_schedule_string() {
         let g = figure2_graph();
         let q = symbolic_repetition_vector(&g).unwrap();
-        let text =
-            symbolic_schedule_string(&g, &q, &Binding::from_pairs([("p", 2)])).unwrap();
+        let text = symbolic_schedule_string(&g, &q, &Binding::from_pairs([("p", 2)])).unwrap();
         assert!(text.contains("A^2"));
         assert!(text.contains("B^(2*p)"));
         assert!(text.contains("F^(2*p)"));

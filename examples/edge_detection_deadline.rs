@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(|o| o.selected_channel)
             .map(|c| graph.node(graph.channel(c).source).name.clone())
             .unwrap_or_else(|| "none".to_string());
-        println!(
-            "\nwith a {deadline} ms deadline the Transaction kernel selects: {selected}"
-        );
+        println!("\nwith a {deadline} ms deadline the Transaction kernel selects: {selected}");
         println!("  (expected: best detector finishing before the deadline)");
     }
     Ok(())

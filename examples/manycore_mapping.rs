@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let binding = Binding::from_pairs([("p", 16)]);
 
     println!("canonical-period list scheduling of the Figure 2 graph (p = 16):\n");
-    println!("{:<10} {:<14} {:>9} {:>8} {:>12}", "platform", "mapping", "makespan", "speedup", "utilization");
+    println!(
+        "{:<10} {:<14} {:>9} {:>8} {:>12}",
+        "platform", "mapping", "makespan", "speedup", "utilization"
+    );
     for (clusters, pes) in [(1usize, 1usize), (1, 8), (4, 4), (16, 16)] {
         for strategy in [
             MappingStrategy::RoundRobin,

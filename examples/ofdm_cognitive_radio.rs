@@ -29,12 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 8 comparison for this configuration.
     let comparison = demod.buffer_comparison()?;
-    println!("\nminimum buffers for beta = {}, N = {}:", config.vectorization, config.symbol_len);
+    println!(
+        "\nminimum buffers for beta = {}, N = {}:",
+        config.vectorization, config.symbol_len
+    );
     println!("  paper formula  TPDF = {}", config.paper_tpdf_buffer());
     println!("  paper formula  CSDF = {}", config.paper_csdf_buffer());
     println!("  measured       TPDF = {}", comparison.tpdf_total);
     println!("  measured       CSDF = {}", comparison.csdf_total);
-    println!("  measured gain       = {:.1}% (paper: ~29%)", comparison.improvement_percent);
+    println!(
+        "  measured gain       = {:.1}% (paper: ~29%)",
+        comparison.improvement_percent
+    );
 
     // Functional demodulation on a smaller configuration (FFT of 512
     // points x 20 symbols also works, 64 keeps the example instant).

@@ -17,18 +17,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .kernel("fast_filter")
         .kernel("precise_filter")
         .control("selector")
-        .kernel_with(
+        .kernel_with("merge", KernelKind::Transaction { votes_required: 0 }, 1)
+        .kernel("sink")
+        .channel(
+            "source",
+            "fast_filter",
+            RateSeq::param("p"),
+            RateSeq::param("p"),
+            0,
+        )
+        .channel(
+            "source",
+            "precise_filter",
+            RateSeq::param("p"),
+            RateSeq::param("p"),
+            0,
+        )
+        .channel(
+            "source",
+            "selector",
+            RateSeq::constant(1),
+            RateSeq::constant(1),
+            0,
+        )
+        .channel_with_priority(
+            "fast_filter",
             "merge",
-            KernelKind::Transaction { votes_required: 0 },
+            RateSeq::param("p"),
+            RateSeq::param("p"),
+            0,
             1,
         )
-        .kernel("sink")
-        .channel("source", "fast_filter", RateSeq::param("p"), RateSeq::param("p"), 0)
-        .channel("source", "precise_filter", RateSeq::param("p"), RateSeq::param("p"), 0)
-        .channel("source", "selector", RateSeq::constant(1), RateSeq::constant(1), 0)
-        .channel_with_priority("fast_filter", "merge", RateSeq::param("p"), RateSeq::param("p"), 0, 1)
-        .channel_with_priority("precise_filter", "merge", RateSeq::param("p"), RateSeq::param("p"), 0, 2)
-        .control_channel("selector", "merge", RateSeq::constant(1), RateSeq::constant(1))
+        .channel_with_priority(
+            "precise_filter",
+            "merge",
+            RateSeq::param("p"),
+            RateSeq::param("p"),
+            0,
+            2,
+        )
+        .control_channel(
+            "selector",
+            "merge",
+            RateSeq::constant(1),
+            RateSeq::constant(1),
+        )
         .channel("merge", "sink", RateSeq::param("p"), RateSeq::param("p"), 0)
         .build()?;
 
@@ -43,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A concrete schedule for p = 4.
     let binding = Binding::from_pairs([("p", 4)]);
     let schedule = sequential_schedule(&graph, &binding)?;
-    println!("\nsequential schedule for p = 4: {}", schedule.display(&graph));
+    println!(
+        "\nsequential schedule for p = 4: {}",
+        schedule.display(&graph)
+    );
 
     // 3. Execute three iterations with the token-accurate simulator.
     let sim = Simulator::new(&graph, SimulationConfig::new(binding))?;

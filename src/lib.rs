@@ -19,6 +19,8 @@
 //!   static list scheduler.
 //! * [`apps`] — the paper's case studies (edge detection, OFDM/cognitive
 //!   radio, FM radio).
+//! * [`runtime`] — a multi-threaded, token-level execution engine that
+//!   runs TPDF graphs on real data with real deadlines.
 //!
 //! ## Quickstart
 //!
@@ -38,5 +40,6 @@ pub use tpdf_apps as apps;
 pub use tpdf_core as core;
 pub use tpdf_csdf as csdf;
 pub use tpdf_manycore as manycore;
+pub use tpdf_runtime as runtime;
 pub use tpdf_sim as sim;
 pub use tpdf_symexpr as symexpr;

@@ -44,7 +44,9 @@ fn edge_detection_relaxed_deadline_selects_canny() {
     )
     .run()
     .expect("timed simulation");
-    let selected = trace.outcomes[0].selected_channel.expect("result available");
+    let selected = trace.outcomes[0]
+        .selected_channel
+        .expect("result available");
     assert_eq!(graph.node(graph.channel(selected).source).name, "Canny");
 }
 
@@ -75,11 +77,16 @@ fn ofdm_figure8_shape_holds_for_both_symbol_lengths() {
                 bits_per_symbol: 2,
                 vectorization: beta,
             };
-            let cmp = OfdmDemodulator::new(config).buffer_comparison().expect("comparison");
+            let cmp = OfdmDemodulator::new(config)
+                .buffer_comparison()
+                .expect("comparison");
             // TPDF always wins and the gap is in the ballpark the paper
             // reports (tens of percent).
             assert!(cmp.tpdf_total < cmp.csdf_total, "N={n}, beta={beta}");
-            assert!(cmp.improvement_percent > 15.0, "N={n}, beta={beta}: {cmp:?}");
+            assert!(
+                cmp.improvement_percent > 15.0,
+                "N={n}, beta={beta}: {cmp:?}"
+            );
             // Buffer size grows with the vectorization degree.
             assert!(cmp.tpdf_total > previous_tpdf, "N={n}, beta={beta}");
             previous_tpdf = cmp.tpdf_total;
@@ -106,8 +113,13 @@ fn ofdm_graph_simulates_and_schedules() {
     assert_eq!(report.iterations_completed, 3);
 
     let platform = Platform::mppa_like(4, 4, 10);
-    let mapped = schedule_graph(&graph, &binding, &platform, SchedulerConfig::paper_default())
-        .expect("mapping");
+    let mapped = schedule_graph(
+        &graph,
+        &binding,
+        &platform,
+        SchedulerConfig::paper_default(),
+    )
+    .expect("mapping");
     assert!(mapped.makespan > 0);
     assert!(mapped.utilization() > 0.0);
 }
@@ -129,7 +141,10 @@ fn ofdm_end_to_end_demodulation_is_error_free() {
 
 #[test]
 fn fm_radio_dynamic_topology_beats_csdf() {
-    let radio = FmRadio::new(FmRadioConfig { bands: 10, block: 64 });
+    let radio = FmRadio::new(FmRadioConfig {
+        bands: 10,
+        block: 64,
+    });
     assert!(analyze(&radio.tpdf_graph()).unwrap().is_bounded());
     let cmp = radio.buffer_comparison(3).expect("comparison");
     assert!(cmp.tpdf_total < cmp.csdf_total);

@@ -1,0 +1,211 @@
+//! Cross-validation of the multi-threaded `tpdf-runtime` executor
+//! against the single-threaded untimed `tpdf-sim` engine: for every
+//! deterministic `ControlPolicy`, both engines must agree on the firing
+//! counts of every node and on the number of tokens produced on every
+//! channel — and the runtime's sink values must equal the graph-free
+//! reference computation of each case study.
+
+use tpdf_suite::apps::edge_detection::{EdgeDetectionApp, EdgeDetector};
+use tpdf_suite::apps::image::GrayImage;
+use tpdf_suite::apps::ofdm::OfdmConfig;
+use tpdf_suite::core::graph::TpdfGraph;
+use tpdf_suite::core::mode::Mode;
+use tpdf_suite::runtime::kernel::KernelRegistry;
+use tpdf_suite::runtime::{EdgeDetectionRuntime, Executor, Metrics, OfdmRuntime, RuntimeConfig};
+use tpdf_suite::sim::engine::{ControlPolicy, SimulationConfig, SimulationReport, Simulator};
+use tpdf_suite::symexpr::Binding;
+
+const ITERATIONS: u64 = 3;
+const THREADS: usize = 4;
+
+/// Runs both engines under the same policy and asserts token-stream
+/// equality: identical firing counts, and identical per-channel token
+/// production (derived from firing counts and concrete rates).
+fn assert_engines_agree(
+    graph: &TpdfGraph,
+    binding: &Binding,
+    policy: &ControlPolicy,
+    registry: &KernelRegistry,
+) -> Metrics {
+    let reference: SimulationReport = Simulator::new(
+        graph,
+        SimulationConfig::new(binding.clone()).with_policy(policy.clone()),
+    )
+    .expect("reference simulator")
+    .run_iterations(ITERATIONS)
+    .expect("reference run");
+
+    let config = RuntimeConfig::new(binding.clone())
+        .with_policy(policy.clone())
+        .with_threads(THREADS)
+        .with_iterations(ITERATIONS);
+    let metrics = Executor::new(graph, config)
+        .expect("executor")
+        .run(registry)
+        .expect("runtime run");
+
+    assert_eq!(
+        metrics.firings, reference.firings,
+        "firing counts diverge under {policy:?}"
+    );
+
+    // Tokens pushed per channel follow from the producer's firing count
+    // and its concrete production rates; both engines must realise them.
+    for (id, chan) in graph.channels() {
+        let produced: u64 = (0..reference.firings[chan.source.0])
+            .map(|k| chan.production.concrete(k, binding).expect("concrete rate"))
+            .sum();
+        assert_eq!(
+            metrics.tokens_pushed[id.0], produced,
+            "channel {} token count diverges under {policy:?}",
+            chan.label
+        );
+    }
+    metrics
+}
+
+fn deterministic_policies(data_ports: usize) -> Vec<ControlPolicy> {
+    let mut policies = vec![ControlPolicy::WaitAll];
+    for port in 0..data_ports {
+        policies.push(ControlPolicy::SelectInput(port));
+    }
+    policies.push(ControlPolicy::Alternate(
+        (0..data_ports).map(Mode::SelectOne).collect(),
+    ));
+    policies
+}
+
+#[test]
+fn edge_detection_token_streams_match_across_policies() {
+    let port = EdgeDetectionRuntime::new(
+        EdgeDetectionApp::default(),
+        GrayImage::synthetic(32, 32, 17),
+    );
+    let graph = port.graph();
+    // The Transaction kernel has four data inputs (one per detector).
+    for policy in deterministic_policies(4) {
+        let (registry, _capture) = port.registry(None);
+        assert_engines_agree(&graph, &Binding::new(), &policy, &registry);
+    }
+}
+
+#[test]
+fn edge_detection_values_match_reference_detectors() {
+    let port = EdgeDetectionRuntime::new(
+        EdgeDetectionApp::default(),
+        GrayImage::synthetic(32, 32, 23),
+    );
+    let graph = port.graph();
+    for (input, detector) in EdgeDetector::ALL.iter().enumerate() {
+        let (registry, capture) = port.registry(None);
+        assert_engines_agree(
+            &graph,
+            &Binding::new(),
+            &ControlPolicy::SelectInput(input),
+            &registry,
+        );
+        let expected = port.reference_edges(*detector);
+        let images = capture.images();
+        assert_eq!(images.len(), ITERATIONS as usize);
+        for image in images {
+            assert_eq!(image, expected, "{} edge map diverges", detector.name());
+        }
+    }
+}
+
+#[test]
+fn ofdm_token_streams_match_across_policies() {
+    for bits_per_symbol in [2usize, 4] {
+        let config = OfdmConfig {
+            symbol_len: 16,
+            cyclic_prefix: 2,
+            bits_per_symbol,
+            vectorization: 2,
+        };
+        let port = OfdmRuntime::new(config, 41);
+        let graph = port.graph();
+        let binding = port.config().binding();
+        // The Transaction kernel has two data inputs (QPSK, QAM).
+        for policy in deterministic_policies(2) {
+            let (registry, _capture) = port.registry();
+            assert_engines_agree(&graph, &binding, &policy, &registry);
+        }
+    }
+}
+
+#[test]
+fn ofdm_demodulated_bits_match_reference_for_both_constellations() {
+    for bits_per_symbol in [2usize, 4] {
+        let config = OfdmConfig {
+            symbol_len: 32,
+            cyclic_prefix: 4,
+            bits_per_symbol,
+            vectorization: 3,
+        };
+        let port = OfdmRuntime::new(config, 2024);
+        let graph = port.graph();
+        let binding = port.config().binding();
+        let (registry, capture) = port.registry();
+        assert_engines_agree(
+            &graph,
+            &binding,
+            &ControlPolicy::SelectInput(port.matching_port()),
+            &registry,
+        );
+        let reference = port.reference_bits();
+        let mut expected = Vec::new();
+        for _ in 0..ITERATIONS {
+            expected.extend_from_slice(&reference);
+        }
+        assert_eq!(capture.bits(), expected, "M = {bits_per_symbol}");
+        // And the demodulation itself is error-free end to end.
+        assert_eq!(&reference, port.sent_bits());
+    }
+}
+
+#[test]
+fn figure2_rate_only_graph_matches_across_policies() {
+    let graph = tpdf_suite::core::examples::figure2_graph();
+    let binding = Binding::from_pairs([("p", 3)]);
+    // F has two data inputs (from D and E).
+    for policy in deterministic_policies(2) {
+        assert_engines_agree(&graph, &binding, &policy, &KernelRegistry::new());
+    }
+}
+
+#[test]
+fn edge_detection_real_deadline_selects_sobel_like_paper() {
+    // The acceptance demo: detectors sleep their Figure 6 execution
+    // times (1 ms per unit) and the Clock fires at the 500-unit
+    // deadline. Sobel (473 ms) is the best detector finished by then —
+    // exactly the paper's conclusion — and the sink receives Sobel's
+    // real edge map.
+    let port =
+        EdgeDetectionRuntime::new(EdgeDetectionApp::default(), GrayImage::synthetic(24, 24, 3));
+    let graph = port.graph();
+    let (registry, capture) = port.registry(Some(std::time::Duration::from_millis(1)));
+    let config = RuntimeConfig::new(Binding::new())
+        .with_threads(6) // all four detectors + clock + io in parallel
+        .with_policy(ControlPolicy::HighestPriority)
+        .with_real_time(std::time::Duration::from_millis(1));
+    let metrics = Executor::new(&graph, config)
+        .expect("executor")
+        .run(&registry)
+        .expect("runtime run");
+
+    assert_eq!(metrics.deadline_misses, 0);
+    assert_eq!(metrics.deadline_selections.len(), 1);
+    let selection = &metrics.deadline_selections[0];
+    let source = graph
+        .channel(selection.selected_channel.expect("a result"))
+        .source;
+    assert_eq!(graph.node(source).name, "Sobel");
+    assert_eq!(
+        selection.selected_priority,
+        Some(EdgeDetector::Sobel.priority())
+    );
+    assert_eq!(
+        capture.images(),
+        vec![port.reference_edges(EdgeDetector::Sobel)]
+    );
+}
