@@ -1,6 +1,8 @@
 //! The paper's case studies ported to the runtime: edge detection
-//! (Section IV-A / Figure 6) and the cognitive-radio OFDM demodulator
-//! (Section IV-B / Figure 7), running on real pixels and real samples.
+//! (Section IV-A / Figure 6), the cognitive-radio OFDM demodulator
+//! (Section IV-B / Figure 7) and the FM-radio multi-band equalizer
+//! (the StreamIt-style benchmark of Section IV-B), running on real
+//! pixels and real samples.
 //!
 //! Each port pairs the TPDF graph from `tpdf-apps` with a
 //! [`KernelRegistry`] of executable behaviours and returns an
@@ -13,8 +15,9 @@ use crate::token::Token;
 use crate::RuntimeError;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use tpdf_apps::dsp::{demap, fft, remove_cyclic_prefix, Complex};
+use tpdf_apps::dsp::{demap, fft, random_samples, remove_cyclic_prefix, Complex};
 use tpdf_apps::edge_detection::{detector_node_name, EdgeDetectionApp, EdgeDetector};
+use tpdf_apps::fm_radio::{FmRadio, FmRadioConfig};
 use tpdf_apps::image::GrayImage;
 use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
 use tpdf_core::graph::TpdfGraph;
@@ -63,6 +66,12 @@ impl OutputCapture {
             .iter()
             .filter_map(|t| t.as_image().cloned())
             .collect()
+    }
+
+    /// The captured tokens interpreted as an audio stream (non-float
+    /// tokens are skipped).
+    pub fn floats(&self) -> Vec<f64> {
+        self.tokens().iter().filter_map(Token::as_float).collect()
     }
 }
 
@@ -121,7 +130,7 @@ impl EdgeDetectionRuntime {
                     .and_then(|p| p.tokens.first())
                     .and_then(Token::as_image)
                     .ok_or_else(|| RuntimeError::KernelFailed {
-                        node: ctx.node.clone(),
+                        node: ctx.node.to_string(),
                         message: "expected an image token".to_string(),
                     })?;
                 let edges = Token::image(detector.run(input));
@@ -266,14 +275,169 @@ impl OfdmRuntime {
     }
 }
 
+/// The FM-radio multi-band equalizer bound to a concrete generated RF
+/// block.
+///
+/// This is the third cross-validation target: unlike edge detection
+/// and OFDM (whose Transactions select between *different algorithms*
+/// computing comparable results), the FM radio's control actor steers a
+/// wide Select-Duplicate fan-out — one channel per equalizer band — of
+/// which a mode typically enables a small subset. Its rejected band
+/// channels exercise the iteration-boundary flush rule on many
+/// channels at once.
+#[derive(Debug, Clone)]
+pub struct FmRadioRuntime {
+    radio: FmRadio,
+    samples: Vec<Complex>,
+}
+
+impl FmRadioRuntime {
+    /// Taps of the complex low-pass front-end filter.
+    const LOWPASS_TAPS: usize = 4;
+
+    /// Creates the port: generates one deterministic block of baseband
+    /// samples which the source replays on every firing.
+    pub fn new(config: FmRadioConfig, seed: u64) -> Self {
+        let samples = random_samples(config.block, seed);
+        FmRadioRuntime {
+            radio: FmRadio::new(config),
+            samples,
+        }
+    }
+
+    /// The TPDF graph (`src → lowpass → demod → dup → band_i → sum →
+    /// sink` with a control actor steering `sum`).
+    pub fn graph(&self) -> TpdfGraph {
+        self.radio.tpdf_graph()
+    }
+
+    /// The benchmark configuration.
+    pub fn config(&self) -> &FmRadioConfig {
+        self.radio.config()
+    }
+
+    /// The parameter binding of the graph (`B` = block size).
+    pub fn binding(&self) -> tpdf_symexpr::Binding {
+        self.radio.binding()
+    }
+
+    /// The per-band gain of the equalizer (a fixed, deterministic
+    /// profile: band `i` is scaled by `0.5 + i/4`).
+    fn band_gain(band: usize) -> f64 {
+        0.5 + band as f64 * 0.25
+    }
+
+    /// The graph-free reference computation of band `band`: low-pass,
+    /// FM-demodulate, then apply the band's gain and smoothing.
+    pub fn reference_audio(&self, band: usize) -> Vec<f64> {
+        let demodulated = FmRadio::fm_demodulate(&Self::lowpass_block(&self.samples));
+        Self::band_transform(band, &demodulated)
+    }
+
+    /// The band selected by the built-in Transaction under `WaitAll`:
+    /// the highest-priority input, i.e. the last band.
+    pub fn waitall_band(&self) -> usize {
+        self.radio.config().bands - 1
+    }
+
+    fn lowpass_block(samples: &[Complex]) -> Vec<Complex> {
+        let res: Vec<f64> = samples.iter().map(|c| c.re).collect();
+        let ims: Vec<f64> = samples.iter().map(|c| c.im).collect();
+        let res = FmRadio::low_pass(&res, Self::LOWPASS_TAPS);
+        let ims = FmRadio::low_pass(&ims, Self::LOWPASS_TAPS);
+        res.into_iter()
+            .zip(ims)
+            .map(|(re, im)| Complex::new(re, im))
+            .collect()
+    }
+
+    fn band_transform(band: usize, audio: &[f64]) -> Vec<f64> {
+        let gain = Self::band_gain(band);
+        FmRadio::low_pass(audio, band + 2)
+            .into_iter()
+            .map(|x| x * gain)
+            .collect()
+    }
+
+    /// Builds the kernel registry implementing the pipeline on real
+    /// samples: `src` replays the RF block (and feeds the profile
+    /// control actor), `lowpass` filters, `demod` FM-demodulates, the
+    /// built-in Select-Duplicate fans the audio out to every band
+    /// kernel, and the built-in Transaction (`sum`) forwards the band
+    /// selected by the control token to the capturing `sink`.
+    pub fn registry(&self) -> (KernelRegistry, OutputCapture) {
+        let mut registry = KernelRegistry::new();
+
+        let samples: Vec<Token> = self.samples.iter().map(|&c| Token::Complex(c)).collect();
+        registry.register_fn("src", move |ctx| {
+            // Port 0: the B baseband samples; port 1: a profile marker
+            // towards the control actor.
+            for out in &mut ctx.outputs {
+                match out.port {
+                    0 => out.write_cycled(&samples),
+                    _ => out.write_cycled(&[Token::Int(1)]),
+                }
+            }
+            Ok(())
+        });
+
+        registry.register_fn("lowpass", move |ctx| {
+            let filtered: Vec<Token> = Self::lowpass_block(&complex_inputs(ctx)?)
+                .into_iter()
+                .map(Token::Complex)
+                .collect();
+            ctx.fill_outputs_cycling(&filtered);
+            Ok(())
+        });
+
+        registry.register_fn("demod", move |ctx| {
+            let audio: Vec<Token> = FmRadio::fm_demodulate(&complex_inputs(ctx)?)
+                .into_iter()
+                .map(Token::Float)
+                .collect();
+            ctx.fill_outputs_cycling(&audio);
+            Ok(())
+        });
+
+        for band in 0..self.radio.config().bands {
+            registry.register_fn(format!("band{band}"), move |ctx| {
+                let audio = float_inputs(ctx)?;
+                let shaped: Vec<Token> = Self::band_transform(band, &audio)
+                    .into_iter()
+                    .map(Token::Float)
+                    .collect();
+                ctx.fill_outputs_cycling(&shaped);
+                Ok(())
+            });
+        }
+
+        let capture = OutputCapture::new();
+        capture.install(&mut registry, "sink");
+        (registry, capture)
+    }
+}
+
 /// The complex payloads of every consumed token, in order.
 fn complex_inputs(ctx: &crate::kernel::FiringContext) -> Result<Vec<Complex>, RuntimeError> {
     ctx.concatenated_inputs()
         .iter()
         .map(|t| {
             t.as_complex().ok_or_else(|| RuntimeError::KernelFailed {
-                node: ctx.node.clone(),
+                node: ctx.node.to_string(),
                 message: format!("expected a complex sample, got {t}"),
+            })
+        })
+        .collect()
+}
+
+/// The float payloads of every consumed token, in order.
+fn float_inputs(ctx: &crate::kernel::FiringContext) -> Result<Vec<f64>, RuntimeError> {
+    ctx.concatenated_inputs()
+        .iter()
+        .map(|t| {
+            t.as_float().ok_or_else(|| RuntimeError::KernelFailed {
+                node: ctx.node.to_string(),
+                message: format!("expected an audio sample, got {t}"),
             })
         })
         .collect()
@@ -348,6 +512,49 @@ mod tests {
         assert_eq!(metrics.iterations, 1);
         assert_eq!(capture.bits(), port.reference_bits());
         assert_eq!(capture.bits(), port.sent_bits());
+    }
+
+    #[test]
+    fn fm_radio_selects_the_band_of_the_control_mode() {
+        let port = FmRadioRuntime::new(
+            FmRadioConfig {
+                bands: 4,
+                block: 16,
+            },
+            11,
+        );
+        let graph = port.graph();
+        for band in 0..port.config().bands {
+            let (registry, capture) = port.registry();
+            let config = RuntimeConfig::new(port.binding())
+                .with_threads(4)
+                .with_policy(ControlPolicy::SelectInput(band));
+            Executor::new(&graph, config)
+                .unwrap()
+                .run(&registry)
+                .unwrap();
+            assert_eq!(capture.floats(), port.reference_audio(band), "band {band}");
+        }
+    }
+
+    #[test]
+    fn fm_radio_waitall_forwards_highest_priority_band() {
+        let port = FmRadioRuntime::new(FmRadioConfig { bands: 3, block: 8 }, 7);
+        let graph = port.graph();
+        let (registry, capture) = port.registry();
+        let config = RuntimeConfig::new(port.binding())
+            .with_threads(2)
+            .with_iterations(2);
+        let metrics = Executor::new(&graph, config)
+            .unwrap()
+            .run(&registry)
+            .unwrap();
+        assert_eq!(metrics.iterations, 2);
+        let expected = port.reference_audio(port.waitall_band());
+        let audio = capture.floats();
+        assert_eq!(audio.len(), expected.len() * 2);
+        assert_eq!(&audio[..expected.len()], expected.as_slice());
+        assert_eq!(&audio[expected.len()..], expected.as_slice());
     }
 
     #[test]

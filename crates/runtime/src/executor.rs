@@ -1,35 +1,63 @@
-//! The multi-threaded, token-level executor.
+//! The multi-threaded, token-level executor — sharded scheduler.
 //!
 //! ## Execution model
 //!
 //! The executor runs `iterations` complete graph iterations (repetition
 //! counts come from `tpdf_core::consistency`), firing any node whose
 //! *mode-selected* inputs are ready — the untimed `tpdf-sim` engine's
-//! semantics, but on real worker threads moving real [`Token`] values:
+//! semantics, but on real worker threads moving real [`Token`] values.
 //!
-//! * Each data channel is a fixed-capacity [`RingBuffer`] sized from a
-//!   reference `tpdf-sim` execution (per-channel high-water marks times
-//!   a configurable slack), so memory is bounded by the static analysis.
-//! * A firing is *claimed* under the scheduler lock: its control token
-//!   is popped (selecting the [`Mode`]), its selected input tokens are
-//!   popped, and its output space is reserved. The kernel computation
-//!   then runs outside the lock, in parallel with other nodes; outputs
-//!   are published on completion. Each node is sequential with itself,
-//!   so every channel sees a deterministic token order (single producer,
-//!   single consumer, in-order firings — a Kahn-style determinacy
-//!   argument), which is what makes cross-validation against the
-//!   single-threaded engine exact.
-//! * Control actors emit control tokens whose [`Mode`] comes from the
-//!   same [`ControlPolicy`] sequence as the reference engine.
-//! * [`KernelKind::Clock`] watchdogs either fire as ordinary control
-//!   actors ([`ClockMode::Virtual`], used for cross-validation) or at
-//!   real wall-clock deadlines ([`ClockMode::RealTime`], in which a
-//!   clock-driven Transaction in [`Mode::HighestPriority`] takes the
-//!   best result available *now* — and fires empty, counting a deadline
-//!   miss, when nothing is ready).
-//! * At the end of each iteration, data channels whose consuming port
-//!   was rejected for the whole iteration are flushed back to their
-//!   initial state (the paper's "unused edges are removed").
+//! ## Sharded scheduling
+//!
+//! There is no global scheduler lock on the claim/complete path. The
+//! state is sharded three ways:
+//!
+//! * **Per-channel lock-free SPSC rings.** Every channel (data *and*
+//!   control) is a [`RingBuffer`] with atomic cursors. A TPDF channel
+//!   has one producer node and one consumer node, and a node runs at
+//!   most one firing at a time, so single-producer single-consumer is
+//!   exactly the required discipline.
+//! * **Per-node atomic claim state.** A worker acquires a node with one
+//!   compare-and-swap on its `claimed` flag. While the claim is held
+//!   the worker is the unique consumer of the node's input rings and
+//!   the unique producer of its output rings, so availability and free
+//!   space can be checked and committed without locks or rollback:
+//!   input tokens only accumulate and output space only grows until
+//!   the claim holder itself moves them.
+//! * **Per-worker ready queues with stealing.** Completing a firing
+//!   enqueues the affected neighbours (the node itself, the consumers
+//!   of its outputs, the producers of its inputs) onto the worker's own
+//!   queue; idle workers steal from the back of other queues and fall
+//!   back to a full scan before parking.
+//!
+//! The only lock left is the park/teardown mutex, which is touched when
+//! a worker runs out of work, when a real-time deadline decision is
+//! recorded, and at the **iteration barrier**: when the last firing of
+//! an iteration completes, the completing worker — alone, every firing
+//! budget being exhausted — flushes the channels whose consuming
+//! (controlled) port was rejected for the whole iteration (the paper's
+//! "unused edges are removed"), advances the iteration and republishes
+//! the per-node budgets. Control tokens therefore still switch modes at
+//! exact iteration boundaries.
+//!
+//! ## Determinism
+//!
+//! Each node is sequential with itself (the claim flag), every channel
+//! has a single producer and a single consumer, and a node's firing
+//! ordinal determines which tokens it consumes and produces — a
+//! Kahn-style determinacy argument, unchanged by work stealing: the
+//! *schedule* varies with the thread count, the *token streams* do not
+//! (for deterministic [`ControlPolicy`]s). Cross-validation against the
+//! single-threaded engine stays exact.
+//!
+//! ## Clocks
+//!
+//! [`KernelKind::Clock`] watchdogs either fire as ordinary control
+//! actors ([`ClockMode::Virtual`], used for cross-validation) or at
+//! real wall-clock deadlines ([`ClockMode::RealTime`], in which a
+//! clock-driven Transaction in [`Mode::HighestPriority`] takes the
+//! best result available *now* — and fires empty, counting a deadline
+//! miss, when nothing is ready).
 
 use crate::kernel::{
     fire_default, fire_select_duplicate, fire_transaction, FiringContext, KernelRegistry,
@@ -39,9 +67,9 @@ use crate::metrics::{DeadlineSelection, Metrics};
 use crate::ring::RingBuffer;
 use crate::token::Token;
 use crate::RuntimeError;
-use std::collections::BTreeSet;
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tpdf_core::actors::KernelKind;
 use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
@@ -79,10 +107,11 @@ pub struct RuntimeConfig {
     pub iterations: u64,
     /// Clock driving mode.
     pub clock_mode: ClockMode,
-    /// Ring capacity = reference high-water × this slack factor (≥ 1).
-    /// Slack 1 is the tightest sizing the reference execution proves
-    /// deadlock-free; larger values give producers headroom to run
-    /// ahead.
+    /// Data-ring capacity = reference high-water × this slack factor
+    /// (≥ 1). Slack 1 is the tightest sizing the reference execution
+    /// proves deadlock-free; larger values give producers headroom to
+    /// run ahead. Control rings are sized by their per-iteration
+    /// production, which bounds their occupancy exactly.
     pub capacity_slack: u64,
     /// Safety net: a worker finding nothing to do wakes up after this
     /// long to re-check for stalls.
@@ -136,27 +165,18 @@ impl RuntimeConfig {
     }
 }
 
-/// A control token in flight: the mode it selects.
-#[derive(Debug, Clone)]
-struct ControlMsg {
-    mode: Mode,
-}
-
-/// Per-channel storage: a bounded ring for data, an unbounded queue for
-/// control tokens (which are mode values, not payloads).
+/// One channel of a running graph: a data ring of tokens or a control
+/// ring of modes. Both are lock-free SPSC rings.
 #[derive(Debug)]
-enum ChannelStore {
+enum ChannelRing {
     Data(RingBuffer<Token>),
-    Control {
-        queue: VecDeque<ControlMsg>,
-        high_water: u64,
-    },
+    Control(RingBuffer<Mode>),
 }
 
 /// Static, per-node facts precomputed at executor construction.
 #[derive(Debug)]
 struct NodeInfo {
-    name: String,
+    name: Arc<str>,
     /// Control actor in the paper's sense (includes Clock kernels).
     is_control_actor: bool,
     is_clock: bool,
@@ -169,14 +189,20 @@ struct NodeInfo {
     control_from_clock: bool,
     /// Data input channels in port order.
     data_inputs: Vec<usize>,
-    /// All output channels.
-    outputs: Vec<usize>,
+    /// Data output channels in port order.
+    data_outputs: Vec<usize>,
+    /// Control output channels.
+    control_outputs: Vec<usize>,
+    /// Nodes whose readiness a firing of this node can change: itself,
+    /// the consumers of its outputs, the producers of its inputs.
+    neighbors: Vec<usize>,
 }
 
 /// Static, per-channel facts with rates made concrete.
 #[derive(Debug)]
 struct ChanInfo {
-    label: String,
+    label: Arc<str>,
+    source: usize,
     target: usize,
     is_control: bool,
     initial_tokens: u64,
@@ -195,41 +221,104 @@ impl ChanInfo {
     fn cons_rate(&self, ordinal: u64) -> u64 {
         self.cons_rates[(ordinal as usize) % self.cons_rates.len()]
     }
+
+    /// Tokens produced on this channel during one complete iteration in
+    /// which the source node fires `count` times.
+    fn production_per_iteration(&self, count: u64) -> u64 {
+        (0..count).map(|k| self.prod_rate(k)).sum()
+    }
 }
 
-/// Mutable execution state, guarded by the scheduler lock.
-#[derive(Debug)]
-struct ExecState {
-    iteration: u64,
-    fired_iter: Vec<u64>,
-    fired_total: Vec<u64>,
-    in_flight: Vec<bool>,
-    in_flight_count: usize,
-    channels: Vec<ChannelStore>,
-    /// Output tokens reserved by claimed-but-unfinished firings.
-    reserved: Vec<u64>,
-    /// Data channels consumed at least once this iteration.
-    selected: BTreeSet<usize>,
-    /// Firing counts used to index the control policy's mode sequence.
-    control_firings: Vec<u64>,
-    tokens_pushed: Vec<u64>,
-    deadline_misses: u64,
-    vote_failures: u64,
-    deadline_selections: Vec<DeadlineSelection>,
+/// Per-node mutable scheduling state, all atomic.
+#[derive(Debug, Default)]
+struct NodeRunState {
+    /// Exclusivity: set while a worker owns this node's next firing.
+    claimed: AtomicBool,
+    /// Set while a hint for this node sits in some ready queue.
+    queued: AtomicBool,
+    /// Firings completed in the current iteration (reset at the
+    /// barrier). A `Release`d store here publishes the barrier's ring
+    /// flushes to the `Acquire`ing claimant.
+    fired_iter: AtomicU64,
+    /// Firings completed across the whole run.
+    fired_total: AtomicU64,
+    /// Index into the control policy's mode sequence.
+    control_firings: AtomicU64,
+}
+
+/// Fields behind the park mutex: error/done teardown and the rare
+/// deadline-decision log.
+#[derive(Debug, Default)]
+struct ParkInner {
     error: Option<RuntimeError>,
     done: bool,
+    deadline_selections: Vec<DeadlineSelection>,
 }
 
-/// A claimed firing: inputs consumed, outputs reserved, ready to compute.
+/// Below this measured per-firing cost, secondary workers back off and
+/// leave the graph to one worker: the scheduling cost of distributing a
+/// firing (claim CAS, queue traffic, a wake-up) exceeds what
+/// parallelism can recover. Heavy kernels — real compute, simulated
+/// execution times, I/O waits — stay far above it and parallelise
+/// fully. The figure comes from the measured claim/complete overhead
+/// (≈ 0.5–1 µs per firing).
+const FINE_GRAIN_NS: u64 = 10_000;
+
+/// All mutable state of one `run`, shared across the worker pool.
+struct RunState {
+    rings: Vec<ChannelRing>,
+    nodes: Vec<NodeRunState>,
+    tokens_pushed: Vec<AtomicU64>,
+    /// Data channels consumed at least once this iteration (flush rule).
+    selected: Vec<AtomicBool>,
+    /// Completions remaining in the current iteration; the worker that
+    /// decrements it to zero runs the iteration barrier.
+    remaining_iter: AtomicU64,
+    iteration: AtomicU64,
+    /// Workers currently holding a claim or attempting one — part of
+    /// the stall-detection protocol (see [`Executor::park`]).
+    in_flight: AtomicUsize,
+    halt: AtomicBool,
+    /// Bumped after every completed firing; parkers use it to detect
+    /// progress that raced with their failed scan.
+    epoch: AtomicU64,
+    parked: AtomicUsize,
+    deadline_misses: AtomicU64,
+    vote_failures: AtomicU64,
+    /// Per-worker ready queues (hints, not obligations: a stale entry
+    /// is simply dropped when its claim fails).
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    park: Mutex<ParkInner>,
+    cond: Condvar,
+}
+
+impl RunState {
+    fn data_ring(&self, chan: usize) -> &RingBuffer<Token> {
+        match &self.rings[chan] {
+            ChannelRing::Data(ring) => ring,
+            ChannelRing::Control(_) => unreachable!("data port backed by control ring"),
+        }
+    }
+
+    fn control_ring(&self, chan: usize) -> &RingBuffer<Mode> {
+        match &self.rings[chan] {
+            ChannelRing::Control(ring) => ring,
+            ChannelRing::Data(_) => unreachable!("control port backed by data ring"),
+        }
+    }
+}
+
+/// A claimed firing: inputs consumed, ready to compute. Output space
+/// was verified before the inputs were popped; the claim holder is the
+/// sole producer of its output rings, so the space cannot disappear.
 struct Claim {
     node: usize,
+    /// Firing ordinal within the iteration (selects cyclo-static rates).
+    ordinal_iter: u64,
+    /// Firing ordinal across the run (exposed to behaviours).
     ordinal_total: u64,
     mode: Mode,
     inputs: Vec<PortInput>,
-    /// `(channel, rate)` for data outputs, in port order.
-    data_outputs: Vec<(usize, u64)>,
-    /// `(channel, rate)` for control outputs.
-    control_outputs: Vec<(usize, u64)>,
     deadline_missed: bool,
     /// Record a [`DeadlineSelection`] for this firing.
     record_deadline: bool,
@@ -262,17 +351,27 @@ pub struct Executor<'g> {
     graph: &'g TpdfGraph,
     config: RuntimeConfig,
     counts: Vec<u64>,
+    /// Sum of `counts`: completions per iteration.
+    total_per_iter: u64,
     nodes: Vec<NodeInfo>,
     chans: Vec<ChanInfo>,
     capacities: Vec<u64>,
-    /// Claim scan order: control actors first (Section III-D priority
-    /// rule), then kernels.
+    /// Fallback scan order: control actors first (Section III-D
+    /// priority rule), then kernels.
     scan_order: Vec<usize>,
+    clock_nodes: Vec<usize>,
+    /// Sampled firing-cost telemetry (1 in 8 firings is timed): total
+    /// nanoseconds and sample count, feeding the granularity
+    /// heuristic. Lives on the executor, not the per-run state, so the
+    /// verdict learned in one run carries into the next.
+    exec_ns: AtomicU64,
+    exec_samples: AtomicU64,
 }
 
 impl<'g> Executor<'g> {
     /// Builds an executor: checks consistency, concretises rates and
-    /// sizes every data ring from a reference `tpdf-sim` execution.
+    /// sizes every ring — data rings from a reference `tpdf-sim`
+    /// execution, control rings from their per-iteration production.
     ///
     /// # Errors
     ///
@@ -299,7 +398,7 @@ impl<'g> Executor<'g> {
             .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
 
         // Reference execution: per-channel high-water marks under the
-        // same policy and binding determine the ring capacities.
+        // same policy and binding determine the data-ring capacities.
         let sim_config = SimulationConfig::new(config.binding.clone())
             .with_policy(config.control_policy.clone());
         let reference = Simulator::new(graph, sim_config)
@@ -315,32 +414,6 @@ impl<'g> Executor<'g> {
         let control_actor_ids: BTreeSet<NodeId> =
             graph.control_actors().map(|(id, _)| id).collect();
 
-        let mut nodes = Vec::with_capacity(graph.node_count());
-        for (id, node) in graph.nodes() {
-            let kind = node.kernel_kind();
-            let control_port = graph.control_port(id).map(|c| c.0);
-            let control_from_clock = graph
-                .control_port(id)
-                .map(|cp| clock_sources.contains(&graph.channel(cp).source))
-                .unwrap_or(false);
-            nodes.push(NodeInfo {
-                name: node.name.clone(),
-                is_control_actor: control_actor_ids.contains(&id),
-                is_clock: matches!(kind, Some(k) if k.is_clock()),
-                clock_period: kind.and_then(|k| k.clock_period()).unwrap_or(0),
-                is_transaction: matches!(kind, Some(k) if k.is_transaction()),
-                votes_required: match kind {
-                    Some(KernelKind::Transaction { votes_required }) => *votes_required,
-                    _ => 0,
-                },
-                is_select_duplicate: matches!(kind, Some(k) if k.is_select_duplicate()),
-                control_port,
-                control_from_clock,
-                data_inputs: graph.data_input_channels(id).map(|(c, _)| c.0).collect(),
-                outputs: graph.output_channels(id).map(|(c, _)| c.0).collect(),
-            });
-        }
-
         let mut chans = Vec::with_capacity(graph.channel_count());
         for (id, chan) in graph.channels() {
             let concretise = |rates: &tpdf_core::rate::RateSeq| -> Result<Vec<u64>, RuntimeError> {
@@ -353,7 +426,8 @@ impl<'g> Executor<'g> {
                     .collect()
             };
             chans.push(ChanInfo {
-                label: chan.label.clone(),
+                label: Arc::from(chan.label.as_str()),
+                source: chan.source.0,
                 target: chan.target.0,
                 is_control: chan.is_control(),
                 initial_tokens: chan.initial_tokens,
@@ -365,13 +439,67 @@ impl<'g> Executor<'g> {
             debug_assert_eq!(id.0, chans.len() - 1);
         }
 
+        let mut nodes = Vec::with_capacity(graph.node_count());
+        for (id, node) in graph.nodes() {
+            let kind = node.kernel_kind();
+            let control_port = graph.control_port(id).map(|c| c.0);
+            let control_from_clock = graph
+                .control_port(id)
+                .map(|cp| clock_sources.contains(&graph.channel(cp).source))
+                .unwrap_or(false);
+            let data_inputs: Vec<usize> = graph.data_input_channels(id).map(|(c, _)| c.0).collect();
+            let mut data_outputs = Vec::new();
+            let mut control_outputs = Vec::new();
+            for (c, chan) in graph.output_channels(id) {
+                if chan.is_control() {
+                    control_outputs.push(c.0);
+                } else {
+                    data_outputs.push(c.0);
+                }
+            }
+            let mut neighbors = BTreeSet::new();
+            neighbors.insert(id.0);
+            for &c in data_outputs.iter().chain(&control_outputs) {
+                neighbors.insert(chans[c].target);
+            }
+            for &c in &data_inputs {
+                neighbors.insert(chans[c].source);
+            }
+            if let Some(cp) = control_port {
+                neighbors.insert(chans[cp].source);
+            }
+            nodes.push(NodeInfo {
+                name: Arc::from(node.name.as_str()),
+                is_control_actor: control_actor_ids.contains(&id),
+                is_clock: matches!(kind, Some(k) if k.is_clock()),
+                clock_period: kind.and_then(|k| k.clock_period()).unwrap_or(0),
+                is_transaction: matches!(kind, Some(k) if k.is_transaction()),
+                votes_required: match kind {
+                    Some(KernelKind::Transaction { votes_required }) => *votes_required,
+                    _ => 0,
+                },
+                is_select_duplicate: matches!(kind, Some(k) if k.is_select_duplicate()),
+                control_port,
+                control_from_clock,
+                data_inputs,
+                data_outputs,
+                control_outputs,
+                neighbors: neighbors.into_iter().collect(),
+            });
+        }
+
         let capacities: Vec<u64> = reference
             .channel_high_water
             .iter()
             .zip(&chans)
             .map(|(hw, info)| {
                 if info.is_control {
-                    0
+                    // Control tokens are produced and fully consumed
+                    // within each iteration (rate consistency), so the
+                    // per-iteration production bounds the occupancy
+                    // exactly — no reference needed, no slack either.
+                    (info.production_per_iteration(counts[info.source]) + info.initial_tokens)
+                        .max(1)
                 } else {
                     hw.max(&info.initial_tokens).max(&1) * config.capacity_slack
                 }
@@ -382,15 +510,22 @@ impl<'g> Executor<'g> {
             .filter(|&n| nodes[n].is_control_actor)
             .collect();
         scan_order.extend((0..graph.node_count()).filter(|&n| !nodes[n].is_control_actor));
+        let clock_nodes: Vec<usize> = (0..graph.node_count())
+            .filter(|&n| nodes[n].is_clock)
+            .collect();
 
         Ok(Executor {
             graph,
             config,
+            total_per_iter: counts.iter().sum(),
             counts,
             nodes,
             chans,
             capacities,
             scan_order,
+            clock_nodes,
+            exec_ns: AtomicU64::new(0),
+            exec_samples: AtomicU64::new(0),
         })
     }
 
@@ -399,8 +534,10 @@ impl<'g> Executor<'g> {
         self.graph
     }
 
-    /// The configured ring capacity of every channel (0 = unbounded
-    /// control queue).
+    /// The configured ring capacity of every channel. Data rings are
+    /// sized from the reference high-water marks times the slack;
+    /// control rings from their per-iteration production (an exact
+    /// occupancy bound).
     pub fn capacities(&self) -> &[u64] {
         &self.capacities
     }
@@ -420,35 +557,71 @@ impl<'g> Executor<'g> {
     ///   wrong number of tokens;
     /// * any [`RuntimeError::KernelFailed`] raised by a behaviour.
     pub fn run(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
-        let state = Mutex::new(self.initial_state());
-        let ready = Condvar::new();
+        let state = self.initial_state();
         let start = Instant::now();
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.config.threads {
-                scope.spawn(|| self.worker_loop(&state, &ready, registry, start));
-            }
-        });
+        // Once the persistent telemetry has established that this
+        // graph's firings are too cheap to distribute, secondary
+        // workers would back off the moment they start — so don't pay
+        // their spawn cost at all. Real-time runs always get the full
+        // pool: kernels there block on wall-clock work regardless of
+        // what the cost samples say.
+        let workers = if matches!(self.config.clock_mode, ClockMode::Virtual) && self.fine_grained()
+        {
+            1
+        } else {
+            self.config.threads
+        };
+        if workers == 1 && matches!(self.config.clock_mode, ClockMode::Virtual) {
+            // Single-worker runs skip the coordination layer entirely:
+            // no claim CAS, no in-flight bracketing, no epoch/wake
+            // traffic, no ready-queue locks — just claim, execute,
+            // publish. This is the path fine-grained graphs collapse
+            // to whatever the configured pool size.
+            self.run_single(&state, registry, start);
+        } else {
+            std::thread::scope(|scope| {
+                // The calling thread is worker 0: a 1-thread run spawns
+                // no OS thread at all, and an N-thread run only N - 1 —
+                // thread creation is a measurable fraction of short
+                // runs.
+                for me in 1..workers {
+                    let state = &state;
+                    scope.spawn(move || self.worker_loop(state, me, registry, start));
+                }
+                self.worker_loop(&state, 0, registry, start);
+            });
+        }
 
         let elapsed = start.elapsed();
-        let state = state.into_inner().expect("no worker may panic");
-        if let Some(error) = state.error {
+        let park = state.park.into_inner().expect("no worker may panic");
+        if let Some(error) = park.error {
             return Err(error);
         }
-        let total_tokens: u64 = state.tokens_pushed.iter().sum();
+        let firings: Vec<u64> = state
+            .nodes
+            .iter()
+            .map(|n| n.fired_total.load(Ordering::Relaxed))
+            .collect();
+        let tokens_pushed: Vec<u64> = state
+            .tokens_pushed
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .collect();
         let channel_high_water: Vec<u64> = state
-            .channels
+            .rings
             .iter()
             .map(|c| match c {
-                ChannelStore::Data(ring) => ring.high_water() as u64,
-                ChannelStore::Control { high_water, .. } => *high_water,
+                ChannelRing::Data(ring) => ring.high_water() as u64,
+                ChannelRing::Control(ring) => ring.high_water() as u64,
             })
             .collect();
+        let total_tokens: u64 = tokens_pushed.iter().sum();
         Ok(Metrics {
-            iterations: state.iteration,
+            iterations: state.iteration.load(Ordering::Relaxed),
             threads: self.config.threads,
-            firings: state.fired_total,
-            tokens_pushed: state.tokens_pushed,
+            firings,
+            tokens_pushed,
             channel_high_water,
             channel_capacity: self.capacities.clone(),
             total_tokens,
@@ -458,120 +631,723 @@ impl<'g> Executor<'g> {
             } else {
                 total_tokens as f64 / elapsed.as_secs_f64()
             },
-            deadline_misses: state.deadline_misses,
-            vote_failures: state.vote_failures,
-            deadline_selections: state.deadline_selections,
+            deadline_misses: state.deadline_misses.load(Ordering::Relaxed),
+            vote_failures: state.vote_failures.load(Ordering::Relaxed),
+            deadline_selections: park.deadline_selections,
         })
     }
 
-    fn initial_state(&self) -> ExecState {
-        let channels = self
+    fn initial_state(&self) -> RunState {
+        let rings = self
             .chans
             .iter()
             .enumerate()
             .map(|(i, info)| {
                 if info.is_control {
-                    ChannelStore::Control {
-                        queue: VecDeque::new(),
-                        high_water: 0,
-                    }
+                    ChannelRing::Control(RingBuffer::new(
+                        info.label.clone(),
+                        self.capacities[i] as usize,
+                    ))
                 } else {
-                    let mut ring = RingBuffer::new(info.label.clone(), self.capacities[i] as usize);
+                    let ring = RingBuffer::new(info.label.clone(), self.capacities[i] as usize);
                     for _ in 0..info.initial_tokens {
                         ring.push(Token::Unit)
                             .expect("capacity covers initial tokens");
                     }
-                    ChannelStore::Data(ring)
+                    ChannelRing::Data(ring)
                 }
             })
             .collect();
-        ExecState {
-            iteration: 0,
-            fired_iter: vec![0; self.nodes.len()],
-            fired_total: vec![0; self.nodes.len()],
-            in_flight: vec![false; self.nodes.len()],
-            in_flight_count: 0,
-            channels,
-            reserved: vec![0; self.chans.len()],
-            selected: BTreeSet::new(),
-            control_firings: vec![0; self.nodes.len()],
-            tokens_pushed: vec![0; self.chans.len()],
-            deadline_misses: 0,
-            vote_failures: 0,
-            deadline_selections: Vec::new(),
-            error: None,
-            done: false,
+        RunState {
+            rings,
+            nodes: (0..self.nodes.len())
+                .map(|_| NodeRunState::default())
+                .collect(),
+            tokens_pushed: (0..self.chans.len()).map(|_| AtomicU64::new(0)).collect(),
+            selected: (0..self.chans.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            remaining_iter: AtomicU64::new(self.total_per_iter),
+            iteration: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            halt: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            deadline_misses: AtomicU64::new(0),
+            vote_failures: AtomicU64::new(0),
+            queues: (0..self.config.threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            park: Mutex::new(ParkInner::default()),
+            cond: Condvar::new(),
         }
     }
 
-    fn worker_loop(
-        &self,
-        state: &Mutex<ExecState>,
-        ready: &Condvar,
-        registry: &KernelRegistry,
-        start: Instant,
-    ) {
-        let mut guard = state.lock().expect("scheduler lock");
+    fn worker_loop(&self, state: &RunState, me: usize, registry: &KernelRegistry, start: Instant) {
+        let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
+        let mut fired_local: u64 = 0;
         loop {
-            if guard.done || guard.error.is_some() {
-                ready.notify_all();
+            if state.halt.load(Ordering::SeqCst) {
                 return;
             }
-
             // 1. Real-time clock ticks that are due fire immediately.
             if let ClockMode::RealTime { time_unit } = &self.config.clock_mode {
-                if let Some(clock) = self.due_clock(&guard, start, *time_unit) {
-                    self.fire_clock(&mut guard, clock);
-                    self.finish_iteration_if_complete(&mut guard);
-                    ready.notify_all();
+                if self.fire_due_clock(state, me, start, *time_unit) {
                     continue;
                 }
             }
-
-            // 2. Claim and execute a ready firing.
-            if let Some(claim) = self.try_claim(&mut guard) {
-                drop(guard);
-                let outcome = self.execute(claim, registry, start);
-                guard = state.lock().expect("scheduler lock");
-                match outcome {
-                    Ok((claim, outputs)) => {
-                        if let Err(e) = self.complete(&mut guard, claim, outputs, start) {
-                            guard.error = Some(e);
-                        }
-                        self.finish_iteration_if_complete(&mut guard);
-                    }
-                    Err(e) => guard.error = Some(e),
-                }
-                ready.notify_all();
+            // 2. Granularity backoff: when firings are measured to be
+            //    too cheap to distribute, secondary workers stand down
+            //    and worker 0 runs the graph alone — on fine-grained
+            //    graphs the claim path is cheaper than the coordination
+            //    it would take to share it. Never in real-time mode:
+            //    there kernels can block on wall-clock work that cheap
+            //    control firings would average into invisibility, and
+            //    `run` promises real-time runs the full pool.
+            if me != 0 && !real_time && self.fine_grained() {
+                self.park_backoff(state, start);
                 continue;
             }
-
-            // 3. Nothing claimable: wait for a completion or the next
-            //    clock tick — or report a stall.
-            let next_tick = match &self.config.clock_mode {
-                ClockMode::RealTime { time_unit } => self.next_tick_in(&guard, start, *time_unit),
-                ClockMode::Virtual => None,
-            };
-            if guard.in_flight_count == 0 && next_tick.is_none() {
-                guard.error = Some(RuntimeError::Stalled {
-                    blocked: self.blocked_names(&guard),
-                    iteration: guard.iteration,
-                });
-                ready.notify_all();
-                return;
+            // The epoch is captured before looking for work so that a
+            // completion racing with the hunt below is detectable when
+            // parking.
+            let epoch = state.epoch.load(Ordering::SeqCst);
+            // 3. Ready-queue hint (own queue, then steal).
+            if let Some(node) = self.next_hint(state, me) {
+                self.try_fire(
+                    state,
+                    me,
+                    node,
+                    registry,
+                    start,
+                    real_time,
+                    &mut fired_local,
+                );
+                continue;
             }
-            let timeout = next_tick.unwrap_or(self.config.stall_timeout);
-            let (g, _) = ready.wait_timeout(guard, timeout).expect("scheduler lock");
-            guard = g;
+            // 4. Fallback: scan every node once.
+            if self.scan_order.iter().any(|&node| {
+                self.try_fire(
+                    state,
+                    me,
+                    node,
+                    registry,
+                    start,
+                    real_time,
+                    &mut fired_local,
+                )
+            }) {
+                continue;
+            }
+            // 5. Nothing claimable: park (or report a stall).
+            self.park(state, epoch, start);
         }
     }
 
+    /// Whether the sampled firing cost says this graph's firings are
+    /// too cheap to be worth distributing across workers.
+    fn fine_grained(&self) -> bool {
+        let samples = self.exec_samples.load(Ordering::Relaxed);
+        samples >= 8 && self.exec_ns.load(Ordering::Relaxed) / samples < FINE_GRAIN_NS
+    }
+
+    /// The de-synchronised single-worker loop (Virtual clocks only):
+    /// the same claim → execute → publish pipeline as
+    /// [`Executor::worker_loop`], with none of the cross-worker
+    /// machinery — no claim CAS, no in-flight bracketing, no
+    /// epoch/wake traffic, no ready queues. Token streams are
+    /// identical by the determinacy argument; only the schedule
+    /// differs.
+    fn run_single(&self, state: &RunState, registry: &KernelRegistry, start: Instant) {
+        let mut fired_local: u64 = 0;
+        loop {
+            if state.halt.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut progressed = false;
+            for &node in &self.scan_order {
+                // Keep firing the same node while it stays claimable:
+                // its rings and rate tables are hot.
+                while let Some(claim) = self.try_claim_node(state, node, false) {
+                    progressed = true;
+                    if let Err(error) =
+                        self.execute_timed(state, claim, registry, start, &mut fired_local)
+                    {
+                        self.fail(state, error);
+                        return;
+                    }
+                    let ns = &state.nodes[node];
+                    ns.fired_iter.fetch_add(1, Ordering::Relaxed);
+                    ns.fired_total.fetch_add(1, Ordering::Relaxed);
+                    if state.remaining_iter.fetch_sub(1, Ordering::Relaxed) == 1 {
+                        self.iteration_barrier(state);
+                        if state.halt.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                // A full scan fired nothing and nothing can be in
+                // flight: the graph is stalled.
+                self.fail(
+                    state,
+                    RuntimeError::Stalled {
+                        blocked: self.blocked_names(state),
+                        iteration: state.iteration.load(Ordering::Relaxed),
+                    },
+                );
+                return;
+            }
+        }
+    }
+
+    /// Parks a secondary worker that backed off from a fine-grained
+    /// graph. Unlike [`Executor::park`] this never reports a stall —
+    /// the worker did not scan for work, so it has no evidence; worker
+    /// 0 never backs off and remains the stall detector.
+    fn park_backoff(&self, state: &RunState, start: Instant) {
+        state.parked.fetch_add(1, Ordering::SeqCst);
+        let guard = state.park.lock().expect("park lock");
+        if !state.halt.load(Ordering::SeqCst) {
+            let timeout = match &self.config.clock_mode {
+                ClockMode::RealTime { time_unit } => self
+                    .next_tick_in(state, start, *time_unit)
+                    .unwrap_or(self.config.stall_timeout)
+                    .min(self.config.stall_timeout),
+                ClockMode::Virtual => self.config.stall_timeout,
+            };
+            drop(
+                state
+                    .cond
+                    .wait_timeout(guard, timeout)
+                    .expect("park lock")
+                    .0,
+            );
+        }
+        state.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Pops a ready hint: own queue front first, then steal from the
+    /// other workers' queues.
+    ///
+    /// Steals take *half* the victim's queue, not one entry: per-hint
+    /// ping-pong between two workers would serialise them on the queue
+    /// locks, while batch stealing lets both drain local work and only
+    /// meet again every ~k firings.
+    fn next_hint(&self, state: &RunState, me: usize) -> Option<usize> {
+        if let Some(node) = state.queues[me].lock().expect("queue lock").pop_front() {
+            state.nodes[node].queued.store(false, Ordering::Release);
+            return Some(node);
+        }
+        let workers = state.queues.len();
+        for offset in 1..workers {
+            let victim = (me + offset) % workers;
+            let mut stolen = {
+                let mut victim_queue = state.queues[victim].lock().expect("queue lock");
+                let keep = victim_queue.len() / 2;
+                victim_queue.split_off(keep)
+            };
+            if let Some(node) = stolen.pop_front() {
+                state.nodes[node].queued.store(false, Ordering::Release);
+                if !stolen.is_empty() {
+                    // The rest stays marked `queued`: it moved into this
+                    // worker's queue, it did not leave the queue system.
+                    state.queues[me]
+                        .lock()
+                        .expect("queue lock")
+                        .append(&mut stolen);
+                }
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Attempts to claim and run one firing of `node`. Returns `true`
+    /// when a firing was executed (successfully or not — errors halt
+    /// the run through the park state).
+    #[allow(clippy::too_many_arguments)]
+    fn try_fire(
+        &self,
+        state: &RunState,
+        me: usize,
+        node: usize,
+        registry: &KernelRegistry,
+        start: Instant,
+        real_time: bool,
+        fired_local: &mut u64,
+    ) -> bool {
+        let info = &self.nodes[node];
+        if real_time && info.is_clock {
+            return false;
+        }
+        let ns = &state.nodes[node];
+        if ns.fired_iter.load(Ordering::Acquire) >= self.counts[node] {
+            return false;
+        }
+        // `in_flight` brackets the whole attempt (not just held claims)
+        // so the stall detector in `park` cannot observe a moment where
+        // a worker is about to fire yet nothing appears active.
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        let fired = if ns
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            false
+        } else {
+            match self.try_claim_node(state, node, real_time) {
+                None => {
+                    ns.claimed.store(false, Ordering::Release);
+                    false
+                }
+                Some(claim) => {
+                    match self.execute_timed(state, claim, registry, start, fired_local) {
+                        Ok(()) => self.finish_firing(state, me, node),
+                        Err(error) => self.fail(state, error),
+                    }
+                    true
+                }
+            }
+        };
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+        fired
+    }
+
+    /// Executes a claimed firing and publishes its outputs. One in
+    /// eight firings is timed to feed the granularity heuristic —
+    /// timing every firing would itself be a measurable per-firing
+    /// cost. Shared by the multi-worker and single-worker paths so the
+    /// telemetry feeding [`Executor::fine_grained`] cannot diverge
+    /// between them.
+    fn execute_timed(
+        &self,
+        state: &RunState,
+        claim: Claim,
+        registry: &KernelRegistry,
+        start: Instant,
+        fired_local: &mut u64,
+    ) -> Result<(), RuntimeError> {
+        *fired_local += 1;
+        let timer = (*fired_local & 7 == 1).then(Instant::now);
+        let outcome = self
+            .execute(claim, registry)
+            .and_then(|(claim, mut ctx)| self.publish_outputs(state, &claim, &mut ctx, start));
+        if let Some(timer) = timer {
+            self.exec_ns
+                .fetch_add(timer.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.exec_samples.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Attempts to claim one firing of `node`, consuming its inputs.
+    /// Requires the node's `claimed` flag to be held by the caller.
+    ///
+    /// No rollback is ever needed: while the claim is held this worker
+    /// is the unique consumer of the input rings (tokens only
+    /// accumulate) and the unique producer of the output rings (free
+    /// space only grows), so the checks below cannot be invalidated
+    /// between check and commit.
+    fn try_claim_node(&self, state: &RunState, node: usize, real_time: bool) -> Option<Claim> {
+        let info = &self.nodes[node];
+        let ns = &state.nodes[node];
+        // Acquire pairs with the barrier's Release reset, publishing
+        // the barrier's ring flushes to this claim's ring accesses.
+        let ordinal_iter = ns.fired_iter.load(Ordering::Acquire);
+        if ordinal_iter >= self.counts[node] {
+            return None;
+        }
+
+        // 1. Resolve the mode of this firing from the control port.
+        let control_need = info
+            .control_port
+            .map(|cp| self.chans[cp].cons_rate(ordinal_iter))
+            .unwrap_or(0);
+        let mode = if control_need > 0 {
+            let ring = state.control_ring(info.control_port.expect("need implies port"));
+            // All `control_need` tokens must be present (they are
+            // popped below); the firing's mode comes from the first.
+            if (ring.len() as u64) < control_need {
+                return None;
+            }
+            ring.peek_clone().expect("length checked")
+        } else {
+            Mode::WaitAll
+        };
+
+        // 2. Check the availability of the mode-selected data inputs.
+        let port_count = info.data_inputs.len();
+        let mut deadline_missed = false;
+        let mut hp_choice = None;
+        match &mode {
+            Mode::HighestPriority => {
+                let mut best: Option<(u32, usize)> = None;
+                for (port, &chan) in info.data_inputs.iter().enumerate() {
+                    let rate = self.chans[chan].cons_rate(ordinal_iter);
+                    if (state.data_ring(chan).len() as u64) < rate {
+                        continue;
+                    }
+                    let priority = self.chans[chan].priority;
+                    if best.is_none_or(|(b, _)| priority > b) {
+                        best = Some((priority, port));
+                    }
+                }
+                match best {
+                    Some((_, port)) => hp_choice = Some(port),
+                    None if port_count == 0 => {}
+                    None if real_time && info.is_transaction && info.control_from_clock => {
+                        // Deadline semantics: the clock token forces the
+                        // firing even though no result is ready yet.
+                        deadline_missed = true;
+                    }
+                    None => return None,
+                }
+            }
+            m => {
+                for (port, &chan) in info.data_inputs.iter().enumerate() {
+                    if !m.selects(port, port_count) {
+                        continue;
+                    }
+                    let rate = self.chans[chan].cons_rate(ordinal_iter);
+                    if (state.data_ring(chan).len() as u64) < rate {
+                        return None;
+                    }
+                }
+            }
+        }
+
+        // 3. Output space must be free on every output ring.
+        for &chan in &info.data_outputs {
+            let rate = self.chans[chan].prod_rate(ordinal_iter);
+            if (state.data_ring(chan).free() as u64) < rate {
+                return None;
+            }
+        }
+        for &chan in &info.control_outputs {
+            let rate = self.chans[chan].prod_rate(ordinal_iter);
+            if (state.control_ring(chan).free() as u64) < rate {
+                return None;
+            }
+        }
+
+        // 4. Commit: pop the control tokens and the selected inputs.
+        if control_need > 0 {
+            let ring = state.control_ring(info.control_port.expect("need implies port"));
+            for _ in 0..control_need {
+                ring.pop();
+            }
+        }
+        let controlled = info.control_port.is_some();
+        let mut inputs = Vec::with_capacity(mode.selected_count(port_count).min(port_count));
+        let mut take = |port: usize, chan: usize| {
+            let rate = self.chans[chan].cons_rate(ordinal_iter) as usize;
+            if controlled {
+                state.selected[chan].store(true, Ordering::Relaxed);
+            }
+            let mut slab = Vec::with_capacity(rate);
+            state.data_ring(chan).pop_into(rate, &mut slab);
+            inputs.push(PortInput {
+                port,
+                priority: self.chans[chan].priority,
+                channel: self.chans[chan].label.clone(),
+                tokens: slab,
+            });
+        };
+        match &mode {
+            Mode::HighestPriority => {
+                if let Some(port) = hp_choice {
+                    take(port, info.data_inputs[port]);
+                }
+            }
+            m => {
+                for (port, &chan) in info.data_inputs.iter().enumerate() {
+                    if m.selects(port, port_count) {
+                        take(port, chan);
+                    }
+                }
+            }
+        }
+
+        Some(Claim {
+            node,
+            ordinal_iter,
+            ordinal_total: ns.fired_total.load(Ordering::Relaxed),
+            mode,
+            inputs,
+            deadline_missed,
+            record_deadline: info.is_transaction && info.control_from_clock && control_need > 0,
+        })
+    }
+
+    /// Runs the kernel computation for a claim. Lock-free: only the
+    /// claim holder touches the firing's data.
+    fn execute(
+        &self,
+        mut claim: Claim,
+        registry: &KernelRegistry,
+    ) -> Result<(Claim, FiringContext), RuntimeError> {
+        let info = &self.nodes[claim.node];
+        let mut ctx = FiringContext {
+            node: info.name.clone(),
+            ordinal: claim.ordinal_total,
+            mode: claim.mode.clone(),
+            inputs: std::mem::take(&mut claim.inputs),
+            outputs: info
+                .data_outputs
+                .iter()
+                .enumerate()
+                .map(|(port, &chan)| {
+                    let rate = self.chans[chan].prod_rate(claim.ordinal_iter);
+                    PortOutput {
+                        port,
+                        channel: self.chans[chan].label.clone(),
+                        rate,
+                        tokens: Vec::with_capacity(rate as usize),
+                    }
+                })
+                .collect(),
+            deadline_missed: claim.deadline_missed,
+            vote_failed: false,
+        };
+        match registry.get(&info.name) {
+            Some(behavior) => behavior.fire(&mut ctx)?,
+            None if info.is_select_duplicate => fire_select_duplicate(&mut ctx),
+            None if info.is_transaction => fire_transaction(&mut ctx, info.votes_required),
+            None => fire_default(&mut ctx),
+        }
+        Ok((claim, ctx))
+    }
+
+    /// Publishes the outputs of a finished firing onto its rings and
+    /// records its metrics. Still requires the node claim.
+    fn publish_outputs(
+        &self,
+        state: &RunState,
+        claim: &Claim,
+        ctx: &mut FiringContext,
+        start: Instant,
+    ) -> Result<(), RuntimeError> {
+        let node = claim.node;
+        let info = &self.nodes[node];
+        let ns = &state.nodes[node];
+
+        for (idx, &chan) in info.data_outputs.iter().enumerate() {
+            let rate = self.chans[chan].prod_rate(claim.ordinal_iter);
+            let produced = &mut ctx.outputs[idx].tokens;
+            if produced.len() as u64 != rate {
+                return Err(RuntimeError::RateMismatch {
+                    node: info.name.to_string(),
+                    channel: self.chans[chan].label.to_string(),
+                    expected: rate,
+                    got: produced.len() as u64,
+                });
+            }
+            // The whole slab moves into the ring as one batch.
+            state.data_ring(chan).push_from(produced)?;
+            state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+        }
+
+        let policy_mode = self
+            .config
+            .control_policy
+            .mode_for(ns.control_firings.load(Ordering::Relaxed));
+        for &chan in &info.control_outputs {
+            let rate = self.chans[chan].prod_rate(claim.ordinal_iter);
+            state
+                .control_ring(chan)
+                .push_clones(&policy_mode, rate as usize)?;
+            state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+        }
+        if info.is_control_actor {
+            ns.control_firings.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if claim.record_deadline {
+            let selected = ctx.inputs.first();
+            let selection = DeadlineSelection {
+                transaction: NodeId(node),
+                selected_channel: selected.map(|p| ChannelId(info.data_inputs[p.port])),
+                selected_priority: selected.map(|p| p.priority),
+                at: start.elapsed(),
+            };
+            state
+                .park
+                .lock()
+                .expect("park lock")
+                .deadline_selections
+                .push(selection);
+        }
+        if ctx.deadline_missed {
+            state.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if ctx.vote_failed {
+            state.vote_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Commits a published firing: advances the node's counters,
+    /// releases the claim, enqueues the affected neighbours, handles
+    /// the iteration barrier, and signals progress.
+    fn finish_firing(&self, state: &RunState, me: usize, node: usize) {
+        let ns = &state.nodes[node];
+        ns.fired_iter.fetch_add(1, Ordering::Release);
+        ns.fired_total.fetch_add(1, Ordering::Relaxed);
+        ns.claimed.store(false, Ordering::Release);
+        let surplus = self.enqueue_candidates(state, me, node);
+        if state.remaining_iter.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.iteration_barrier(state);
+        }
+        self.signal_progress(state, surplus);
+    }
+
+    /// Enqueues the nodes whose readiness may have changed onto this
+    /// worker's queue (deduplicated through the per-node `queued`
+    /// flag). Returns `true` when the queue now holds more hints than
+    /// this worker will immediately consume itself — the signal that
+    /// waking a parked peer is worthwhile.
+    fn enqueue_candidates(&self, state: &RunState, me: usize, node: usize) -> bool {
+        let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
+        let mut queue = None;
+        for &cand in &self.nodes[node].neighbors {
+            if real_time && self.nodes[cand].is_clock {
+                continue;
+            }
+            if state.nodes[cand].fired_iter.load(Ordering::Relaxed) >= self.counts[cand] {
+                continue;
+            }
+            if state.nodes[cand]
+                .queued
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            queue
+                .get_or_insert_with(|| state.queues[me].lock().expect("queue lock"))
+                .push_back(cand);
+        }
+        queue.is_some_and(|q| q.len() > 1)
+    }
+
+    /// When every node has completed its repetition count: flush
+    /// rejected channels, advance (or finish) the iteration. Runs on
+    /// the worker that completed the iteration's last firing — every
+    /// budget is exhausted, so no claim can race with the flush; the
+    /// `Release` budget reset republishes the flushed rings.
+    fn iteration_barrier(&self, state: &RunState) {
+        // Flush data channels whose consuming (controlled) port was
+        // rejected for the whole iteration back to their initial state.
+        for (i, info) in self.chans.iter().enumerate() {
+            if info.is_control {
+                continue;
+            }
+            let consumed = state.selected[i].swap(false, Ordering::Relaxed);
+            if !info.target_controlled || consumed {
+                continue;
+            }
+            let ring = state.data_ring(i);
+            ring.clear();
+            for _ in 0..info.initial_tokens {
+                ring.push(Token::Unit)
+                    .expect("capacity covers initial tokens");
+            }
+        }
+        let finished = state.iteration.fetch_add(1, Ordering::Relaxed) + 1;
+        if finished >= self.config.iterations {
+            state.park.lock().expect("park lock").done = true;
+            state.halt.store(true, Ordering::SeqCst);
+            state.cond.notify_all();
+        } else {
+            state
+                .remaining_iter
+                .store(self.total_per_iter, Ordering::Relaxed);
+            for ns in &state.nodes {
+                ns.fired_iter.store(0, Ordering::Release);
+            }
+        }
+    }
+
+    /// Publishes progress: bumps the epoch unconditionally (the stall
+    /// protocol depends on it) and wakes one parked worker when there
+    /// is surplus work. Completion chains with no surplus continue on
+    /// the completing worker alone — waking peers for work this worker
+    /// is about to take itself only burns context switches (ruinous on
+    /// few-core hosts); parked workers additionally rescan on their
+    /// stall timeout, so a skipped wake-up can delay stealing but never
+    /// block progress.
+    fn signal_progress(&self, state: &RunState, surplus: bool) {
+        state.epoch.fetch_add(1, Ordering::SeqCst);
+        if surplus && !self.fine_grained() && state.parked.load(Ordering::SeqCst) > 0 {
+            // Passing through the mutex pairs with a parker that checked
+            // the epoch but has not yet blocked on the condvar.
+            drop(state.park.lock().expect("park lock"));
+            state.cond.notify_one();
+        }
+    }
+
+    /// Records a fatal error and halts the pool.
+    fn fail(&self, state: &RunState, error: RuntimeError) {
+        let mut park = state.park.lock().expect("park lock");
+        if park.error.is_none() {
+            park.error = Some(error);
+        }
+        state.halt.store(true, Ordering::SeqCst);
+        drop(park);
+        state.cond.notify_all();
+    }
+
+    /// Parks an idle worker — or reports a stall.
+    ///
+    /// Stall soundness: `epoch` was captured before the failed hunt for
+    /// work. If it is still unchanged here, no firing has completed
+    /// since, so the hunt's "nothing claimable" verdict still describes
+    /// the current state; if additionally `in_flight == 0`, no worker
+    /// is attempting or holding a claim (attempts bracket `in_flight`),
+    /// and if no real-time clock tick is pending either, the graph can
+    /// never make progress again.
+    fn park(&self, state: &RunState, epoch: u64, start: Instant) {
+        state.parked.fetch_add(1, Ordering::SeqCst);
+        let guard = state.park.lock().expect("park lock");
+        let stale = state.epoch.load(Ordering::SeqCst) != epoch;
+        if !stale && !state.halt.load(Ordering::SeqCst) {
+            let next_tick = match &self.config.clock_mode {
+                ClockMode::RealTime { time_unit } => self.next_tick_in(state, start, *time_unit),
+                ClockMode::Virtual => None,
+            };
+            if state.in_flight.load(Ordering::SeqCst) == 0 && next_tick.is_none() {
+                let mut guard = guard;
+                if guard.error.is_none() {
+                    guard.error = Some(RuntimeError::Stalled {
+                        blocked: self.blocked_names(state),
+                        iteration: state.iteration.load(Ordering::Relaxed),
+                    });
+                }
+                state.halt.store(true, Ordering::SeqCst);
+                drop(guard);
+                state.cond.notify_all();
+            } else {
+                let timeout = next_tick.unwrap_or(self.config.stall_timeout);
+                drop(
+                    state
+                        .cond
+                        .wait_timeout(guard, timeout)
+                        .expect("park lock")
+                        .0,
+                );
+            }
+        }
+        state.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Names of nodes with remaining firings, for stall diagnostics.
-    fn blocked_names(&self, state: &ExecState) -> Vec<String> {
+    fn blocked_names(&self, state: &RunState) -> Vec<String> {
         self.scan_order
             .iter()
-            .filter(|&&n| state.fired_iter[n] < self.counts[n])
-            .map(|&n| self.nodes[n].name.clone())
+            .filter(|&&n| state.nodes[n].fired_iter.load(Ordering::Relaxed) < self.counts[n])
+            .map(|&n| self.nodes[n].name.to_string())
             .collect()
     }
 
@@ -587,373 +1363,102 @@ impl<'g> Executor<'g> {
         start + Duration::new(secs, subsec)
     }
 
-    /// A clock whose next tick is due now, if any.
-    fn due_clock(&self, state: &ExecState, start: Instant, unit: Duration) -> Option<usize> {
-        let now = Instant::now();
-        (0..self.nodes.len()).find(|&n| {
-            self.nodes[n].is_clock
-                && state.fired_iter[n] < self.counts[n]
-                && now >= self.tick_instant(start, n, state.fired_total[n], unit)
-        })
-    }
-
     /// Time until the earliest pending clock tick, if any clock still
     /// has firings left this iteration.
-    fn next_tick_in(&self, state: &ExecState, start: Instant, unit: Duration) -> Option<Duration> {
+    fn next_tick_in(&self, state: &RunState, start: Instant, unit: Duration) -> Option<Duration> {
         let now = Instant::now();
-        (0..self.nodes.len())
-            .filter(|&n| self.nodes[n].is_clock && state.fired_iter[n] < self.counts[n])
-            .map(|n| {
-                let tick = self.tick_instant(start, n, state.fired_total[n], unit);
+        self.clock_nodes
+            .iter()
+            .filter(|&&n| state.nodes[n].fired_iter.load(Ordering::Relaxed) < self.counts[n])
+            .map(|&n| {
+                let tick = self.tick_instant(
+                    start,
+                    n,
+                    state.nodes[n].fired_total.load(Ordering::Relaxed),
+                    unit,
+                );
                 tick.saturating_duration_since(now)
             })
             .min()
     }
 
-    /// Fires a real-time clock: emits its control tokens (and any data
-    /// tokens) without consuming anything, exactly like the virtual-time
-    /// engine's tick handling.
-    fn fire_clock(&self, state: &mut ExecState, node: usize) {
-        let ordinal = state.fired_iter[node];
-        let policy_mode = self
-            .config
-            .control_policy
-            .mode_for(state.control_firings[node]);
-        for &chan in &self.nodes[node].outputs {
-            let rate = self.chans[chan].prod_rate(ordinal);
-            match &mut state.channels[chan] {
-                ChannelStore::Control { queue, high_water } => {
-                    for _ in 0..rate {
-                        queue.push_back(ControlMsg {
-                            mode: policy_mode.clone(),
-                        });
-                    }
-                    *high_water = (*high_water).max(queue.len() as u64);
-                }
-                ChannelStore::Data(ring) => {
-                    for _ in 0..rate {
-                        if let Err(e) = ring.push(Token::Unit) {
-                            state.error = Some(e);
-                            return;
-                        }
-                    }
-                }
-            }
-            state.tokens_pushed[chan] += rate;
-        }
-        state.control_firings[node] += 1;
-        state.fired_iter[node] += 1;
-        state.fired_total[node] += 1;
-    }
-
-    /// Attempts to claim one ready firing, consuming its inputs and
-    /// reserving its output space. Must run under the scheduler lock.
-    fn try_claim(&self, state: &mut ExecState) -> Option<Claim> {
-        let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
-        for &node in &self.scan_order {
-            if state.in_flight[node]
-                || state.fired_iter[node] >= self.counts[node]
-                || (real_time && self.nodes[node].is_clock)
+    /// Fires one due real-time clock, if any. Returns `true` when a
+    /// clock fired (successfully or not).
+    fn fire_due_clock(&self, state: &RunState, me: usize, start: Instant, unit: Duration) -> bool {
+        let now = Instant::now();
+        for &node in &self.clock_nodes {
+            let ns = &state.nodes[node];
+            if ns.fired_iter.load(Ordering::Acquire) >= self.counts[node]
+                || now
+                    < self.tick_instant(start, node, ns.fired_total.load(Ordering::Relaxed), unit)
             {
                 continue;
             }
-            if let Some(claim) = self.try_claim_node(state, node, real_time) {
-                return Some(claim);
+            state.in_flight.fetch_add(1, Ordering::SeqCst);
+            if ns
+                .claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                continue;
             }
-        }
-        None
-    }
-
-    fn try_claim_node(&self, state: &mut ExecState, node: usize, real_time: bool) -> Option<Claim> {
-        let info = &self.nodes[node];
-        let ordinal_iter = state.fired_iter[node];
-
-        // 1. Resolve the mode of this firing from the control port.
-        let control_need = info
-            .control_port
-            .map(|cp| self.chans[cp].cons_rate(ordinal_iter))
-            .unwrap_or(0);
-        let mode = if control_need > 0 {
-            let cp = info.control_port.expect("need implies port");
-            match &state.channels[cp] {
-                // All `control_need` tokens must be present (they are
-                // popped below); the firing's mode comes from the first.
-                ChannelStore::Control { queue, .. } => {
-                    if (queue.len() as u64) < control_need {
-                        return None;
-                    }
-                    queue.front().expect("length checked").mode.clone()
+            // Re-check under the claim: another worker may have fired
+            // this very tick between the check above and the CAS.
+            let ordinal = ns.fired_iter.load(Ordering::Acquire);
+            let due = ordinal < self.counts[node]
+                && Instant::now()
+                    >= self.tick_instant(start, node, ns.fired_total.load(Ordering::Relaxed), unit);
+            let fired = if due {
+                match self.fire_clock_claimed(state, node, ordinal) {
+                    Ok(()) => self.finish_firing(state, me, node),
+                    Err(error) => self.fail(state, error),
                 }
-                ChannelStore::Data(_) => unreachable!("control port backed by data ring"),
-            }
-        } else {
-            Mode::WaitAll
-        };
-
-        // 2. Determine the selected data inputs.
-        let port_count = info.data_inputs.len();
-        let rates: Vec<u64> = info
-            .data_inputs
-            .iter()
-            .map(|&c| self.chans[c].cons_rate(ordinal_iter))
-            .collect();
-        let available = |state: &ExecState, chan: usize, rate: u64| -> bool {
-            match &state.channels[chan] {
-                ChannelStore::Data(ring) => ring.len() as u64 >= rate,
-                ChannelStore::Control { .. } => unreachable!("data port backed by control queue"),
-            }
-        };
-        let mut deadline_missed = false;
-        let selected: Vec<(usize, usize, u64)> = match &mode {
-            Mode::HighestPriority => {
-                let mut candidates: Vec<(u32, usize, usize, u64)> = info
-                    .data_inputs
-                    .iter()
-                    .enumerate()
-                    .filter(|(port, &chan)| available(state, chan, rates[*port]))
-                    .map(|(port, &chan)| (self.chans[chan].priority, port, chan, rates[port]))
-                    .collect();
-                candidates.sort_by_key(|(prio, _, _, _)| std::cmp::Reverse(*prio));
-                match candidates.first() {
-                    Some(&(_, port, chan, rate)) => vec![(port, chan, rate)],
-                    None if port_count == 0 => Vec::new(),
-                    None if real_time && info.is_transaction && info.control_from_clock => {
-                        // Deadline semantics: the clock token forces the
-                        // firing even though no result is ready yet.
-                        deadline_missed = true;
-                        Vec::new()
-                    }
-                    None => return None,
-                }
-            }
-            m => {
-                let picked: Vec<(usize, usize, u64)> = info
-                    .data_inputs
-                    .iter()
-                    .enumerate()
-                    .filter(|(port, _)| m.selects(*port, port_count))
-                    .map(|(port, &chan)| (port, chan, rates[port]))
-                    .collect();
-                if picked
-                    .iter()
-                    .any(|&(_, chan, rate)| !available(state, chan, rate))
-                {
-                    return None;
-                }
-                picked
-            }
-        };
-
-        // 3. Output space must be reservable for every data output.
-        let mut data_outputs = Vec::new();
-        let mut control_outputs = Vec::new();
-        for &chan in &info.outputs {
-            let rate = self.chans[chan].prod_rate(ordinal_iter);
-            if self.chans[chan].is_control {
-                control_outputs.push((chan, rate));
+                true
             } else {
-                let occupied = match &state.channels[chan] {
-                    ChannelStore::Data(ring) => ring.len() as u64,
-                    ChannelStore::Control { .. } => unreachable!(),
-                };
-                if occupied + state.reserved[chan] + rate > self.capacities[chan] {
-                    return None;
-                }
-                data_outputs.push((chan, rate));
+                ns.claimed.store(false, Ordering::Release);
+                false
+            };
+            state.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if fired {
+                return true;
             }
         }
-
-        // 4. Commit: pop the control token and the selected inputs,
-        //    reserve the outputs.
-        if control_need > 0 {
-            let cp = info.control_port.expect("need implies port");
-            if let ChannelStore::Control { queue, .. } = &mut state.channels[cp] {
-                for _ in 0..control_need {
-                    queue.pop_front();
-                }
-            }
-        }
-        let inputs: Vec<PortInput> = selected
-            .iter()
-            .map(|&(port, chan, rate)| {
-                state.selected.insert(chan);
-                let tokens = match &mut state.channels[chan] {
-                    ChannelStore::Data(ring) => ring.pop_many(rate as usize),
-                    ChannelStore::Control { .. } => unreachable!(),
-                };
-                PortInput {
-                    port,
-                    priority: self.chans[chan].priority,
-                    channel: self.chans[chan].label.clone(),
-                    tokens,
-                }
-            })
-            .collect();
-        for &(chan, rate) in &data_outputs {
-            state.reserved[chan] += rate;
-        }
-        state.in_flight[node] = true;
-        state.in_flight_count += 1;
-
-        Some(Claim {
-            node,
-            ordinal_total: state.fired_total[node],
-            mode,
-            inputs,
-            data_outputs,
-            control_outputs,
-            deadline_missed,
-            record_deadline: info.is_transaction && info.control_from_clock && control_need > 0,
-        })
+        false
     }
 
-    /// Runs the kernel computation for a claim, outside the lock.
-    #[allow(clippy::type_complexity)]
-    fn execute(
+    /// Emits a real-time clock tick: control tokens carrying the policy
+    /// mode (and unit markers on any data outputs), consuming nothing —
+    /// exactly like the virtual-time engine's tick handling. Requires
+    /// the node claim.
+    fn fire_clock_claimed(
         &self,
-        claim: Claim,
-        registry: &KernelRegistry,
-        _start: Instant,
-    ) -> Result<(Claim, FiringContext), RuntimeError> {
-        let info = &self.nodes[claim.node];
-        let mut ctx = FiringContext {
-            node: info.name.clone(),
-            ordinal: claim.ordinal_total,
-            mode: claim.mode.clone(),
-            inputs: claim.inputs.clone(),
-            outputs: claim
-                .data_outputs
-                .iter()
-                .enumerate()
-                .map(|(port, &(chan, rate))| PortOutput {
-                    port,
-                    channel: self.chans[chan].label.clone(),
-                    rate,
-                    tokens: Vec::new(),
-                })
-                .collect(),
-            deadline_missed: claim.deadline_missed,
-            vote_failed: false,
-        };
-        match registry.get(&info.name) {
-            Some(behavior) => behavior.fire(&mut ctx)?,
-            None if info.is_select_duplicate => fire_select_duplicate(&mut ctx),
-            None if info.is_transaction => fire_transaction(&mut ctx, info.votes_required),
-            None => fire_default(&mut ctx),
-        }
-        Ok((claim, ctx))
-    }
-
-    /// Publishes the outputs of a finished firing. Must run under the
-    /// scheduler lock.
-    fn complete(
-        &self,
-        state: &mut ExecState,
-        claim: Claim,
-        ctx: FiringContext,
-        start: Instant,
+        state: &RunState,
+        node: usize,
+        ordinal: u64,
     ) -> Result<(), RuntimeError> {
-        let node = claim.node;
         let info = &self.nodes[node];
-
-        for (port, &(chan, rate)) in claim.data_outputs.iter().enumerate() {
-            let produced = &ctx.outputs[port].tokens;
-            if produced.len() as u64 != rate {
-                return Err(RuntimeError::RateMismatch {
-                    node: info.name.clone(),
-                    channel: self.chans[chan].label.clone(),
-                    expected: rate,
-                    got: produced.len() as u64,
-                });
-            }
-            state.reserved[chan] -= rate;
-            if let ChannelStore::Data(ring) = &mut state.channels[chan] {
-                for token in produced {
-                    ring.push(token.clone())?;
-                }
-            }
-            state.tokens_pushed[chan] += rate;
-        }
-
+        let ns = &state.nodes[node];
         let policy_mode = self
             .config
             .control_policy
-            .mode_for(state.control_firings[node]);
-        for &(chan, rate) in &claim.control_outputs {
-            if let ChannelStore::Control { queue, high_water } = &mut state.channels[chan] {
-                for _ in 0..rate {
-                    queue.push_back(ControlMsg {
-                        mode: policy_mode.clone(),
-                    });
-                }
-                *high_water = (*high_water).max(queue.len() as u64);
-            }
-            state.tokens_pushed[chan] += rate;
+            .mode_for(ns.control_firings.load(Ordering::Relaxed));
+        for &chan in &info.control_outputs {
+            let rate = self.chans[chan].prod_rate(ordinal);
+            state
+                .control_ring(chan)
+                .push_clones(&policy_mode, rate as usize)?;
+            state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
         }
-        if info.is_control_actor {
-            state.control_firings[node] += 1;
+        for &chan in &info.data_outputs {
+            let rate = self.chans[chan].prod_rate(ordinal);
+            state
+                .data_ring(chan)
+                .push_clones(&Token::Unit, rate as usize)?;
+            state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
         }
-
-        if claim.record_deadline {
-            let selected_channel = claim
-                .inputs
-                .first()
-                .map(|p| ChannelId(info.data_inputs[p.port]));
-            state.deadline_selections.push(DeadlineSelection {
-                transaction: NodeId(node),
-                selected_channel,
-                selected_priority: claim.inputs.first().map(|p| p.priority),
-                at: start.elapsed(),
-            });
-        }
-        if ctx.deadline_missed {
-            state.deadline_misses += 1;
-        }
-        if ctx.vote_failed {
-            state.vote_failures += 1;
-        }
-
-        state.fired_iter[node] += 1;
-        state.fired_total[node] += 1;
-        state.in_flight[node] = false;
-        state.in_flight_count -= 1;
+        ns.control_firings.fetch_add(1, Ordering::Relaxed);
         Ok(())
-    }
-
-    /// When every node completed its repetition count and nothing is in
-    /// flight: flush rejected channels, advance (or finish) the
-    /// iteration. Must run under the scheduler lock.
-    fn finish_iteration_if_complete(&self, state: &mut ExecState) {
-        if state.error.is_some() || state.done || state.in_flight_count > 0 {
-            return;
-        }
-        let complete = (0..self.nodes.len()).all(|n| state.fired_iter[n] >= self.counts[n]);
-        if !complete {
-            return;
-        }
-        // Flush data channels whose consuming (controlled) port was
-        // rejected for the whole iteration back to their initial state.
-        for (i, info) in self.chans.iter().enumerate() {
-            if info.is_control || !info.target_controlled || state.selected.contains(&i) {
-                continue;
-            }
-            let _ = self.nodes[info.target].name; // target is a kernel with a control port
-            if let ChannelStore::Data(ring) = &mut state.channels[i] {
-                ring.clear();
-                for _ in 0..info.initial_tokens {
-                    ring.push(Token::Unit)
-                        .expect("capacity covers initial tokens");
-                }
-            }
-        }
-        state.selected.clear();
-        for f in &mut state.fired_iter {
-            *f = 0;
-        }
-        state.iteration += 1;
-        if state.iteration >= self.config.iterations {
-            state.done = true;
-        }
     }
 }
 
@@ -1032,8 +1537,9 @@ mod tests {
 
     #[test]
     fn strict_capacities_still_complete() {
-        // Slack 1 sizes every ring at exactly the reference high-water
-        // mark; the reservation discipline must still find a schedule.
+        // Slack 1 sizes every data ring at exactly the reference
+        // high-water mark; the claim discipline must still find a
+        // schedule.
         let g = figure2_graph();
         let config = RuntimeConfig::new(binding(4))
             .with_threads(4)
@@ -1050,10 +1556,26 @@ mod tests {
             .iter()
             .zip(&metrics.channel_capacity)
         {
-            if *cap > 0 {
-                assert!(hw <= cap, "high water {hw} exceeds capacity {cap}");
-            }
+            assert!(*cap > 0, "every channel is a bounded ring now");
+            assert!(hw <= cap, "high water {hw} exceeds capacity {cap}");
         }
+    }
+
+    #[test]
+    fn many_iterations_stress_the_barrier() {
+        // The iteration barrier runs once per iteration; hammer it from
+        // several threads to catch reset races.
+        let g = figure2_graph();
+        let config = RuntimeConfig::new(binding(2))
+            .with_threads(8)
+            .with_iterations(200);
+        let reference = sim_reference(&g, &config);
+        let metrics = Executor::new(&g, config)
+            .unwrap()
+            .run(&KernelRegistry::new())
+            .unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+        assert_eq!(metrics.iterations, 200);
     }
 
     #[test]

@@ -23,40 +23,65 @@
 use crate::token::Token;
 use crate::RuntimeError;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tpdf_core::mode::Mode;
 
 /// The tokens one data-input port contributed to a firing.
+///
+/// `tokens` is one contiguous slab moved out of the channel ring as a
+/// batch ([`crate::ring::RingBuffer::pop_into`]) — behaviours read it
+/// as a slice, they never see per-element channel traffic.
 #[derive(Debug, Clone)]
 pub struct PortInput {
     /// Port index among the kernel's data inputs (declaration order).
     pub port: usize,
     /// Priority `α` of the port (higher wins Transaction selection).
     pub priority: u32,
-    /// Channel label (e.g. `e6`), for diagnostics.
-    pub channel: String,
+    /// Channel label (e.g. `e6`), for diagnostics. Shared, not copied,
+    /// so building a firing context costs no string allocation.
+    pub channel: Arc<str>,
     /// The consumed tokens, oldest first.
     pub tokens: Vec<Token>,
 }
 
+impl PortInput {
+    /// The consumed tokens as a slice.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+}
+
 /// One data-output port a firing must fill.
+///
+/// `tokens` becomes the slab pushed into the channel ring as one batch
+/// ([`crate::ring::RingBuffer::push_from`]) when the firing completes.
 #[derive(Debug, Clone)]
 pub struct PortOutput {
     /// Port index among the kernel's data outputs (declaration order).
     pub port: usize,
-    /// Channel label, for diagnostics.
-    pub channel: String,
+    /// Channel label, for diagnostics. Shared, not copied.
+    pub channel: Arc<str>,
     /// Number of tokens the firing must produce on this port.
     pub rate: u64,
     /// The produced tokens; must contain exactly `rate` tokens when the
-    /// behaviour returns.
+    /// behaviour returns (pre-allocated to that capacity).
     pub tokens: Vec<Token>,
+}
+
+impl PortOutput {
+    /// Replaces the port's tokens with clones of `slice` cycled to the
+    /// required rate.
+    pub fn write_cycled(&mut self, slice: &[Token]) {
+        self.tokens.clear();
+        write_cycled_into(&mut self.tokens, slice, self.rate);
+    }
 }
 
 /// Everything a kernel behaviour sees and produces during one firing.
 #[derive(Debug)]
 pub struct FiringContext {
-    /// Node name.
-    pub node: String,
+    /// Node name. Shared, not copied.
+    pub node: Arc<str>,
     /// Global firing ordinal of this node (across iterations).
     pub ordinal: u64,
     /// The mode this firing executes in (from the control token, or
@@ -75,7 +100,23 @@ pub struct FiringContext {
 }
 
 impl FiringContext {
+    /// The input entry of data port `port`, if it participated in this
+    /// firing.
+    pub fn input(&self, port: usize) -> Option<&PortInput> {
+        self.inputs.iter().find(|p| p.port == port)
+    }
+
+    /// The token slab of data port `port`; empty when the port did not
+    /// participate in this firing. Zero-copy: a slice view of the slab
+    /// popped from the channel ring.
+    pub fn input_tokens(&self, port: usize) -> &[Token] {
+        self.input(port).map(|p| p.tokens.as_slice()).unwrap_or(&[])
+    }
+
     /// All consumed tokens, port after port, oldest first.
+    ///
+    /// This allocates a fresh concatenation; behaviours reading a
+    /// single port should use [`FiringContext::input_tokens`] instead.
     pub fn concatenated_inputs(&self) -> Vec<Token> {
         self.inputs
             .iter()
@@ -87,20 +128,42 @@ impl FiringContext {
     /// [`Token::Unit`] markers when `source` is empty).
     pub fn fill_outputs_cycling(&mut self, source: &[Token]) {
         for out in &mut self.outputs {
-            out.tokens = cycle_to(source, out.rate);
+            out.write_cycled(source);
+        }
+    }
+
+    /// Fills every output port by cycling through the concatenated
+    /// input stream *without materialising the concatenation* — the
+    /// built-in forwarding semantics on the slab API.
+    pub fn fill_outputs_from_inputs(&mut self) {
+        let total: usize = self.inputs.iter().map(|p| p.tokens.len()).sum();
+        let (inputs, outputs) = (&self.inputs, &mut self.outputs);
+        for out in outputs.iter_mut() {
+            out.tokens.clear();
+            if total == 0 {
+                out.tokens.resize(out.rate as usize, Token::Unit);
+            } else {
+                out.tokens.extend(
+                    inputs
+                        .iter()
+                        .flat_map(|p| p.tokens.iter())
+                        .cycle()
+                        .take(out.rate as usize)
+                        .cloned(),
+                );
+            }
         }
     }
 }
 
-/// Produces `rate` tokens by cycling through `source`; [`Token::Unit`]
-/// markers when `source` is empty.
-fn cycle_to(source: &[Token], rate: u64) -> Vec<Token> {
+/// Appends `rate` tokens to `out` by cycling through `source`;
+/// [`Token::Unit`] markers when `source` is empty.
+fn write_cycled_into(out: &mut Vec<Token>, source: &[Token], rate: u64) {
     if source.is_empty() {
-        return vec![Token::Unit; rate as usize];
+        out.resize(out.len() + rate as usize, Token::Unit);
+        return;
     }
-    (0..rate as usize)
-        .map(|i| source[i % source.len()].clone())
-        .collect()
+    out.extend((0..rate as usize).map(|i| source[i % source.len()].clone()));
 }
 
 /// What a node computes when it fires.
@@ -178,8 +241,7 @@ impl KernelRegistry {
 /// Built-in semantics of the Select-Duplicate kernel: every selected
 /// output receives a copy of the input stream.
 pub(crate) fn fire_select_duplicate(ctx: &mut FiringContext) {
-    let source = ctx.concatenated_inputs();
-    ctx.fill_outputs_cycling(&source);
+    ctx.fill_outputs_from_inputs();
 }
 
 /// Built-in semantics of the Transaction kernel: vote when configured,
@@ -230,8 +292,7 @@ fn winning_vote(inputs: &[PortInput], votes_required: u32) -> Option<Vec<Token>>
 /// Built-in semantics of regular kernels and control actors: forward
 /// inputs cyclically (unit markers when nothing was consumed).
 pub(crate) fn fire_default(ctx: &mut FiringContext) {
-    let source = ctx.concatenated_inputs();
-    ctx.fill_outputs_cycling(&source);
+    ctx.fill_outputs_from_inputs();
 }
 
 #[cfg(test)]
@@ -240,7 +301,7 @@ mod tests {
 
     fn ctx_with(inputs: Vec<PortInput>, rates: &[u64]) -> FiringContext {
         FiringContext {
-            node: "t".to_string(),
+            node: Arc::from("t"),
             ordinal: 0,
             mode: Mode::WaitAll,
             inputs,
@@ -249,7 +310,7 @@ mod tests {
                 .enumerate()
                 .map(|(port, &rate)| PortOutput {
                     port,
-                    channel: format!("o{port}"),
+                    channel: Arc::from(format!("o{port}").as_str()),
                     rate,
                     tokens: Vec::new(),
                 })
@@ -263,9 +324,21 @@ mod tests {
         PortInput {
             port,
             priority,
-            channel: format!("i{port}"),
+            channel: Arc::from(format!("i{port}").as_str()),
             tokens,
         }
+    }
+
+    #[test]
+    fn input_slices_are_zero_copy_views() {
+        let ctx = ctx_with(vec![port(1, 0, vec![Token::Int(4), Token::Int(5)])], &[1]);
+        assert_eq!(
+            ctx.input_tokens(1),
+            &[Token::Int(4), Token::Int(5)],
+            "selected port exposes its slab"
+        );
+        assert!(ctx.input_tokens(0).is_empty(), "unselected port is empty");
+        assert_eq!(ctx.input(1).unwrap().tokens(), ctx.input_tokens(1));
     }
 
     #[test]

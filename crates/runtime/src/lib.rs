@@ -8,11 +8,11 @@
 //! | Module | Provides |
 //! |--------|----------|
 //! | [`token`] | [`token::Token`]: the values flowing through channels (units, scalars, bits, complex samples, shared images) |
-//! | [`ring`] | [`ring::RingBuffer`]: fixed-capacity channel storage, sized from `tpdf-sim` buffer analysis |
+//! | [`ring`] | [`ring::RingBuffer`]: lock-free SPSC channel rings with batch slab transfer, sized from `tpdf-sim` buffer analysis |
 //! | [`kernel`] | [`kernel::KernelBehavior`] / [`kernel::KernelRegistry`]: what each node computes, plus built-in Select-Duplicate, Transaction-with-vote and default semantics |
-//! | [`executor`] | [`executor::Executor`]: the worker-pool scheduler with control-token mode switching and real-deadline [`tpdf_core::KernelKind::Clock`] watchdogs |
+//! | [`executor`] | [`executor::Executor`]: the sharded scheduler (per-node atomic claims, per-worker ready queues with stealing) with control-token mode switching and real-deadline [`tpdf_core::KernelKind::Clock`] watchdogs |
 //! | [`metrics`] | [`metrics::Metrics`]: per-actor firings, tokens/sec, deadline misses |
-//! | [`cases`] | the edge-detection and OFDM case studies ported to run end-to-end |
+//! | [`cases`] | the edge-detection, OFDM and FM-radio case studies ported to run end-to-end |
 //!
 //! ## Semantics
 //!
@@ -48,7 +48,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place:
+// the SPSC slot accesses of `ring`, whose cursor protocol is documented
+// there and exercised by a cross-thread property test.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cases;
@@ -58,7 +61,7 @@ pub mod metrics;
 pub mod ring;
 pub mod token;
 
-pub use cases::{EdgeDetectionRuntime, OfdmRuntime, OutputCapture};
+pub use cases::{EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture};
 pub use executor::{ClockMode, Executor, RuntimeConfig};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
 pub use metrics::{DeadlineSelection, Metrics};

@@ -32,8 +32,10 @@ pub struct Metrics {
     pub tokens_pushed: Vec<u64>,
     /// Highest observed occupancy of each channel.
     pub channel_high_water: Vec<u64>,
-    /// Configured ring capacity of each data channel (`0` for control
-    /// channels, whose queues are unbounded).
+    /// Configured ring capacity of each channel: data rings are sized
+    /// from the reference high-water marks times the slack factor,
+    /// control rings from their per-iteration production (an exact
+    /// occupancy bound).
     pub channel_capacity: Vec<u64>,
     /// Sum of [`Metrics::tokens_pushed`].
     pub total_tokens: u64,

@@ -67,6 +67,15 @@ impl Token {
             _ => None,
         }
     }
+
+    /// The floating-point payload, if this token carries one (used by
+    /// the FM-radio audio stream).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Token::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Token {
@@ -114,7 +123,9 @@ mod tests {
     fn accessors_match_variants() {
         assert_eq!(Token::from(3u8).as_byte(), Some(3));
         assert_eq!(Token::from(-2i64).as_int(), Some(-2));
+        assert_eq!(Token::from(1.5f64).as_float(), Some(1.5));
         assert_eq!(Token::Unit.as_byte(), None);
+        assert_eq!(Token::Unit.as_float(), None);
         let c = Complex::new(1.0, -1.0);
         assert_eq!(Token::from(c).as_complex(), Some(c));
         let img = GrayImage::synthetic(4, 4, 1);

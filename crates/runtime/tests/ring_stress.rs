@@ -1,0 +1,96 @@
+//! Multi-threaded stress/property test of the lock-free SPSC ring:
+//! a producer thread and a consumer thread exchange a numbered token
+//! stream through randomly sized batches over randomly sized rings,
+//! and the consumer must observe exactly the FIFO sequence — no lost,
+//! duplicated or reordered element — while the ring never exceeds its
+//! capacity.
+
+use proptest::prelude::*;
+use tpdf_runtime::RingBuffer;
+
+/// Pushes `0..total` through a ring of the given capacity using the
+/// given (cycled) batch-size schedules and returns what the consumer
+/// received.
+fn pump(capacity: usize, total: u64, push_sizes: &[usize], pop_sizes: &[usize]) -> Vec<u64> {
+    let ring: RingBuffer<u64> = RingBuffer::new("stress", capacity);
+    let mut received = Vec::with_capacity(total as usize);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut next = 0u64;
+            let mut slab = Vec::new();
+            for (i, &raw) in push_sizes.iter().cycle().enumerate() {
+                if next >= total {
+                    break;
+                }
+                // Batches are clamped to the capacity and the remaining
+                // stream; a zero entry degenerates to a single push.
+                let batch = raw.clamp(1, capacity).min((total - next) as usize);
+                slab.extend((0..batch as u64).map(|k| next + k));
+                while ring.free() < batch {
+                    std::thread::yield_now();
+                }
+                ring.push_from(&mut slab).expect("free space was checked");
+                assert!(slab.is_empty(), "push_from drains the slab");
+                next += batch as u64;
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        for (i, &raw) in pop_sizes.iter().cycle().enumerate() {
+            let remaining = total as usize - received.len();
+            if remaining == 0 {
+                break;
+            }
+            // Wait for at least one token, then take at most `raw`: a
+            // consumer insisting on more than the producer can fit into
+            // the remaining ring space would deadlock the pair.
+            let mut available = ring.len();
+            while available == 0 {
+                std::thread::yield_now();
+                available = ring.len();
+            }
+            let want = raw.clamp(1, capacity).min(remaining).min(available);
+            ring.pop_into(want, &mut received);
+            if i % 5 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    assert!(ring.is_empty(), "everything produced was consumed");
+    assert!(
+        ring.high_water() <= capacity,
+        "high water {} exceeds capacity {capacity}",
+        ring.high_water()
+    );
+    received
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spsc_ring_is_fifo_under_concurrency(
+        capacity in 1usize..33,
+        total in 1u64..5_000,
+        push_sizes in proptest::collection::vec(1usize..17, 1..8),
+        pop_sizes in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let received = pump(capacity, total, &push_sizes, &pop_sizes);
+        prop_assert_eq!(received.len() as u64, total);
+        for (i, &v) in received.iter().enumerate() {
+            prop_assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn spsc_ring_survives_tiny_rings_and_single_tokens(
+        total in 1u64..600,
+        capacity in 1usize..4,
+    ) {
+        // Worst case for cursor wraparound: capacity 1-3 with
+        // single-element batches forces maximal head/tail traffic.
+        let received = pump(capacity, total, &[1], &[1]);
+        prop_assert_eq!(received, (0..total).collect::<Vec<_>>());
+    }
+}

@@ -188,15 +188,26 @@ fn run_benchmark(
         samples_requested: sample_size,
     };
     f(&mut bencher);
-    let durations = if bencher.durations.is_empty() {
+    let mut durations = if bencher.durations.is_empty() {
         vec![Duration::ZERO]
     } else {
         bencher.durations
     };
-    let total: Duration = durations.iter().sum();
-    let mean = total / durations.len() as u32;
     let min = *durations.iter().min().expect("at least one sample");
     let max = *durations.iter().max().expect("at least one sample");
+    // Interquartile mean: drop the top and bottom quarter of samples
+    // (where there are enough) so that scheduling hiccups on a busy
+    // host do not swamp the estimate — a poor man's version of real
+    // criterion's outlier-robust statistics.
+    durations.sort_unstable();
+    let trim = if durations.len() >= 5 {
+        durations.len() / 4
+    } else {
+        0
+    };
+    let kept = &durations[trim..durations.len() - trim];
+    let total: Duration = kept.iter().sum();
+    let mean = total / kept.len() as u32;
     let elements_per_sec = match throughput {
         Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
             Some(n as f64 / mean.as_secs_f64())

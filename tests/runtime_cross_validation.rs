@@ -6,12 +6,15 @@
 //! reference computation of each case study.
 
 use tpdf_suite::apps::edge_detection::{EdgeDetectionApp, EdgeDetector};
+use tpdf_suite::apps::fm_radio::FmRadioConfig;
 use tpdf_suite::apps::image::GrayImage;
 use tpdf_suite::apps::ofdm::OfdmConfig;
 use tpdf_suite::core::graph::TpdfGraph;
 use tpdf_suite::core::mode::Mode;
 use tpdf_suite::runtime::kernel::KernelRegistry;
-use tpdf_suite::runtime::{EdgeDetectionRuntime, Executor, Metrics, OfdmRuntime, RuntimeConfig};
+use tpdf_suite::runtime::{
+    EdgeDetectionRuntime, Executor, FmRadioRuntime, Metrics, OfdmRuntime, RuntimeConfig,
+};
 use tpdf_suite::sim::engine::{ControlPolicy, SimulationConfig, SimulationReport, Simulator};
 use tpdf_suite::symexpr::Binding;
 
@@ -161,6 +164,59 @@ fn ofdm_demodulated_bits_match_reference_for_both_constellations() {
         // And the demodulation itself is error-free end to end.
         assert_eq!(&reference, port.sent_bits());
     }
+}
+
+#[test]
+fn fm_radio_token_streams_match_across_policies() {
+    // The FM radio's Transaction selects between many Select-Duplicate
+    // branches (one per equalizer band) — the wide dynamic-topology
+    // case edge detection and OFDM do not cover: under SelectInput /
+    // Alternate most band channels are rejected for whole iterations
+    // and must be flushed at the boundary by both engines.
+    let port = FmRadioRuntime::new(FmRadioConfig { bands: 5, block: 8 }, 23);
+    let graph = port.graph();
+    let binding = port.binding();
+    for policy in deterministic_policies(port.config().bands) {
+        let (registry, _capture) = port.registry();
+        assert_engines_agree(&graph, &binding, &policy, &registry);
+    }
+}
+
+#[test]
+fn fm_radio_audio_matches_reference_for_every_band() {
+    let port = FmRadioRuntime::new(
+        FmRadioConfig {
+            bands: 4,
+            block: 32,
+        },
+        2026,
+    );
+    let graph = port.graph();
+    let binding = port.binding();
+    for band in 0..port.config().bands {
+        let (registry, capture) = port.registry();
+        assert_engines_agree(
+            &graph,
+            &binding,
+            &ControlPolicy::SelectInput(band),
+            &registry,
+        );
+        let reference = port.reference_audio(band);
+        let mut expected = Vec::new();
+        for _ in 0..ITERATIONS {
+            expected.extend_from_slice(&reference);
+        }
+        assert_eq!(capture.floats(), expected, "band {band} audio diverges");
+    }
+    // WaitAll keeps every band alive; the built-in Transaction then
+    // forwards the highest-priority (last) band.
+    let (registry, capture) = port.registry();
+    assert_engines_agree(&graph, &binding, &ControlPolicy::WaitAll, &registry);
+    assert_eq!(
+        capture.floats()[..port.config().block],
+        port.reference_audio(port.waitall_band()),
+        "WaitAll must forward the highest-priority band"
+    );
 }
 
 #[test]
