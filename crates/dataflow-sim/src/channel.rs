@@ -16,6 +16,8 @@ pub struct ChannelState {
     label: String,
     tokens: u64,
     high_water: u64,
+    /// Highest occupancy since the last [`ChannelState::take_iteration_high_water`].
+    iteration_high_water: u64,
     capacity: Option<u64>,
 }
 
@@ -27,6 +29,7 @@ impl ChannelState {
             label: label.into(),
             tokens: initial,
             high_water: initial,
+            iteration_high_water: initial,
             capacity: None,
         }
     }
@@ -38,6 +41,7 @@ impl ChannelState {
             label: label.into(),
             tokens: initial,
             high_water: initial,
+            iteration_high_water: initial,
             capacity: Some(capacity),
         }
     }
@@ -55,6 +59,17 @@ impl ChannelState {
     /// Highest occupancy observed so far.
     pub fn high_water(&self) -> u64 {
         self.high_water
+    }
+
+    /// Highest occupancy observed since the last call (or construction),
+    /// then restarts the window at the current occupancy. The simulator
+    /// calls this once per iteration boundary, which yields the
+    /// *per-iteration* buffer requirement — what capacity re-derivation
+    /// under a binding sequence needs.
+    pub fn take_iteration_high_water(&mut self) -> u64 {
+        let mark = self.iteration_high_water.max(self.tokens);
+        self.iteration_high_water = self.tokens;
+        mark
     }
 
     /// The configured capacity, if any.
@@ -86,6 +101,7 @@ impl ChannelState {
         }
         self.tokens = next;
         self.high_water = self.high_water.max(next);
+        self.iteration_high_water = self.iteration_high_water.max(next);
         Ok(())
     }
 
@@ -148,6 +164,22 @@ mod tests {
         c.push(2).unwrap();
         let err = c.push(1).unwrap_err();
         assert!(matches!(err, SimError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn iteration_high_water_windows_reset() {
+        let mut c = ChannelState::new("e4", 1);
+        c.push(4).unwrap(); // occupancy 5
+        c.pop(3); // occupancy 2
+        assert_eq!(c.take_iteration_high_water(), 5);
+        // New window starts at the current occupancy.
+        c.push(1).unwrap(); // occupancy 3
+        c.pop(2);
+        assert_eq!(c.take_iteration_high_water(), 3);
+        // A window with no pushes reports the standing occupancy.
+        assert_eq!(c.take_iteration_high_water(), 1);
+        // The global mark is unaffected by windowing.
+        assert_eq!(c.high_water(), 5);
     }
 
     #[test]

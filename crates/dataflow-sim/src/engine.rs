@@ -5,7 +5,9 @@ use crate::channel::ChannelState;
 use crate::SimError;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use tpdf_core::consistency::symbolic_repetition_vector;
+use std::sync::Arc;
+use tpdf_core::consistency::{symbolic_repetition_vector, SymbolicRepetition};
+use tpdf_core::control::{ModeSelector, ValueTrace};
 use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
 use tpdf_core::mode::Mode;
 use tpdf_symexpr::Binding;
@@ -53,16 +55,42 @@ impl ControlPolicy {
     }
 }
 
+/// Every [`ControlPolicy`] is a (data-independent) [`ModeSelector`]:
+/// the mode depends only on the firing ordinal, never on the consumed
+/// values. Data-dependent control plugs in through
+/// [`SimulationConfig::with_mode_selector`].
+impl ModeSelector for ControlPolicy {
+    fn select(&self, firing: u64, _inputs: &[i64]) -> Mode {
+        self.mode_for(firing)
+    }
+}
+
 /// Configuration of an untimed simulation run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimulationConfig {
-    /// Concrete values of the graph's integer parameters.
+    /// Concrete values of the graph's integer parameters (the base
+    /// binding of every iteration).
     pub binding: Binding,
-    /// Mode policy applied by every control actor.
+    /// Mode policy applied by every control actor when no
+    /// [`SimulationConfig::mode_selector`] is set.
     pub control_policy: ControlPolicy,
     /// Optional uniform channel capacity (tokens); `None` means
     /// unbounded.
     pub channel_capacity: Option<u64>,
+    /// Data-dependent mode selection: when set, every control actor
+    /// computes its emitted [`Mode`] by calling this selector with its
+    /// firing ordinal and the scalar values of the tokens it consumed
+    /// (supplied by [`SimulationConfig::value_trace`]); the
+    /// [`SimulationConfig::control_policy`] is ignored.
+    pub mode_selector: Option<Arc<dyn ModeSelector>>,
+    /// Scalar values for the tokens consumed by control actors; tokens
+    /// of channels without a trace carry scalar 0.
+    pub value_trace: Option<Arc<dyn ValueTrace>>,
+    /// Per-iteration parameter rebinding: iteration `k` runs under the
+    /// base binding overlaid with element `min(k, len - 1)` (the last
+    /// element persists once the sequence is exhausted). Empty means
+    /// every iteration uses the base binding unchanged.
+    pub binding_sequence: Vec<Binding>,
 }
 
 impl SimulationConfig {
@@ -73,6 +101,9 @@ impl SimulationConfig {
             binding,
             control_policy: ControlPolicy::default(),
             channel_capacity: None,
+            mode_selector: None,
+            value_trace: None,
+            binding_sequence: Vec::new(),
         }
     }
 
@@ -87,6 +118,63 @@ impl SimulationConfig {
         self.channel_capacity = Some(capacity);
         self
     }
+
+    /// Makes every control actor compute its emitted mode from its
+    /// consumed data through `selector` (see
+    /// [`tpdf_core::control::ModeSelector`]).
+    pub fn with_mode_selector(mut self, selector: Arc<dyn ModeSelector>) -> Self {
+        self.mode_selector = Some(selector);
+        self
+    }
+
+    /// Supplies the scalar values of the tokens control actors consume.
+    pub fn with_value_trace(mut self, trace: Arc<dyn ValueTrace>) -> Self {
+        self.value_trace = Some(trace);
+        self
+    }
+
+    /// Rebinds parameters at iteration boundaries: iteration `k` runs
+    /// under the base binding overlaid with `sequence[min(k, len - 1)]`.
+    pub fn with_binding_sequence(mut self, sequence: Vec<Binding>) -> Self {
+        self.binding_sequence = sequence;
+        self
+    }
+
+    /// The effective binding of iteration `k`: the base binding overlaid
+    /// with the matching element of the binding sequence.
+    pub fn binding_for(&self, iteration: u64) -> Binding {
+        if self.binding_sequence.is_empty() {
+            return self.binding.clone();
+        }
+        let idx = (iteration as usize).min(self.binding_sequence.len() - 1);
+        let mut binding = self.binding.clone();
+        binding.merge(&self.binding_sequence[idx]);
+        binding
+    }
+
+    /// The mode selector in effect: the configured data-dependent one,
+    /// or the control policy wrapped as a selector.
+    pub fn effective_selector(&self) -> Arc<dyn ModeSelector> {
+        match &self.mode_selector {
+            Some(selector) => Arc::clone(selector),
+            None => Arc::new(self.control_policy.clone()),
+        }
+    }
+}
+
+/// Per-iteration execution record: the binding the iteration ran under,
+/// the repetition counts it implied and the buffer occupancy it needed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// The effective binding of this iteration.
+    pub binding: Binding,
+    /// The repetition counts derived from that binding (indexed by
+    /// [`NodeId`]).
+    pub counts: Vec<u64>,
+    /// Highest occupancy of each channel during this iteration (indexed
+    /// by [`ChannelId`]); the window starts at the occupancy standing
+    /// when the iteration began.
+    pub channel_high_water: Vec<u64>,
 }
 
 /// Aggregate results of a simulation run.
@@ -101,6 +189,15 @@ pub struct SimulationReport {
     /// Sum of the per-channel high-water marks: the total buffer memory a
     /// single-processor self-timed execution needs.
     pub total_buffer: u64,
+    /// The modes each node emitted on its control outputs, one entry per
+    /// firing, in firing order (indexed by [`NodeId`]; empty for nodes
+    /// without control outputs). Cross-validation compares these
+    /// sequences against the runtime's.
+    pub mode_sequences: Vec<Vec<Mode>>,
+    /// One record per executed iteration: effective binding, repetition
+    /// counts and per-iteration buffer occupancy — the data capacity
+    /// re-derivation under a binding sequence consumes.
+    pub per_iteration: Vec<IterationRecord>,
 }
 
 /// Self-timed (data-driven) executor of one TPDF graph.
@@ -116,14 +213,27 @@ pub struct SimulationReport {
 pub struct Simulator<'g> {
     graph: &'g TpdfGraph,
     config: SimulationConfig,
+    /// The symbolic repetition vector, re-concretised per iteration.
+    repetition: SymbolicRepetition,
+    /// The binding of the iteration currently executing.
+    current_binding: Binding,
     counts: Vec<u64>,
     channels: Vec<ChannelState>,
+    /// The mode selector in effect (the policy, unless a data-dependent
+    /// selector is configured).
+    selector: Arc<dyn ModeSelector>,
     /// Control-token mode queues, one per control channel.
     control_queues: BTreeMap<ChannelId, VecDeque<Mode>>,
+    /// Consumption ordinals of the data channels feeding control actors
+    /// (the index the value trace is queried with).
+    consumed_ordinals: BTreeMap<ChannelId, u64>,
     /// Data channels selected at least once during the current iteration.
     selected_this_iteration: BTreeSet<ChannelId>,
     firings_total: Vec<u64>,
     control_firings: Vec<u64>,
+    /// Modes emitted per node, one entry per firing.
+    mode_log: Vec<Vec<Mode>>,
+    per_iteration: Vec<IterationRecord>,
 }
 
 impl<'g> Simulator<'g> {
@@ -131,11 +241,17 @@ impl<'g> Simulator<'g> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Analysis`] if the graph is inconsistent or the
-    /// binding does not cover its parameters.
+    /// Returns [`SimError::Analysis`] if the graph is inconsistent or if
+    /// the base binding (or any element of the binding sequence overlaid
+    /// on it) does not cover its parameters.
     pub fn new(graph: &'g TpdfGraph, config: SimulationConfig) -> Result<Self, SimError> {
         let repetition = symbolic_repetition_vector(graph)?;
-        let counts = repetition.concrete(&config.binding)?;
+        let current_binding = config.binding_for(0);
+        let counts = repetition.concrete(&current_binding)?;
+        // Fail fast on any unconcretisable element of the sequence.
+        for k in 1..config.binding_sequence.len() as u64 {
+            repetition.concrete(&config.binding_for(k))?;
+        }
         let channels = graph
             .channels()
             .map(|(_, c)| match config.channel_capacity {
@@ -148,15 +264,22 @@ impl<'g> Simulator<'g> {
             .filter(|(_, c)| c.is_control())
             .map(|(id, _)| (id, VecDeque::new()))
             .collect();
+        let selector = config.effective_selector();
         Ok(Simulator {
             graph,
-            config,
+            repetition,
+            current_binding,
             counts,
             channels,
+            selector,
             control_queues,
+            consumed_ordinals: BTreeMap::new(),
             selected_this_iteration: BTreeSet::new(),
             firings_total: vec![0; graph.node_count()],
             control_firings: vec![0; graph.node_count()],
+            mode_log: vec![Vec::new(); graph.node_count()],
+            per_iteration: Vec::new(),
+            config,
         })
     }
 
@@ -175,7 +298,25 @@ impl<'g> Simulator<'g> {
             ));
         }
         for i in 0..iterations {
+            // Rebind at the iteration boundary: the paper allows `p` to
+            // change between (never within) iterations. Without a
+            // sequence the binding and counts set at construction stay
+            // valid — no per-iteration re-derivation.
+            if !self.config.binding_sequence.is_empty() {
+                self.current_binding = self.config.binding_for(i);
+                self.counts = self.repetition.concrete(&self.current_binding)?;
+            }
             self.run_single_iteration(i)?;
+            let channel_high_water: Vec<u64> = self
+                .channels
+                .iter_mut()
+                .map(ChannelState::take_iteration_high_water)
+                .collect();
+            self.per_iteration.push(IterationRecord {
+                binding: self.current_binding.clone(),
+                counts: self.counts.clone(),
+                channel_high_water,
+            });
         }
         let channel_high_water: Vec<u64> =
             self.channels.iter().map(ChannelState::high_water).collect();
@@ -185,6 +326,8 @@ impl<'g> Simulator<'g> {
             firings: self.firings_total.clone(),
             channel_high_water,
             total_buffer,
+            mode_sequences: self.mode_log.clone(),
+            per_iteration: self.per_iteration.clone(),
         })
     }
 
@@ -243,7 +386,7 @@ impl<'g> Simulator<'g> {
 
     /// Attempts to fire `node`; returns `Ok(true)` when it fired.
     fn try_fire(&mut self, node: NodeId, firing: u64) -> Result<bool, SimError> {
-        let binding = self.config.binding.clone();
+        let binding = self.current_binding.clone();
         let is_control = self.graph.control_actors().any(|(id, _)| id == node);
 
         // 1. Resolve the mode of this firing.
@@ -305,7 +448,9 @@ impl<'g> Simulator<'g> {
             }
         }
 
-        // 4. Consume.
+        // 4. Consume. Control actors additionally record the scalar
+        //    values of what they consume (from the value trace): that is
+        //    the data their mode selector reacts to.
         if let Some(cp) = control_port {
             let need = self
                 .graph
@@ -319,26 +464,46 @@ impl<'g> Simulator<'g> {
                 }
             }
         }
+        let mut consumed_values = Vec::new();
         for (cid, rate) in &selected {
             self.channels[cid.0].pop(*rate);
             self.selected_this_iteration.insert(*cid);
+            if is_control {
+                let start = self.consumed_ordinals.entry(*cid).or_insert(0);
+                for j in 0..*rate {
+                    consumed_values.push(match &self.config.value_trace {
+                        Some(trace) => trace.value(&self.graph.channel(*cid).label, *start + j),
+                        None => 0,
+                    });
+                }
+                *start += *rate;
+            }
         }
 
-        // 5. Produce on every output channel.
+        // 5. Produce on every output channel. The emitted mode is
+        //    computed once per firing from the consumed values.
+        let emitted_mode = self
+            .graph
+            .output_channels(node)
+            .any(|(_, c)| c.is_control())
+            .then(|| {
+                self.selector
+                    .select(self.control_firings[node.0], &consumed_values)
+            });
         for (cid, c) in self.graph.output_channels(node) {
             let rate = c.production.concrete(firing, &binding)?;
             self.channels[cid.0].push(rate)?;
             if c.is_control() {
-                let mode = self
-                    .config
-                    .control_policy
-                    .mode_for(self.control_firings[node.0]);
+                let mode = emitted_mode.clone().expect("control output implies mode");
                 if let Some(q) = self.control_queues.get_mut(&cid) {
                     for _ in 0..rate {
                         q.push_back(mode.clone());
                     }
                 }
             }
+        }
+        if let Some(mode) = emitted_mode {
+            self.mode_log[node.0].push(mode);
         }
         if is_control {
             self.control_firings[node.0] += 1;
@@ -453,6 +618,84 @@ mod tests {
             .run_iterations(1)
             .unwrap();
         assert_eq!(report.iterations_completed, 1);
+    }
+
+    #[test]
+    fn binding_sequence_rebinds_counts_per_iteration() {
+        let g = figure2_graph();
+        let config = SimulationConfig::new(binding(1)).with_binding_sequence(vec![
+            Binding::from_pairs([("p", 1)]),
+            Binding::from_pairs([("p", 3)]),
+        ]);
+        let report = Simulator::new(&g, config)
+            .unwrap()
+            .run_iterations(3)
+            .unwrap();
+        // q = [2, 2p, p, p, 2p, 2p]: p = 1, then p = 3 persisting.
+        assert_eq!(report.per_iteration[0].counts, vec![2, 2, 1, 1, 2, 2]);
+        assert_eq!(report.per_iteration[1].counts, vec![2, 6, 3, 3, 6, 6]);
+        assert_eq!(report.per_iteration[2].counts, vec![2, 6, 3, 3, 6, 6]);
+        assert_eq!(report.firings, vec![6, 14, 7, 7, 14, 14]);
+        assert_eq!(report.per_iteration[0].binding.get("p"), Some(1));
+        assert_eq!(report.per_iteration[1].binding.get("p"), Some(3));
+        // The p = 3 iterations need strictly more buffer on e1 (A's
+        // p-sized burst) than the p = 1 iteration.
+        assert!(
+            report.per_iteration[1].channel_high_water[0]
+                > report.per_iteration[0].channel_high_water[0]
+        );
+    }
+
+    #[test]
+    fn binding_sequence_failures_are_detected_up_front() {
+        let g = figure2_graph();
+        // Element 1 removes no parameter but the base binding is empty,
+        // so iteration 0 already lacks `p`… cover the sequence check by
+        // making only a later element incomplete: impossible via merge
+        // (the base always persists), so check the empty-base case.
+        let config = SimulationConfig::new(Binding::new()).with_binding_sequence(vec![binding(2)]);
+        // Iteration 0 gets p = 2 via the overlay: constructible.
+        assert!(Simulator::new(&g, config).is_ok());
+        // Without any binding at all construction fails.
+        assert!(Simulator::new(&g, SimulationConfig::new(Binding::new())).is_err());
+    }
+
+    #[test]
+    fn data_dependent_selector_follows_trace_values() {
+        use tpdf_core::control::{TableTrace, ValueMapSelector};
+
+        // Figure 2: C consumes 2 tokens of B (channel e2) per firing.
+        // The trace makes the consumed pair sum to 0 for C's first
+        // firing and 1 for its second; the selector maps those sums to
+        // F's two data inputs.
+        let g = figure2_graph();
+        let selector = ValueMapSelector::new(
+            [(0, Mode::SelectOne(0)), (1, Mode::SelectOne(1))],
+            Mode::WaitAll,
+        );
+        let trace = TableTrace::new([("e2".to_string(), vec![0, 0, 1, 0])]);
+        let config = SimulationConfig::new(binding(1))
+            .with_mode_selector(Arc::new(selector))
+            .with_value_trace(trace.shared());
+        let report = Simulator::new(&g, config)
+            .unwrap()
+            .run_iterations(4)
+            .unwrap();
+        let c = g.node_by_name("C").unwrap();
+        // p = 1: C fires once per iteration; the 4-entry table cycles
+        // every two firings.
+        assert_eq!(
+            report.mode_sequences[c.0],
+            vec![
+                Mode::SelectOne(0),
+                Mode::SelectOne(1),
+                Mode::SelectOne(0),
+                Mode::SelectOne(1)
+            ]
+        );
+        // Nodes without control outputs log nothing.
+        let f = g.node_by_name("F").unwrap();
+        assert!(report.mode_sequences[f.0].is_empty());
     }
 
     #[test]

@@ -20,7 +20,9 @@ use tpdf_apps::edge_detection::{detector_node_name, EdgeDetectionApp, EdgeDetect
 use tpdf_apps::fm_radio::{FmRadio, FmRadioConfig};
 use tpdf_apps::image::GrayImage;
 use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
+use tpdf_core::control::{ModeSelector, TableTrace, ValueMapSelector, ValueTrace};
 use tpdf_core::graph::TpdfGraph;
+use tpdf_core::mode::Mode;
 
 /// Collects every token a sink kernel consumed, in arrival order.
 #[derive(Debug, Clone, Default)]
@@ -273,6 +275,37 @@ impl OfdmRuntime {
             0
         }
     }
+
+    /// The data-dependent mode selector of Figure 7's `CON`: the
+    /// control actor reads the constellation size `M` out of the tokens
+    /// `SRC` sends it and steers `TRAN` to the matching demap path
+    /// (`M = 2` → the QPSK input, `M = 4` → the QAM input). No scripted
+    /// `ControlPolicy` is involved — the graph reacts to its own
+    /// stream, which is the paper's context dependence.
+    pub fn mode_selector(&self) -> Arc<dyn ModeSelector> {
+        Arc::new(ValueMapSelector::new(
+            [(2, Mode::SelectOne(0)), (4, Mode::SelectOne(1))],
+            Mode::WaitAll,
+        ))
+    }
+
+    /// The value trace the count-level simulation (cross-validation and
+    /// the executor's sizing reference) uses for `CON`'s input: `SRC`
+    /// emits its configured `M` on every token of the `SRC → CON`
+    /// channel, exactly as the registered `SRC` behaviour does with
+    /// real tokens.
+    pub fn value_trace(&self) -> Arc<dyn ValueTrace> {
+        let graph = self.graph();
+        let src = graph.node_by_name("SRC").expect("Figure 7 has SRC");
+        let con = graph.node_by_name("CON").expect("Figure 7 has CON");
+        let label = graph
+            .channels()
+            .find(|(_, c)| c.source == src && c.target == con)
+            .map(|(_, c)| c.label.clone())
+            .expect("SRC feeds CON");
+        let m = self.demod.config().bits_per_symbol as i64;
+        TableTrace::new([(label, vec![m])]).shared()
+    }
 }
 
 /// The FM-radio multi-band equalizer bound to a concrete generated RF
@@ -502,9 +535,12 @@ mod tests {
         let port = OfdmRuntime::new(config, 77);
         let graph = port.graph();
         let (registry, capture) = port.registry();
+        // CON derives the constellation from SRC's data — no scripted
+        // ControlPolicy.
         let run_config = RuntimeConfig::new(port.config().binding())
             .with_threads(4)
-            .with_policy(ControlPolicy::SelectInput(port.matching_port()));
+            .with_mode_selector(port.mode_selector())
+            .with_value_trace(port.value_trace());
         let metrics = Executor::new(&graph, run_config)
             .unwrap()
             .run(&registry)
@@ -512,6 +548,11 @@ mod tests {
         assert_eq!(metrics.iterations, 1);
         assert_eq!(capture.bits(), port.reference_bits());
         assert_eq!(capture.bits(), port.sent_bits());
+        let con = graph.node_by_name("CON").unwrap();
+        assert_eq!(
+            metrics.mode_sequences[con.0],
+            vec![Mode::SelectOne(port.matching_port())]
+        );
     }
 
     #[test]
@@ -570,11 +611,14 @@ mod tests {
         let (registry, capture) = port.registry();
         let run_config = RuntimeConfig::new(port.config().binding())
             .with_threads(4)
-            .with_policy(ControlPolicy::SelectInput(port.matching_port()));
-        Executor::new(&graph, run_config)
+            .with_mode_selector(port.mode_selector())
+            .with_value_trace(port.value_trace());
+        let metrics = Executor::new(&graph, run_config)
             .unwrap()
             .run(&registry)
             .unwrap();
         assert_eq!(capture.bits(), port.sent_bits());
+        let con = graph.node_by_name("CON").unwrap();
+        assert_eq!(metrics.mode_sequences[con.0], vec![Mode::SelectOne(1)]);
     }
 }

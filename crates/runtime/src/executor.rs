@@ -72,10 +72,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tpdf_core::actors::KernelKind;
+use tpdf_core::control::{ModeSelector, ValueTrace};
 use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
 use tpdf_core::mode::Mode;
 use tpdf_sim::engine::{ControlPolicy, SimulationConfig, Simulator};
 use tpdf_symexpr::Binding;
+
+use crate::metrics::RebindEvent;
 
 /// How [`KernelKind::Clock`] watchdogs are driven.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,11 +99,34 @@ pub enum ClockMode {
 /// Configuration of a runtime execution.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Concrete values of the graph's integer parameters.
+    /// Concrete values of the graph's integer parameters (the base
+    /// binding of every iteration).
     pub binding: Binding,
-    /// Mode sequence applied by control actors (same semantics as the
+    /// Mode sequence applied by control actors when no
+    /// [`RuntimeConfig::mode_selector`] is set (same semantics as the
     /// `tpdf-sim` engine).
     pub control_policy: ControlPolicy,
+    /// Data-dependent control: when set, every control actor computes
+    /// the [`Mode`] it emits by calling this selector with its firing
+    /// ordinal and the scalar views of the tokens it actually consumed
+    /// ([`crate::token::Token::as_scalar`]); the
+    /// [`RuntimeConfig::control_policy`] is ignored. A registered
+    /// behaviour can override the selector per firing through
+    /// [`crate::kernel::FiringContext::set_mode`].
+    pub mode_selector: Option<Arc<dyn ModeSelector>>,
+    /// Scalar values for the *reference sizing simulation* (the
+    /// count-level run that derives ring capacities): with a
+    /// data-dependent selector, the sizing run needs the same values
+    /// the runtime kernels will produce. Ignored during token-level
+    /// execution, which reads the real tokens.
+    pub value_trace: Option<Arc<dyn ValueTrace>>,
+    /// Per-iteration parameter rebinding: iteration `k` runs under the
+    /// base binding overlaid with element `min(k, len - 1)` (the last
+    /// element persists). At each affected iteration barrier the
+    /// executor re-derives repetition counts and rates and grows ring
+    /// capacities in place. Empty means every iteration uses the base
+    /// binding.
+    pub binding_sequence: Vec<Binding>,
     /// Number of worker threads.
     pub threads: usize,
     /// Complete graph iterations to execute.
@@ -125,6 +151,9 @@ impl RuntimeConfig {
         RuntimeConfig {
             binding,
             control_policy: ControlPolicy::default(),
+            mode_selector: None,
+            value_trace: None,
+            binding_sequence: Vec::new(),
             threads: 4,
             iterations: 1,
             clock_mode: ClockMode::Virtual,
@@ -137,6 +166,70 @@ impl RuntimeConfig {
     pub fn with_policy(mut self, policy: ControlPolicy) -> Self {
         self.control_policy = policy;
         self
+    }
+
+    /// Makes every control actor compute its emitted mode from the data
+    /// it consumes through `selector` (see
+    /// [`tpdf_core::control::ModeSelector`]).
+    pub fn with_mode_selector(mut self, selector: Arc<dyn ModeSelector>) -> Self {
+        self.mode_selector = Some(selector);
+        self
+    }
+
+    /// Supplies the scalar values the reference sizing simulation feeds
+    /// a data-dependent selector (see [`RuntimeConfig::value_trace`]).
+    pub fn with_value_trace(mut self, trace: Arc<dyn ValueTrace>) -> Self {
+        self.value_trace = Some(trace);
+        self
+    }
+
+    /// Rebinds parameters at iteration boundaries: iteration `k` runs
+    /// under the base binding overlaid with `sequence[min(k, len - 1)]`.
+    /// Repetition counts, rates and ring capacities are re-derived at
+    /// each affected iteration barrier (rings grow in place, they never
+    /// shrink).
+    pub fn with_binding_sequence(mut self, sequence: Vec<Binding>) -> Self {
+        self.binding_sequence = sequence;
+        self
+    }
+
+    /// The effective binding of iteration `k`.
+    pub fn binding_for(&self, iteration: u64) -> Binding {
+        if self.binding_sequence.is_empty() {
+            return self.binding.clone();
+        }
+        let idx = (iteration as usize).min(self.binding_sequence.len() - 1);
+        let mut binding = self.binding.clone();
+        binding.merge(&self.binding_sequence[idx]);
+        binding
+    }
+
+    /// The [`SimulationConfig`] mirroring this configuration — what the
+    /// executor's reference sizing run (and any differential test) must
+    /// hand the count-level engine so it follows the exact same modes
+    /// and bindings as the runtime. The single place the two configs
+    /// are kept in sync.
+    pub fn reference_sim_config(&self) -> SimulationConfig {
+        let mut sim = SimulationConfig::new(self.binding.clone())
+            .with_policy(self.control_policy.clone())
+            .with_binding_sequence(self.binding_sequence.clone());
+        if let Some(selector) = &self.mode_selector {
+            sim = sim.with_mode_selector(Arc::clone(selector));
+        }
+        if let Some(trace) = &self.value_trace {
+            sim = sim.with_value_trace(Arc::clone(trace));
+        }
+        sim
+    }
+
+    /// Whether every control actor provably emits the same mode at
+    /// every firing. Only then is one reference iteration enough for
+    /// ring sizing: firing ordinals never reset across iterations, so
+    /// an `Alternate` policy — or any custom selector, whose behaviour
+    /// cannot be introspected — can select differently in later
+    /// iterations and needs the whole run simulated.
+    fn constant_mode_sequence(&self) -> bool {
+        self.mode_selector.is_none() && !matches!(self.control_policy, ControlPolicy::Alternate(_))
     }
 
     /// Sets the worker thread count (at least 1).
@@ -198,7 +291,7 @@ struct NodeInfo {
     neighbors: Vec<usize>,
 }
 
-/// Static, per-channel facts with rates made concrete.
+/// Static, binding-independent per-channel facts.
 #[derive(Debug)]
 struct ChanInfo {
     label: Arc<str>,
@@ -207,25 +300,47 @@ struct ChanInfo {
     is_control: bool,
     initial_tokens: u64,
     priority: u32,
-    prod_rates: Vec<u64>,
-    cons_rates: Vec<u64>,
     /// The consuming node owns a control port (flush rule applies).
     target_controlled: bool,
 }
 
-impl ChanInfo {
-    fn prod_rate(&self, ordinal: u64) -> u64 {
-        self.prod_rates[(ordinal as usize) % self.prod_rates.len()]
+/// Everything an iteration's binding determines, precomputed per
+/// distinct phase of the binding sequence at construction: repetition
+/// counts, concrete rates and ring capacities. Plans are immutable;
+/// the barrier switches the active plan index, and the budget
+/// republication (`Release` stores Acquire-paired at the claim gate)
+/// is what publishes the switch to the workers.
+#[derive(Debug)]
+struct Plan {
+    /// The effective binding of this phase.
+    binding: Binding,
+    /// Repetition counts (indexed by node).
+    counts: Vec<u64>,
+    /// Sum of `counts`: completions per iteration.
+    total_per_iter: u64,
+    /// Concrete cyclo-static production rates (indexed by channel).
+    prod_rates: Vec<Vec<u64>>,
+    /// Concrete cyclo-static consumption rates (indexed by channel).
+    cons_rates: Vec<Vec<u64>>,
+    /// Ring capacities this phase requires (indexed by channel).
+    capacities: Vec<u64>,
+}
+
+impl Plan {
+    fn prod_rate(&self, chan: usize, ordinal: u64) -> u64 {
+        let rates = &self.prod_rates[chan];
+        rates[(ordinal as usize) % rates.len()]
     }
 
-    fn cons_rate(&self, ordinal: u64) -> u64 {
-        self.cons_rates[(ordinal as usize) % self.cons_rates.len()]
+    fn cons_rate(&self, chan: usize, ordinal: u64) -> u64 {
+        let rates = &self.cons_rates[chan];
+        rates[(ordinal as usize) % rates.len()]
     }
 
-    /// Tokens produced on this channel during one complete iteration in
-    /// which the source node fires `count` times.
-    fn production_per_iteration(&self, count: u64) -> u64 {
-        (0..count).map(|k| self.prod_rate(k)).sum()
+    /// Tokens produced on `chan` during one complete iteration of this
+    /// plan.
+    fn production_per_iteration(&self, chan: usize, count: u64) -> u64 {
+        (0..count).map(|k| self.prod_rate(chan, k)).sum()
     }
 }
 
@@ -236,13 +351,17 @@ struct NodeRunState {
     claimed: AtomicBool,
     /// Set while a hint for this node sits in some ready queue.
     queued: AtomicBool,
-    /// Firings completed in the current iteration (reset at the
-    /// barrier). A `Release`d store here publishes the barrier's ring
-    /// flushes to the `Acquire`ing claimant.
-    fired_iter: AtomicU64,
+    /// Firings *remaining* in the current iteration — the claim gate.
+    /// Zero while the iteration barrier runs; the barrier's `Release`
+    /// republication is what hands the barrier's ring flushes, ring
+    /// growth and plan switch to the `Acquire`ing claimant (a claimant
+    /// that reads a stale zero simply retires without touching any
+    /// ring).
+    budget: AtomicU64,
     /// Firings completed across the whole run.
     fired_total: AtomicU64,
-    /// Index into the control policy's mode sequence.
+    /// Firing ordinal the mode selector sees (one per control-actor
+    /// firing, never reset).
     control_firings: AtomicU64,
 }
 
@@ -271,6 +390,11 @@ struct RunState {
     tokens_pushed: Vec<AtomicU64>,
     /// Data channels consumed at least once this iteration (flush rule).
     selected: Vec<AtomicBool>,
+    /// Index of the active [`Plan`]. Written only by the iteration
+    /// barrier, read by claim holders *after* their `Acquire` budget
+    /// load — the barrier stores it before republishing budgets, so a
+    /// nonzero budget implies a fresh plan index.
+    plan: AtomicUsize,
     /// Completions remaining in the current iteration; the worker that
     /// decrements it to zero runs the iteration barrier.
     remaining_iter: AtomicU64,
@@ -288,6 +412,12 @@ struct RunState {
     /// Per-worker ready queues (hints, not obligations: a stale entry
     /// is simply dropped when its claim fails).
     queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Modes emitted per node, one entry per firing. Only the claim
+    /// holder of a node appends (firings of one node are serialised),
+    /// so the lock is uncontended; it exists to make the Vec shareable.
+    mode_log: Vec<Mutex<Vec<Mode>>>,
+    /// Parameter rebindings applied at iteration barriers.
+    rebinds: Mutex<Vec<RebindEvent>>,
     park: Mutex<ParkInner>,
     cond: Condvar,
 }
@@ -317,6 +447,10 @@ struct Claim {
     ordinal_iter: u64,
     /// Firing ordinal across the run (exposed to behaviours).
     ordinal_total: u64,
+    /// The plan this firing was claimed under (stable while the claim
+    /// is held: a rebind requires this node's budget to reach zero
+    /// first).
+    plan: usize,
     mode: Mode,
     inputs: Vec<PortInput>,
     deadline_missed: bool,
@@ -350,22 +484,28 @@ pub struct Executor<'g> {
     /// Kept for diagnostics and lifetime-tying to the analysed graph.
     graph: &'g TpdfGraph,
     config: RuntimeConfig,
-    counts: Vec<u64>,
-    /// Sum of `counts`: completions per iteration.
-    total_per_iter: u64,
+    /// One precomputed execution plan per phase of the binding
+    /// sequence; iteration `k` runs plan `min(k, plans.len() - 1)`.
+    plans: Vec<Plan>,
     nodes: Vec<NodeInfo>,
     chans: Vec<ChanInfo>,
-    capacities: Vec<u64>,
+    /// The mode selector in effect (the control policy wrapped as one,
+    /// unless a data-dependent selector is configured).
+    selector: Arc<dyn ModeSelector>,
     /// Fallback scan order: control actors first (Section III-D
     /// priority rule), then kernels.
     scan_order: Vec<usize>,
     clock_nodes: Vec<usize>,
-    /// Sampled firing-cost telemetry (1 in 8 firings is timed): total
-    /// nanoseconds and sample count, feeding the granularity
-    /// heuristic. Lives on the executor, not the per-run state, so the
-    /// verdict learned in one run carries into the next.
-    exec_ns: AtomicU64,
-    exec_samples: AtomicU64,
+    /// Sampled firing-cost telemetry (1 in 8 firings is timed): an
+    /// exponentially weighted moving average (α = 1/8) in nanoseconds,
+    /// feeding the granularity heuristic. An EWMA — not a cumulative
+    /// mean — so a registry whose kernel weight changes between `run`
+    /// calls re-classifies within a few dozen samples instead of being
+    /// anchored by the whole history. Lives on the executor, not the
+    /// per-run state, so the verdict learned in one run carries into
+    /// the next.
+    cost_ewma_ns: AtomicU64,
+    cost_samples: AtomicU64,
 }
 
 impl<'g> Executor<'g> {
@@ -393,17 +533,30 @@ impl<'g> Executor<'g> {
         }
         let repetition = tpdf_core::consistency::symbolic_repetition_vector(graph)
             .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
-        let counts = repetition
-            .concrete(&config.binding)
-            .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
+
+        // One execution plan per phase of the binding sequence.
+        let phase_count = config.binding_sequence.len().max(1);
+        let phase_bindings: Vec<Binding> = (0..phase_count as u64)
+            .map(|k| config.binding_for(k))
+            .collect();
 
         // Reference execution: per-channel high-water marks under the
-        // same policy and binding determine the data-ring capacities.
-        let sim_config = SimulationConfig::new(config.binding.clone())
-            .with_policy(config.control_policy.clone());
-        let reference = Simulator::new(graph, sim_config)
+        // same selector and bindings determine the data-ring
+        // capacities. One iteration suffices only when the binding AND
+        // every emitted mode are the same each iteration — firing
+        // ordinals never reset, so an `Alternate` policy or a custom
+        // selector can choose differently later and a ring sized from
+        // iteration 0 could deadlock a rejected-then-full channel.
+        // Otherwise the whole run is simulated, so every iteration's
+        // occupancy is observed.
+        let reference_iterations = if phase_count == 1 && config.constant_mode_sequence() {
+            1
+        } else {
+            config.iterations
+        };
+        let reference = Simulator::new(graph, config.reference_sim_config())
             .map_err(|e| RuntimeError::Analysis(e.to_string()))?
-            .run_iterations(1)
+            .run_iterations(reference_iterations)
             .map_err(|e| RuntimeError::Analysis(format!("reference sizing run failed: {e}")))?;
 
         let clock_sources: BTreeSet<NodeId> = graph
@@ -416,15 +569,6 @@ impl<'g> Executor<'g> {
 
         let mut chans = Vec::with_capacity(graph.channel_count());
         for (id, chan) in graph.channels() {
-            let concretise = |rates: &tpdf_core::rate::RateSeq| -> Result<Vec<u64>, RuntimeError> {
-                (0..rates.phases() as u64)
-                    .map(|i| {
-                        rates
-                            .concrete(i, &config.binding)
-                            .map_err(|e| RuntimeError::Analysis(e.to_string()))
-                    })
-                    .collect()
-            };
             chans.push(ChanInfo {
                 label: Arc::from(chan.label.as_str()),
                 source: chan.source.0,
@@ -432,8 +576,6 @@ impl<'g> Executor<'g> {
                 is_control: chan.is_control(),
                 initial_tokens: chan.initial_tokens,
                 priority: chan.priority,
-                prod_rates: concretise(&chan.production)?,
-                cons_rates: concretise(&chan.consumption)?,
                 target_controlled: graph.control_port(chan.target).is_some(),
             });
             debug_assert_eq!(id.0, chans.len() - 1);
@@ -488,23 +630,76 @@ impl<'g> Executor<'g> {
             });
         }
 
-        let capacities: Vec<u64> = reference
-            .channel_high_water
-            .iter()
-            .zip(&chans)
-            .map(|(hw, info)| {
-                if info.is_control {
-                    // Control tokens are produced and fully consumed
-                    // within each iteration (rate consistency), so the
-                    // per-iteration production bounds the occupancy
-                    // exactly — no reference needed, no slack either.
-                    (info.production_per_iteration(counts[info.source]) + info.initial_tokens)
-                        .max(1)
-                } else {
-                    hw.max(&info.initial_tokens).max(&1) * config.capacity_slack
+        let mut plans = Vec::with_capacity(phase_count);
+        for (phase, binding) in phase_bindings.iter().enumerate() {
+            let counts = repetition
+                .concrete(binding)
+                .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
+            let mut prod_rates = Vec::with_capacity(chans.len());
+            let mut cons_rates = Vec::with_capacity(chans.len());
+            for (_, chan) in graph.channels() {
+                let concretise =
+                    |rates: &tpdf_core::rate::RateSeq| -> Result<Vec<u64>, RuntimeError> {
+                        (0..rates.phases() as u64)
+                            .map(|i| {
+                                rates
+                                    .concrete(i, binding)
+                                    .map_err(|e| RuntimeError::Analysis(e.to_string()))
+                            })
+                            .collect()
+                    };
+                prod_rates.push(concretise(&chan.production)?);
+                cons_rates.push(concretise(&chan.consumption)?);
+            }
+            let mut plan = Plan {
+                binding: binding.clone(),
+                total_per_iter: counts.iter().sum(),
+                counts,
+                prod_rates,
+                cons_rates,
+                capacities: Vec::new(),
+            };
+            // The reference high-water of this phase: the whole-run
+            // marks for the single-phase case, the maximum over the
+            // phase's iterations otherwise (zero when the sequence
+            // outlives the requested iterations — such a phase never
+            // executes).
+            let phase_high_water = |chan: usize| -> u64 {
+                if phase_count == 1 {
+                    return reference.channel_high_water[chan];
                 }
-            })
-            .collect();
+                reference
+                    .per_iteration
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (*i).min(phase_count - 1) == phase)
+                    .map(|(_, record)| record.channel_high_water[chan])
+                    .max()
+                    .unwrap_or(0)
+            };
+            plan.capacities = chans
+                .iter()
+                .enumerate()
+                .map(|(i, info)| {
+                    if info.is_control {
+                        // Control tokens are produced and fully consumed
+                        // within each iteration (rate consistency), so
+                        // the per-iteration production bounds the
+                        // occupancy exactly — no reference needed, no
+                        // slack either.
+                        (plan.production_per_iteration(i, plan.counts[info.source])
+                            + info.initial_tokens)
+                            .max(1)
+                    } else {
+                        phase_high_water(i)
+                            .max(info.initial_tokens)
+                            .max(1)
+                            .saturating_mul(config.capacity_slack)
+                    }
+                })
+                .collect();
+            plans.push(plan);
+        }
 
         let mut scan_order: Vec<usize> = (0..graph.node_count())
             .filter(|&n| nodes[n].is_control_actor)
@@ -514,19 +709,27 @@ impl<'g> Executor<'g> {
             .filter(|&n| nodes[n].is_clock)
             .collect();
 
+        let selector = match &config.mode_selector {
+            Some(selector) => Arc::clone(selector),
+            None => Arc::new(config.control_policy.clone()) as Arc<dyn ModeSelector>,
+        };
         Ok(Executor {
             graph,
             config,
-            total_per_iter: counts.iter().sum(),
-            counts,
+            plans,
             nodes,
             chans,
-            capacities,
+            selector,
             scan_order,
             clock_nodes,
-            exec_ns: AtomicU64::new(0),
-            exec_samples: AtomicU64::new(0),
+            cost_ewma_ns: AtomicU64::new(0),
+            cost_samples: AtomicU64::new(0),
         })
+    }
+
+    /// The plan index of iteration `k`.
+    fn phase_of(&self, iteration: u64) -> usize {
+        (iteration as usize).min(self.plans.len() - 1)
     }
 
     /// The graph this executor runs.
@@ -534,17 +737,41 @@ impl<'g> Executor<'g> {
         self.graph
     }
 
-    /// The configured ring capacity of every channel. Data rings are
+    /// The initial ring capacity of every channel. Data rings are
     /// sized from the reference high-water marks times the slack;
     /// control rings from their per-iteration production (an exact
-    /// occupancy bound).
+    /// occupancy bound). Under a binding sequence this is the first
+    /// iteration's sizing — see
+    /// [`Executor::capacities_for_iteration`].
     pub fn capacities(&self) -> &[u64] {
-        &self.capacities
+        &self.plans[0].capacities
     }
 
-    /// The per-iteration repetition count of every node.
+    /// The ring capacities iteration `k` requires (rings grow to the
+    /// running maximum of these at the iteration barriers).
+    pub fn capacities_for_iteration(&self, iteration: u64) -> &[u64] {
+        &self.plans[self.phase_of(iteration)].capacities
+    }
+
+    /// The per-iteration repetition count of every node (first
+    /// iteration's counts under a binding sequence).
     pub fn repetition_counts(&self) -> &[u64] {
-        &self.counts
+        &self.plans[0].counts
+    }
+
+    /// The repetition counts of iteration `k`.
+    pub fn repetition_counts_for_iteration(&self, iteration: u64) -> &[u64] {
+        &self.plans[self.phase_of(iteration)].counts
+    }
+
+    /// The current firing-cost estimate in nanoseconds: an EWMA
+    /// (α = 1/8) over the sampled firings of every `run` on this
+    /// executor, or `None` before the first sample. Feeds the
+    /// granularity heuristic that decides whether a graph is worth
+    /// distributing across workers.
+    pub fn sampled_firing_cost_ns(&self) -> Option<u64> {
+        (self.cost_samples.load(Ordering::Relaxed) > 0)
+            .then(|| self.cost_ewma_ns.load(Ordering::Relaxed))
     }
 
     /// Executes the configured number of iterations on the worker pool
@@ -616,6 +843,20 @@ impl<'g> Executor<'g> {
                 ChannelRing::Control(ring) => ring.high_water() as u64,
             })
             .collect();
+        // Final capacities: rings may have grown at rebind barriers.
+        let channel_capacity: Vec<u64> = state
+            .rings
+            .iter()
+            .map(|c| match c {
+                ChannelRing::Data(ring) => ring.capacity() as u64,
+                ChannelRing::Control(ring) => ring.capacity() as u64,
+            })
+            .collect();
+        let mode_sequences: Vec<Vec<Mode>> = state
+            .mode_log
+            .into_iter()
+            .map(|log| log.into_inner().expect("no worker may panic"))
+            .collect();
         let total_tokens: u64 = tokens_pushed.iter().sum();
         Ok(Metrics {
             iterations: state.iteration.load(Ordering::Relaxed),
@@ -623,7 +864,7 @@ impl<'g> Executor<'g> {
             firings,
             tokens_pushed,
             channel_high_water,
-            channel_capacity: self.capacities.clone(),
+            channel_capacity,
             total_tokens,
             elapsed,
             tokens_per_sec: if elapsed.is_zero() {
@@ -634,10 +875,13 @@ impl<'g> Executor<'g> {
             deadline_misses: state.deadline_misses.load(Ordering::Relaxed),
             vote_failures: state.vote_failures.load(Ordering::Relaxed),
             deadline_selections: park.deadline_selections,
+            mode_sequences,
+            rebinds: state.rebinds.into_inner().expect("no worker may panic"),
         })
     }
 
     fn initial_state(&self) -> RunState {
+        let plan = &self.plans[0];
         let rings = self
             .chans
             .iter()
@@ -646,10 +890,10 @@ impl<'g> Executor<'g> {
                 if info.is_control {
                     ChannelRing::Control(RingBuffer::new(
                         info.label.clone(),
-                        self.capacities[i] as usize,
+                        plan.capacities[i] as usize,
                     ))
                 } else {
-                    let ring = RingBuffer::new(info.label.clone(), self.capacities[i] as usize);
+                    let ring = RingBuffer::new(info.label.clone(), plan.capacities[i] as usize);
                     for _ in 0..info.initial_tokens {
                         ring.push(Token::Unit)
                             .expect("capacity covers initial tokens");
@@ -658,16 +902,22 @@ impl<'g> Executor<'g> {
                 }
             })
             .collect();
+        let nodes: Vec<NodeRunState> = (0..self.nodes.len())
+            .map(|n| {
+                let ns = NodeRunState::default();
+                ns.budget.store(plan.counts[n], Ordering::Relaxed);
+                ns
+            })
+            .collect();
         RunState {
             rings,
-            nodes: (0..self.nodes.len())
-                .map(|_| NodeRunState::default())
-                .collect(),
+            nodes,
             tokens_pushed: (0..self.chans.len()).map(|_| AtomicU64::new(0)).collect(),
             selected: (0..self.chans.len())
                 .map(|_| AtomicBool::new(false))
                 .collect(),
-            remaining_iter: AtomicU64::new(self.total_per_iter),
+            plan: AtomicUsize::new(0),
+            remaining_iter: AtomicU64::new(plan.total_per_iter),
             iteration: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             halt: AtomicBool::new(false),
@@ -678,6 +928,10 @@ impl<'g> Executor<'g> {
             queues: (0..self.config.threads)
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
+            mode_log: (0..self.nodes.len())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            rebinds: Mutex::new(Vec::new()),
             park: Mutex::new(ParkInner::default()),
             cond: Condvar::new(),
         }
@@ -745,10 +999,26 @@ impl<'g> Executor<'g> {
     }
 
     /// Whether the sampled firing cost says this graph's firings are
-    /// too cheap to be worth distributing across workers.
+    /// too cheap to be worth distributing across workers. The estimate
+    /// is an EWMA, so a few dozen samples of a newly heavy (or newly
+    /// cheap) registry flip the verdict even after a long history.
     fn fine_grained(&self) -> bool {
-        let samples = self.exec_samples.load(Ordering::Relaxed);
-        samples >= 8 && self.exec_ns.load(Ordering::Relaxed) / samples < FINE_GRAIN_NS
+        self.cost_samples.load(Ordering::Relaxed) >= 8
+            && self.cost_ewma_ns.load(Ordering::Relaxed) < FINE_GRAIN_NS
+    }
+
+    /// Folds one firing-cost sample into the EWMA (α = 1/8; the first
+    /// sample seeds the average). Samples race only against each other
+    /// and the estimate is advisory, so `Relaxed` suffices — a lost
+    /// update costs one sample's weight, not correctness.
+    fn record_cost_sample(&self, sample_ns: u64) {
+        if self.cost_samples.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.cost_ewma_ns.store(sample_ns, Ordering::Relaxed);
+        } else {
+            let old = self.cost_ewma_ns.load(Ordering::Relaxed);
+            self.cost_ewma_ns
+                .store(old - old / 8 + sample_ns / 8, Ordering::Relaxed);
+        }
     }
 
     /// The de-synchronised single-worker loop (Virtual clocks only):
@@ -777,7 +1047,7 @@ impl<'g> Executor<'g> {
                         return;
                     }
                     let ns = &state.nodes[node];
-                    ns.fired_iter.fetch_add(1, Ordering::Relaxed);
+                    ns.budget.fetch_sub(1, Ordering::Relaxed);
                     ns.fired_total.fetch_add(1, Ordering::Relaxed);
                     if state.remaining_iter.fetch_sub(1, Ordering::Relaxed) == 1 {
                         self.iteration_barrier(state);
@@ -883,7 +1153,7 @@ impl<'g> Executor<'g> {
             return false;
         }
         let ns = &state.nodes[node];
-        if ns.fired_iter.load(Ordering::Acquire) >= self.counts[node] {
+        if ns.budget.load(Ordering::Acquire) == 0 {
             return false;
         }
         // `in_flight` brackets the whole attempt (not just held claims)
@@ -935,9 +1205,7 @@ impl<'g> Executor<'g> {
             .execute(claim, registry)
             .and_then(|(claim, mut ctx)| self.publish_outputs(state, &claim, &mut ctx, start));
         if let Some(timer) = timer {
-            self.exec_ns
-                .fetch_add(timer.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            self.exec_samples.fetch_add(1, Ordering::Relaxed);
+            self.record_cost_sample(timer.elapsed().as_nanos() as u64);
         }
         outcome
     }
@@ -953,17 +1221,23 @@ impl<'g> Executor<'g> {
     fn try_claim_node(&self, state: &RunState, node: usize, real_time: bool) -> Option<Claim> {
         let info = &self.nodes[node];
         let ns = &state.nodes[node];
-        // Acquire pairs with the barrier's Release reset, publishing
-        // the barrier's ring flushes to this claim's ring accesses.
-        let ordinal_iter = ns.fired_iter.load(Ordering::Acquire);
-        if ordinal_iter >= self.counts[node] {
+        // The budget gate. Acquire pairs with the barrier's Release
+        // republication: a nonzero budget proves the barrier's ring
+        // flushes, ring growth and plan switch are visible (a stale
+        // zero just retires the attempt). The claim we already hold
+        // pairs with the previous holder's release, so the budget can
+        // never be a stale value of an *earlier* iteration.
+        let remaining = ns.budget.load(Ordering::Acquire);
+        if remaining == 0 {
             return None;
         }
+        let plan = &self.plans[state.plan.load(Ordering::Relaxed)];
+        let ordinal_iter = plan.counts[node] - remaining;
 
         // 1. Resolve the mode of this firing from the control port.
         let control_need = info
             .control_port
-            .map(|cp| self.chans[cp].cons_rate(ordinal_iter))
+            .map(|cp| plan.cons_rate(cp, ordinal_iter))
             .unwrap_or(0);
         let mode = if control_need > 0 {
             let ring = state.control_ring(info.control_port.expect("need implies port"));
@@ -985,7 +1259,7 @@ impl<'g> Executor<'g> {
             Mode::HighestPriority => {
                 let mut best: Option<(u32, usize)> = None;
                 for (port, &chan) in info.data_inputs.iter().enumerate() {
-                    let rate = self.chans[chan].cons_rate(ordinal_iter);
+                    let rate = plan.cons_rate(chan, ordinal_iter);
                     if (state.data_ring(chan).len() as u64) < rate {
                         continue;
                     }
@@ -1010,7 +1284,7 @@ impl<'g> Executor<'g> {
                     if !m.selects(port, port_count) {
                         continue;
                     }
-                    let rate = self.chans[chan].cons_rate(ordinal_iter);
+                    let rate = plan.cons_rate(chan, ordinal_iter);
                     if (state.data_ring(chan).len() as u64) < rate {
                         return None;
                     }
@@ -1020,13 +1294,13 @@ impl<'g> Executor<'g> {
 
         // 3. Output space must be free on every output ring.
         for &chan in &info.data_outputs {
-            let rate = self.chans[chan].prod_rate(ordinal_iter);
+            let rate = plan.prod_rate(chan, ordinal_iter);
             if (state.data_ring(chan).free() as u64) < rate {
                 return None;
             }
         }
         for &chan in &info.control_outputs {
-            let rate = self.chans[chan].prod_rate(ordinal_iter);
+            let rate = plan.prod_rate(chan, ordinal_iter);
             if (state.control_ring(chan).free() as u64) < rate {
                 return None;
             }
@@ -1042,7 +1316,7 @@ impl<'g> Executor<'g> {
         let controlled = info.control_port.is_some();
         let mut inputs = Vec::with_capacity(mode.selected_count(port_count).min(port_count));
         let mut take = |port: usize, chan: usize| {
-            let rate = self.chans[chan].cons_rate(ordinal_iter) as usize;
+            let rate = plan.cons_rate(chan, ordinal_iter) as usize;
             if controlled {
                 state.selected[chan].store(true, Ordering::Relaxed);
             }
@@ -1074,6 +1348,7 @@ impl<'g> Executor<'g> {
             node,
             ordinal_iter,
             ordinal_total: ns.fired_total.load(Ordering::Relaxed),
+            plan: state.plan.load(Ordering::Relaxed),
             mode,
             inputs,
             deadline_missed,
@@ -1089,6 +1364,7 @@ impl<'g> Executor<'g> {
         registry: &KernelRegistry,
     ) -> Result<(Claim, FiringContext), RuntimeError> {
         let info = &self.nodes[claim.node];
+        let plan = &self.plans[claim.plan];
         let mut ctx = FiringContext {
             node: info.name.clone(),
             ordinal: claim.ordinal_total,
@@ -1099,7 +1375,7 @@ impl<'g> Executor<'g> {
                 .iter()
                 .enumerate()
                 .map(|(port, &chan)| {
-                    let rate = self.chans[chan].prod_rate(claim.ordinal_iter);
+                    let rate = plan.prod_rate(chan, claim.ordinal_iter);
                     PortOutput {
                         port,
                         channel: self.chans[chan].label.clone(),
@@ -1110,6 +1386,7 @@ impl<'g> Executor<'g> {
                 .collect(),
             deadline_missed: claim.deadline_missed,
             vote_failed: false,
+            emitted_mode: None,
         };
         match registry.get(&info.name) {
             Some(behavior) => behavior.fire(&mut ctx)?,
@@ -1131,10 +1408,11 @@ impl<'g> Executor<'g> {
     ) -> Result<(), RuntimeError> {
         let node = claim.node;
         let info = &self.nodes[node];
+        let plan = &self.plans[claim.plan];
         let ns = &state.nodes[node];
 
         for (idx, &chan) in info.data_outputs.iter().enumerate() {
-            let rate = self.chans[chan].prod_rate(claim.ordinal_iter);
+            let rate = plan.prod_rate(chan, claim.ordinal_iter);
             let produced = &mut ctx.outputs[idx].tokens;
             if produced.len() as u64 != rate {
                 return Err(RuntimeError::RateMismatch {
@@ -1149,16 +1427,26 @@ impl<'g> Executor<'g> {
             state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
         }
 
-        let policy_mode = self
-            .config
-            .control_policy
-            .mode_for(ns.control_firings.load(Ordering::Relaxed));
-        for &chan in &info.control_outputs {
-            let rate = self.chans[chan].prod_rate(claim.ordinal_iter);
-            state
-                .control_ring(chan)
-                .push_clones(&policy_mode, rate as usize)?;
-            state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+        if !info.control_outputs.is_empty() {
+            // Data-dependent control: the mode comes from the firing's
+            // consumed values (through the selector), or from the
+            // behaviour itself when it called `set_mode`.
+            let mode = match ctx.emitted_mode.take() {
+                Some(mode) => mode,
+                None => self.selector.select(
+                    ns.control_firings.load(Ordering::Relaxed),
+                    &ctx.input_scalars(),
+                ),
+            };
+            for &chan in &info.control_outputs {
+                let rate = plan.prod_rate(chan, claim.ordinal_iter);
+                state.control_ring(chan).push_clones(&mode, rate as usize)?;
+                state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+            }
+            state.mode_log[node]
+                .lock()
+                .expect("mode log lock")
+                .push(mode);
         }
         if info.is_control_actor {
             ns.control_firings.fetch_add(1, Ordering::Relaxed);
@@ -1193,7 +1481,10 @@ impl<'g> Executor<'g> {
     /// the iteration barrier, and signals progress.
     fn finish_firing(&self, state: &RunState, me: usize, node: usize) {
         let ns = &state.nodes[node];
-        ns.fired_iter.fetch_add(1, Ordering::Release);
+        // The budget decrement precedes the claim release: the next
+        // claimant's successful CAS pairs with the Release below, so it
+        // observes this decrement (never a stale larger budget).
+        ns.budget.fetch_sub(1, Ordering::Release);
         ns.fired_total.fetch_add(1, Ordering::Relaxed);
         ns.claimed.store(false, Ordering::Release);
         let surplus = self.enqueue_candidates(state, me, node);
@@ -1215,7 +1506,7 @@ impl<'g> Executor<'g> {
             if real_time && self.nodes[cand].is_clock {
                 continue;
             }
-            if state.nodes[cand].fired_iter.load(Ordering::Relaxed) >= self.counts[cand] {
+            if state.nodes[cand].budget.load(Ordering::Relaxed) == 0 {
                 continue;
             }
             if state.nodes[cand]
@@ -1233,10 +1524,12 @@ impl<'g> Executor<'g> {
     }
 
     /// When every node has completed its repetition count: flush
-    /// rejected channels, advance (or finish) the iteration. Runs on
-    /// the worker that completed the iteration's last firing — every
-    /// budget is exhausted, so no claim can race with the flush; the
-    /// `Release` budget reset republishes the flushed rings.
+    /// rejected channels, apply a pending parameter rebinding, advance
+    /// (or finish) the iteration. Runs on the worker that completed the
+    /// iteration's last firing — every budget is exhausted (zero), so
+    /// no claim can race with the flush, the plan switch or the ring
+    /// growth; the `Release` budget republication is what publishes all
+    /// of them to the next claimants.
     fn iteration_barrier(&self, state: &RunState) {
         // Flush data channels whose consuming (controlled) port was
         // rejected for the whole iteration back to their initial state.
@@ -1261,11 +1554,45 @@ impl<'g> Executor<'g> {
             state.halt.store(true, Ordering::SeqCst);
             state.cond.notify_all();
         } else {
+            // Rebind: switch the plan and grow any ring the new phase
+            // needs larger. Rate consistency returns every channel to
+            // its initial occupancy at the boundary, so growth moves at
+            // most `initial_tokens` live elements per ring.
+            let next = self.phase_of(finished);
+            if next != state.plan.load(Ordering::Relaxed) {
+                let plan = &self.plans[next];
+                for (i, &cap) in plan.capacities.iter().enumerate() {
+                    match &state.rings[i] {
+                        ChannelRing::Data(ring) => ring.grow(cap as usize),
+                        ChannelRing::Control(ring) => ring.grow(cap as usize),
+                    }
+                }
+                state.plan.store(next, Ordering::Relaxed);
+                let capacities = state
+                    .rings
+                    .iter()
+                    .map(|c| match c {
+                        ChannelRing::Data(ring) => ring.capacity() as u64,
+                        ChannelRing::Control(ring) => ring.capacity() as u64,
+                    })
+                    .collect();
+                state
+                    .rebinds
+                    .lock()
+                    .expect("rebind lock")
+                    .push(RebindEvent {
+                        iteration: finished,
+                        binding: plan.binding.clone(),
+                        counts: plan.counts.clone(),
+                        capacities,
+                    });
+            }
+            let plan = &self.plans[self.phase_of(finished)];
             state
                 .remaining_iter
-                .store(self.total_per_iter, Ordering::Relaxed);
-            for ns in &state.nodes {
-                ns.fired_iter.store(0, Ordering::Release);
+                .store(plan.total_per_iter, Ordering::Relaxed);
+            for (n, ns) in state.nodes.iter().enumerate() {
+                ns.budget.store(plan.counts[n], Ordering::Release);
             }
         }
     }
@@ -1346,7 +1673,7 @@ impl<'g> Executor<'g> {
     fn blocked_names(&self, state: &RunState) -> Vec<String> {
         self.scan_order
             .iter()
-            .filter(|&&n| state.nodes[n].fired_iter.load(Ordering::Relaxed) < self.counts[n])
+            .filter(|&&n| state.nodes[n].budget.load(Ordering::Relaxed) > 0)
             .map(|&n| self.nodes[n].name.to_string())
             .collect()
     }
@@ -1369,7 +1696,7 @@ impl<'g> Executor<'g> {
         let now = Instant::now();
         self.clock_nodes
             .iter()
-            .filter(|&&n| state.nodes[n].fired_iter.load(Ordering::Relaxed) < self.counts[n])
+            .filter(|&&n| state.nodes[n].budget.load(Ordering::Relaxed) > 0)
             .map(|&n| {
                 let tick = self.tick_instant(
                     start,
@@ -1388,7 +1715,7 @@ impl<'g> Executor<'g> {
         let now = Instant::now();
         for &node in &self.clock_nodes {
             let ns = &state.nodes[node];
-            if ns.fired_iter.load(Ordering::Acquire) >= self.counts[node]
+            if ns.budget.load(Ordering::Acquire) == 0
                 || now
                     < self.tick_instant(start, node, ns.fired_total.load(Ordering::Relaxed), unit)
             {
@@ -1405,12 +1732,14 @@ impl<'g> Executor<'g> {
             }
             // Re-check under the claim: another worker may have fired
             // this very tick between the check above and the CAS.
-            let ordinal = ns.fired_iter.load(Ordering::Acquire);
-            let due = ordinal < self.counts[node]
+            let remaining = ns.budget.load(Ordering::Acquire);
+            let due = remaining > 0
                 && Instant::now()
                     >= self.tick_instant(start, node, ns.fired_total.load(Ordering::Relaxed), unit);
             let fired = if due {
-                match self.fire_clock_claimed(state, node, ordinal) {
+                let plan_idx = state.plan.load(Ordering::Relaxed);
+                let ordinal = self.plans[plan_idx].counts[node] - remaining;
+                match self.fire_clock_claimed(state, node, ordinal, plan_idx) {
                     Ok(()) => self.finish_firing(state, me, node),
                     Err(error) => self.fail(state, error),
                 }
@@ -1427,35 +1756,42 @@ impl<'g> Executor<'g> {
         false
     }
 
-    /// Emits a real-time clock tick: control tokens carrying the policy
-    /// mode (and unit markers on any data outputs), consuming nothing —
-    /// exactly like the virtual-time engine's tick handling. Requires
-    /// the node claim.
+    /// Emits a real-time clock tick: control tokens carrying the
+    /// selector's mode (and unit markers on any data outputs),
+    /// consuming nothing — exactly like the virtual-time engine's tick
+    /// handling. Requires the node claim.
     fn fire_clock_claimed(
         &self,
         state: &RunState,
         node: usize,
         ordinal: u64,
+        plan_idx: usize,
     ) -> Result<(), RuntimeError> {
         let info = &self.nodes[node];
         let ns = &state.nodes[node];
-        let policy_mode = self
-            .config
-            .control_policy
-            .mode_for(ns.control_firings.load(Ordering::Relaxed));
+        let plan = &self.plans[plan_idx];
+        // A real-time tick consumes nothing, so a data-dependent
+        // selector sees an empty input slice.
+        let mode = self
+            .selector
+            .select(ns.control_firings.load(Ordering::Relaxed), &[]);
         for &chan in &info.control_outputs {
-            let rate = self.chans[chan].prod_rate(ordinal);
-            state
-                .control_ring(chan)
-                .push_clones(&policy_mode, rate as usize)?;
+            let rate = plan.prod_rate(chan, ordinal);
+            state.control_ring(chan).push_clones(&mode, rate as usize)?;
             state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
         }
         for &chan in &info.data_outputs {
-            let rate = self.chans[chan].prod_rate(ordinal);
+            let rate = plan.prod_rate(chan, ordinal);
             state
                 .data_ring(chan)
                 .push_clones(&Token::Unit, rate as usize)?;
             state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+        }
+        if !info.control_outputs.is_empty() {
+            state.mode_log[node]
+                .lock()
+                .expect("mode log lock")
+                .push(mode);
         }
         ns.control_firings.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -1476,14 +1812,10 @@ mod tests {
     }
 
     fn sim_reference(graph: &TpdfGraph, config: &RuntimeConfig) -> SimulationReport {
-        Simulator::new(
-            graph,
-            SimulationConfig::new(config.binding.clone())
-                .with_policy(config.control_policy.clone()),
-        )
-        .unwrap()
-        .run_iterations(config.iterations)
-        .unwrap()
+        Simulator::new(graph, config.reference_sim_config())
+            .unwrap()
+            .run_iterations(config.iterations)
+            .unwrap()
     }
 
     #[test]
@@ -1536,6 +1868,160 @@ mod tests {
     }
 
     #[test]
+    fn binding_sequence_rebinds_at_iteration_barriers() {
+        let g = figure2_graph();
+        for threads in [1usize, 4] {
+            let config = RuntimeConfig::new(binding(1))
+                .with_threads(threads)
+                .with_iterations(4)
+                .with_binding_sequence(vec![binding(1), binding(3), binding(2)]);
+            let reference = sim_reference(&g, &config);
+            let exec = Executor::new(&g, config).unwrap();
+            // q = [2, 2p, p, p, 2p, 2p] per phase; the last phase
+            // persists once the sequence is exhausted.
+            assert_eq!(exec.repetition_counts_for_iteration(0), &[2, 2, 1, 1, 2, 2]);
+            assert_eq!(exec.repetition_counts_for_iteration(1), &[2, 6, 3, 3, 6, 6]);
+            assert_eq!(exec.repetition_counts_for_iteration(3), &[2, 4, 2, 2, 4, 4]);
+            let metrics = exec.run(&KernelRegistry::new()).unwrap();
+            assert_eq!(metrics.firings, reference.firings, "threads = {threads}");
+            assert_eq!(metrics.iterations, 4);
+            // Two rebinds: into the p = 3 phase and into the p = 2 one.
+            assert_eq!(metrics.rebinds.len(), 2);
+            assert_eq!(metrics.rebinds[0].iteration, 1);
+            assert_eq!(metrics.rebinds[0].binding.get("p"), Some(3));
+            assert_eq!(metrics.rebinds[0].counts, vec![2, 6, 3, 3, 6, 6]);
+            assert_eq!(metrics.rebinds[1].iteration, 2);
+            assert_eq!(metrics.rebinds[1].binding.get("p"), Some(2));
+            // The rings grew to cover the widest phase and never shrank.
+            for (chan, cap) in metrics.channel_capacity.iter().enumerate() {
+                for iteration in 0..4 {
+                    assert!(
+                        *cap >= exec.capacities_for_iteration(iteration)[chan],
+                        "channel {chan} capacity {cap} below iteration {iteration} requirement"
+                    );
+                }
+            }
+            for (hw, cap) in metrics
+                .channel_high_water
+                .iter()
+                .zip(&metrics.channel_capacity)
+            {
+                assert!(hw <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn data_dependent_selector_matches_reference_modes() {
+        use tpdf_core::control::{FnSelector, TableTrace};
+
+        // B emits `ordinal % 3` on every output; C consumes pairs of
+        // those values from e2 and selects F's data input from their
+        // sum — a genuinely data-dependent control actor. The sim gets
+        // the identical values through the trace.
+        let g = figure2_graph();
+        let mut registry = KernelRegistry::new();
+        registry.register_fn("B", |ctx| {
+            let v = (ctx.ordinal % 3) as i64;
+            ctx.fill_outputs_cycling(&[Token::Int(v)]);
+            Ok(())
+        });
+        let selector: Arc<dyn ModeSelector> =
+            Arc::new(FnSelector::new("sum-parity", |_, inputs: &[i64]| {
+                Mode::SelectOne((inputs.iter().sum::<i64>() % 2) as usize)
+            }));
+        let trace = TableTrace::new([("e2".to_string(), vec![0, 1, 2])]).shared();
+        let config = RuntimeConfig::new(binding(2))
+            .with_threads(4)
+            .with_iterations(3)
+            .with_mode_selector(selector)
+            .with_value_trace(trace);
+        let reference = sim_reference(&g, &config);
+        let metrics = Executor::new(&g, config).unwrap().run(&registry).unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+        assert_eq!(metrics.mode_sequences, reference.mode_sequences);
+        // The emitted modes really vary with the data.
+        let c = g.node_by_name("C").unwrap();
+        let modes = &metrics.mode_sequences[c.0];
+        assert!(modes.contains(&Mode::SelectOne(0)));
+        assert!(modes.contains(&Mode::SelectOne(1)));
+    }
+
+    #[test]
+    fn varying_mode_selectors_size_rings_from_the_whole_run() {
+        use tpdf_core::control::FnSelector;
+
+        // A producer gated by a feedback loop, whose controlled
+        // consumer selects its channel throughout iteration 0 but
+        // rejects it throughout iteration 1: the ping-pong occupancy of
+        // iteration 0 (2 tokens) is far below iteration 1's full
+        // production (8 tokens piling up on the rejected channel).
+        // Firing ordinals never reset, so a single reference iteration
+        // would size the ring at 2 × slack and deadlock iteration 1 —
+        // a varying selector must force whole-run sizing.
+        let g = TpdfGraph::builder()
+            .kernel("SRC")
+            .control("CON")
+            .kernel_with("TRAN", KernelKind::Transaction { votes_required: 0 }, 1)
+            .kernel("SNK")
+            .channel("SRC", "TRAN", RateSeq::constant(2), RateSeq::constant(2), 0)
+            .channel("TRAN", "SRC", RateSeq::constant(1), RateSeq::constant(1), 1)
+            .control_channel("CON", "TRAN", RateSeq::constant(1), RateSeq::constant(1))
+            .channel("TRAN", "SNK", RateSeq::constant(1), RateSeq::constant(4), 0)
+            .build()
+            .unwrap();
+        let selector: Arc<dyn ModeSelector> = Arc::new(FnSelector::new(
+            "reject-every-other-iteration",
+            |firing, _| {
+                // 4 control firings per iteration: iteration 0 selects
+                // the data input, iteration 1 rejects it outright.
+                if (firing / 4) % 2 == 0 {
+                    Mode::SelectOne(0)
+                } else {
+                    Mode::SelectMany(Vec::new())
+                }
+            },
+        ));
+        let config = RuntimeConfig::new(Binding::new())
+            .with_threads(2)
+            .with_iterations(2)
+            .with_mode_selector(selector);
+        let reference = sim_reference(&g, &config);
+        let exec = Executor::new(&g, config).unwrap();
+        let e1 = 0; // SRC → TRAN is the first declared channel
+        assert!(
+            exec.capacities()[e1] >= 8,
+            "sizing must cover iteration 1's rejected-channel pile-up, got {}",
+            exec.capacities()[e1]
+        );
+        let metrics = exec.run(&KernelRegistry::new()).unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+        assert_eq!(metrics.mode_sequences, reference.mode_sequences);
+    }
+
+    #[test]
+    fn kernel_set_mode_overrides_the_selector() {
+        // C's registered behaviour returns the mode with its outputs;
+        // the configured (default WaitAll) selector is never consulted.
+        let g = figure2_graph();
+        let mut registry = KernelRegistry::new();
+        registry.register_fn("C", |ctx| {
+            ctx.set_mode(Mode::SelectOne((ctx.ordinal % 2) as usize));
+            ctx.fill_outputs_from_inputs();
+            Ok(())
+        });
+        let config = RuntimeConfig::new(binding(1))
+            .with_threads(2)
+            .with_iterations(2);
+        let metrics = Executor::new(&g, config).unwrap().run(&registry).unwrap();
+        let c = g.node_by_name("C").unwrap();
+        assert_eq!(
+            metrics.mode_sequences[c.0],
+            vec![Mode::SelectOne(0), Mode::SelectOne(1)]
+        );
+    }
+
+    #[test]
     fn strict_capacities_still_complete() {
         // Slack 1 sizes every data ring at exactly the reference
         // high-water mark; the claim discipline must still find a
@@ -1576,6 +2062,52 @@ mod tests {
             .unwrap();
         assert_eq!(metrics.firings, reference.firings);
         assert_eq!(metrics.iterations, 200);
+    }
+
+    #[test]
+    fn firing_cost_ewma_reclassifies_between_runs() {
+        // The telemetry is an EWMA, not a cumulative average: after a
+        // compute-weighted run, a cheap registry on the SAME executor
+        // must bring the estimate back down within its own samples. A
+        // cumulative mean stays anchored at ~half the heavy cost and
+        // would keep misclassifying the fine-grained workload.
+        fn spin(duration: Duration) {
+            let start = Instant::now();
+            while start.elapsed() < duration {
+                std::hint::spin_loop();
+            }
+        }
+        let g = figure2_graph();
+        let config = RuntimeConfig::new(binding(1))
+            .with_threads(2)
+            .with_iterations(100);
+        let exec = Executor::new(&g, config).unwrap();
+
+        let mut heavy = KernelRegistry::new();
+        for node in ["A", "B", "C", "D", "E", "F"] {
+            heavy.register_fn(node, |ctx| {
+                spin(Duration::from_micros(100));
+                ctx.fill_outputs_from_inputs();
+                Ok(())
+            });
+        }
+        exec.run(&heavy).unwrap();
+        let after_heavy = exec.sampled_firing_cost_ns().expect("samples were taken");
+        assert!(
+            after_heavy > FINE_GRAIN_NS,
+            "100µs kernels must classify as coarse-grained, got {after_heavy}ns"
+        );
+
+        exec.run(&KernelRegistry::new()).unwrap();
+        let after_cheap = exec.sampled_firing_cost_ns().expect("samples were taken");
+        // ~125 cheap samples decay the 100µs estimate by (7/8)^125; a
+        // cumulative mean would still sit at ~after_heavy / 2. The 4×
+        // bound keeps the assertion robust to scheduling noise while
+        // cleanly separating the two behaviours.
+        assert!(
+            after_cheap < after_heavy / 4,
+            "EWMA must track the cheap registry: {after_cheap}ns vs {after_heavy}ns before"
+        );
     }
 
     #[test]

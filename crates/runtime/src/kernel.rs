@@ -97,6 +97,11 @@ pub struct FiringContext {
     /// Set by the built-in Transaction behaviour when a vote could not
     /// reach `votes_required` agreeing inputs.
     pub vote_failed: bool,
+    /// The mode this firing's control tokens carry, when the behaviour
+    /// chose one itself (see [`FiringContext::set_mode`]). `None` lets
+    /// the executor compute the mode from the configured
+    /// [`tpdf_core::control::ModeSelector`].
+    pub emitted_mode: Option<Mode>,
 }
 
 impl FiringContext {
@@ -122,6 +127,24 @@ impl FiringContext {
             .iter()
             .flat_map(|p| p.tokens.iter().cloned())
             .collect()
+    }
+
+    /// The scalar views of every consumed token, port after port, oldest
+    /// first — the inputs a data-dependent mode selector reacts to.
+    pub fn input_scalars(&self) -> Vec<i64> {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.tokens.iter().map(Token::as_scalar))
+            .collect()
+    }
+
+    /// Makes this firing's control tokens carry `mode`, overriding the
+    /// executor's configured mode selector. Only meaningful for control
+    /// actors (nodes with control outputs); cross-validation against
+    /// `tpdf-sim` requires an equivalent selector + value trace on the
+    /// simulation side.
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.emitted_mode = Some(mode);
     }
 
     /// Fills every output port by cycling through `source` (or with
@@ -317,6 +340,7 @@ mod tests {
                 .collect(),
             deadline_missed: false,
             vote_failed: false,
+            emitted_mode: None,
         }
     }
 
@@ -416,6 +440,21 @@ mod tests {
                 Token::Int(1)
             ]
         );
+    }
+
+    #[test]
+    fn input_scalars_and_mode_override() {
+        let mut ctx = ctx_with(
+            vec![
+                port(0, 0, vec![Token::Int(4), Token::Unit]),
+                port(1, 0, vec![Token::Byte(2)]),
+            ],
+            &[1],
+        );
+        assert_eq!(ctx.input_scalars(), vec![4, 0, 2]);
+        assert_eq!(ctx.emitted_mode, None);
+        ctx.set_mode(Mode::SelectOne(1));
+        assert_eq!(ctx.emitted_mode, Some(Mode::SelectOne(1)));
     }
 
     #[test]

@@ -20,11 +20,19 @@
 //! a pool of worker threads: kernels fire when their *mode-selected*
 //! inputs are ready, control tokens switch modes at run time exactly as
 //! in [`tpdf_core::mode`], and channels rejected for a whole iteration
-//! are flushed (the paper's dynamic-topology rule). Because every node
-//! is sequential with itself and every channel has a single producer
-//! and a single consumer, token streams are deterministic whatever the
-//! thread count — which the cross-validation suite exploits to compare
-//! the runtime token-for-token against the reference engine.
+//! are flushed (the paper's dynamic-topology rule). Control is
+//! **data-dependent**: a control actor computes the mode it emits from
+//! the scalar views of the tokens it consumed, through the shared
+//! [`tpdf_core::control::ModeSelector`] contract (a `ControlPolicy` is
+//! its data-independent instance), and parameters may be **rebound at
+//! iteration boundaries** ([`executor::RuntimeConfig::with_binding_sequence`]),
+//! with repetition counts re-derived and channel rings grown in place
+//! at the barrier. Because every node is sequential with itself and
+//! every channel has a single producer and a single consumer, token
+//! streams are deterministic whatever the thread count — which the
+//! cross-validation suite and the randomized differential harness
+//! exploit to compare the runtime token-for-token (and
+//! mode-for-mode) against the reference engine.
 //!
 //! With [`executor::ClockMode::RealTime`], Clock watchdogs fire at wall-clock
 //! deadlines ([`std::time::Instant`]) and a clock-driven Transaction
@@ -64,7 +72,7 @@ pub mod token;
 pub use cases::{EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture};
 pub use executor::{ClockMode, Executor, RuntimeConfig};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
-pub use metrics::{DeadlineSelection, Metrics};
+pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
 pub use ring::RingBuffer;
 pub use token::Token;
 

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
+use tpdf_core::mode::Mode;
+use tpdf_symexpr::Binding;
 
 /// One deadline decision taken by a clock-driven Transaction kernel
 /// (the runtime analogue of `tpdf_sim::DeadlineOutcome`).
@@ -16,6 +18,24 @@ pub struct DeadlineSelection {
     pub selected_priority: Option<u32>,
     /// Wall-clock offset of the firing from the start of the run.
     pub at: Duration,
+}
+
+/// One parameter rebinding applied at an iteration barrier: the paper
+/// allows `p` to change between (never within) iterations, and the
+/// executor re-derives repetition counts and ring capacities when it
+/// does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebindEvent {
+    /// The iteration that started under the new binding (0-based).
+    pub iteration: u64,
+    /// The effective binding from that iteration on.
+    pub binding: Binding,
+    /// The repetition counts the new binding implies (indexed by
+    /// [`NodeId`]).
+    pub counts: Vec<u64>,
+    /// The ring capacities in effect after the rebind (indexed by
+    /// [`ChannelId`]); rings only ever grow.
+    pub capacities: Vec<u64>,
 }
 
 /// Aggregate statistics of one runtime execution.
@@ -51,6 +71,14 @@ pub struct Metrics {
     /// Every deadline decision taken by clock-driven Transactions, in
     /// firing order.
     pub deadline_selections: Vec<DeadlineSelection>,
+    /// The modes each node emitted on its control outputs, one entry
+    /// per firing, in firing order (indexed by [`NodeId`]; empty for
+    /// nodes without control outputs). Cross-validation compares these
+    /// against `tpdf-sim`'s `SimulationReport::mode_sequences`.
+    pub mode_sequences: Vec<Vec<Mode>>,
+    /// Every parameter rebinding applied at an iteration barrier, in
+    /// iteration order (empty without a binding sequence).
+    pub rebinds: Vec<RebindEvent>,
 }
 
 impl Metrics {
@@ -102,6 +130,8 @@ mod tests {
             deadline_misses: 1,
             vote_failures: 0,
             deadline_selections: Vec::new(),
+            mode_sequences: vec![Vec::new(); 6],
+            rebinds: Vec::new(),
         }
     }
 

@@ -36,7 +36,7 @@
 use crate::RuntimeError;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A bounded lock-free SPSC FIFO over a circular array.
@@ -47,12 +47,26 @@ use std::sync::Arc;
 /// exact occupancy.
 pub struct RingBuffer<T> {
     label: Arc<str>,
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// The slot array, behind one more `UnsafeCell` so the iteration
+    /// barrier can grow it in place through `&self`
+    /// ([`RingBuffer::grow`] documents the required quiescence).
+    slots: UnsafeCell<Box<[UnsafeCell<MaybeUninit<T>>]>>,
+    /// Slot count, mirrored out of `slots` so readers never touch the
+    /// growable allocation.
+    cap: AtomicUsize,
     /// Consumer cursor: next slot to read. Written only by the consumer.
     head: AtomicUsize,
     /// Producer cursor: next slot to write. Written only by the producer.
     tail: AtomicUsize,
-    /// Highest occupancy observed by the producer after a push.
+    /// Linearizable occupancy counter: incremented by the producer right
+    /// after publishing a batch, decremented by the consumer right
+    /// before taking one. Transiently negative (a pop may be counted
+    /// before the push that supplied it), hence signed.
+    occupancy: AtomicI64,
+    /// Highest occupancy *certified* by the counter: every recorded
+    /// value is ≤ the true occupancy at the moment of its RMW, so the
+    /// mark never reports a peak that did not happen (a producer-side
+    /// `tail - stale_head` reading could).
     high_water: AtomicUsize,
 }
 
@@ -74,11 +88,15 @@ impl<T> RingBuffer<T> {
         assert!(capacity > 0, "ring buffer capacity must be positive");
         RingBuffer {
             label: label.into(),
-            slots: (0..capacity)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-                .collect(),
+            slots: UnsafeCell::new(
+                (0..capacity)
+                    .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                    .collect(),
+            ),
+            cap: AtomicUsize::new(capacity),
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
+            occupancy: AtomicI64::new(0),
             high_water: AtomicUsize::new(0),
         }
     }
@@ -90,7 +108,20 @@ impl<T> RingBuffer<T> {
 
     /// Maximum number of elements.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    /// The slot at cursor `c`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the side-ownership the cursor protocol
+    /// grants it (producer for unpublished slots, consumer for published
+    /// ones) and no concurrent [`RingBuffer::grow`] may be running.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, c: usize) -> &mut MaybeUninit<T> {
+        let slots = &*self.slots.get();
+        &mut *slots[c % slots.len()].get()
     }
 
     /// Current number of elements.
@@ -125,9 +156,14 @@ impl<T> RingBuffer<T> {
         self.capacity() - self.len()
     }
 
-    /// Highest occupancy observed so far (measured by the producer
-    /// after each push; with a concurrent consumer this is the tightest
-    /// bound either side can observe without a global lock).
+    /// Highest occupancy *certified to have existed*: both sides feed a
+    /// linearizable occupancy counter (producer increments after
+    /// publishing, consumer decrements before taking), and the mark is
+    /// the maximum value the counter ever took. Unlike a producer-side
+    /// `tail - head` reading against a possibly-stale consumer cursor,
+    /// this can never report an occupancy that never happened; a pop
+    /// racing a push can hide a transient peak by at most the pop's
+    /// batch size, and with either side quiescent the mark is exact.
     pub fn high_water(&self) -> usize {
         self.high_water.load(Ordering::Relaxed)
     }
@@ -147,9 +183,9 @@ impl<T> RingBuffer<T> {
         // the consumer will not touch it until the Release store below
         // publishes it; we are the unique producer.
         unsafe {
-            (*self.slots[tail % self.capacity()].get()).write(value);
+            self.slot(tail).write(value);
         }
-        self.publish(tail, 1, head);
+        self.publish(tail, 1);
         Ok(())
     }
 
@@ -173,20 +209,26 @@ impl<T> RingBuffer<T> {
             // SAFETY: slots `tail..tail + n` are free (checked above)
             // and invisible to the consumer until `tail` is published.
             unsafe {
-                (*self.slots[tail.wrapping_add(i) % self.capacity()].get()).write(value);
+                self.slot(tail.wrapping_add(i)).write(value);
             }
         }
-        self.publish(tail, n, head);
+        self.publish(tail, n);
         Ok(())
     }
 
-    /// Publishes `n` freshly written slots and updates the high-water
-    /// mark. **Producer side.**
-    fn publish(&self, tail: usize, n: usize, head: usize) {
-        let new_tail = tail.wrapping_add(n);
-        self.tail.store(new_tail, Ordering::Release);
-        let occupancy = new_tail.wrapping_sub(head);
-        self.high_water.fetch_max(occupancy, Ordering::Relaxed);
+    /// Publishes `n` freshly written slots and feeds the certified
+    /// high-water mark. **Producer side.**
+    fn publish(&self, tail: usize, n: usize) {
+        self.tail.store(tail.wrapping_add(n), Ordering::Release);
+        // The counter value right after this RMW is ≤ the true
+        // occupancy at the same instant (the batch is already
+        // published; any pop counted against it has not necessarily
+        // happened yet), so recording it never invents a peak.
+        let occupancy = self.occupancy.fetch_add(n as i64, Ordering::Relaxed) + n as i64;
+        if occupancy > 0 {
+            self.high_water
+                .fetch_max(occupancy as usize, Ordering::Relaxed);
+        }
     }
 
     /// Removes and returns the oldest element, or `None` when empty.
@@ -197,11 +239,14 @@ impl<T> RingBuffer<T> {
         if tail == head {
             return None;
         }
+        // Count the take before it happens: the certified occupancy can
+        // only ever lag below the truth, never run ahead of it.
+        self.occupancy.fetch_sub(1, Ordering::Relaxed);
         // SAFETY: slot `head % capacity` was published by the producer
         // (tail > head under the Acquire load) and we are the unique
         // consumer; the value is moved out exactly once because `head`
         // advances past it below.
-        let value = unsafe { (*self.slots[head % self.capacity()].get()).assume_init_read() };
+        let value = unsafe { self.slot(head).assume_init_read() };
         self.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
@@ -222,14 +267,13 @@ impl<T> RingBuffer<T> {
             "ring {} underflow: {available} < {count}",
             self.label
         );
+        self.occupancy.fetch_sub(count as i64, Ordering::Relaxed);
         out.reserve(count);
         for i in 0..count {
             // SAFETY: slots `head..head + count` are published (checked
             // above); each is moved out exactly once, then released by
             // the single `head` advance below.
-            let value = unsafe {
-                (*self.slots[head.wrapping_add(i) % self.capacity()].get()).assume_init_read()
-            };
+            let value = unsafe { self.slot(head.wrapping_add(i)).assume_init_read() };
             out.push(value);
         }
         self.head.store(head.wrapping_add(count), Ordering::Release);
@@ -247,6 +291,50 @@ impl<T> RingBuffer<T> {
         }
         dropped
     }
+
+    /// Grows the ring in place to `new_capacity` slots, preserving the
+    /// stored elements, their FIFO order and both cursors. A no-op when
+    /// `new_capacity` does not exceed the current capacity — rings never
+    /// shrink, so a parameter rebinding can only relax the backpressure
+    /// an in-flight producer relies on, never invalidate it.
+    ///
+    /// **Quiescence required:** the caller must guarantee that no
+    /// producer or consumer touches the ring for the duration of the
+    /// call. The executor calls this only inside the iteration barrier,
+    /// where every firing budget is exhausted (zero) and therefore no
+    /// worker can pass the claim gate; the barrier republishes the
+    /// budgets with `Release` stores afterwards, which is what makes the
+    /// new slot array visible to the next claimants. The SPSC invariants
+    /// survive: cursors keep their values, and because the slot index of
+    /// cursor `c` is `c % capacity`, the elements are re-homed to their
+    /// new slots during the copy.
+    pub fn grow(&self, new_capacity: usize) {
+        let old_capacity = self.capacity();
+        if new_capacity <= old_capacity {
+            return;
+        }
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        let new_slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..new_capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        // SAFETY: quiescence (caller contract) makes this thread the
+        // only one touching the slot array; every cursor in `[head,
+        // tail)` indexes a published, initialised slot, and each value
+        // is moved exactly once (the old array is dropped as
+        // uninitialised storage, so nothing double-drops).
+        unsafe {
+            let old_slots = &*self.slots.get();
+            let mut c = head;
+            while c != tail {
+                let value = (*old_slots[c % old_capacity].get()).assume_init_read();
+                (*new_slots[c % new_capacity].get()).write(value);
+                c = c.wrapping_add(1);
+            }
+            *self.slots.get() = new_slots;
+        }
+        self.cap.store(new_capacity, Ordering::Release);
+    }
 }
 
 impl<T: Clone> RingBuffer<T> {
@@ -262,7 +350,7 @@ impl<T: Clone> RingBuffer<T> {
         }
         // SAFETY: the slot is published and stays valid: only this
         // consumer can advance `head` past it.
-        let value = unsafe { (*self.slots[head % self.capacity()].get()).assume_init_ref() };
+        let value = unsafe { self.slot(head).assume_init_ref() };
         Some(value.clone())
     }
 
@@ -281,10 +369,10 @@ impl<T: Clone> RingBuffer<T> {
         for i in 0..count {
             // SAFETY: as in `push_from`.
             unsafe {
-                (*self.slots[tail.wrapping_add(i) % self.capacity()].get()).write(value.clone());
+                self.slot(tail.wrapping_add(i)).write(value.clone());
             }
         }
-        self.publish(tail, count, head);
+        self.publish(tail, count);
         Ok(())
     }
 }
@@ -390,6 +478,55 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _: RingBuffer<u32> = RingBuffer::new("e5", 0);
+    }
+
+    #[test]
+    fn grow_preserves_content_cursors_and_order() {
+        let r: RingBuffer<u32> = RingBuffer::new("g1", 3);
+        r.push_from(&mut vec![1, 2, 3]).unwrap();
+        assert_eq!(r.pop(), Some(1));
+        r.push(4).unwrap(); // wrapped: slots now [4, 2, 3] with head = 1
+        assert_eq!(r.len(), 3);
+        r.grow(7);
+        assert_eq!(r.capacity(), 7);
+        assert_eq!(r.len(), 3, "occupancy survives growth");
+        // The freed space is usable immediately.
+        r.push_from(&mut vec![5, 6, 7, 8]).unwrap();
+        assert_eq!(drain(&r, 7), vec![2, 3, 4, 5, 6, 7, 8]);
+        // Shrinking (or equal) requests are no-ops.
+        r.grow(2);
+        assert_eq!(r.capacity(), 7);
+    }
+
+    #[test]
+    fn grow_after_heavy_wraparound_rehomes_elements() {
+        let r: RingBuffer<u32> = RingBuffer::new("g2", 2);
+        // Advance the cursors far past the capacity.
+        for i in 0..1000u32 {
+            r.push(i).unwrap();
+            assert_eq!(r.pop(), Some(i));
+        }
+        r.push_from(&mut vec![1000, 1001]).unwrap();
+        r.grow(5);
+        r.push_from(&mut vec![1002, 1003, 1004]).unwrap();
+        assert_eq!(drain(&r, 5), vec![1000, 1001, 1002, 1003, 1004]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn grow_releases_no_element_twice() {
+        // Arc counts make double-drops (or leaks) observable through
+        // the grow + drop path.
+        let payload = Arc::new(7u32);
+        let r: RingBuffer<Arc<u32>> = RingBuffer::new("g3", 2);
+        r.push_clones(&payload, 2).unwrap();
+        r.grow(6);
+        r.push_clones(&payload, 3).unwrap();
+        assert_eq!(Arc::strong_count(&payload), 6);
+        assert_eq!(r.pop().as_deref(), Some(&7));
+        assert_eq!(Arc::strong_count(&payload), 5);
+        drop(r);
+        assert_eq!(Arc::strong_count(&payload), 1);
     }
 
     #[test]

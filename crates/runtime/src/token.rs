@@ -76,6 +76,21 @@ impl Token {
             _ => None,
         }
     }
+
+    /// The scalar view of this token — what a data-dependent
+    /// [`tpdf_core::control::ModeSelector`] sees when a control actor
+    /// consumes it. Payload-free and non-numeric tokens ([`Token::Unit`],
+    /// [`Token::Image`]) view as 0; floats truncate; complex samples
+    /// view as their truncated real part.
+    pub fn as_scalar(&self) -> i64 {
+        match self {
+            Token::Unit | Token::Image(_) => 0,
+            Token::Int(i) => *i,
+            Token::Float(x) => *x as i64,
+            Token::Byte(b) => *b as i64,
+            Token::Complex(c) => c.re as i64,
+        }
+    }
 }
 
 impl fmt::Display for Token {
@@ -132,6 +147,16 @@ mod tests {
         let t = Token::image(img.clone());
         assert_eq!(t.as_image(), Some(&img));
         assert_eq!(t.as_complex(), None);
+    }
+
+    #[test]
+    fn scalar_views_cover_every_variant() {
+        assert_eq!(Token::Unit.as_scalar(), 0);
+        assert_eq!(Token::Int(-7).as_scalar(), -7);
+        assert_eq!(Token::Byte(3).as_scalar(), 3);
+        assert_eq!(Token::Float(2.9).as_scalar(), 2);
+        assert_eq!(Token::Complex(Complex::new(4.2, 9.0)).as_scalar(), 4);
+        assert_eq!(Token::image(GrayImage::new(1, 1)).as_scalar(), 0);
     }
 
     #[test]

@@ -1,30 +1,40 @@
-//! Multi-threaded stress/property test of the lock-free SPSC ring:
+//! Multi-threaded stress/property tests of the lock-free SPSC ring:
 //! a producer thread and a consumer thread exchange a numbered token
 //! stream through randomly sized batches over randomly sized rings,
 //! and the consumer must observe exactly the FIFO sequence — no lost,
 //! duplicated or reordered element — while the ring never exceeds its
-//! capacity.
+//! capacity. The in-place growth path (used by the executor's rebind
+//! barrier) and the certified high-water accounting are covered here
+//! too.
 
 use proptest::prelude::*;
 use tpdf_runtime::RingBuffer;
 
-/// Pushes `0..total` through a ring of the given capacity using the
-/// given (cycled) batch-size schedules and returns what the consumer
-/// received.
-fn pump(capacity: usize, total: u64, push_sizes: &[usize], pop_sizes: &[usize]) -> Vec<u64> {
-    let ring: RingBuffer<u64> = RingBuffer::new("stress", capacity);
-    let mut received = Vec::with_capacity(total as usize);
+/// Pushes `start..start + total` through an existing ring using the
+/// given (cycled) batch-size schedules, appending what the consumer
+/// received to `received`.
+fn pump_through(
+    ring: &RingBuffer<u64>,
+    start: u64,
+    total: u64,
+    push_sizes: &[usize],
+    pop_sizes: &[usize],
+    received: &mut Vec<u64>,
+) {
+    let capacity = ring.capacity();
+    let consumed_target = received.len() + total as usize;
     std::thread::scope(|s| {
         s.spawn(|| {
-            let mut next = 0u64;
+            let mut next = start;
+            let end = start + total;
             let mut slab = Vec::new();
             for (i, &raw) in push_sizes.iter().cycle().enumerate() {
-                if next >= total {
+                if next >= end {
                     break;
                 }
                 // Batches are clamped to the capacity and the remaining
                 // stream; a zero entry degenerates to a single push.
-                let batch = raw.clamp(1, capacity).min((total - next) as usize);
+                let batch = raw.clamp(1, capacity).min((end - next) as usize);
                 slab.extend((0..batch as u64).map(|k| next + k));
                 while ring.free() < batch {
                     std::thread::yield_now();
@@ -38,7 +48,7 @@ fn pump(capacity: usize, total: u64, push_sizes: &[usize], pop_sizes: &[usize]) 
             }
         });
         for (i, &raw) in pop_sizes.iter().cycle().enumerate() {
-            let remaining = total as usize - received.len();
+            let remaining = consumed_target - received.len();
             if remaining == 0 {
                 break;
             }
@@ -51,12 +61,20 @@ fn pump(capacity: usize, total: u64, push_sizes: &[usize], pop_sizes: &[usize]) 
                 available = ring.len();
             }
             let want = raw.clamp(1, capacity).min(remaining).min(available);
-            ring.pop_into(want, &mut received);
+            ring.pop_into(want, received);
             if i % 5 == 0 {
                 std::thread::yield_now();
             }
         }
     });
+}
+
+/// Pushes `0..total` through a fresh ring of the given capacity and
+/// returns what the consumer received.
+fn pump(capacity: usize, total: u64, push_sizes: &[usize], pop_sizes: &[usize]) -> Vec<u64> {
+    let ring: RingBuffer<u64> = RingBuffer::new("stress", capacity);
+    let mut received = Vec::with_capacity(total as usize);
+    pump_through(&ring, 0, total, push_sizes, pop_sizes, &mut received);
     assert!(ring.is_empty(), "everything produced was consumed");
     assert!(
         ring.high_water() <= capacity,
@@ -92,5 +110,75 @@ proptest! {
         // single-element batches forces maximal head/tail traffic.
         let received = pump(capacity, total, &[1], &[1]);
         prop_assert_eq!(received, (0..total).collect::<Vec<_>>());
+    }
+
+    /// In-place growth between quiescent phases (exactly the executor's
+    /// rebind-barrier usage): the stream must stay FIFO across an
+    /// arbitrary schedule of growths, with live elements and advanced
+    /// cursors surviving each one.
+    #[test]
+    fn grow_between_concurrent_phases_preserves_fifo(
+        phases in proptest::collection::vec((1usize..17, 1u64..800), 2..5),
+        leftover in 0usize..3,
+        push_sizes in proptest::collection::vec(1usize..9, 1..5),
+        pop_sizes in proptest::collection::vec(1usize..9, 1..5),
+    ) {
+        let ring: RingBuffer<u64> = RingBuffer::new("grow-stress", 3 + leftover);
+        let mut received = Vec::new();
+        let mut next = 0u64;
+        // Standing occupancy carried across every phase boundary, so
+        // growth always has live (and usually wrapped) elements to
+        // re-home. FIFO order makes the consumer receive these markers
+        // first and leave the last `leftover` stream elements behind.
+        ring.push_clones(&u64::MAX, leftover).unwrap();
+        for (extra, total) in phases {
+            ring.grow(ring.capacity() + extra);
+            pump_through(&ring, next, total, &push_sizes, &pop_sizes, &mut received);
+            next += total;
+        }
+        prop_assert_eq!(ring.len(), leftover, "standing occupancy is preserved");
+        prop_assert_eq!(received.len() as u64, next);
+        // Everything pushed, in order: the markers, then the stream.
+        for (i, &v) in received.iter().enumerate() {
+            let expected = if i < leftover {
+                u64::MAX
+            } else {
+                (i - leftover) as u64
+            };
+            prop_assert_eq!(v, expected);
+        }
+        // The elements still stored are the most recently pushed ones.
+        let mut tail = Vec::new();
+        ring.pop_into(leftover, &mut tail);
+        prop_assert_eq!(tail, (next - leftover as u64..next).collect::<Vec<_>>());
+        prop_assert!(ring.high_water() <= ring.capacity());
+    }
+
+    /// The certified high-water mark: exact whenever an operation ends
+    /// quiescent (the executor reads it after the run, when every
+    /// worker has stopped), monotone, and never above the capacity.
+    /// Unlike the old producer-side `tail - stale_head` reading, no
+    /// recorded value can exceed the occupancy that truly existed.
+    #[test]
+    fn high_water_is_exact_at_quiescent_handoffs(
+        batches in proptest::collection::vec((1usize..17, 0usize..17), 1..12),
+    ) {
+        let capacity = 16;
+        let ring: RingBuffer<u64> = RingBuffer::new("hw", capacity);
+        let mut model_occupancy = 0usize;
+        let mut model_high = 0usize;
+        let mut out = Vec::new();
+        for (push, pop) in batches {
+            let push = push.min(capacity - model_occupancy);
+            ring.push_clones(&7u64, push).unwrap();
+            model_occupancy += push;
+            model_high = model_high.max(model_occupancy);
+            prop_assert_eq!(ring.high_water(), model_high);
+            let pop = pop.min(model_occupancy);
+            ring.pop_into(pop, &mut out);
+            model_occupancy -= pop;
+        }
+        prop_assert_eq!(ring.high_water(), model_high);
+        prop_assert!(ring.high_water() <= capacity);
     }
 }

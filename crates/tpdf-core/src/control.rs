@@ -1,0 +1,238 @@
+//! Data-dependent control: the [`ModeSelector`] and [`ValueTrace`]
+//! contracts.
+//!
+//! The paper's defining feature is *context dependence*: a control actor
+//! chooses the [`Mode`] it emits from the data it consumes (Section
+//! II-B), e.g. the cognitive radio's `CON` reading the constellation
+//! size `M` out of `SRC`'s sample stream. This module defines the
+//! cross-engine contract for that choice:
+//!
+//! * A [`ModeSelector`] computes the mode a control actor emits at one
+//!   firing from the *scalar views* of the tokens it consumed during
+//!   that firing. Both execution engines call the same selector — the
+//!   token-level `tpdf-runtime` with the scalars of the real consumed
+//!   [`Token`]s, the count-level `tpdf-sim` with scalars supplied by a
+//!   [`ValueTrace`] — so a graph reacts to its own stream identically
+//!   under both.
+//! * A [`ValueTrace`] models the data of a count-only simulation: it
+//!   maps `(channel label, consumption ordinal)` to the scalar the
+//!   `ordinal`-th token consumed from that channel carries. For
+//!   sim↔runtime cross-validation the trace must describe the values
+//!   the runtime kernels actually produce; the differential test
+//!   harness generates both from one table.
+//!
+//! Selectors must be **deterministic** (a pure function of the firing
+//! ordinal and the consumed scalars): TPDF's Kahn-style determinacy —
+//! token streams independent of scheduling — only holds for
+//! deterministic selectors, and cross-engine validation relies on it.
+//!
+//! [`Token`]: https://docs.rs/tpdf-runtime
+
+use crate::mode::Mode;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Computes the [`Mode`] a control actor emits at one firing.
+///
+/// `firing` is the control actor's firing ordinal across the whole run
+/// (not reset at iteration boundaries) and `inputs` are the scalar
+/// views of the tokens the actor consumed during this firing, in data
+/// port order, oldest first (empty for source control actors and for
+/// real-time clock ticks, which consume nothing).
+///
+/// Implementations must be pure: the same `(firing, inputs)` pair must
+/// always produce the same mode.
+pub trait ModeSelector: fmt::Debug + Send + Sync {
+    /// The mode carried by the control tokens emitted at this firing.
+    fn select(&self, firing: u64, inputs: &[i64]) -> Mode;
+}
+
+/// Scalar values for the tokens of a count-only simulation.
+///
+/// `value(channel, ordinal)` is the scalar carried by the `ordinal`-th
+/// token consumed from the channel with the given label, counting from
+/// the start of the run and including any initial tokens (which the
+/// runtime materialises as unit markers of scalar 0). Only channels
+/// consumed by control actors are ever queried.
+pub trait ValueTrace: fmt::Debug + Send + Sync {
+    /// The scalar of the `ordinal`-th token consumed from `channel`.
+    fn value(&self, channel: &str, ordinal: u64) -> i64;
+}
+
+/// A [`ModeSelector`] keyed by the *sum* of the consumed scalars: the
+/// sum picks a mode from a table, with a fallback for unmapped values.
+///
+/// The sum is the natural reduction for the common shapes: a control
+/// actor consuming a single configuration token per firing (the OFDM
+/// `CON` reading `M`) selects directly on its value, and an actor
+/// consuming several tokens selects on their aggregate.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::control::{ModeSelector, ValueMapSelector};
+/// use tpdf_core::mode::Mode;
+///
+/// // The cognitive-radio mapping: M = 2 demaps QPSK, M = 4 demaps QAM.
+/// let sel = ValueMapSelector::new(
+///     [(2, Mode::SelectOne(0)), (4, Mode::SelectOne(1))],
+///     Mode::WaitAll,
+/// );
+/// assert_eq!(sel.select(0, &[2]), Mode::SelectOne(0));
+/// assert_eq!(sel.select(7, &[4]), Mode::SelectOne(1));
+/// assert_eq!(sel.select(0, &[9]), Mode::WaitAll);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueMapSelector {
+    map: BTreeMap<i64, Mode>,
+    fallback: Mode,
+}
+
+impl ValueMapSelector {
+    /// Creates a selector mapping summed input scalars to modes, with
+    /// `fallback` for sums absent from the map.
+    pub fn new<I: IntoIterator<Item = (i64, Mode)>>(map: I, fallback: Mode) -> Self {
+        ValueMapSelector {
+            map: map.into_iter().collect(),
+            fallback,
+        }
+    }
+}
+
+impl ModeSelector for ValueMapSelector {
+    fn select(&self, _firing: u64, inputs: &[i64]) -> Mode {
+        let key: i64 = inputs.iter().sum();
+        self.map.get(&key).unwrap_or(&self.fallback).clone()
+    }
+}
+
+/// A [`ModeSelector`] from a plain function, with a name for debug
+/// output.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::control::{FnSelector, ModeSelector};
+/// use tpdf_core::mode::Mode;
+///
+/// let sel = FnSelector::new("even-odd", |_, inputs: &[i64]| {
+///     if inputs.iter().sum::<i64>() % 2 == 0 {
+///         Mode::SelectOne(0)
+///     } else {
+///         Mode::SelectOne(1)
+///     }
+/// });
+/// assert_eq!(sel.select(0, &[4]), Mode::SelectOne(0));
+/// ```
+pub struct FnSelector<F> {
+    name: &'static str,
+    f: F,
+}
+
+impl<F: Fn(u64, &[i64]) -> Mode + Send + Sync> FnSelector<F> {
+    /// Wraps `f` as a selector; `name` appears in `Debug` output.
+    pub fn new(name: &'static str, f: F) -> Self {
+        FnSelector { name, f }
+    }
+}
+
+impl<F> fmt::Debug for FnSelector<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnSelector({})", self.name)
+    }
+}
+
+impl<F: Fn(u64, &[i64]) -> Mode + Send + Sync> ModeSelector for FnSelector<F> {
+    fn select(&self, firing: u64, inputs: &[i64]) -> Mode {
+        (self.f)(firing, inputs)
+    }
+}
+
+/// A [`ValueTrace`] backed by per-channel value tables, cycled when the
+/// consumption runs past the table end; channels without a table yield
+/// scalar 0.
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::control::{TableTrace, ValueTrace};
+///
+/// let trace = TableTrace::new([("e2".to_string(), vec![5, 7])]);
+/// assert_eq!(trace.value("e2", 0), 5);
+/// assert_eq!(trace.value("e2", 3), 7); // cycled
+/// assert_eq!(trace.value("e9", 0), 0); // untabulated channel
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableTrace {
+    channels: BTreeMap<String, Vec<i64>>,
+}
+
+impl TableTrace {
+    /// Creates a trace from `(channel label, value table)` pairs. Empty
+    /// tables behave like missing ones (scalar 0).
+    pub fn new<I: IntoIterator<Item = (String, Vec<i64>)>>(channels: I) -> Self {
+        TableTrace {
+            channels: channels.into_iter().collect(),
+        }
+    }
+
+    /// Sets (or replaces) the value table of one channel.
+    pub fn set(&mut self, channel: impl Into<String>, values: Vec<i64>) {
+        self.channels.insert(channel.into(), values);
+    }
+
+    /// Wraps the trace for a [`crate::graph::TpdfGraph`] execution
+    /// config.
+    pub fn shared(self) -> Arc<dyn ValueTrace> {
+        Arc::new(self)
+    }
+}
+
+impl ValueTrace for TableTrace {
+    fn value(&self, channel: &str, ordinal: u64) -> i64 {
+        match self.channels.get(channel) {
+            Some(values) if !values.is_empty() => values[(ordinal as usize) % values.len()],
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_map_selects_on_sum_with_fallback() {
+        let sel = ValueMapSelector::new(
+            [(3, Mode::SelectOne(1)), (0, Mode::SelectMany(vec![0, 1]))],
+            Mode::WaitAll,
+        );
+        assert_eq!(sel.select(0, &[1, 2]), Mode::SelectOne(1));
+        assert_eq!(sel.select(5, &[]), Mode::SelectMany(vec![0, 1]));
+        assert_eq!(sel.select(0, &[42]), Mode::WaitAll);
+    }
+
+    #[test]
+    fn fn_selector_sees_firing_and_inputs() {
+        let sel = FnSelector::new("alt", |firing, _: &[i64]| {
+            Mode::SelectOne(firing as usize % 2)
+        });
+        assert_eq!(sel.select(0, &[]), Mode::SelectOne(0));
+        assert_eq!(sel.select(3, &[]), Mode::SelectOne(1));
+        assert!(format!("{sel:?}").contains("alt"));
+    }
+
+    #[test]
+    fn table_trace_cycles_and_defaults() {
+        let mut trace = TableTrace::default();
+        assert_eq!(trace.value("e1", 9), 0);
+        trace.set("e1", vec![1, 2, 3]);
+        assert_eq!(trace.value("e1", 0), 1);
+        assert_eq!(trace.value("e1", 4), 2);
+        trace.set("empty", Vec::new());
+        assert_eq!(trace.value("empty", 0), 0);
+        let shared = trace.shared();
+        assert_eq!(shared.value("e1", 2), 3);
+    }
+}

@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod area;
 pub mod boundedness;
 pub mod consistency;
+pub mod control;
 pub mod dot;
 pub mod error;
 pub mod examples;
@@ -69,6 +70,7 @@ pub mod schedule;
 
 pub use actors::KernelKind;
 pub use analysis::{analyze, AnalysisReport};
+pub use control::{FnSelector, ModeSelector, TableTrace, ValueMapSelector, ValueTrace};
 pub use error::TpdfError;
 pub use graph::{
     ChannelClass, ChannelId, NodeClass, NodeId, TpdfChannel, TpdfGraph, TpdfGraphBuilder, TpdfNode,
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::actors::KernelKind;
     pub use crate::analysis::{analyze, AnalysisReport};
     pub use crate::consistency::{symbolic_repetition_vector, SymbolicRepetition};
+    pub use crate::control::{ModeSelector, TableTrace, ValueMapSelector, ValueTrace};
     pub use crate::error::TpdfError;
     pub use crate::graph::{
         ChannelClass, ChannelId, NodeClass, NodeId, TpdfGraph, TpdfGraphBuilder,

@@ -15,56 +15,78 @@ use tpdf_suite::runtime::kernel::KernelRegistry;
 use tpdf_suite::runtime::{
     EdgeDetectionRuntime, Executor, FmRadioRuntime, Metrics, OfdmRuntime, RuntimeConfig,
 };
-use tpdf_suite::sim::engine::{ControlPolicy, SimulationConfig, SimulationReport, Simulator};
+use tpdf_suite::sim::engine::{ControlPolicy, SimulationReport, Simulator};
 use tpdf_suite::symexpr::Binding;
 
 const ITERATIONS: u64 = 3;
 const THREADS: usize = 4;
 
-/// Runs both engines under the same policy and asserts token-stream
-/// equality: identical firing counts, and identical per-channel token
-/// production (derived from firing counts and concrete rates).
+/// Runs both engines under the same fully built [`RuntimeConfig`]
+/// (policy or data-dependent selector, binding sequence included) and
+/// asserts token-stream *and mode-sequence* equality: identical firing
+/// counts, identical per-channel token production (derived per
+/// iteration from the effective binding) and identical control-token
+/// mode sequences.
+fn assert_engines_agree_with(
+    graph: &TpdfGraph,
+    config: RuntimeConfig,
+    registry: &KernelRegistry,
+) -> Metrics {
+    let reference: SimulationReport = Simulator::new(graph, config.reference_sim_config())
+        .expect("reference simulator")
+        .run_iterations(config.iterations)
+        .expect("reference run");
+
+    let metrics = Executor::new(graph, config)
+        .expect("executor")
+        .run(registry)
+        .expect("runtime run");
+
+    assert_eq!(metrics.firings, reference.firings, "firing counts diverge");
+    assert_eq!(
+        metrics.mode_sequences, reference.mode_sequences,
+        "emitted mode sequences diverge"
+    );
+
+    // Tokens pushed per channel follow from the producer's per-iteration
+    // firing counts and the iteration's concrete production rates; both
+    // engines must realise them.
+    for (id, chan) in graph.channels() {
+        let produced: u64 = reference
+            .per_iteration
+            .iter()
+            .map(|record| {
+                (0..record.counts[chan.source.0])
+                    .map(|k| {
+                        chan.production
+                            .concrete(k, &record.binding)
+                            .expect("concrete rate")
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(
+            metrics.tokens_pushed[id.0], produced,
+            "channel {} token count diverges",
+            chan.label
+        );
+    }
+    metrics
+}
+
+/// Policy-driven convenience wrapper around
+/// [`assert_engines_agree_with`].
 fn assert_engines_agree(
     graph: &TpdfGraph,
     binding: &Binding,
     policy: &ControlPolicy,
     registry: &KernelRegistry,
 ) -> Metrics {
-    let reference: SimulationReport = Simulator::new(
-        graph,
-        SimulationConfig::new(binding.clone()).with_policy(policy.clone()),
-    )
-    .expect("reference simulator")
-    .run_iterations(ITERATIONS)
-    .expect("reference run");
-
     let config = RuntimeConfig::new(binding.clone())
         .with_policy(policy.clone())
         .with_threads(THREADS)
         .with_iterations(ITERATIONS);
-    let metrics = Executor::new(graph, config)
-        .expect("executor")
-        .run(registry)
-        .expect("runtime run");
-
-    assert_eq!(
-        metrics.firings, reference.firings,
-        "firing counts diverge under {policy:?}"
-    );
-
-    // Tokens pushed per channel follow from the producer's firing count
-    // and its concrete production rates; both engines must realise them.
-    for (id, chan) in graph.channels() {
-        let produced: u64 = (0..reference.firings[chan.source.0])
-            .map(|k| chan.production.concrete(k, binding).expect("concrete rate"))
-            .sum();
-        assert_eq!(
-            metrics.tokens_pushed[id.0], produced,
-            "channel {} token count diverges under {policy:?}",
-            chan.label
-        );
-    }
-    metrics
+    assert_engines_agree_with(graph, config, registry)
 }
 
 fn deterministic_policies(data_ports: usize) -> Vec<ControlPolicy> {
@@ -138,6 +160,9 @@ fn ofdm_token_streams_match_across_policies() {
 
 #[test]
 fn ofdm_demodulated_bits_match_reference_for_both_constellations() {
+    // The acceptance configuration: CON derives `M` from SRC's data
+    // through the ModeSelector — no scripted ControlPolicy — and both
+    // engines agree on token streams AND mode sequences.
     for bits_per_symbol in [2usize, 4] {
         let config = OfdmConfig {
             symbol_len: 32,
@@ -149,11 +174,19 @@ fn ofdm_demodulated_bits_match_reference_for_both_constellations() {
         let graph = port.graph();
         let binding = port.config().binding();
         let (registry, capture) = port.registry();
-        assert_engines_agree(
-            &graph,
-            &binding,
-            &ControlPolicy::SelectInput(port.matching_port()),
-            &registry,
+        let run_config = RuntimeConfig::new(binding)
+            .with_mode_selector(port.mode_selector())
+            .with_value_trace(port.value_trace())
+            .with_threads(THREADS)
+            .with_iterations(ITERATIONS);
+        let metrics = assert_engines_agree_with(&graph, run_config, &registry);
+        // CON reacted to the stream: every emitted mode selects the
+        // demap path matching the M value SRC actually sent.
+        let con = graph.node_by_name("CON").expect("Figure 7 has CON");
+        assert_eq!(
+            metrics.mode_sequences[con.0],
+            vec![Mode::SelectOne(port.matching_port()); ITERATIONS as usize],
+            "M = {bits_per_symbol}"
         );
         let reference = port.reference_bits();
         let mut expected = Vec::new();
@@ -164,6 +197,28 @@ fn ofdm_demodulated_bits_match_reference_for_both_constellations() {
         // And the demodulation itself is error-free end to end.
         assert_eq!(&reference, port.sent_bits());
     }
+}
+
+#[test]
+fn figure2_binding_sequence_agrees_across_engines() {
+    // Mid-run parameter rebinding: p changes at the iteration
+    // boundaries, counts and ring capacities are re-derived, and the
+    // engines stay token-for-token equal.
+    let graph = tpdf_suite::core::examples::figure2_graph();
+    let binding = Binding::from_pairs([("p", 1)]);
+    let sequence = vec![
+        Binding::from_pairs([("p", 1)]),
+        Binding::from_pairs([("p", 4)]),
+        Binding::from_pairs([("p", 2)]),
+    ];
+    let config = RuntimeConfig::new(binding)
+        .with_binding_sequence(sequence)
+        .with_threads(THREADS)
+        .with_iterations(ITERATIONS);
+    let metrics = assert_engines_agree_with(&graph, config, &KernelRegistry::new());
+    assert_eq!(metrics.rebinds.len(), 2);
+    assert_eq!(metrics.rebinds[0].binding.get("p"), Some(4));
+    assert_eq!(metrics.rebinds[1].binding.get("p"), Some(2));
 }
 
 #[test]

@@ -1,0 +1,153 @@
+//! Clock-mode coverage for run-time parameter rebinding: a
+//! `Virtual`-mode run that changes `p` at iteration boundaries and
+//! checks repetition counts and ring capacities per iteration against
+//! the simulation's per-iteration records, plus a wall-clock smoke test
+//! proving that a rebind barrier does not reset the deadline-miss
+//! metrics of a clock-driven Transaction.
+
+use std::time::Duration;
+use tpdf_suite::core::actors::KernelKind;
+use tpdf_suite::core::graph::TpdfGraph;
+use tpdf_suite::core::rate::RateSeq;
+use tpdf_suite::runtime::kernel::KernelRegistry;
+use tpdf_suite::runtime::{Executor, RuntimeConfig, Token};
+use tpdf_suite::sim::engine::{ControlPolicy, SimulationConfig, Simulator};
+use tpdf_suite::symexpr::{Binding, Poly};
+
+/// `src → work → tran → snk` with a Clock watchdog steering `tran`:
+/// `src` emits a `p`-sized burst, `work` processes it one token per
+/// firing, and the clock's control token decides when `tran` must
+/// forward the best available result.
+fn clocked_graph(period: u64) -> TpdfGraph {
+    let p = Poly::param("p");
+    TpdfGraph::builder()
+        .parameter("p")
+        .kernel("src")
+        .kernel("work")
+        .kernel_with("clock", KernelKind::Clock { period }, 0)
+        .kernel_with("tran", KernelKind::Transaction { votes_required: 0 }, 1)
+        .kernel("snk")
+        .channel(
+            "src",
+            "work",
+            RateSeq::poly(p.clone()),
+            RateSeq::constant(1),
+            0,
+        )
+        .channel("work", "tran", RateSeq::constant(1), RateSeq::poly(p), 0)
+        .control_channel("clock", "tran", RateSeq::constant(1), RateSeq::constant(1))
+        .channel("tran", "snk", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .build()
+        .expect("clocked graph is well-formed")
+}
+
+fn binding(p: i64) -> Binding {
+    Binding::from_pairs([("p", p)])
+}
+
+#[test]
+fn virtual_clock_rebinding_rederives_counts_and_capacities_per_iteration() {
+    let graph = clocked_graph(10);
+    let sequence = vec![binding(2), binding(5), binding(3)];
+    let config = RuntimeConfig::new(binding(2))
+        .with_binding_sequence(sequence.clone())
+        .with_policy(ControlPolicy::HighestPriority)
+        .with_threads(4)
+        .with_iterations(4);
+
+    // The simulation's per-iteration records are the ground truth for
+    // what each iteration's binding implies.
+    let reference = Simulator::new(
+        &graph,
+        SimulationConfig::new(binding(2))
+            .with_policy(ControlPolicy::HighestPriority)
+            .with_binding_sequence(sequence),
+    )
+    .expect("simulator")
+    .run_iterations(4)
+    .expect("sim run");
+
+    let exec = Executor::new(&graph, config).expect("executor");
+    for (i, record) in reference.per_iteration.iter().enumerate() {
+        assert_eq!(
+            exec.repetition_counts_for_iteration(i as u64),
+            record.counts.as_slice(),
+            "iteration {i} counts"
+        );
+        // Every per-iteration occupancy fits the capacity planned for
+        // that iteration (slack ≥ 1), for data and control rings alike.
+        for (chan, hw) in record.channel_high_water.iter().enumerate() {
+            assert!(
+                exec.capacities_for_iteration(i as u64)[chan] >= *hw,
+                "iteration {i} channel {chan}: capacity below the occupancy it needs"
+            );
+        }
+    }
+    // `work` fires p times per iteration: 2 + 5 + 3 + 3.
+    let work = graph.node_by_name("work").unwrap();
+    assert_eq!(reference.firings[work.0], 13);
+
+    let metrics = exec.run(&KernelRegistry::new()).expect("runtime run");
+    assert_eq!(metrics.firings, reference.firings);
+    // Rebinds at iterations 1 (p=5) and 2 (p=3), with capacities only
+    // ever growing.
+    assert_eq!(metrics.rebinds.len(), 2);
+    assert_eq!(metrics.rebinds[0].iteration, 1);
+    assert_eq!(metrics.rebinds[0].binding.get("p"), Some(5));
+    assert_eq!(metrics.rebinds[1].binding.get("p"), Some(3));
+    for (before, after) in metrics.rebinds[0]
+        .capacities
+        .iter()
+        .zip(&metrics.rebinds[1].capacities)
+    {
+        assert!(after >= before, "rings must never shrink");
+    }
+    for (hw, cap) in metrics
+        .channel_high_water
+        .iter()
+        .zip(&metrics.channel_capacity)
+    {
+        assert!(hw <= cap);
+    }
+}
+
+#[test]
+fn real_time_deadline_misses_accumulate_across_rebinds() {
+    // The 30 ms deadline always beats `work` (80 ms per firing), so
+    // every iteration's clock-forced Transaction firing is a miss. The
+    // rebind barrier between iterations 0 (p = 1) and 1 (p = 2) must
+    // not reset the running metrics: after both iterations the counter
+    // reads 2, and each miss produced a placeholder token at the sink.
+    let graph = clocked_graph(30);
+    let mut registry = KernelRegistry::new();
+    registry.register_fn("work", |ctx| {
+        std::thread::sleep(Duration::from_millis(80));
+        ctx.fill_outputs_cycling(&[Token::Int(1)]);
+        Ok(())
+    });
+    let config = RuntimeConfig::new(binding(1))
+        .with_binding_sequence(vec![binding(1), binding(2)])
+        .with_policy(ControlPolicy::HighestPriority)
+        .with_threads(4)
+        .with_iterations(2)
+        .with_real_time(Duration::from_millis(1));
+    let metrics = Executor::new(&graph, config)
+        .expect("executor")
+        .run(&registry)
+        .expect("runtime run");
+
+    assert_eq!(metrics.iterations, 2);
+    assert_eq!(metrics.rebinds.len(), 1, "p changed once, at iteration 1");
+    assert_eq!(metrics.rebinds[0].binding.get("p"), Some(2));
+    assert_eq!(
+        metrics.deadline_misses, 2,
+        "one miss per iteration, surviving the rebind barrier"
+    );
+    assert_eq!(metrics.deadline_selections.len(), 2);
+    assert!(metrics
+        .deadline_selections
+        .iter()
+        .all(|s| s.selected_channel.is_none()));
+    let snk = graph.node_by_name("snk").unwrap();
+    assert_eq!(metrics.firings[snk.0], 2);
+}
