@@ -55,6 +55,6 @@ pub mod platform;
 pub mod scheduler;
 
 pub use error::ManycoreError;
-pub use mapping::{Mapping, MappingStrategy};
+pub use mapping::{map_graph, node_workloads, Mapping, MappingStrategy};
 pub use platform::{ClusterId, Platform, ProcessingElement};
 pub use scheduler::{schedule_graph, MappedSchedule, SchedulerConfig};

@@ -46,6 +46,37 @@ impl Mapping {
         seen.dedup();
         seen.len()
     }
+
+    /// The total workload of the most loaded cluster under this mapping
+    /// (`workloads` indexed by [`NodeId`]; nodes beyond its length count
+    /// as workload 1, mirroring [`map_graph`]).
+    pub fn max_cluster_load(&self, workloads: &[u64]) -> u64 {
+        let clusters = self
+            .clusters
+            .iter()
+            .map(|c| c.0)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let mut load = vec![0u64; clusters];
+        for (i, c) in self.clusters.iter().enumerate() {
+            load[c.0] += workloads.get(i).copied().unwrap_or(1);
+        }
+        load.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// The total work of each node: repetition count × execution time — the
+/// workload vector [`MappingStrategy::LoadBalanced`] balances. This is
+/// the same extraction the list scheduler applies to a canonical
+/// period, exposed so token-level executors (`tpdf-runtime`) can feed
+/// the identical workloads into [`map_graph`] when pinning nodes to
+/// worker threads.
+pub fn node_workloads(graph: &TpdfGraph, counts: &[u64]) -> Vec<u64> {
+    graph
+        .nodes()
+        .map(|(id, n)| counts.get(id.0).copied().unwrap_or(1) * n.execution_time.max(1))
+        .collect()
 }
 
 /// Computes a node-to-cluster mapping for `graph` on `platform`.
@@ -88,7 +119,25 @@ pub fn map_graph(
                 assignment[i] = ClusterId(best);
                 load[best] += workloads.get(i).copied().unwrap_or(1);
             }
-            assignment
+            // Greedy LPT can lose to plain round robin on adversarial
+            // weight orders (the classic (4/3 − 1/3k)·OPT worst cases);
+            // taking the better of the two makes LoadBalanced *never
+            // worse* than RoundRobin — a guarantee the property suite
+            // checks on random graphs.
+            let round_robin: Vec<ClusterId> = (0..graph.node_count())
+                .map(|i| ClusterId(i % n_clusters))
+                .collect();
+            let max_load = |clusters: &[ClusterId]| -> u64 {
+                Mapping {
+                    clusters: clusters.to_vec(),
+                }
+                .max_cluster_load(workloads)
+            };
+            if max_load(&assignment) <= max_load(&round_robin) {
+                assignment
+            } else {
+                round_robin
+            }
         }
     };
     Ok(Mapping { clusters })

@@ -1,7 +1,7 @@
 //! Static list scheduling of a canonical period onto the platform
 //! (Section III-D).
 
-use crate::mapping::{map_graph, Mapping, MappingStrategy};
+use crate::mapping::{map_graph, node_workloads, Mapping, MappingStrategy};
 use crate::platform::{PeId, Platform};
 use crate::ManycoreError;
 use serde::{Deserialize, Serialize};
@@ -157,10 +157,7 @@ pub fn schedule_period(
     config: SchedulerConfig,
 ) -> Result<MappedSchedule, ManycoreError> {
     // Workload per node = repetition count × execution time.
-    let workloads: Vec<u64> = graph
-        .nodes()
-        .map(|(id, n)| counts.get(id.0).copied().unwrap_or(1) * n.execution_time.max(1))
-        .collect();
+    let workloads = node_workloads(graph, counts);
     let mapping = map_graph(graph, platform, config.mapping, &workloads)?;
 
     // Bottom levels (critical-path-to-exit) for list-scheduling priority.

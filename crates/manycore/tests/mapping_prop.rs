@@ -1,0 +1,126 @@
+//! Property suite for the actor-to-cluster mapping strategies.
+//!
+//! On randomized graphs (fork-join shapes of random width, random
+//! per-node workloads, random platform shapes) every [`Mapping`] must
+//! be *valid* — one cluster per node, every cluster id inside the
+//! platform — and [`MappingStrategy::LoadBalanced`] must never end up
+//! with a more loaded worst cluster than [`MappingStrategy::RoundRobin`]
+//! (the mapper explicitly falls back to the round-robin assignment when
+//! greedy LPT loses to it, so this is a guarantee, not a heuristic).
+
+use proptest::prelude::*;
+use tpdf_core::examples::fork_join;
+use tpdf_manycore::{map_graph, node_workloads, MappingStrategy, Platform};
+
+proptest! {
+    #[test]
+    fn mappings_cover_all_nodes_with_valid_clusters(
+        branches in 1usize..12,
+        clusters in 1usize..6,
+        pes in 1usize..4,
+        workload_seed in 0u64..1_000_000,
+    ) {
+        let graph = fork_join(branches);
+        let platform = Platform::mppa_like(clusters, pes, 2);
+        let workloads: Vec<u64> = (0..graph.node_count())
+            .map(|i| 1 + (workload_seed >> (i % 48)) % 97)
+            .collect();
+        for strategy in [
+            MappingStrategy::RoundRobin,
+            MappingStrategy::Packed,
+            MappingStrategy::LoadBalanced,
+        ] {
+            let mapping = map_graph(&graph, &platform, strategy, &workloads).unwrap();
+            prop_assert_eq!(
+                mapping.clusters().len(),
+                graph.node_count(),
+                "{:?} must assign every node",
+                strategy
+            );
+            for c in mapping.clusters() {
+                prop_assert!(
+                    c.0 < platform.cluster_count(),
+                    "{:?} assigned cluster {} outside the platform's {}",
+                    strategy,
+                    c.0,
+                    platform.cluster_count()
+                );
+            }
+            prop_assert!(mapping.used_clusters() >= 1);
+        }
+    }
+
+    /// LoadBalanced dominance: its worst-cluster workload is never
+    /// above RoundRobin's, whatever the weights. (Plain greedy LPT
+    /// would violate this on adversarial orders — e.g. weights
+    /// [2,3,2,3,2] on two clusters, where round robin finds the
+    /// perfect 6|6 split and LPT lands on 7|5.)
+    #[test]
+    fn load_balanced_never_worse_than_round_robin(
+        branches in 1usize..12,
+        clusters in 1usize..6,
+        workload_seed in 0u64..1_000_000_000,
+    ) {
+        let graph = fork_join(branches);
+        let platform = Platform::mppa_like(clusters, 2, 1);
+        let workloads: Vec<u64> = (0..graph.node_count())
+            .map(|i| 1 + (workload_seed >> ((3 * i) % 56)) % 53)
+            .collect();
+        let balanced =
+            map_graph(&graph, &platform, MappingStrategy::LoadBalanced, &workloads).unwrap();
+        let round_robin =
+            map_graph(&graph, &platform, MappingStrategy::RoundRobin, &workloads).unwrap();
+        prop_assert!(
+            balanced.max_cluster_load(&workloads) <= round_robin.max_cluster_load(&workloads),
+            "LoadBalanced max load {} exceeds RoundRobin's {} for workloads {:?}",
+            balanced.max_cluster_load(&workloads),
+            round_robin.max_cluster_load(&workloads),
+            workloads
+        );
+    }
+
+    /// The workload extraction matches counts × execution time (the
+    /// contract the runtime's affinity placement relies on).
+    #[test]
+    fn workload_extraction_is_counts_times_time(branches in 1usize..8, scale in 1u64..9) {
+        let graph = fork_join(branches);
+        let counts: Vec<u64> = (0..graph.node_count() as u64).map(|i| 1 + i * scale).collect();
+        let workloads = node_workloads(&graph, &counts);
+        prop_assert_eq!(workloads.len(), graph.node_count());
+        for (id, node) in graph.nodes() {
+            prop_assert_eq!(
+                workloads[id.0],
+                counts[id.0] * node.execution_time.max(1)
+            );
+        }
+    }
+}
+
+/// The regression case from the LPT analysis: declaration-order weights
+/// [2,3,2,3,2] on two clusters. Round robin splits them 6|6; greedy
+/// LPT alone would produce 7|5 — the fallback must kick in.
+#[test]
+fn lpt_worst_case_falls_back_to_round_robin() {
+    use tpdf_core::graph::TpdfGraph;
+    use tpdf_core::rate::RateSeq;
+
+    let mut b = TpdfGraph::builder();
+    for name in ["a", "b", "c", "d", "e"] {
+        b = b.kernel(name);
+    }
+    for pair in ["a", "b", "c", "d", "e"].windows(2) {
+        b = b.channel(
+            pair[0],
+            pair[1],
+            RateSeq::constant(1),
+            RateSeq::constant(1),
+            0,
+        );
+    }
+    let graph = b.build().unwrap();
+    assert_eq!(graph.node_count(), 5);
+    let platform = Platform::mppa_like(2, 1, 0);
+    let workloads = vec![2u64, 3, 2, 3, 2];
+    let balanced = map_graph(&graph, &platform, MappingStrategy::LoadBalanced, &workloads).unwrap();
+    assert_eq!(balanced.max_cluster_load(&workloads), 6);
+}

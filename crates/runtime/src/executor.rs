@@ -75,10 +75,55 @@ use tpdf_core::actors::KernelKind;
 use tpdf_core::control::{ModeSelector, ValueTrace};
 use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
 use tpdf_core::mode::Mode;
+use tpdf_manycore::{map_graph, node_workloads, Mapping, MappingStrategy, Platform};
 use tpdf_sim::engine::{ControlPolicy, SimulationConfig, Simulator};
 use tpdf_symexpr::Binding;
 
 use crate::metrics::RebindEvent;
+
+/// How firings are placed onto worker threads.
+///
+/// Placement is a *performance* policy, never a semantic one: by the
+/// Kahn-style determinacy argument (each node is sequential with
+/// itself, each channel is SPSC, a firing's ordinal fixes its rates and
+/// mode), token streams and mode sequences are identical under every
+/// placement — which `tests/runtime_vs_sim_prop.rs` asserts rather
+/// than assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Any worker fires any ready node; completions enqueue hints onto
+    /// the completing worker's queue and idle workers steal freely.
+    #[default]
+    WorkStealing,
+    /// Drive the runtime from `tpdf-manycore`'s analysis-side mapping:
+    /// each node is pinned to a *home worker* derived from
+    /// [`tpdf_manycore::map_graph`] under the given strategy (one
+    /// cluster per worker thread, workloads = repetition count ×
+    /// execution time). Workers prefer their own ready queue and own
+    /// nodes, and only cross the affinity boundary — stealing foreign
+    /// hints or firing foreign nodes — after
+    /// [`AFFINITY_STEAL_THRESHOLD`] consecutive empty hunts. Under a
+    /// binding sequence each phase's [`Plan`] carries its own rebound
+    /// mapping (repetition counts change with the binding, so the
+    /// workloads and therefore the pinning do too), re-pinned at the
+    /// iteration barrier along with the plan switch.
+    Affinity(MappingStrategy),
+}
+
+impl PlacementPolicy {
+    /// Whether this policy pins nodes to home workers.
+    pub fn is_affinity(&self) -> bool {
+        matches!(self, PlacementPolicy::Affinity(_))
+    }
+}
+
+/// Consecutive empty work hunts after which an affinity-placed worker
+/// is considered *starved* and allowed to cross the boundary: steal
+/// hints from foreign queues and fire foreign-home nodes. Small on
+/// purpose — affinity is a preference that must never cost liveness,
+/// and a starved worker yields (not parks) below the threshold, so the
+/// crossing decision is made within microseconds.
+pub(crate) const AFFINITY_STEAL_THRESHOLD: u32 = 2;
 
 /// How [`KernelKind::Clock`] watchdogs are driven.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +172,8 @@ pub struct RuntimeConfig {
     /// capacities in place. Empty means every iteration uses the base
     /// binding.
     pub binding_sequence: Vec<Binding>,
+    /// How firings are placed onto workers (see [`PlacementPolicy`]).
+    pub placement: PlacementPolicy,
     /// Number of worker threads.
     pub threads: usize,
     /// Complete graph iterations to execute.
@@ -154,6 +201,7 @@ impl RuntimeConfig {
             mode_selector: None,
             value_trace: None,
             binding_sequence: Vec::new(),
+            placement: PlacementPolicy::WorkStealing,
             threads: 4,
             iterations: 1,
             clock_mode: ClockMode::Virtual,
@@ -230,6 +278,12 @@ impl RuntimeConfig {
     /// iterations and needs the whole run simulated.
     fn constant_mode_sequence(&self) -> bool {
         self.mode_selector.is_none() && !matches!(self.control_policy, ControlPolicy::Alternate(_))
+    }
+
+    /// Sets the placement policy (see [`PlacementPolicy`]).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
     }
 
     /// Sets the worker thread count (at least 1).
@@ -324,6 +378,16 @@ struct Plan {
     cons_rates: Vec<Vec<u64>>,
     /// Ring capacities this phase requires (indexed by channel).
     capacities: Vec<u64>,
+    /// Under [`PlacementPolicy::Affinity`]: the `tpdf-manycore` mapping
+    /// of this phase (workloads = this phase's repetition counts ×
+    /// execution times, one cluster per configured worker). `None`
+    /// under work stealing.
+    mapping: Option<Mapping>,
+    /// Node → home worker derived from `mapping` (empty under work
+    /// stealing). Indexed by node; values are `< config.threads` and
+    /// reduced mod the actual worker count at use sites, so a pooled
+    /// run with fewer workers stays in bounds.
+    home: Vec<usize>,
 }
 
 impl Plan {
@@ -383,8 +447,56 @@ struct ParkInner {
 /// (≈ 0.5–1 µs per firing).
 const FINE_GRAIN_NS: u64 = 10_000;
 
+/// Sampled firing-cost telemetry (1 in 8 firings is timed): an
+/// exponentially weighted moving average (α = 1/8) in nanoseconds,
+/// feeding the granularity heuristic. An EWMA — not a cumulative mean —
+/// so a registry whose kernel weight changes between `run` calls
+/// re-classifies within a few dozen samples instead of being anchored
+/// by the whole history.
+///
+/// The telemetry is shared (`Arc`): it lives on the [`Executor`] so the
+/// verdict learned in one run carries into the next, and a
+/// [`crate::pool::ExecutorPool`] hands the *same* telemetry to every
+/// executor it builds, so the classification survives across executors
+/// too — a fine-grained graph learned in run 1 starts run 2 already
+/// collapsed to the single-worker fast path, with no re-sampling from
+/// scratch.
+#[derive(Debug, Default)]
+pub(crate) struct CostTelemetry {
+    ewma_ns: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl CostTelemetry {
+    /// Folds one firing-cost sample into the EWMA (α = 1/8; the first
+    /// sample seeds the average). Samples race only against each other
+    /// and the estimate is advisory, so `Relaxed` suffices — a lost
+    /// update costs one sample's weight, not correctness.
+    fn record(&self, sample_ns: u64) {
+        if self.samples.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.ewma_ns.store(sample_ns, Ordering::Relaxed);
+        } else {
+            let old = self.ewma_ns.load(Ordering::Relaxed);
+            self.ewma_ns
+                .store(old - old / 8 + sample_ns / 8, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the sampled firing cost says firings are too cheap to be
+    /// worth distributing across workers.
+    fn fine_grained(&self) -> bool {
+        self.samples.load(Ordering::Relaxed) >= 8
+            && self.ewma_ns.load(Ordering::Relaxed) < FINE_GRAIN_NS
+    }
+
+    /// The current estimate in nanoseconds, `None` before any sample.
+    pub(crate) fn sampled_firing_cost_ns(&self) -> Option<u64> {
+        (self.samples.load(Ordering::Relaxed) > 0).then(|| self.ewma_ns.load(Ordering::Relaxed))
+    }
+}
+
 /// All mutable state of one `run`, shared across the worker pool.
-struct RunState {
+pub(crate) struct RunState {
     rings: Vec<ChannelRing>,
     nodes: Vec<NodeRunState>,
     tokens_pushed: Vec<AtomicU64>,
@@ -410,8 +522,16 @@ struct RunState {
     deadline_misses: AtomicU64,
     vote_failures: AtomicU64,
     /// Per-worker ready queues (hints, not obligations: a stale entry
-    /// is simply dropped when its claim fails).
+    /// is simply dropped when its claim fails). Under affinity
+    /// placement, completions route each hint to the *home worker's*
+    /// queue instead of the completing worker's.
     queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Firings completed per worker (indexed like `queues`).
+    worker_firings: Vec<AtomicU64>,
+    /// Firings a worker acquired across the placement boundary: hints
+    /// popped from a foreign queue (work stealing) or foreign-home
+    /// nodes fired while starved (affinity).
+    worker_steals: Vec<AtomicU64>,
     /// Modes emitted per node, one entry per firing. Only the claim
     /// holder of a node appends (firings of one node are serialised),
     /// so the lock is uncontended; it exists to make the Vec shareable.
@@ -483,6 +603,18 @@ struct Claim {
 pub struct Executor<'g> {
     /// Kept for diagnostics and lifetime-tying to the analysed graph.
     graph: &'g TpdfGraph,
+    /// Everything a run needs, owned — the same `Arc` a persistent
+    /// [`crate::pool::ExecutorPool`] clones into its long-lived
+    /// workers, which is why the engine borrows nothing.
+    engine: Arc<Engine>,
+}
+
+/// The owned heart of an [`Executor`]: precomputed plans, per-node and
+/// per-channel facts, and the worker-loop implementation. Split from
+/// the graph-borrowing shell so a [`crate::pool::ExecutorPool`]'s
+/// `'static` worker threads can share it through an `Arc`.
+#[derive(Debug)]
+pub(crate) struct Engine {
     config: RuntimeConfig,
     /// One precomputed execution plan per phase of the binding
     /// sequence; iteration `k` runs plan `min(k, plans.len() - 1)`.
@@ -496,16 +628,8 @@ pub struct Executor<'g> {
     /// priority rule), then kernels.
     scan_order: Vec<usize>,
     clock_nodes: Vec<usize>,
-    /// Sampled firing-cost telemetry (1 in 8 firings is timed): an
-    /// exponentially weighted moving average (α = 1/8) in nanoseconds,
-    /// feeding the granularity heuristic. An EWMA — not a cumulative
-    /// mean — so a registry whose kernel weight changes between `run`
-    /// calls re-classifies within a few dozen samples instead of being
-    /// anchored by the whole history. Lives on the executor, not the
-    /// per-run state, so the verdict learned in one run carries into
-    /// the next.
-    cost_ewma_ns: AtomicU64,
-    cost_samples: AtomicU64,
+    /// Shared firing-cost telemetry (see [`CostTelemetry`]).
+    telemetry: Arc<CostTelemetry>,
 }
 
 impl<'g> Executor<'g> {
@@ -519,6 +643,102 @@ impl<'g> Executor<'g> {
     /// or the binding incomplete, and propagates any error of the
     /// reference sizing run.
     pub fn new(graph: &'g TpdfGraph, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        Self::with_telemetry(graph, config, Arc::new(CostTelemetry::default()))
+    }
+
+    /// Builds an executor whose firing-cost telemetry is shared with
+    /// the caller — how [`crate::pool::ExecutorPool::executor`] makes
+    /// granularity classification survive across executors.
+    pub(crate) fn with_telemetry(
+        graph: &'g TpdfGraph,
+        config: RuntimeConfig,
+        telemetry: Arc<CostTelemetry>,
+    ) -> Result<Self, RuntimeError> {
+        Ok(Executor {
+            graph,
+            engine: Arc::new(Engine::new(graph, config, telemetry)?),
+        })
+    }
+
+    /// The graph this executor runs.
+    pub fn graph(&self) -> &'g TpdfGraph {
+        self.graph
+    }
+
+    /// The owned engine, for the pool to clone into run jobs.
+    pub(crate) fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The initial ring capacity of every channel. Data rings are
+    /// sized from the reference high-water marks times the slack;
+    /// control rings from their per-iteration production (an exact
+    /// occupancy bound). Under a binding sequence this is the first
+    /// iteration's sizing — see
+    /// [`Executor::capacities_for_iteration`].
+    pub fn capacities(&self) -> &[u64] {
+        &self.engine.plans[0].capacities
+    }
+
+    /// The ring capacities iteration `k` requires (rings grow to the
+    /// running maximum of these at the iteration barriers).
+    pub fn capacities_for_iteration(&self, iteration: u64) -> &[u64] {
+        &self.engine.plans[self.engine.phase_of(iteration)].capacities
+    }
+
+    /// The per-iteration repetition count of every node (first
+    /// iteration's counts under a binding sequence).
+    pub fn repetition_counts(&self) -> &[u64] {
+        &self.engine.plans[0].counts
+    }
+
+    /// The repetition counts of iteration `k`.
+    pub fn repetition_counts_for_iteration(&self, iteration: u64) -> &[u64] {
+        &self.engine.plans[self.engine.phase_of(iteration)].counts
+    }
+
+    /// The node-to-cluster mapping iteration `k` runs under, when the
+    /// placement policy is [`PlacementPolicy::Affinity`] (`None` under
+    /// work stealing). Phases of a binding sequence are mapped
+    /// independently — repetition counts change with the binding, so
+    /// the workloads and the pinning do too.
+    pub fn mapping_for_iteration(&self, iteration: u64) -> Option<&Mapping> {
+        self.engine.plans[self.engine.phase_of(iteration)]
+            .mapping
+            .as_ref()
+    }
+
+    /// The current firing-cost estimate in nanoseconds: an EWMA
+    /// (α = 1/8) over the sampled firings of every `run` on this
+    /// executor, or `None` before the first sample. Feeds the
+    /// granularity heuristic that decides whether a graph is worth
+    /// distributing across workers.
+    pub fn sampled_firing_cost_ns(&self) -> Option<u64> {
+        self.engine.telemetry.sampled_firing_cost_ns()
+    }
+
+    /// Executes the configured number of iterations on a scoped worker
+    /// pool (threads spawned per call — see
+    /// [`crate::pool::ExecutorPool`] for the persistent alternative)
+    /// and reports [`Metrics`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Stalled`] when no node can make progress;
+    /// * [`RuntimeError::RateMismatch`] when a behaviour produced the
+    ///   wrong number of tokens;
+    /// * any [`RuntimeError::KernelFailed`] raised by a behaviour.
+    pub fn run(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
+        self.engine.run_scoped(registry)
+    }
+}
+
+impl Engine {
+    fn new(
+        graph: &TpdfGraph,
+        config: RuntimeConfig,
+        telemetry: Arc<CostTelemetry>,
+    ) -> Result<Self, RuntimeError> {
         if config.iterations == 0 {
             return Err(RuntimeError::InvalidConfig(
                 "at least one iteration must be requested".to_string(),
@@ -651,6 +871,26 @@ impl<'g> Executor<'g> {
                 prod_rates.push(concretise(&chan.production)?);
                 cons_rates.push(concretise(&chan.consumption)?);
             }
+            // Affinity placement: map this phase's workload onto one
+            // cluster per worker thread with `tpdf-manycore`'s mapper,
+            // and pin every node to the worker of its cluster. Each
+            // phase is mapped independently — a rebind changes the
+            // repetition counts, hence the workloads, hence the homes.
+            let (mapping, home) = match &config.placement {
+                PlacementPolicy::WorkStealing => (None, Vec::new()),
+                PlacementPolicy::Affinity(strategy) => {
+                    let workloads = node_workloads(graph, &counts);
+                    let platform = Platform::mppa_like(config.threads.max(1), 1, 0);
+                    let mapping = map_graph(graph, &platform, *strategy, &workloads)
+                        .map_err(|e| RuntimeError::Analysis(e.to_string()))?;
+                    let home: Vec<usize> = mapping
+                        .clusters()
+                        .iter()
+                        .map(|c| c.0 % config.threads.max(1))
+                        .collect();
+                    (Some(mapping), home)
+                }
+            };
             let mut plan = Plan {
                 binding: binding.clone(),
                 total_per_iter: counts.iter().sum(),
@@ -658,6 +898,8 @@ impl<'g> Executor<'g> {
                 prod_rates,
                 cons_rates,
                 capacities: Vec::new(),
+                mapping,
+                home,
             };
             // The reference high-water of this phase: the whole-run
             // marks for the single-phase case, the maximum over the
@@ -713,8 +955,7 @@ impl<'g> Executor<'g> {
             Some(selector) => Arc::clone(selector),
             None => Arc::new(config.control_policy.clone()) as Arc<dyn ModeSelector>,
         };
-        Ok(Executor {
-            graph,
+        Ok(Engine {
             config,
             plans,
             nodes,
@@ -722,9 +963,13 @@ impl<'g> Executor<'g> {
             selector,
             scan_order,
             clock_nodes,
-            cost_ewma_ns: AtomicU64::new(0),
-            cost_samples: AtomicU64::new(0),
+            telemetry,
         })
+    }
+
+    /// The configuration this engine runs under.
+    pub(crate) fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// The plan index of iteration `k`.
@@ -732,73 +977,33 @@ impl<'g> Executor<'g> {
         (iteration as usize).min(self.plans.len() - 1)
     }
 
-    /// The graph this executor runs.
-    pub fn graph(&self) -> &'g TpdfGraph {
-        self.graph
-    }
-
-    /// The initial ring capacity of every channel. Data rings are
-    /// sized from the reference high-water marks times the slack;
-    /// control rings from their per-iteration production (an exact
-    /// occupancy bound). Under a binding sequence this is the first
-    /// iteration's sizing — see
-    /// [`Executor::capacities_for_iteration`].
-    pub fn capacities(&self) -> &[u64] {
-        &self.plans[0].capacities
-    }
-
-    /// The ring capacities iteration `k` requires (rings grow to the
-    /// running maximum of these at the iteration barriers).
-    pub fn capacities_for_iteration(&self, iteration: u64) -> &[u64] {
-        &self.plans[self.phase_of(iteration)].capacities
-    }
-
-    /// The per-iteration repetition count of every node (first
-    /// iteration's counts under a binding sequence).
-    pub fn repetition_counts(&self) -> &[u64] {
-        &self.plans[0].counts
-    }
-
-    /// The repetition counts of iteration `k`.
-    pub fn repetition_counts_for_iteration(&self, iteration: u64) -> &[u64] {
-        &self.plans[self.phase_of(iteration)].counts
-    }
-
-    /// The current firing-cost estimate in nanoseconds: an EWMA
-    /// (α = 1/8) over the sampled firings of every `run` on this
-    /// executor, or `None` before the first sample. Feeds the
-    /// granularity heuristic that decides whether a graph is worth
-    /// distributing across workers.
-    pub fn sampled_firing_cost_ns(&self) -> Option<u64> {
-        (self.cost_samples.load(Ordering::Relaxed) > 0)
-            .then(|| self.cost_ewma_ns.load(Ordering::Relaxed))
-    }
-
-    /// Executes the configured number of iterations on the worker pool
-    /// and reports [`Metrics`].
-    ///
-    /// # Errors
-    ///
-    /// * [`RuntimeError::Stalled`] when no node can make progress;
-    /// * [`RuntimeError::RateMismatch`] when a behaviour produced the
-    ///   wrong number of tokens;
-    /// * any [`RuntimeError::KernelFailed`] raised by a behaviour.
-    pub fn run(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
-        let state = self.initial_state();
-        let start = Instant::now();
-
-        // Once the persistent telemetry has established that this
-        // graph's firings are too cheap to distribute, secondary
-        // workers would back off the moment they start — so don't pay
-        // their spawn cost at all. Real-time runs always get the full
-        // pool: kernels there block on wall-clock work regardless of
-        // what the cost samples say.
-        let workers = if matches!(self.config.clock_mode, ClockMode::Virtual) && self.fine_grained()
-        {
+    /// The worker count a run should use right now: collapsed to one
+    /// when the telemetry says the graph is fine-grained (Virtual
+    /// clocks only — real-time kernels block on wall-clock work
+    /// regardless of what the cost samples say), the configured count
+    /// otherwise.
+    pub(crate) fn effective_workers(&self) -> usize {
+        if matches!(self.config.clock_mode, ClockMode::Virtual) && self.fine_grained() {
             1
         } else {
             self.config.threads
-        };
+        }
+    }
+
+    /// Executes the configured number of iterations on a *scoped*
+    /// worker pool: threads are spawned for this run and joined before
+    /// returning. The persistent-pool path
+    /// ([`crate::pool::ExecutorPool::run`]) shares everything below
+    /// `worker_loop` with this one.
+    pub(crate) fn run_scoped(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
+        // Once the persistent telemetry has established that this
+        // graph's firings are too cheap to distribute, secondary
+        // workers would back off the moment they start — so don't pay
+        // their spawn cost at all.
+        let workers = self.effective_workers();
+        let state = self.initial_state(workers);
+        let start = Instant::now();
+
         if workers == 1 && matches!(self.config.clock_mode, ClockMode::Virtual) {
             // Single-worker runs skip the coordination layer entirely:
             // no claim CAS, no in-flight bracketing, no epoch/wake
@@ -820,11 +1025,24 @@ impl<'g> Executor<'g> {
             });
         }
 
-        let elapsed = start.elapsed();
-        let park = state.park.into_inner().expect("no worker may panic");
-        if let Some(error) = park.error {
-            return Err(error);
+        self.collect_metrics(&state, start.elapsed(), workers)
+    }
+
+    /// Assembles the [`Metrics`] of a finished run. Borrows the state
+    /// (locks are cloned out, not consumed) so the persistent pool can
+    /// collect from a job its workers still hold an `Arc` to.
+    pub(crate) fn collect_metrics(
+        &self,
+        state: &RunState,
+        elapsed: Duration,
+        effective_workers: usize,
+    ) -> Result<Metrics, RuntimeError> {
+        let park = state.park.lock().expect("no worker may panic");
+        if let Some(error) = &park.error {
+            return Err(error.clone());
         }
+        let deadline_selections = park.deadline_selections.clone();
+        drop(park);
         let firings: Vec<u64> = state
             .nodes
             .iter()
@@ -854,13 +1072,15 @@ impl<'g> Executor<'g> {
             .collect();
         let mode_sequences: Vec<Vec<Mode>> = state
             .mode_log
-            .into_iter()
-            .map(|log| log.into_inner().expect("no worker may panic"))
+            .iter()
+            .map(|log| log.lock().expect("no worker may panic").clone())
             .collect();
         let total_tokens: u64 = tokens_pushed.iter().sum();
         Ok(Metrics {
             iterations: state.iteration.load(Ordering::Relaxed),
             threads: self.config.threads,
+            effective_workers,
+            placement: self.config.placement,
             firings,
             tokens_pushed,
             channel_high_water,
@@ -874,13 +1094,23 @@ impl<'g> Executor<'g> {
             },
             deadline_misses: state.deadline_misses.load(Ordering::Relaxed),
             vote_failures: state.vote_failures.load(Ordering::Relaxed),
-            deadline_selections: park.deadline_selections,
+            deadline_selections,
             mode_sequences,
-            rebinds: state.rebinds.into_inner().expect("no worker may panic"),
+            worker_firings: state
+                .worker_firings
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            worker_steals: state
+                .worker_steals
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            rebinds: state.rebinds.lock().expect("no worker may panic").clone(),
         })
     }
 
-    fn initial_state(&self) -> RunState {
+    pub(crate) fn initial_state(&self, workers: usize) -> RunState {
         let plan = &self.plans[0];
         let rings = self
             .chans
@@ -925,9 +1155,11 @@ impl<'g> Executor<'g> {
             parked: AtomicUsize::new(0),
             deadline_misses: AtomicU64::new(0),
             vote_failures: AtomicU64::new(0),
-            queues: (0..self.config.threads)
+            queues: (0..workers.max(1))
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
+            worker_firings: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            worker_steals: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             mode_log: (0..self.nodes.len())
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
@@ -937,9 +1169,20 @@ impl<'g> Executor<'g> {
         }
     }
 
-    fn worker_loop(&self, state: &RunState, me: usize, registry: &KernelRegistry, start: Instant) {
+    pub(crate) fn worker_loop(
+        &self,
+        state: &RunState,
+        me: usize,
+        registry: &KernelRegistry,
+        start: Instant,
+    ) {
         let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
+        let affinity = self.config.placement.is_affinity();
         let mut fired_local: u64 = 0;
+        // Consecutive empty hunts; under affinity placement, crossing
+        // the boundary (foreign-queue steals, foreign-node scan fires)
+        // requires `starved >= AFFINITY_STEAL_THRESHOLD`.
+        let mut starved: u32 = 0;
         loop {
             if state.halt.load(Ordering::SeqCst) {
                 return;
@@ -966,36 +1209,69 @@ impl<'g> Executor<'g> {
             // completion racing with the hunt below is detectable when
             // parking.
             let epoch = state.epoch.load(Ordering::SeqCst);
-            // 3. Ready-queue hint (own queue, then steal).
-            if let Some(node) = self.next_hint(state, me) {
-                self.try_fire(
+            let steal_ok = !affinity || starved >= AFFINITY_STEAL_THRESHOLD;
+            // 3. Ready-queue hint: own queue first; foreign queues only
+            //    when stealing is allowed.
+            if let Some((node, stolen)) = self.next_hint(state, me, steal_ok) {
+                if self.try_fire(
                     state,
                     me,
                     node,
+                    stolen,
                     registry,
                     start,
                     real_time,
                     &mut fired_local,
-                );
+                ) {
+                    starved = 0;
+                }
                 continue;
             }
-            // 4. Fallback: scan every node once.
-            if self.scan_order.iter().any(|&node| {
+            // 4. Fallback scan: own (home) nodes always; every node
+            //    once stealing is allowed.
+            let workers = state.queues.len();
+            let fired = self.scan_order.iter().any(|&node| {
+                if !steal_ok && !self.is_home(state, node, me, workers) {
+                    return false;
+                }
                 self.try_fire(
                     state,
                     me,
                     node,
+                    false,
                     registry,
                     start,
                     real_time,
                     &mut fired_local,
                 )
-            }) {
+            });
+            if fired {
+                starved = 0;
                 continue;
             }
-            // 5. Nothing claimable: park (or report a stall).
+            starved = starved.saturating_add(1);
+            if !steal_ok {
+                // Not yet starved enough to cross the affinity
+                // boundary: yield and hunt again instead of parking —
+                // the park path's stall verdict requires a full scan,
+                // which this hunt deliberately was not.
+                std::thread::yield_now();
+                continue;
+            }
+            // 5. Nothing claimable anywhere: park (or report a stall).
             self.park(state, epoch, start);
         }
+    }
+
+    /// Whether `node`'s home worker is `me` under the active plan's
+    /// affinity mapping (always true under work stealing, where every
+    /// worker is at home everywhere).
+    fn is_home(&self, state: &RunState, node: usize, me: usize, workers: usize) -> bool {
+        let home = &self.plans[state.plan.load(Ordering::Relaxed)].home;
+        if home.is_empty() {
+            return true;
+        }
+        home[node] % workers.max(1) == me
     }
 
     /// Whether the sampled firing cost says this graph's firings are
@@ -1003,22 +1279,12 @@ impl<'g> Executor<'g> {
     /// is an EWMA, so a few dozen samples of a newly heavy (or newly
     /// cheap) registry flip the verdict even after a long history.
     fn fine_grained(&self) -> bool {
-        self.cost_samples.load(Ordering::Relaxed) >= 8
-            && self.cost_ewma_ns.load(Ordering::Relaxed) < FINE_GRAIN_NS
+        self.telemetry.fine_grained()
     }
 
-    /// Folds one firing-cost sample into the EWMA (α = 1/8; the first
-    /// sample seeds the average). Samples race only against each other
-    /// and the estimate is advisory, so `Relaxed` suffices — a lost
-    /// update costs one sample's weight, not correctness.
+    /// Records one firing-cost sample into the shared telemetry.
     fn record_cost_sample(&self, sample_ns: u64) {
-        if self.cost_samples.fetch_add(1, Ordering::Relaxed) == 0 {
-            self.cost_ewma_ns.store(sample_ns, Ordering::Relaxed);
-        } else {
-            let old = self.cost_ewma_ns.load(Ordering::Relaxed);
-            self.cost_ewma_ns
-                .store(old - old / 8 + sample_ns / 8, Ordering::Relaxed);
-        }
+        self.telemetry.record(sample_ns);
     }
 
     /// The de-synchronised single-worker loop (Virtual clocks only):
@@ -1028,7 +1294,7 @@ impl<'g> Executor<'g> {
     /// epoch/wake traffic, no ready queues. Token streams are
     /// identical by the determinacy argument; only the schedule
     /// differs.
-    fn run_single(&self, state: &RunState, registry: &KernelRegistry, start: Instant) {
+    pub(crate) fn run_single(&self, state: &RunState, registry: &KernelRegistry, start: Instant) {
         let mut fired_local: u64 = 0;
         loop {
             if state.halt.load(Ordering::Relaxed) {
@@ -1049,6 +1315,7 @@ impl<'g> Executor<'g> {
                     let ns = &state.nodes[node];
                     ns.budget.fetch_sub(1, Ordering::Relaxed);
                     ns.fired_total.fetch_add(1, Ordering::Relaxed);
+                    state.worker_firings[0].fetch_add(1, Ordering::Relaxed);
                     if state.remaining_iter.fetch_sub(1, Ordering::Relaxed) == 1 {
                         self.iteration_barrier(state);
                         if state.halt.load(Ordering::Relaxed) {
@@ -1098,17 +1365,21 @@ impl<'g> Executor<'g> {
         state.parked.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Pops a ready hint: own queue front first, then steal from the
-    /// other workers' queues.
+    /// Pops a ready hint: own queue front first, then — when `steal_ok`
+    /// — steal from the other workers' queues. The second tuple field
+    /// reports whether the hint was stolen.
     ///
     /// Steals take *half* the victim's queue, not one entry: per-hint
     /// ping-pong between two workers would serialise them on the queue
     /// locks, while batch stealing lets both drain local work and only
     /// meet again every ~k firings.
-    fn next_hint(&self, state: &RunState, me: usize) -> Option<usize> {
+    fn next_hint(&self, state: &RunState, me: usize, steal_ok: bool) -> Option<(usize, bool)> {
         if let Some(node) = state.queues[me].lock().expect("queue lock").pop_front() {
             state.nodes[node].queued.store(false, Ordering::Release);
-            return Some(node);
+            return Some((node, false));
+        }
+        if !steal_ok {
+            return None;
         }
         let workers = state.queues.len();
         for offset in 1..workers {
@@ -1128,7 +1399,7 @@ impl<'g> Executor<'g> {
                         .expect("queue lock")
                         .append(&mut stolen);
                 }
-                return Some(node);
+                return Some((node, true));
             }
         }
         None
@@ -1136,13 +1407,15 @@ impl<'g> Executor<'g> {
 
     /// Attempts to claim and run one firing of `node`. Returns `true`
     /// when a firing was executed (successfully or not — errors halt
-    /// the run through the park state).
+    /// the run through the park state). `stolen` marks a hint popped
+    /// from a foreign queue, for the per-worker steal metric.
     #[allow(clippy::too_many_arguments)]
     fn try_fire(
         &self,
         state: &RunState,
         me: usize,
         node: usize,
+        stolen: bool,
         registry: &KernelRegistry,
         start: Instant,
         real_time: bool,
@@ -1173,6 +1446,12 @@ impl<'g> Executor<'g> {
                     false
                 }
                 Some(claim) => {
+                    // A boundary crossing: a hint stolen from a foreign
+                    // queue, or (under affinity) a foreign-home node
+                    // fired by a starved worker.
+                    if stolen || !self.is_home(state, node, me, state.queues.len()) {
+                        state.worker_steals[me].fetch_add(1, Ordering::Relaxed);
+                    }
                     match self.execute_timed(state, claim, registry, start, fired_local) {
                         Ok(()) => self.finish_firing(state, me, node),
                         Err(error) => self.fail(state, error),
@@ -1486,6 +1765,7 @@ impl<'g> Executor<'g> {
         // observes this decrement (never a stale larger budget).
         ns.budget.fetch_sub(1, Ordering::Release);
         ns.fired_total.fetch_add(1, Ordering::Relaxed);
+        state.worker_firings[me].fetch_add(1, Ordering::Relaxed);
         ns.claimed.store(false, Ordering::Release);
         let surplus = self.enqueue_candidates(state, me, node);
         if state.remaining_iter.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -1494,14 +1774,26 @@ impl<'g> Executor<'g> {
         self.signal_progress(state, surplus);
     }
 
-    /// Enqueues the nodes whose readiness may have changed onto this
-    /// worker's queue (deduplicated through the per-node `queued`
-    /// flag). Returns `true` when the queue now holds more hints than
-    /// this worker will immediately consume itself — the signal that
+    /// Enqueues the nodes whose readiness may have changed
+    /// (deduplicated through the per-node `queued` flag). Under work
+    /// stealing every hint lands on this worker's own queue; under
+    /// affinity placement each hint is routed to its *home worker's*
+    /// queue, so placement follows the analysis-side mapping instead of
+    /// whichever worker happened to complete the neighbour.
+    ///
+    /// Returns `true` when the hints exceed what this worker will
+    /// immediately consume itself — more than one hint on its own
+    /// queue, or any hint routed to a foreign home — the signal that
     /// waking a parked peer is worthwhile.
     fn enqueue_candidates(&self, state: &RunState, me: usize, node: usize) -> bool {
         let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
-        let mut queue = None;
+        let workers = state.queues.len();
+        let home = &self.plans[state.plan.load(Ordering::Relaxed)].home;
+        let mut own_hints = 0usize;
+        let mut foreign_hints = false;
+        // The common case routes every hint to one queue; holding the
+        // guard across the loop would serialise against that queue's
+        // owner, so each push takes the lock for exactly one entry.
         for &cand in &self.nodes[node].neighbors {
             if real_time && self.nodes[cand].is_clock {
                 continue;
@@ -1516,11 +1808,20 @@ impl<'g> Executor<'g> {
             {
                 continue;
             }
-            queue
-                .get_or_insert_with(|| state.queues[me].lock().expect("queue lock"))
-                .push_back(cand);
+            let target = if home.is_empty() {
+                me
+            } else {
+                home[cand] % workers.max(1)
+            };
+            let mut queue = state.queues[target].lock().expect("queue lock");
+            queue.push_back(cand);
+            if target == me {
+                own_hints = queue.len();
+            } else {
+                foreign_hints = true;
+            }
         }
-        queue.is_some_and(|q| q.len() > 1)
+        foreign_hints || own_hints > 1
     }
 
     /// When every node has completed its repetition count: flush
@@ -1611,12 +1912,21 @@ impl<'g> Executor<'g> {
             // Passing through the mutex pairs with a parker that checked
             // the epoch but has not yet blocked on the condvar.
             drop(state.park.lock().expect("park lock"));
-            state.cond.notify_one();
+            if self.config.placement.is_affinity() {
+                // A hint may have been routed to a specific parked home
+                // worker; notify_one could wake a different one, which
+                // would yield through its starvation window before
+                // crossing the boundary. Waking everyone lets the home
+                // worker claim its hint immediately.
+                state.cond.notify_all();
+            } else {
+                state.cond.notify_one();
+            }
         }
     }
 
     /// Records a fatal error and halts the pool.
-    fn fail(&self, state: &RunState, error: RuntimeError) {
+    pub(crate) fn fail(&self, state: &RunState, error: RuntimeError) {
         let mut park = state.park.lock().expect("park lock");
         if park.error.is_none() {
             park.error = Some(error);

@@ -213,9 +213,14 @@ where
 }
 
 /// Maps node names to their executable behaviour.
-#[derive(Default)]
+///
+/// Behaviours are stored behind [`Arc`], so cloning a registry is
+/// cheap (it shares the behaviours) — the persistent
+/// [`crate::pool::ExecutorPool`] clones the registry into each
+/// submitted run so its long-lived workers never borrow caller state.
+#[derive(Default, Clone)]
 pub struct KernelRegistry {
-    behaviors: BTreeMap<String, Box<dyn KernelBehavior>>,
+    behaviors: BTreeMap<String, Arc<dyn KernelBehavior>>,
 }
 
 impl std::fmt::Debug for KernelRegistry {
@@ -234,7 +239,7 @@ impl KernelRegistry {
 
     /// Registers a behaviour for the named node.
     pub fn register(&mut self, node: impl Into<String>, behavior: Box<dyn KernelBehavior>) {
-        self.behaviors.insert(node.into(), behavior);
+        self.behaviors.insert(node.into(), Arc::from(behavior));
     }
 
     /// Registers a closure as the behaviour of the named node.

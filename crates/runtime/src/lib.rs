@@ -10,8 +10,9 @@
 //! | [`token`] | [`token::Token`]: the values flowing through channels (units, scalars, bits, complex samples, shared images) |
 //! | [`ring`] | [`ring::RingBuffer`]: lock-free SPSC channel rings with batch slab transfer, sized from `tpdf-sim` buffer analysis |
 //! | [`kernel`] | [`kernel::KernelBehavior`] / [`kernel::KernelRegistry`]: what each node computes, plus built-in Select-Duplicate, Transaction-with-vote and default semantics |
-//! | [`executor`] | [`executor::Executor`]: the sharded scheduler (per-node atomic claims, per-worker ready queues with stealing) with control-token mode switching and real-deadline [`tpdf_core::KernelKind::Clock`] watchdogs |
-//! | [`metrics`] | [`metrics::Metrics`]: per-actor firings, tokens/sec, deadline misses |
+//! | [`executor`] | [`executor::Executor`]: the sharded scheduler (per-node atomic claims, per-worker ready queues with stealing or manycore-mapped affinity placement — [`executor::PlacementPolicy`]) with control-token mode switching and real-deadline [`tpdf_core::KernelKind::Clock`] watchdogs |
+//! | [`pool`] | [`pool::ExecutorPool`]: a persistent worker pool — threads spawned once, parked between runs, telemetry carried across runs |
+//! | [`metrics`] | [`metrics::Metrics`]: per-actor firings, tokens/sec, deadline misses, per-worker firing/steal counts |
 //! | [`cases`] | the edge-detection, OFDM and FM-radio case studies ported to run end-to-end |
 //!
 //! ## Semantics
@@ -66,13 +67,15 @@ pub mod cases;
 pub mod executor;
 pub mod kernel;
 pub mod metrics;
+pub mod pool;
 pub mod ring;
 pub mod token;
 
 pub use cases::{EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture};
-pub use executor::{ClockMode, Executor, RuntimeConfig};
+pub use executor::{ClockMode, Executor, PlacementPolicy, RuntimeConfig};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
 pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
+pub use pool::ExecutorPool;
 pub use ring::RingBuffer;
 pub use token::Token;
 

@@ -1,5 +1,6 @@
 //! Execution statistics reported by the runtime.
 
+use crate::executor::PlacementPolicy;
 use std::time::Duration;
 use tpdf_core::graph::{ChannelId, NodeId, TpdfGraph};
 use tpdf_core::mode::Mode;
@@ -43,8 +44,18 @@ pub struct RebindEvent {
 pub struct Metrics {
     /// Complete graph iterations executed.
     pub iterations: u64,
-    /// Worker threads used.
+    /// Worker threads configured.
     pub threads: usize,
+    /// Worker threads the run actually engaged: 1 when the granularity
+    /// heuristic collapsed a fine-grained graph to the single-worker
+    /// fast path, the configured (pool-clamped) count otherwise. A
+    /// reused [`crate::pool::ExecutorPool`] whose telemetry classified
+    /// the graph in an earlier run starts follow-up runs already
+    /// collapsed — visible here as `effective_workers == 1` with
+    /// `threads > 1`.
+    pub effective_workers: usize,
+    /// The placement policy the run executed under.
+    pub placement: PlacementPolicy,
     /// Total firings of each node (indexed by [`NodeId`]).
     pub firings: Vec<u64>,
     /// Tokens pushed onto each channel (indexed by [`ChannelId`]);
@@ -76,6 +87,14 @@ pub struct Metrics {
     /// nodes without control outputs). Cross-validation compares these
     /// against `tpdf-sim`'s `SimulationReport::mode_sequences`.
     pub mode_sequences: Vec<Vec<Mode>>,
+    /// Firings completed by each worker (indexed by worker; length =
+    /// [`Metrics::effective_workers`]).
+    pub worker_firings: Vec<u64>,
+    /// Firings each worker acquired across the placement boundary:
+    /// hints popped from a foreign queue under
+    /// [`PlacementPolicy::WorkStealing`], plus foreign-home nodes fired
+    /// by a starved worker under [`PlacementPolicy::Affinity`].
+    pub worker_steals: Vec<u64>,
     /// Every parameter rebinding applied at an iteration barrier, in
     /// iteration order (empty without a binding sequence).
     pub rebinds: Vec<RebindEvent>,
@@ -120,6 +139,8 @@ mod tests {
         Metrics {
             iterations: 2,
             threads: 4,
+            effective_workers: 4,
+            placement: PlacementPolicy::WorkStealing,
             firings: vec![4, 8, 4, 4, 8, 8],
             tokens_pushed: vec![10; 7],
             channel_high_water: vec![4; 7],
@@ -131,6 +152,8 @@ mod tests {
             vote_failures: 0,
             deadline_selections: Vec::new(),
             mode_sequences: vec![Vec::new(); 6],
+            worker_firings: vec![9, 9, 9, 9],
+            worker_steals: vec![0; 4],
             rebinds: Vec::new(),
         }
     }

@@ -1,0 +1,447 @@
+//! A persistent worker pool servicing repeated `run` calls.
+//!
+//! [`crate::executor::Executor::run`] spawns its secondary workers with
+//! [`std::thread::scope`] and joins them before returning — correct,
+//! but the spawn/join pair is paid on *every* run, the last fixed
+//! per-run overhead in a steady-state serving loop. An [`ExecutorPool`]
+//! spawns its workers **once**; between runs they park on the pool's
+//! condvar, and each `run` call hands them an owned job
+//! ([`RunJob`]: engine + cloned registry + fresh run state behind one
+//! `Arc`) so the long-lived threads never borrow caller state.
+//!
+//! The pool also owns the firing-cost telemetry
+//! ([`crate::executor::Executor::sampled_firing_cost_ns`]'s EWMA):
+//! executors built through [`ExecutorPool::executor`] share it, so the
+//! granularity classification learned in one run — "this graph is too
+//! fine-grained to distribute" — survives into the next run *and* into
+//! the next executor, which then starts on the collapsed single-worker
+//! fast path without re-sampling from scratch.
+//!
+//! ## Handover protocol
+//!
+//! One mutex-guarded [`PoolSlot`] carries a generation counter and the
+//! current job. `run` publishes the job, bumps the generation and wakes
+//! every worker; workers with an index below the job's worker count
+//! enter the ordinary [`crate::executor::Engine`] worker loop (the
+//! *same* loop the scoped path uses — placement, stealing, parking and
+//! the iteration barrier are shared code), then decrement the active
+//! count and go back to waiting for the next generation. The caller is
+//! always worker 0, exactly as in the scoped path, and collects the
+//! metrics once the active count drains to zero. A fresh submission
+//! first waits out any stragglers of the previous generation, so a
+//! caller that aborted mid-collection can never corrupt the next run's
+//! accounting.
+
+use crate::executor::{CostTelemetry, Engine, Executor, RunState, RuntimeConfig};
+use crate::kernel::KernelRegistry;
+use crate::metrics::Metrics;
+use crate::RuntimeError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tpdf_core::graph::TpdfGraph;
+
+/// One submitted run: everything a pool worker needs, owned.
+struct RunJob {
+    engine: Arc<Engine>,
+    /// Cloned from the caller's registry (cheap: behaviours are
+    /// `Arc`-shared) so the `'static` workers borrow nothing.
+    registry: KernelRegistry,
+    state: RunState,
+    start: Instant,
+    /// Workers participating in this run (1 ..= pool size); workers
+    /// with a higher index skip the generation entirely.
+    workers: usize,
+}
+
+/// The generation-stamped job slot workers wait on.
+#[derive(Default)]
+struct PoolSlot {
+    job: Option<Arc<RunJob>>,
+    /// Bumped per submission; a worker runs each generation once.
+    generation: u64,
+    /// Participating workers still inside the current generation.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    slot: Mutex<PoolSlot>,
+    /// Workers wait here for the next generation (or shutdown).
+    work: Condvar,
+    /// The submitter waits here for `active` to drain to zero.
+    done: Condvar,
+}
+
+/// A persistent executor worker pool: `threads - 1` OS threads spawned
+/// at construction (the calling thread is always worker 0), parked
+/// between runs, shut down on drop. Repeated [`ExecutorPool::run`]
+/// calls therefore pay **no spawn cost**, and telemetry (EWMA firing
+/// costs, granularity classification) carries across runs and across
+/// executors built through [`ExecutorPool::executor`].
+///
+/// # Examples
+///
+/// ```
+/// use tpdf_core::examples::figure2_graph;
+/// use tpdf_runtime::{ExecutorPool, KernelRegistry, RuntimeConfig};
+/// use tpdf_symexpr::Binding;
+///
+/// # fn main() -> Result<(), tpdf_runtime::RuntimeError> {
+/// let graph = figure2_graph();
+/// let pool = ExecutorPool::new(2);
+/// let executor = pool.executor(
+///     &graph,
+///     RuntimeConfig::new(Binding::from_pairs([("p", 2)])).with_threads(2),
+/// )?;
+/// let registry = KernelRegistry::new();
+/// for _ in 0..3 {
+///     // No worker spawns after the first line of main.
+///     let metrics = pool.run(&executor, &registry)?;
+///     assert_eq!(metrics.iterations, 1);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    telemetry: Arc<CostTelemetry>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ExecutorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorPool")
+            .field("threads", &self.threads)
+            .field("spawned_workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ExecutorPool {
+    /// Spawns a pool of `threads` workers (clamped to ≥ 1). `threads -
+    /// 1` OS threads are created here and only here; the thread calling
+    /// [`ExecutorPool::run`] serves as worker 0.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(PoolSlot::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tpdf-pool-{me}"))
+                    .spawn(move || pool_worker(shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ExecutorPool {
+            shared,
+            handles,
+            telemetry: Arc::new(CostTelemetry::default()),
+            threads,
+        }
+    }
+
+    /// The pool's worker count (including the caller acting as
+    /// worker 0). Constant for the pool's lifetime — the reuse suite
+    /// asserts no run grows it.
+    pub fn worker_count(&self) -> usize {
+        self.threads
+    }
+
+    /// OS threads this pool spawned (`worker_count() - 1`).
+    pub fn spawned_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The pool-wide firing-cost estimate in nanoseconds (an EWMA over
+    /// the sampled firings of every run executed on this pool through
+    /// executors built by [`ExecutorPool::executor`]), or `None` before
+    /// the first sample.
+    pub fn sampled_firing_cost_ns(&self) -> Option<u64> {
+        self.telemetry.sampled_firing_cost_ns()
+    }
+
+    /// Builds an executor whose firing-cost telemetry is shared with
+    /// this pool, so granularity classification survives across
+    /// executors (e.g. across the phases of a reconfigured pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::new`].
+    pub fn executor<'g>(
+        &self,
+        graph: &'g TpdfGraph,
+        config: RuntimeConfig,
+    ) -> Result<Executor<'g>, RuntimeError> {
+        Executor::with_telemetry(graph, config, Arc::clone(&self.telemetry))
+    }
+
+    /// Executes one run of `executor` on the persistent workers and
+    /// reports [`Metrics`]. Semantically identical to
+    /// [`Executor::run`] — placement, determinism and clock handling
+    /// are the same shared worker loop — but no thread is spawned. The
+    /// run engages `min(executor threads, pool size)` workers (the
+    /// granularity heuristic may collapse that to 1).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run`].
+    pub fn run(
+        &self,
+        executor: &Executor<'_>,
+        registry: &KernelRegistry,
+    ) -> Result<Metrics, RuntimeError> {
+        let engine = Arc::clone(executor.engine());
+        let workers = engine.effective_workers().min(self.threads);
+        let state = engine.initial_state(workers);
+        let start = Instant::now();
+        let virtual_clocks = matches!(
+            engine.config().clock_mode,
+            crate::executor::ClockMode::Virtual
+        );
+        if workers == 1 && virtual_clocks {
+            // The collapsed single-worker fast path never touches the
+            // pool: the calling thread runs the de-synchronised loop
+            // directly, exactly as the scoped path does.
+            engine.run_single(&state, registry, start);
+            return engine.collect_metrics(&state, start.elapsed(), 1);
+        }
+
+        let job = Arc::new(RunJob {
+            engine,
+            registry: registry.clone(),
+            state,
+            start,
+            workers,
+        });
+        let my_generation = {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            // Drain stragglers of an aborted previous generation before
+            // re-arming the active count.
+            while slot.active > 0 {
+                slot = self.shared.done.wait(slot).expect("pool lock");
+            }
+            slot.job = Some(Arc::clone(&job));
+            slot.generation += 1;
+            slot.active = workers - 1;
+            self.shared.work.notify_all();
+            slot.generation
+        };
+        // The caller is worker 0 — same division of labour as the
+        // scoped path, so a 1-worker pooled run involves no other
+        // thread at all. A caller-side panic is caught so the halt can
+        // be published and the secondaries drained (otherwise the next
+        // submission would wait on them forever), then re-raised to
+        // preserve the scoped path's panic semantics.
+        let caller = catch_unwind(AssertUnwindSafe(|| {
+            job.engine
+                .worker_loop(&job.state, 0, &job.registry, job.start)
+        }));
+        if caller.is_err() {
+            job.engine.fail(
+                &job.state,
+                RuntimeError::KernelFailed {
+                    node: "pool worker 0".to_string(),
+                    message: "worker thread panicked".to_string(),
+                },
+            );
+        }
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            while slot.active > 0 {
+                slot = self.shared.done.wait(slot).expect("pool lock");
+            }
+            // Generation-aware cleanup: with concurrent `run` callers
+            // (the pool is `&self`), a second submitter may have
+            // published a newer generation while this one drained —
+            // nulling *its* job here would strand its workers. Only the
+            // generation's owner clears the slot.
+            if slot.generation == my_generation {
+                slot.job = None;
+            }
+        }
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        job.engine
+            .collect_metrics(&job.state, start.elapsed(), job.workers)
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The persistent secondary-worker loop: wait for a generation, run the
+/// shared engine worker loop, report completion, repeat until shutdown.
+fn pool_worker(shared: Arc<PoolShared>, me: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("pool lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != seen {
+                    seen = slot.generation;
+                    // The job can already be gone: a worker that sat
+                    // out generation N (index ≥ its worker count) may
+                    // only wake after N's submitter cleared the slot.
+                    // The generation is over — keep waiting for the
+                    // next one instead of touching its active count.
+                    if let Some(job) = slot.job.as_ref() {
+                        break Arc::clone(job);
+                    }
+                }
+                slot = shared.work.wait(slot).expect("pool lock");
+            }
+        };
+        if me >= job.workers {
+            // This generation engages fewer workers than the pool has;
+            // sit it out (and do not touch its active count).
+            continue;
+        }
+        // A panicking kernel must not wedge the pool: convert it into a
+        // run error and still report completion, so the submitter's
+        // wait terminates and later runs stay serviceable.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            job.engine
+                .worker_loop(&job.state, me, &job.registry, job.start)
+        }));
+        if outcome.is_err() {
+            job.engine.fail(
+                &job.state,
+                RuntimeError::KernelFailed {
+                    node: format!("pool worker {me}"),
+                    message: "worker thread panicked".to_string(),
+                },
+            );
+        }
+        drop(job);
+        let mut slot = shared.slot.lock().expect("pool lock");
+        slot.active -= 1;
+        if slot.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::PlacementPolicy;
+    use crate::token::Token;
+    use tpdf_core::examples::figure2_graph;
+    use tpdf_manycore::MappingStrategy;
+    use tpdf_symexpr::Binding;
+
+    fn binding(p: i64) -> Binding {
+        Binding::from_pairs([("p", p)])
+    }
+
+    #[test]
+    fn pooled_runs_match_scoped_runs() {
+        let graph = figure2_graph();
+        let registry = KernelRegistry::new();
+        let pool = ExecutorPool::new(4);
+        for placement in [
+            PlacementPolicy::WorkStealing,
+            PlacementPolicy::Affinity(MappingStrategy::RoundRobin),
+        ] {
+            let config = RuntimeConfig::new(binding(3))
+                .with_threads(4)
+                .with_iterations(3)
+                .with_placement(placement);
+            let scoped = Executor::new(&graph, config.clone())
+                .unwrap()
+                .run(&registry)
+                .unwrap();
+            let executor = pool.executor(&graph, config).unwrap();
+            let pooled = pool.run(&executor, &registry).unwrap();
+            assert_eq!(pooled.firings, scoped.firings, "{placement:?}");
+            assert_eq!(pooled.tokens_pushed, scoped.tokens_pushed, "{placement:?}");
+            assert_eq!(pooled.iterations, 3);
+            assert_eq!(pooled.placement, placement);
+            assert_eq!(
+                pooled.worker_firings.iter().sum::<u64>(),
+                pooled.firings.iter().sum::<u64>(),
+                "per-worker firings must account for every firing"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_clamps_oversized_executor_thread_counts() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::new(2);
+        let executor = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(8))
+            .unwrap();
+        let metrics = pool.run(&executor, &KernelRegistry::new()).unwrap();
+        assert!(metrics.effective_workers <= 2);
+        assert_eq!(metrics.worker_firings.len(), metrics.effective_workers);
+    }
+
+    /// Regression: a pool wider than a run's worker count leaves
+    /// *sit-out* workers (index ≥ `job.workers`) racing the submitter's
+    /// slot cleanup — a sitter waking after `slot.job` was cleared used
+    /// to panic on the missing job and poison the pool mutex. Real-time
+    /// mode keeps the multi-worker publish path (no granularity
+    /// collapse), and many tiny back-to-back runs make the window hit.
+    #[test]
+    fn sit_out_workers_survive_rapid_generations() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::new(8);
+        let registry = KernelRegistry::new();
+        let config = RuntimeConfig::new(binding(1))
+            .with_threads(2)
+            .with_real_time(std::time::Duration::from_micros(1));
+        let executor = pool.executor(&graph, config).unwrap();
+        for _ in 0..500 {
+            let metrics = pool.run(&executor, &registry).unwrap();
+            assert_eq!(metrics.iterations, 1);
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_kernel() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::new(2);
+        let mut bad = KernelRegistry::new();
+        bad.register_fn("B", |_| panic!("kernel bug"));
+        // A panic on a secondary worker is converted into an error (a
+        // panic on the caller propagates, which scoped runs do too).
+        // Either way the pool must stay serviceable afterwards.
+        let config = RuntimeConfig::new(binding(2)).with_threads(2);
+        let executor = pool.executor(&graph, config).unwrap();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(&executor, &bad)));
+        // `Err` means the caller-side worker hit the panic itself.
+        if let Ok(result) = outcome {
+            assert!(result.is_err(), "panicking kernel must fail the run");
+        }
+        let mut good = KernelRegistry::new();
+        good.register_fn("B", |ctx| {
+            ctx.fill_outputs_cycling(&[Token::Int(1)]);
+            Ok(())
+        });
+        let metrics = pool.run(&executor, &good).unwrap();
+        assert_eq!(metrics.iterations, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Reuse guarantees of the persistent [`ExecutorPool`]: repeated `run`
+//! calls on one pool must spawn no new threads (worker count constant
+//! for the pool's lifetime), must report *per-run* metrics (nothing
+//! accumulates across runs), and must carry the firing-cost EWMA across
+//! runs — a fine-grained graph classified in run 1 starts run 2 on the
+//! collapsed single-worker fast path without re-sampling from scratch.
+//!
+//! CI matrix knobs:
+//!
+//! * `TPDF_TEST_THREADS` — comma-separated pool sizes (default `1,2,4`);
+//! * `TPDF_TEST_PLACEMENT` — `worksteal`, `affinity` or `all`
+//!   (default `all`).
+
+use std::sync::{Mutex, OnceLock};
+use tpdf_suite::core::examples::figure2_graph;
+use tpdf_suite::manycore::MappingStrategy;
+use tpdf_suite::runtime::kernel::KernelRegistry;
+use tpdf_suite::runtime::{ExecutorPool, PlacementPolicy, RuntimeConfig};
+use tpdf_suite::sim::engine::{SimulationConfig, Simulator};
+use tpdf_suite::symexpr::Binding;
+
+/// Serialises the tests of this file: the OS-thread-count assertions
+/// must not race against another test creating or dropping a pool.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("serial lock")
+}
+
+/// Pool sizes from `TPDF_TEST_THREADS`. A spec that parses to nothing
+/// is a hard error — running zero pools would pass vacuously.
+fn pool_sizes() -> Vec<usize> {
+    match std::env::var("TPDF_TEST_THREADS") {
+        Ok(spec) => {
+            let sizes: Vec<usize> = spec
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            assert!(
+                !sizes.is_empty(),
+                "TPDF_TEST_THREADS={spec:?} contains no usable pool size"
+            );
+            sizes
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+fn placements() -> Vec<PlacementPolicy> {
+    match std::env::var("TPDF_TEST_PLACEMENT").as_deref() {
+        Ok("worksteal") => vec![PlacementPolicy::WorkStealing],
+        Ok("affinity") => vec![
+            PlacementPolicy::Affinity(MappingStrategy::RoundRobin),
+            PlacementPolicy::Affinity(MappingStrategy::LoadBalanced),
+        ],
+        _ => vec![
+            PlacementPolicy::WorkStealing,
+            PlacementPolicy::Affinity(MappingStrategy::LoadBalanced),
+        ],
+    }
+}
+
+fn binding(p: i64) -> Binding {
+    Binding::from_pairs([("p", p)])
+}
+
+/// The process's current OS thread count, from `/proc/self/status`
+/// (Linux-only; `None` elsewhere, where the test falls back to the
+/// pool's own accounting).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// N runs on one pool with *differing binding sequences*: no thread
+/// leak, per-run (not accumulated) metrics, firing counts matching the
+/// count-level reference of each run's own configuration.
+#[test]
+fn repeated_runs_leak_no_threads_and_reset_metrics() {
+    let _guard = serial();
+    let graph = figure2_graph();
+    let registry = KernelRegistry::new();
+    for threads in pool_sizes() {
+        for placement in placements() {
+            let pool = ExecutorPool::new(threads);
+            assert_eq!(pool.worker_count(), threads);
+            assert_eq!(pool.spawned_workers(), threads - 1);
+            let after_spawn = os_thread_count();
+
+            let sequences: [Vec<Binding>; 4] = [
+                vec![binding(1)],
+                vec![binding(2), binding(3)],
+                vec![binding(3), binding(1), binding(2)],
+                vec![binding(2), binding(3)], // repeat of run 1's config
+            ];
+            let mut all_metrics = Vec::new();
+            for sequence in &sequences {
+                let config = RuntimeConfig::new(binding(1))
+                    .with_threads(threads)
+                    .with_iterations(4)
+                    .with_placement(placement)
+                    .with_binding_sequence(sequence.clone());
+                let reference = Simulator::new(
+                    &graph,
+                    SimulationConfig::new(binding(1)).with_binding_sequence(sequence.clone()),
+                )
+                .unwrap()
+                .run_iterations(4)
+                .unwrap();
+                let executor = pool.executor(&graph, config).unwrap();
+                let metrics = pool.run(&executor, &registry).unwrap();
+                // Per-run metrics: every run reports its own 4
+                // iterations and its own reference-matching firing
+                // counts — nothing carries over from earlier runs.
+                assert_eq!(metrics.iterations, 4, "{placement:?} @ {threads}");
+                assert_eq!(
+                    metrics.firings, reference.firings,
+                    "{placement:?} @ {threads}, sequence {sequence:?}"
+                );
+                assert_eq!(
+                    metrics.worker_firings.iter().sum::<u64>(),
+                    metrics.firings.iter().sum::<u64>()
+                );
+                all_metrics.push(metrics);
+            }
+            // Identical configs (runs 1 and 3) give identical counters.
+            assert_eq!(all_metrics[1].firings, all_metrics[3].firings);
+            assert_eq!(all_metrics[1].tokens_pushed, all_metrics[3].tokens_pushed);
+
+            // No thread leak: the pool's workers were spawned at
+            // construction and none were added by any run.
+            assert_eq!(pool.worker_count(), threads);
+            assert_eq!(pool.spawned_workers(), threads - 1);
+            if let (Some(before), Some(after)) = (after_spawn, os_thread_count()) {
+                assert_eq!(
+                    before,
+                    after,
+                    "OS thread count changed across {} pooled runs \
+                     ({placement:?} @ {threads} workers)",
+                    sequences.len()
+                );
+            }
+        }
+    }
+}
+
+/// The EWMA telemetry carries across runs: a fine-grained graph is
+/// classified during run 1, and run 2 starts already collapsed to the
+/// single-worker fast path (`effective_workers == 1`) — with a
+/// *different* binding sequence, proving the carry-over is on the pool,
+/// not on one executor's plans.
+#[test]
+fn telemetry_carries_over_and_collapses_run_two() {
+    let _guard = serial();
+    let graph = figure2_graph();
+    let registry = KernelRegistry::new();
+    let pool = ExecutorPool::new(2);
+
+    // Run 1: no samples yet, so the full pool is engaged; figure2's
+    // rate-only kernels are far below the fine-grain threshold and the
+    // ~34 firings/iteration × 5 iterations yield plenty of samples.
+    let first = pool
+        .executor(
+            &graph,
+            RuntimeConfig::new(binding(4))
+                .with_threads(2)
+                .with_iterations(5),
+        )
+        .unwrap();
+    let metrics1 = pool.run(&first, &registry).unwrap();
+    assert_eq!(metrics1.effective_workers, 2.min(pool.worker_count()));
+    let learned = pool
+        .sampled_firing_cost_ns()
+        .expect("run 1 must leave samples on the pool");
+
+    // Run 2: a fresh executor (different binding sequence) on the same
+    // pool starts classified — no re-sampling from scratch.
+    let second = pool
+        .executor(
+            &graph,
+            RuntimeConfig::new(binding(1))
+                .with_threads(2)
+                .with_iterations(3)
+                .with_binding_sequence(vec![binding(1), binding(3)]),
+        )
+        .unwrap();
+    assert!(
+        second.sampled_firing_cost_ns().is_some(),
+        "a pool-built executor shares the pool's telemetry"
+    );
+    let metrics2 = pool.run(&second, &registry).unwrap();
+    assert_eq!(
+        metrics2.effective_workers, 1,
+        "run 2 must start on the collapsed single-worker path \
+         (pool EWMA after run 1: {learned} ns)"
+    );
+    assert_eq!(metrics2.iterations, 3);
+}
