@@ -630,6 +630,14 @@ pub(crate) struct Engine {
     clock_nodes: Vec<usize>,
     /// Shared firing-cost telemetry (see [`CostTelemetry`]).
     telemetry: Arc<CostTelemetry>,
+    /// Reference cost of one iteration in virtual work units: the
+    /// maximum over the binding sequence's phases of Σ repetition
+    /// count × execution time — what admission control compares
+    /// against a deadline period.
+    cost_units: u64,
+    /// The shortest Clock period in the graph, if any — under
+    /// [`ClockMode::RealTime`] one iteration must complete within it.
+    min_clock_period: Option<u64>,
 }
 
 impl<'g> Executor<'g> {
@@ -717,6 +725,17 @@ impl<'g> Executor<'g> {
         self.engine.telemetry.sampled_firing_cost_ns()
     }
 
+    /// Detaches this executor's owned engine as a [`CompiledExecutor`]:
+    /// a `'static`, graph-independent handle that can outlive the
+    /// borrowed graph and be submitted asynchronously to a
+    /// [`crate::pool::ExecutorPool`] — the form a long-lived service
+    /// session stores.
+    pub fn compile(&self) -> CompiledExecutor {
+        CompiledExecutor {
+            engine: Arc::clone(&self.engine),
+        }
+    }
+
     /// Executes the configured number of iterations on a scoped worker
     /// pool (threads spawned per call — see
     /// [`crate::pool::ExecutorPool`] for the persistent alternative)
@@ -730,6 +749,53 @@ impl<'g> Executor<'g> {
     /// * any [`RuntimeError::KernelFailed`] raised by a behaviour.
     pub fn run(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
         self.engine.run_scoped(registry)
+    }
+}
+
+/// An owned, `'static` executable form of an [`Executor`]: the analysed
+/// plans, per-node facts and shared telemetry behind one `Arc`, with no
+/// borrow of the source graph. This is what a multi-session service
+/// keeps per session — the graph can be dropped after compilation — and
+/// what [`crate::pool::ExecutorPool::submit`] accepts for asynchronous
+/// (caller-non-participating) execution.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share telemetry.
+#[derive(Debug, Clone)]
+pub struct CompiledExecutor {
+    engine: Arc<Engine>,
+}
+
+impl CompiledExecutor {
+    /// The configuration the compiled runs execute under.
+    pub fn config(&self) -> &RuntimeConfig {
+        self.engine.config()
+    }
+
+    /// The per-iteration repetition count of every node (first phase's
+    /// counts under a binding sequence).
+    pub fn repetition_counts(&self) -> &[u64] {
+        &self.engine.plans[0].counts
+    }
+
+    /// Reference cost of one iteration in virtual work units (Σ
+    /// repetition count × node execution time, maximised over the
+    /// phases of the binding sequence). Admission control divides this
+    /// by [`CompiledExecutor::min_clock_period`] to estimate the
+    /// processor share a deadline-driven session demands.
+    pub fn estimated_cost_units(&self) -> u64 {
+        self.engine.cost_units
+    }
+
+    /// The shortest Clock period in the graph (virtual time units), if
+    /// the graph has any Clock watchdog. Under
+    /// [`ClockMode::RealTime`] one iteration must complete within it.
+    pub fn min_clock_period(&self) -> Option<u64> {
+        self.engine.min_clock_period
+    }
+
+    /// The engine, for the pool's submission path.
+    pub(crate) fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 }
 
@@ -955,6 +1021,16 @@ impl Engine {
             Some(selector) => Arc::clone(selector),
             None => Arc::new(config.control_policy.clone()) as Arc<dyn ModeSelector>,
         };
+        let cost_units = plans
+            .iter()
+            .map(|plan| node_workloads(graph, &plan.counts).iter().sum())
+            .max()
+            .unwrap_or(0);
+        let min_clock_period = nodes
+            .iter()
+            .filter(|n| n.is_clock && n.clock_period > 0)
+            .map(|n| n.clock_period)
+            .min();
         Ok(Engine {
             config,
             plans,
@@ -964,6 +1040,8 @@ impl Engine {
             scan_order,
             clock_nodes,
             telemetry,
+            cost_units,
+            min_clock_period,
         })
     }
 
@@ -1019,9 +1097,18 @@ impl Engine {
                 // runs.
                 for me in 1..workers {
                     let state = &state;
-                    scope.spawn(move || self.worker_loop(state, me, registry, start));
+                    // A scoped secondary that stands down from a
+                    // transiently fine-grained phase naps and
+                    // re-enters: it has no other job to serve (unlike
+                    // a pool worker), and the estimate may recover in
+                    // a later, heavier phase.
+                    scope.spawn(move || {
+                        while self.worker_loop(state, me, registry, start) {
+                            self.standdown_nap(state);
+                        }
+                    });
                 }
-                self.worker_loop(&state, 0, registry, start);
+                let _ = self.worker_loop(&state, 0, registry, start);
             });
         }
 
@@ -1107,6 +1194,9 @@ impl Engine {
                 .map(|w| w.load(Ordering::Relaxed))
                 .collect(),
             rebinds: state.rebinds.lock().expect("no worker may panic").clone(),
+            // Scoped runs have no persistent workers to pin; the pool
+            // overwrites this with its own pinning record.
+            pinned_cores: Vec::new(),
         })
     }
 
@@ -1169,13 +1259,18 @@ impl Engine {
         }
     }
 
+    /// The shared worker loop. Returns `true` when the worker *stood
+    /// down* from a granularity-collapsed run (rather than the run
+    /// halting): the pool gives such a worker's participation slot
+    /// back so it can serve other jobs — and be re-claimed if the cost
+    /// estimate later recovers.
     pub(crate) fn worker_loop(
         &self,
         state: &RunState,
         me: usize,
         registry: &KernelRegistry,
         start: Instant,
-    ) {
+    ) -> bool {
         let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
         let affinity = self.config.placement.is_affinity();
         let mut fired_local: u64 = 0;
@@ -1185,7 +1280,7 @@ impl Engine {
         let mut starved: u32 = 0;
         loop {
             if state.halt.load(Ordering::SeqCst) {
-                return;
+                return false;
             }
             // 1. Real-time clock ticks that are due fire immediately.
             if let ClockMode::RealTime { time_unit } = &self.config.clock_mode {
@@ -1197,13 +1292,18 @@ impl Engine {
             //    too cheap to distribute, secondary workers stand down
             //    and worker 0 runs the graph alone — on fine-grained
             //    graphs the claim path is cheaper than the coordination
-            //    it would take to share it. Never in real-time mode:
-            //    there kernels can block on wall-clock work that cheap
-            //    control firings would average into invisibility, and
-            //    `run` promises real-time runs the full pool.
+            //    it would take to share it. Standing down means
+            //    *returning*: on a multi-job pool the thread goes back
+            //    to the hunt and serves other queued jobs instead of
+            //    napping until this one ends (worker 0 alone finishes
+            //    the run — any participant subset makes progress), and
+            //    the freed slot can be re-claimed should the estimate
+            //    recover. Never in real-time mode: there kernels can
+            //    block on wall-clock work that cheap control firings
+            //    would average into invisibility, and `run` promises
+            //    real-time runs the full pool.
             if me != 0 && !real_time && self.fine_grained() {
-                self.park_backoff(state, start);
-                continue;
+                return true;
             }
             // The epoch is captured before looking for work so that a
             // completion racing with the hunt below is detectable when
@@ -1278,7 +1378,9 @@ impl Engine {
     /// too cheap to be worth distributing across workers. The estimate
     /// is an EWMA, so a few dozen samples of a newly heavy (or newly
     /// cheap) registry flip the verdict even after a long history.
-    fn fine_grained(&self) -> bool {
+    /// `pub(crate)`: the pool's job hunt skips collapsed jobs that
+    /// already have a participant.
+    pub(crate) fn fine_grained(&self) -> bool {
         self.telemetry.fine_grained()
     }
 
@@ -1339,25 +1441,21 @@ impl Engine {
         }
     }
 
-    /// Parks a secondary worker that backed off from a fine-grained
-    /// graph. Unlike [`Executor::park`] this never reports a stall —
-    /// the worker did not scan for work, so it has no evidence; worker
-    /// 0 never backs off and remains the stall detector.
-    fn park_backoff(&self, state: &RunState, start: Instant) {
+    /// Parks a scoped secondary that stood down from a fine-grained
+    /// run until the stall timeout (or a halt) — after which the
+    /// caller re-enters [`Engine::worker_loop`], rejoining the run if
+    /// the cost estimate recovered. Never reports a stall: the worker
+    /// did not scan for work, so it has no evidence; worker 0 never
+    /// stands down and remains the stall detector. (Stand-down is
+    /// Virtual-clock-only, so no real-time tick can be pending.)
+    fn standdown_nap(&self, state: &RunState) {
         state.parked.fetch_add(1, Ordering::SeqCst);
         let guard = state.park.lock().expect("park lock");
         if !state.halt.load(Ordering::SeqCst) {
-            let timeout = match &self.config.clock_mode {
-                ClockMode::RealTime { time_unit } => self
-                    .next_tick_in(state, start, *time_unit)
-                    .unwrap_or(self.config.stall_timeout)
-                    .min(self.config.stall_timeout),
-                ClockMode::Virtual => self.config.stall_timeout,
-            };
             drop(
                 state
                     .cond
-                    .wait_timeout(guard, timeout)
+                    .wait_timeout(guard, self.config.stall_timeout)
                     .expect("park lock")
                     .0,
             );
@@ -1930,6 +2028,26 @@ impl Engine {
         let mut park = state.park.lock().expect("park lock");
         if park.error.is_none() {
             park.error = Some(error);
+        }
+        state.halt.store(true, Ordering::SeqCst);
+        drop(park);
+        state.cond.notify_all();
+    }
+
+    /// Cancels the run: like [`Engine::fail`] with
+    /// [`RuntimeError::Cancelled`], except that a run which already
+    /// *completed* keeps its outcome — `done` is set (under the same
+    /// park lock) by the final iteration barrier, so a cancellation
+    /// racing normal completion can never turn a finished run's
+    /// `Ok(Metrics)` into `Err(Cancelled)`, however late the metrics
+    /// collection itself happens.
+    pub(crate) fn cancel_run(&self, state: &RunState) {
+        let mut park = state.park.lock().expect("park lock");
+        if park.done {
+            return;
+        }
+        if park.error.is_none() {
+            park.error = Some(RuntimeError::Cancelled);
         }
         state.halt.store(true, Ordering::SeqCst);
         drop(park);

@@ -67,15 +67,16 @@ pub mod cases;
 pub mod executor;
 pub mod kernel;
 pub mod metrics;
+mod pinning;
 pub mod pool;
 pub mod ring;
 pub mod token;
 
 pub use cases::{EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture};
-pub use executor::{ClockMode, Executor, PlacementPolicy, RuntimeConfig};
+pub use executor::{ClockMode, CompiledExecutor, Executor, PlacementPolicy, RuntimeConfig};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
 pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
-pub use pool::ExecutorPool;
+pub use pool::{ExecutorPool, JobTicket};
 pub use ring::RingBuffer;
 pub use token::Token;
 
@@ -122,6 +123,10 @@ pub enum RuntimeError {
         /// Error description.
         message: String,
     },
+    /// The run was cancelled before completion
+    /// ([`pool::JobTicket::cancel`], or the pool was dropped with the
+    /// job still queued).
+    Cancelled,
 }
 
 impl fmt::Display for RuntimeError {
@@ -149,6 +154,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::KernelFailed { node, message } => {
                 write!(f, "kernel {node} failed: {message}")
             }
+            RuntimeError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }

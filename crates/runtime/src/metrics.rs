@@ -98,6 +98,13 @@ pub struct Metrics {
     /// Every parameter rebinding applied at an iteration barrier, in
     /// iteration order (empty without a binding sequence).
     pub rebinds: Vec<RebindEvent>,
+    /// Core-pinning outcome of the pool the run executed on, indexed by
+    /// *pool* worker (not per-job participant): `Some(core)` for a
+    /// worker the `core-pinning` feature pinned to a CPU core, `None`
+    /// for an unpinned worker (the calling thread of a non-detached
+    /// pool is never pinned). Empty for scoped `Executor::run`s, which
+    /// have no persistent workers to pin.
+    pub pinned_cores: Vec<Option<usize>>,
 }
 
 impl Metrics {
@@ -155,6 +162,7 @@ mod tests {
             worker_firings: vec![9, 9, 9, 9],
             worker_steals: vec![0; 4],
             rebinds: Vec::new(),
+            pinned_cores: Vec::new(),
         }
     }
 

@@ -1,0 +1,204 @@
+//! Core pinning of pool workers (`core-pinning` feature).
+//!
+//! `tpdf_manycore::Platform` models one processing element per worker;
+//! [`crate::pool::ExecutorPool`] makes that model *physical* by pinning
+//! each spawned worker thread to one CPU core, so the affinity
+//! placement's "home worker" really is a home core and the NoC-latency
+//! arguments of the mapping analysis carry over to the metal.
+//!
+//! Target cores are chosen from the thread's **allowed** CPU set
+//! (`sched_getaffinity`), not from `0..available_parallelism`: in a
+//! cpuset/taskset-restricted environment (a container pinned to cores
+//! 2–3, say) the low core ids may not be usable at all, and worker `n`
+//! must pin to the `n`-th *allowed* core instead.
+//!
+//! The implementation is raw `sched_{get,set}affinity` syscalls — the
+//! offline build environment has no `libc` crate — compiled only on
+//! Linux x86_64/aarch64 with the `core-pinning` feature enabled.
+//! Everywhere else [`pin_to_nth_allowed_core`] is a no-op returning
+//! `None`, and the pool records the unpinned outcome in
+//! [`crate::metrics::Metrics::pinned_cores`].
+
+// The syscall wrappers are this module's only unsafe (the crate denies
+// unsafe_code elsewhere except the SPSC ring): they pass a pointer to a
+// stack-owned, fixed-size CPU mask that the kernel reads (set) or
+// writes within the given length (get).
+#![cfg_attr(
+    all(
+        feature = "core-pinning",
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ),
+    allow(unsafe_code)
+)]
+
+/// Attempts to pin the calling thread to the `n`-th CPU core of its
+/// currently *allowed* set (wrapping modulo the set size). Returns
+/// `Some(core)` — the concrete core id — when the kernel accepted the
+/// affinity mask, and `None` when pinning is unavailable (feature off,
+/// non-Linux build, unsupported architecture) or a syscall failed.
+pub(crate) fn pin_to_nth_allowed_core(n: usize) -> Option<usize> {
+    let allowed = imp::allowed_cores();
+    if allowed.is_empty() {
+        return None;
+    }
+    let core = allowed[n % allowed.len()];
+    imp::pin(core).then_some(core)
+}
+
+#[cfg(all(
+    feature = "core-pinning",
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    /// CPU mask wide enough for 1024 cores — far beyond the pool sizes
+    /// this runtime targets; cores past the mask are simply not
+    /// offered as pinning targets.
+    const MASK_WORDS: usize = 16;
+
+    /// The CPU ids the calling thread may run on, in ascending order
+    /// (empty when the syscall fails — the caller then skips pinning).
+    pub(super) fn allowed_cores() -> Vec<usize> {
+        let mut mask = [0u64; MASK_WORDS];
+        let ret =
+            unsafe { sched_getaffinity_raw(0, core::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+        // On success the raw syscall returns the number of mask bytes
+        // the kernel wrote (> 0); errors are negative.
+        if ret <= 0 {
+            return Vec::new();
+        }
+        let mut cores = Vec::new();
+        for (word_idx, &word) in mask.iter().enumerate() {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    cores.push(word_idx * 64 + bit);
+                }
+            }
+        }
+        cores
+    }
+
+    pub(super) fn pin(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] |= 1 << (core % 64);
+        // pid 0 = the calling thread. A zero return is success; any
+        // error (EINVAL for an offline core, a seccomp filter) reports
+        // as "not pinned" rather than failing the pool.
+        let ret = unsafe { sched_setaffinity_raw(0, core::mem::size_of_val(&mask), mask.as_ptr()) };
+        ret == 0
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn sched_setaffinity_raw(pid: i64, len: usize, mask: *const u64) -> i64 {
+        const NR_SCHED_SETAFFINITY: i64 = 203;
+        let ret;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") NR_SCHED_SETAFFINITY => ret,
+            in("rdi") pid,
+            in("rsi") len,
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn sched_getaffinity_raw(pid: i64, len: usize, mask: *mut u64) -> i64 {
+        const NR_SCHED_GETAFFINITY: i64 = 204;
+        let ret;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") NR_SCHED_GETAFFINITY => ret,
+            in("rdi") pid,
+            in("rsi") len,
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn sched_setaffinity_raw(pid: i64, len: usize, mask: *const u64) -> i64 {
+        const NR_SCHED_SETAFFINITY: i64 = 122;
+        let ret;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") NR_SCHED_SETAFFINITY,
+            inlateout("x0") pid => ret,
+            in("x1") len,
+            in("x2") mask,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn sched_getaffinity_raw(pid: i64, len: usize, mask: *mut u64) -> i64 {
+        const NR_SCHED_GETAFFINITY: i64 = 123;
+        let ret;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") NR_SCHED_GETAFFINITY,
+            inlateout("x0") pid => ret,
+            in("x1") len,
+            in("x2") mask,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(not(all(
+    feature = "core-pinning",
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    pub(super) fn allowed_cores() -> Vec<usize> {
+        Vec::new()
+    }
+
+    pub(super) fn pin(_core: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_gated_and_respects_the_allowed_set() {
+        let enabled = cfg!(all(
+            feature = "core-pinning",
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ));
+        // Worker indices far beyond the core count wrap instead of
+        // failing; without the feature everything is a clean no-op.
+        // Pinning only narrows *this test thread's* mask (pid 0 =
+        // calling thread), so later queries see the narrowed set and
+        // other tests are unaffected.
+        for n in [0usize, 1, 1 << 20] {
+            if enabled {
+                let allowed = imp::allowed_cores();
+                assert!(
+                    !allowed.is_empty(),
+                    "a live thread always has an allowed set"
+                );
+                assert_eq!(pin_to_nth_allowed_core(n), Some(allowed[n % allowed.len()]));
+            } else {
+                assert_eq!(pin_to_nth_allowed_core(n), None);
+            }
+        }
+    }
+}

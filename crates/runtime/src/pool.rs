@@ -1,84 +1,335 @@
-//! A persistent worker pool servicing repeated `run` calls.
+//! A persistent worker pool servicing many concurrent runs.
 //!
 //! [`crate::executor::Executor::run`] spawns its secondary workers with
 //! [`std::thread::scope`] and joins them before returning — correct,
-//! but the spawn/join pair is paid on *every* run, the last fixed
-//! per-run overhead in a steady-state serving loop. An [`ExecutorPool`]
-//! spawns its workers **once**; between runs they park on the pool's
-//! condvar, and each `run` call hands them an owned job
-//! ([`RunJob`]: engine + cloned registry + fresh run state behind one
-//! `Arc`) so the long-lived threads never borrow caller state.
+//! but the spawn/join pair is paid on *every* run, and only one run can
+//! use the threads at a time. An [`ExecutorPool`] spawns its workers
+//! **once** and multiplexes them over a *slot table of active jobs*:
+//!
+//! * [`ExecutorPool::run`] — the classic blocking call: the caller is
+//!   participant 0 (exactly as in the scoped path) and pool workers
+//!   fill the remaining participation slots.
+//! * [`ExecutorPool::submit`] — asynchronous: the job is queued and
+//!   executed entirely by pool workers; the returned [`JobTicket`] is
+//!   polled ([`JobTicket::try_take`]), awaited ([`JobTicket::wait`],
+//!   which lends the waiting thread as a participant when a slot is
+//!   free) or cancelled ([`JobTicket::cancel`]). This is the substrate
+//!   of `tpdf-service`'s multi-session layer: many graph instances
+//!   share one pool, each with its own isolated [`RunState`], metrics
+//!   and panic containment.
 //!
 //! The pool also owns the firing-cost telemetry
 //! ([`crate::executor::Executor::sampled_firing_cost_ns`]'s EWMA):
 //! executors built through [`ExecutorPool::executor`] share it, so the
 //! granularity classification learned in one run — "this graph is too
 //! fine-grained to distribute" — survives into the next run *and* into
-//! the next executor, which then starts on the collapsed single-worker
-//! fast path without re-sampling from scratch.
+//! the next executor. (A multi-tenant service instead gives each
+//! session its own telemetry via [`Executor::new`], so heterogeneous
+//! graphs cannot pollute each other's estimates.)
 //!
-//! ## Handover protocol
+//! ## Job slot table
 //!
-//! One mutex-guarded [`PoolSlot`] carries a generation counter and the
-//! current job. `run` publishes the job, bumps the generation and wakes
-//! every worker; workers with an index below the job's worker count
-//! enter the ordinary [`crate::executor::Engine`] worker loop (the
-//! *same* loop the scoped path uses — placement, stealing, parking and
-//! the iteration barrier are shared code), then decrement the active
-//! count and go back to waiting for the next generation. The caller is
-//! always worker 0, exactly as in the scoped path, and collects the
-//! metrics once the active count drains to zero. A fresh submission
-//! first waits out any stragglers of the previous generation, so a
-//! caller that aborted mid-collection can never corrupt the next run's
-//! accounting.
+//! One mutex-guarded queue holds every job still accepting
+//! participants. A job asks for `workers` participants (its
+//! [`RunState`] is sized accordingly); idle pool workers *hunt* the
+//! queue in FIFO order and claim the next free participation index of
+//! the first unfilled job. A job runs correctly with **any** non-empty
+//! subset of its participants — readiness hunting, stealing and stall
+//! detection are all worker-count-agnostic — so a job never waits for
+//! its full complement; late workers simply join a run in progress,
+//! and a busy pool degrades throughput, never liveness. The last
+//! participant to leave a halted job finalises it: collects the
+//! per-job [`Metrics`], publishes the result and fires the completion
+//! callback ([`ExecutorPool::submit_with`]).
+//!
+//! Worker indices inside a job are *participation* indices (0 ..
+//! `workers`), handed out in join order — decoupled from pool worker
+//! ids, so `Metrics::worker_firings` / `worker_steals` are tallied per
+//! job, never smeared across the concurrent jobs a pool worker serves
+//! over its lifetime.
+//!
+//! ## Panic isolation
+//!
+//! A panicking kernel fails only its own job (the panic is converted
+//! into [`RuntimeError::KernelFailed`] and the job halts); the worker
+//! survives and returns to the hunt, and every other job's state is
+//! untouched — which the service stress suite asserts across
+//! concurrent sessions.
+//!
+//! ## Core pinning
+//!
+//! With the `core-pinning` feature on Linux, every spawned pool worker
+//! pins itself to a CPU core — worker `n` takes the `n`-th core of the
+//! thread's *allowed* set (wrapping), so cpuset/taskset restrictions
+//! are honoured — before entering the hunt, making
+//! `tpdf_manycore::Platform`'s one-PE-per-worker model physical. The
+//! outcome is recorded per pool worker and attached to every pooled
+//! run's [`Metrics::pinned_cores`].
 
-use crate::executor::{CostTelemetry, Engine, Executor, RunState, RuntimeConfig};
+use crate::executor::{ClockMode, CompiledExecutor, CostTelemetry, Engine, Executor, RunState};
 use crate::kernel::KernelRegistry;
 use crate::metrics::Metrics;
+use crate::pinning::pin_to_nth_allowed_core;
 use crate::RuntimeError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tpdf_core::graph::TpdfGraph;
 
-/// One submitted run: everything a pool worker needs, owned.
-struct RunJob {
+/// One submitted run: everything a pool worker needs, owned, plus the
+/// participation and completion accounting of the slot table.
+struct PoolJob {
     engine: Arc<Engine>,
     /// Cloned from the caller's registry (cheap: behaviours are
     /// `Arc`-shared) so the `'static` workers borrow nothing.
     registry: KernelRegistry,
     state: RunState,
-    start: Instant,
-    /// Workers participating in this run (1 ..= pool size); workers
-    /// with a higher index skip the generation entirely.
+    /// Set by the first participant: a job queued behind a busy pool
+    /// must not count its queue latency against real-time deadlines.
+    start: OnceLock<Instant>,
+    /// Participation slots (1 ..= pool size).
     workers: usize,
+    /// Slots handed out so far. Only mutated under the slot lock.
+    joined: AtomicUsize,
+    /// Participants currently inside the worker loop. Only mutated
+    /// under the slot lock.
+    active: AtomicUsize,
+    /// Exactly-once guard for finalisation. Set under the slot lock.
+    finishing: AtomicBool,
+    /// Set (after the result is stored) by the finaliser.
+    finished: AtomicBool,
+    result: Mutex<Option<Result<Metrics, RuntimeError>>>,
+    /// Invoked once, after the result is published — the service
+    /// layer's dispatch hook. Never called while a pool lock is held.
+    on_complete: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
-/// The generation-stamped job slot workers wait on.
+impl PoolJob {
+    /// The job's start instant, initialised by the first participant.
+    fn started(&self) -> Instant {
+        *self.start.get_or_init(Instant::now)
+    }
+}
+
+/// The job slot table workers hunt over.
 #[derive(Default)]
 struct PoolSlot {
-    job: Option<Arc<RunJob>>,
-    /// Bumped per submission; a worker runs each generation once.
-    generation: u64,
-    /// Participating workers still inside the current generation.
-    active: usize,
+    /// Jobs still accepting participants, in submission order. A job
+    /// leaves the queue when its last slot is claimed or when it is
+    /// finalised, whichever comes first.
+    queue: Vec<Arc<PoolJob>>,
+    /// Spawned workers that completed their startup handshake.
+    started: usize,
     shutdown: bool,
 }
 
 struct PoolShared {
     slot: Mutex<PoolSlot>,
-    /// Workers wait here for the next generation (or shutdown).
+    /// Workers wait here for new jobs (or shutdown).
     work: Condvar,
-    /// The submitter waits here for `active` to drain to zero.
+    /// Completion events: job finalised, worker started.
     done: Condvar,
+    /// Core each spawned pool worker pinned itself to, indexed by pool
+    /// worker id (`None` = unpinned; the calling thread of a
+    /// non-detached pool is never pinned).
+    pinned: Mutex<Vec<Option<usize>>>,
 }
 
-/// A persistent executor worker pool: `threads - 1` OS threads spawned
-/// at construction (the calling thread is always worker 0), parked
-/// between runs, shut down on drop. Repeated [`ExecutorPool::run`]
-/// calls therefore pay **no spawn cost**, and telemetry (EWMA firing
-/// costs, granularity classification) carries across runs and across
+/// Claims the next participation slot of `job`, if one is free and the
+/// job is not already finalising. The single source of the join-side
+/// lock protocol: bump `joined`/`active` together and bar further joins
+/// (queue removal) the moment the last slot is handed out. Must hold
+/// the slot lock.
+fn claim_participation(slot: &mut PoolSlot, job: &Arc<PoolJob>) -> Option<usize> {
+    if job.finishing.load(Ordering::SeqCst) {
+        return None;
+    }
+    let joined = job.joined.load(Ordering::SeqCst);
+    if joined >= job.workers {
+        return None;
+    }
+    job.joined.fetch_add(1, Ordering::SeqCst);
+    job.active.fetch_add(1, Ordering::SeqCst);
+    if joined + 1 == job.workers {
+        slot.queue.retain(|j| !Arc::ptr_eq(j, job));
+    }
+    Some(joined)
+}
+
+/// Whether a hunting worker should pass over `job` for now: a
+/// granularity-collapsed virtual-clock job that already has a
+/// participant would make the joiner stand straight back down — leave
+/// its re-queued slots alone until the cost estimate recovers (the
+/// hunt re-evaluates on its bounded wait).
+fn skip_collapsed(job: &PoolJob) -> bool {
+    job.active.load(Ordering::SeqCst) > 0
+        && matches!(job.engine.config().clock_mode, ClockMode::Virtual)
+        && job.engine.fine_grained()
+}
+
+/// Claims the next free participation slot of the first joinable job.
+/// The second field reports whether a collapsed job was *passed over*
+/// — the signal that the hunt must re-poll on a timeout, since nothing
+/// notifies when a cost estimate recovers. Must hold the slot lock.
+fn claim_slot(slot: &mut PoolSlot) -> (Option<(Arc<PoolJob>, usize)>, bool) {
+    let mut skipped = false;
+    let job = slot.queue.iter().find(|j| {
+        if j.joined.load(Ordering::SeqCst) >= j.workers {
+            return false;
+        }
+        if skip_collapsed(j) {
+            skipped = true;
+            return false;
+        }
+        true
+    });
+    let Some(job) = job.cloned() else {
+        return (None, skipped);
+    };
+    let claimed = claim_participation(slot, &job).map(|idx| (job, idx));
+    (claimed, skipped)
+}
+
+/// Elects the caller as the job's finaliser if the job has no live
+/// participant and nobody else won the election. The single source of
+/// the finalisation-side lock protocol: the `finishing` swap happens
+/// under the same lock as every join, and the queue removal bars late
+/// joins. Returns whether the caller must run [`finalize_job`]. Must
+/// hold the slot lock.
+fn try_elect_finalizer(slot: &mut PoolSlot, job: &Arc<PoolJob>) -> bool {
+    if job.active.load(Ordering::SeqCst) != 0 || job.finishing.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    slot.queue.retain(|j| !Arc::ptr_eq(j, job));
+    true
+}
+
+/// Runs one participation of `job` as participant `idx`. A panic is
+/// contained: it fails this job (and only this job) and the calling
+/// worker survives. Returns whether the worker *stood down* from a
+/// granularity-collapsed run (the job keeps running on its remaining
+/// participants; the caller must release the slot via [`stand_down`]
+/// instead of [`leave`]).
+fn participate(job: &Arc<PoolJob>, idx: usize) -> bool {
+    let start = job.started();
+    let single_virtual =
+        job.workers == 1 && matches!(job.engine.config().clock_mode, ClockMode::Virtual);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if single_virtual {
+            // The sole participant of a collapsed job takes the
+            // de-synchronised fast loop, exactly as a 1-thread run.
+            job.engine.run_single(&job.state, &job.registry, start);
+            false
+        } else {
+            job.engine
+                .worker_loop(&job.state, idx, &job.registry, start)
+        }
+    }));
+    match outcome {
+        Ok(stood_down) => stood_down,
+        Err(_) => {
+            job.engine.fail(
+                &job.state,
+                RuntimeError::KernelFailed {
+                    node: format!("pool worker {idx}"),
+                    message: "worker thread panicked".to_string(),
+                },
+            );
+            false
+        }
+    }
+}
+
+/// Reports one participant done; the last one out of a halted job
+/// finalises it.
+fn leave(shared: &PoolShared, job: &Arc<PoolJob>) {
+    let finalize = {
+        let mut slot = shared.slot.lock().expect("pool lock");
+        job.active.fetch_sub(1, Ordering::SeqCst);
+        // A participant only returns once the job halted, so a drained
+        // `active` means the run is over.
+        try_elect_finalizer(&mut slot, job)
+    };
+    if finalize {
+        finalize_job(shared, job);
+    }
+}
+
+/// Releases a *stood-down* participation: the worker abandoned a
+/// granularity-collapsed job that keeps running on its remaining
+/// participants. The slot is handed back (`joined` decrements, unlike
+/// [`leave`]) and the job re-queued, so the slot can be re-claimed if
+/// the cost estimate later recovers — the hunt skips it while the
+/// collapse holds ([`skip_collapsed`]).
+fn stand_down(shared: &PoolShared, job: &Arc<PoolJob>) {
+    let finalize = {
+        let mut slot = shared.slot.lock().expect("pool lock");
+        job.joined.fetch_sub(1, Ordering::SeqCst);
+        job.active.fetch_sub(1, Ordering::SeqCst);
+        if job.active.load(Ordering::SeqCst) == 0 {
+            // The other participants raced out (the run halted just as
+            // we stood down): fall back to the normal election.
+            try_elect_finalizer(&mut slot, job)
+        } else {
+            if !job.finishing.load(Ordering::SeqCst)
+                && !slot.queue.iter().any(|j| Arc::ptr_eq(j, job))
+            {
+                slot.queue.push(Arc::clone(job));
+            }
+            false
+        }
+    };
+    if finalize {
+        finalize_job(shared, job);
+    }
+}
+
+/// Collects the job's metrics, publishes the result, wakes waiters and
+/// fires the completion callback. Requires the `finishing` election.
+fn finalize_job(shared: &PoolShared, job: &Arc<PoolJob>) {
+    let elapsed = job.start.get().map(|s| s.elapsed()).unwrap_or_default();
+    let mut result = job.engine.collect_metrics(&job.state, elapsed, job.workers);
+    if let Ok(metrics) = &mut result {
+        metrics.pinned_cores = shared.pinned.lock().expect("pinning lock").clone();
+    }
+    *job.result.lock().expect("result lock") = Some(result);
+    job.finished.store(true, Ordering::Release);
+    // Pass through the mutex so a waiter that checked `finished` but
+    // has not yet blocked on the condvar is not lost.
+    drop(shared.slot.lock().expect("pool lock"));
+    shared.done.notify_all();
+    let callback = job.on_complete.lock().expect("callback lock").take();
+    if let Some(callback) = callback {
+        callback();
+    }
+}
+
+/// Blocks until the job is finalised and takes its result. The result
+/// is delivered once: if it was already taken (an earlier
+/// [`JobTicket::try_take`]), this reports an error rather than
+/// panicking.
+fn wait_finished(shared: &PoolShared, job: &Arc<PoolJob>) -> Result<Metrics, RuntimeError> {
+    let mut slot = shared.slot.lock().expect("pool lock");
+    while !job.finished.load(Ordering::Acquire) {
+        slot = shared.done.wait(slot).expect("pool lock");
+    }
+    drop(slot);
+    job.result
+        .lock()
+        .expect("result lock")
+        .take()
+        .unwrap_or(Err(RuntimeError::InvalidConfig(
+            "the job's result was already taken".to_string(),
+        )))
+}
+
+/// A persistent executor worker pool multiplexed over a slot table of
+/// concurrently active jobs (see the module docs). Workers are spawned
+/// at construction, parked between jobs, shut down on drop; repeated
+/// runs pay **no spawn cost** and telemetry (EWMA firing costs,
+/// granularity classification) carries across runs and across
 /// executors built through [`ExecutorPool::executor`].
 ///
 /// # Examples
@@ -101,6 +352,10 @@ struct PoolShared {
 ///     let metrics = pool.run(&executor, &registry)?;
 ///     assert_eq!(metrics.iterations, 1);
 /// }
+/// // Asynchronous submission: the same pool, no caller participation.
+/// let ticket = pool.submit(&executor.compile(), &registry);
+/// let metrics = ticket.wait()?;
+/// assert_eq!(metrics.iterations, 1);
 /// # Ok(())
 /// # }
 /// ```
@@ -121,17 +376,34 @@ impl std::fmt::Debug for ExecutorPool {
 }
 
 impl ExecutorPool {
-    /// Spawns a pool of `threads` workers (clamped to ≥ 1). `threads -
-    /// 1` OS threads are created here and only here; the thread calling
-    /// [`ExecutorPool::run`] serves as worker 0.
+    /// Spawns a pool of `threads` workers (clamped to ≥ 1) for
+    /// *caller-participating* use: `threads - 1` OS threads are created
+    /// here, and the thread calling [`ExecutorPool::run`] serves as the
+    /// remaining worker. For a pool that executes
+    /// [`ExecutorPool::submit`]ted jobs without any caller thread —
+    /// what a service hosts — use [`ExecutorPool::detached`].
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, false)
+    }
+
+    /// Spawns a *detached* pool: all `threads` workers (clamped to ≥ 1)
+    /// are OS threads owned by the pool, so [`ExecutorPool::submit`]ted
+    /// jobs run to completion with no caller participation — the shape
+    /// a multi-session service needs.
+    pub fn detached(threads: usize) -> Self {
+        Self::build(threads, true)
+    }
+
+    fn build(threads: usize, detached: bool) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             slot: Mutex::new(PoolSlot::default()),
             work: Condvar::new(),
             done: Condvar::new(),
+            pinned: Mutex::new(vec![None; threads]),
         });
-        let handles = (1..threads)
+        let first = if detached { 0 } else { 1 };
+        let handles: Vec<JoinHandle<()>> = (first..threads)
             .map(|me| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -140,6 +412,15 @@ impl ExecutorPool {
                     .expect("spawn pool worker")
             })
             .collect();
+        // Startup handshake: wait until every spawned worker recorded
+        // its pinning outcome, so `pinned_cores` is deterministic from
+        // the first run on.
+        {
+            let mut slot = shared.slot.lock().expect("pool lock");
+            while slot.started < handles.len() {
+                slot = shared.done.wait(slot).expect("pool lock");
+            }
+        }
         ExecutorPool {
             shared,
             handles,
@@ -148,16 +429,27 @@ impl ExecutorPool {
         }
     }
 
-    /// The pool's worker count (including the caller acting as
-    /// worker 0). Constant for the pool's lifetime — the reuse suite
-    /// asserts no run grows it.
+    /// The pool's worker count (including, for a non-detached pool, the
+    /// caller acting as a participant of [`ExecutorPool::run`]).
+    /// Constant for the pool's lifetime — the reuse suite asserts no
+    /// run grows it.
     pub fn worker_count(&self) -> usize {
         self.threads
     }
 
-    /// OS threads this pool spawned (`worker_count() - 1`).
+    /// OS threads this pool spawned: `worker_count() - 1` for a pool
+    /// built with [`ExecutorPool::new`], `worker_count()` for a
+    /// [`ExecutorPool::detached`] one.
     pub fn spawned_workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Core-pinning outcome per pool worker (`Some(core)` where the
+    /// `core-pinning` feature pinned the worker's OS thread). All
+    /// `None` when the feature is off, on non-Linux hosts, or for the
+    /// never-pinned caller slot of a non-detached pool.
+    pub fn pinned_cores(&self) -> Vec<Option<usize>> {
+        self.shared.pinned.lock().expect("pinning lock").clone()
     }
 
     /// The pool-wide firing-cost estimate in nanoseconds (an EWMA over
@@ -170,7 +462,11 @@ impl ExecutorPool {
 
     /// Builds an executor whose firing-cost telemetry is shared with
     /// this pool, so granularity classification survives across
-    /// executors (e.g. across the phases of a reconfigured pipeline).
+    /// executors (e.g. across the phases of a reconfigured pipeline
+    /// running the same graph). Heterogeneous tenants should build
+    /// their executors with [`Executor::new`] instead — a shared
+    /// estimate lets one tenant's cheap kernels collapse another's
+    /// runs.
     ///
     /// # Errors
     ///
@@ -178,17 +474,19 @@ impl ExecutorPool {
     pub fn executor<'g>(
         &self,
         graph: &'g TpdfGraph,
-        config: RuntimeConfig,
+        config: crate::executor::RuntimeConfig,
     ) -> Result<Executor<'g>, RuntimeError> {
         Executor::with_telemetry(graph, config, Arc::clone(&self.telemetry))
     }
 
-    /// Executes one run of `executor` on the persistent workers and
-    /// reports [`Metrics`]. Semantically identical to
-    /// [`Executor::run`] — placement, determinism and clock handling
-    /// are the same shared worker loop — but no thread is spawned. The
-    /// run engages `min(executor threads, pool size)` workers (the
-    /// granularity heuristic may collapse that to 1).
+    /// Executes one run of `executor` on the pool and reports
+    /// [`Metrics`], blocking until completion. Semantically identical
+    /// to [`Executor::run`] — placement, determinism and clock handling
+    /// are the same shared worker loop — but no thread is spawned: the
+    /// caller is participant 0 and pool workers fill the remaining
+    /// slots. The run engages up to `min(executor threads, pool size)`
+    /// participants (the granularity heuristic may collapse that to 1),
+    /// and runs concurrently with any other job active on the pool.
     ///
     /// # Errors
     ///
@@ -202,47 +500,48 @@ impl ExecutorPool {
         let workers = engine.effective_workers().min(self.threads);
         let state = engine.initial_state(workers);
         let start = Instant::now();
-        let virtual_clocks = matches!(
-            engine.config().clock_mode,
-            crate::executor::ClockMode::Virtual
-        );
+        let virtual_clocks = matches!(engine.config().clock_mode, ClockMode::Virtual);
         if workers == 1 && virtual_clocks {
             // The collapsed single-worker fast path never touches the
-            // pool: the calling thread runs the de-synchronised loop
-            // directly, exactly as the scoped path does.
+            // slot table: the calling thread runs the de-synchronised
+            // loop directly, exactly as the scoped path does.
             engine.run_single(&state, registry, start);
-            return engine.collect_metrics(&state, start.elapsed(), 1);
+            let mut metrics = engine.collect_metrics(&state, start.elapsed(), 1);
+            if let Ok(m) = &mut metrics {
+                m.pinned_cores = self.pinned_cores();
+            }
+            return metrics;
         }
 
-        let job = Arc::new(RunJob {
+        let job = Arc::new(PoolJob {
             engine,
             registry: registry.clone(),
             state,
-            start,
+            start: OnceLock::new(),
             workers,
+            // The caller pre-claims participation slot 0 — same
+            // division of labour as the scoped path, so a 1-worker
+            // pooled run involves no other thread at all.
+            joined: AtomicUsize::new(1),
+            active: AtomicUsize::new(1),
+            finishing: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            result: Mutex::new(None),
+            on_complete: Mutex::new(None),
         });
-        let my_generation = {
+        job.start.set(start).expect("fresh job");
+        if workers > 1 {
             let mut slot = self.shared.slot.lock().expect("pool lock");
-            // Drain stragglers of an aborted previous generation before
-            // re-arming the active count.
-            while slot.active > 0 {
-                slot = self.shared.done.wait(slot).expect("pool lock");
-            }
-            slot.job = Some(Arc::clone(&job));
-            slot.generation += 1;
-            slot.active = workers - 1;
+            slot.queue.push(Arc::clone(&job));
+            drop(slot);
             self.shared.work.notify_all();
-            slot.generation
-        };
-        // The caller is worker 0 — same division of labour as the
-        // scoped path, so a 1-worker pooled run involves no other
-        // thread at all. A caller-side panic is caught so the halt can
-        // be published and the secondaries drained (otherwise the next
-        // submission would wait on them forever), then re-raised to
-        // preserve the scoped path's panic semantics.
+        }
+        // A caller-side panic is caught so the halt can be published
+        // and the secondaries drained (otherwise they would hold their
+        // participation forever), then re-raised to preserve the scoped
+        // path's panic semantics.
         let caller = catch_unwind(AssertUnwindSafe(|| {
-            job.engine
-                .worker_loop(&job.state, 0, &job.registry, job.start)
+            job.engine.worker_loop(&job.state, 0, &job.registry, start)
         }));
         if caller.is_err() {
             job.engine.fail(
@@ -253,25 +552,70 @@ impl ExecutorPool {
                 },
             );
         }
-        {
-            let mut slot = self.shared.slot.lock().expect("pool lock");
-            while slot.active > 0 {
-                slot = self.shared.done.wait(slot).expect("pool lock");
-            }
-            // Generation-aware cleanup: with concurrent `run` callers
-            // (the pool is `&self`), a second submitter may have
-            // published a newer generation while this one drained —
-            // nulling *its* job here would strand its workers. Only the
-            // generation's owner clears the slot.
-            if slot.generation == my_generation {
-                slot.job = None;
-            }
-        }
+        leave(&self.shared, &job);
+        let result = wait_finished(&self.shared, &job);
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
         }
-        job.engine
-            .collect_metrics(&job.state, start.elapsed(), job.workers)
+        result
+    }
+
+    /// Queues one run of `compiled` for asynchronous execution by the
+    /// pool workers and returns immediately. The job runs concurrently
+    /// with every other active job; the caller does not participate.
+    ///
+    /// On a pool with no spawned workers (`ExecutorPool::new(1)`) the
+    /// job only progresses when some thread lends itself through
+    /// [`JobTicket::wait`] — a service should host a
+    /// [`ExecutorPool::detached`] pool.
+    pub fn submit(&self, compiled: &CompiledExecutor, registry: &KernelRegistry) -> JobTicket {
+        self.submit_job(compiled, registry, None)
+    }
+
+    /// Like [`ExecutorPool::submit`], additionally invoking
+    /// `on_complete` exactly once after the job's result is published
+    /// (from a pool worker thread, with no pool lock held) — the hook a
+    /// service layer uses to dispatch a session's next queued request.
+    pub fn submit_with(
+        &self,
+        compiled: &CompiledExecutor,
+        registry: &KernelRegistry,
+        on_complete: impl FnOnce() + Send + 'static,
+    ) -> JobTicket {
+        self.submit_job(compiled, registry, Some(Box::new(on_complete)))
+    }
+
+    fn submit_job(
+        &self,
+        compiled: &CompiledExecutor,
+        registry: &KernelRegistry,
+        on_complete: Option<Box<dyn FnOnce() + Send>>,
+    ) -> JobTicket {
+        let engine = Arc::clone(compiled.engine());
+        let workers = engine.effective_workers().min(self.threads);
+        let state = engine.initial_state(workers);
+        let job = Arc::new(PoolJob {
+            engine,
+            registry: registry.clone(),
+            state,
+            start: OnceLock::new(),
+            workers,
+            joined: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            finishing: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            result: Mutex::new(None),
+            on_complete: Mutex::new(on_complete),
+        });
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.queue.push(Arc::clone(&job));
+        }
+        self.shared.work.notify_all();
+        JobTicket {
+            shared: Arc::clone(&self.shared),
+            job,
+        }
     }
 }
 
@@ -282,63 +626,164 @@ impl Drop for ExecutorPool {
             slot.shutdown = true;
         }
         self.shared.work.notify_all();
+        // The pool can be dropped *from one of its own workers*: a
+        // completion callback owns an `Arc` of the pool (that is how a
+        // service dispatches follow-up work), and the worker dropping
+        // the consumed callback may hold the last reference. That
+        // worker cannot join itself — detach it instead; it exits on
+        // its own the moment it observes the shutdown flag.
+        let current = std::thread::current().id();
         for handle in self.handles.drain(..) {
+            if handle.thread().id() == current {
+                continue;
+            }
             let _ = handle.join();
+        }
+        // Jobs still queued with no participant will never gain one
+        // (the workers are gone): finalise them as cancelled so any
+        // outstanding ticket resolves instead of hanging. Jobs with a
+        // live participant (a `JobTicket::wait` helper on another
+        // thread) are left to that helper's finalisation.
+        let leftovers: Vec<Arc<PoolJob>> = {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.queue
+                .clone()
+                .into_iter()
+                .filter(|job| try_elect_finalizer(&mut slot, job))
+                .collect()
+        };
+        for job in leftovers {
+            job.engine.cancel_run(&job.state);
+            finalize_job(&self.shared, &job);
         }
     }
 }
 
-/// The persistent secondary-worker loop: wait for a generation, run the
-/// shared engine worker loop, report completion, repeat until shutdown.
+/// A handle on one [`ExecutorPool::submit`]ted job. Clones share the
+/// job: the result is delivered once across all clones (first
+/// [`JobTicket::try_take`] / [`JobTicket::wait`] wins).
+#[derive(Clone)]
+pub struct JobTicket {
+    shared: Arc<PoolShared>,
+    job: Arc<PoolJob>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("workers", &self.job.workers)
+            .field("joined", &self.job.joined.load(Ordering::Relaxed))
+            .field("finished", &self.job.finished.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl JobTicket {
+    /// Whether the job has been finalised (its result is available).
+    pub fn is_finished(&self) -> bool {
+        self.job.finished.load(Ordering::Acquire)
+    }
+
+    /// Takes the job's result if it is finished, `None` otherwise (or
+    /// if the result was already taken).
+    pub fn try_take(&self) -> Option<Result<Metrics, RuntimeError>> {
+        if !self.is_finished() {
+            return None;
+        }
+        self.job.result.lock().expect("result lock").take()
+    }
+
+    /// Blocks until the job completes and returns its [`Metrics`].
+    ///
+    /// If the job still has a free participation slot, the waiting
+    /// thread lends itself as a participant first — so waiting makes
+    /// progress even on a pool with no (or saturated) workers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run`], plus
+    /// [`RuntimeError::Cancelled`] when the job was cancelled, and
+    /// [`RuntimeError::InvalidConfig`] when the result was already
+    /// taken through [`JobTicket::try_take`].
+    pub fn wait(self) -> Result<Metrics, RuntimeError> {
+        let idx = {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            claim_participation(&mut slot, &self.job)
+        };
+        if let Some(idx) = idx {
+            if participate(&self.job, idx) {
+                stand_down(&self.shared, &self.job);
+            } else {
+                leave(&self.shared, &self.job);
+            }
+        }
+        wait_finished(&self.shared, &self.job)
+    }
+
+    /// Cancels the job: the run halts at the next scheduling point and
+    /// finalises with [`RuntimeError::Cancelled`] (an error already
+    /// recorded by the run itself takes precedence, and a run that
+    /// already *completed* keeps its successful result). A job no
+    /// worker has picked up yet is finalised immediately; a running
+    /// job's participants observe the halt and drain. Idempotent.
+    pub fn cancel(&self) {
+        self.job.engine.cancel_run(&self.job.state);
+        let finalize = {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            try_elect_finalizer(&mut slot, &self.job)
+        };
+        if finalize {
+            finalize_job(&self.shared, &self.job);
+        }
+    }
+}
+
+/// The persistent worker loop: pin (when enabled), handshake, then hunt
+/// the job queue — claim a participation slot, run the shared engine
+/// worker loop, report completion, repeat until shutdown.
 fn pool_worker(shared: Arc<PoolShared>, me: usize) {
-    let mut seen = 0u64;
+    // Worker `me` takes the `me`-th core of the thread's *allowed* set
+    // (wrapping), so pinning survives cpuset/taskset restrictions.
+    let pinned = pin_to_nth_allowed_core(me);
+    {
+        let mut record = shared.pinned.lock().expect("pinning lock");
+        record[me] = pinned;
+    }
+    {
+        let mut slot = shared.slot.lock().expect("pool lock");
+        slot.started += 1;
+    }
+    shared.done.notify_all();
     loop {
-        let job = {
+        let (job, idx) = {
             let mut slot = shared.slot.lock().expect("pool lock");
             loop {
                 if slot.shutdown {
                     return;
                 }
-                if slot.generation != seen {
-                    seen = slot.generation;
-                    // The job can already be gone: a worker that sat
-                    // out generation N (index ≥ its worker count) may
-                    // only wake after N's submitter cleared the slot.
-                    // The generation is over — keep waiting for the
-                    // next one instead of touching its active count.
-                    if let Some(job) = slot.job.as_ref() {
-                        break Arc::clone(job);
-                    }
+                let (claimed, skipped_collapsed) = claim_slot(&mut slot);
+                if let Some(claimed) = claimed {
+                    break claimed;
                 }
-                slot = shared.work.wait(slot).expect("pool lock");
+                // An empty queue blocks until notified; a queue holding
+                // only passed-over collapsed jobs is re-polled on a
+                // timeout, since nothing notifies when a cost estimate
+                // recovers.
+                slot = if skipped_collapsed {
+                    shared
+                        .work
+                        .wait_timeout(slot, std::time::Duration::from_millis(100))
+                        .expect("pool lock")
+                        .0
+                } else {
+                    shared.work.wait(slot).expect("pool lock")
+                };
             }
         };
-        if me >= job.workers {
-            // This generation engages fewer workers than the pool has;
-            // sit it out (and do not touch its active count).
-            continue;
-        }
-        // A panicking kernel must not wedge the pool: convert it into a
-        // run error and still report completion, so the submitter's
-        // wait terminates and later runs stay serviceable.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            job.engine
-                .worker_loop(&job.state, me, &job.registry, job.start)
-        }));
-        if outcome.is_err() {
-            job.engine.fail(
-                &job.state,
-                RuntimeError::KernelFailed {
-                    node: format!("pool worker {me}"),
-                    message: "worker thread panicked".to_string(),
-                },
-            );
-        }
-        drop(job);
-        let mut slot = shared.slot.lock().expect("pool lock");
-        slot.active -= 1;
-        if slot.active == 0 {
-            shared.done.notify_all();
+        if participate(&job, idx) {
+            stand_down(&shared, &job);
+        } else {
+            leave(&shared, &job);
         }
     }
 }
@@ -346,7 +791,7 @@ fn pool_worker(shared: Arc<PoolShared>, me: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::PlacementPolicy;
+    use crate::executor::{PlacementPolicy, RuntimeConfig};
     use crate::token::Token;
     use tpdf_core::examples::figure2_graph;
     use tpdf_manycore::MappingStrategy;
@@ -399,12 +844,12 @@ mod tests {
         assert_eq!(metrics.worker_firings.len(), metrics.effective_workers);
     }
 
-    /// Regression: a pool wider than a run's worker count leaves
-    /// *sit-out* workers (index ≥ `job.workers`) racing the submitter's
-    /// slot cleanup — a sitter waking after `slot.job` was cleared used
-    /// to panic on the missing job and poison the pool mutex. Real-time
-    /// mode keeps the multi-worker publish path (no granularity
-    /// collapse), and many tiny back-to-back runs make the window hit.
+    /// Regression (from the single-slot pool): a pool wider than a
+    /// run's worker count leaves idle workers racing the finaliser's
+    /// queue cleanup — a worker waking late used to panic on the
+    /// cleared job slot and poison the pool mutex. Real-time mode keeps
+    /// the multi-worker publish path (no granularity collapse), and
+    /// many tiny back-to-back runs make the window hit.
     #[test]
     fn sit_out_workers_survive_rapid_generations() {
         let graph = figure2_graph();
@@ -443,5 +888,244 @@ mod tests {
         });
         let metrics = pool.run(&executor, &good).unwrap();
         assert_eq!(metrics.iterations, 1);
+    }
+
+    #[test]
+    fn submitted_jobs_run_without_caller_participation() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(2);
+        let registry = KernelRegistry::new();
+        let config = RuntimeConfig::new(binding(3))
+            .with_threads(2)
+            .with_iterations(4);
+        let reference = Executor::new(&graph, config.clone())
+            .unwrap()
+            .run(&registry)
+            .unwrap();
+        let compiled = pool.executor(&graph, config).unwrap().compile();
+        let ticket = pool.submit(&compiled, &registry);
+        let metrics = ticket.wait().unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+        assert_eq!(metrics.iterations, 4);
+    }
+
+    #[test]
+    fn many_concurrent_jobs_share_one_pool() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(4);
+        let registry = KernelRegistry::new();
+        let mut tickets = Vec::new();
+        let mut references = Vec::new();
+        for p in [1i64, 2, 3, 4, 2, 3] {
+            let config = RuntimeConfig::new(binding(p))
+                .with_threads(2)
+                .with_iterations(3);
+            references.push(
+                Executor::new(&graph, config.clone())
+                    .unwrap()
+                    .run(&registry)
+                    .unwrap(),
+            );
+            let compiled = pool.executor(&graph, config).unwrap().compile();
+            tickets.push(pool.submit(&compiled, &registry));
+        }
+        for (ticket, reference) in tickets.into_iter().zip(&references) {
+            let metrics = ticket.wait().unwrap();
+            assert_eq!(metrics.firings, reference.firings);
+            // Per-job tally: every firing of this job is accounted to
+            // one of this job's participation slots.
+            assert_eq!(
+                metrics.worker_firings.iter().sum::<u64>(),
+                metrics.firings.iter().sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn wait_drives_jobs_on_a_pool_with_no_spawned_workers() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::new(1);
+        assert_eq!(pool.spawned_workers(), 0);
+        let registry = KernelRegistry::new();
+        let compiled = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(1))
+            .unwrap()
+            .compile();
+        let ticket = pool.submit(&compiled, &registry);
+        assert!(!ticket.is_finished());
+        let metrics = ticket.wait().unwrap();
+        assert_eq!(metrics.iterations, 1);
+    }
+
+    #[test]
+    fn wait_after_try_take_reports_instead_of_panicking() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(2);
+        let registry = KernelRegistry::new();
+        let compiled = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(1))
+            .unwrap()
+            .compile();
+        let ticket = pool.submit(&compiled, &registry);
+        // Spin until the workers finish the job, then drain the result.
+        while !ticket.is_finished() {
+            std::thread::yield_now();
+        }
+        assert!(matches!(ticket.try_take(), Some(Ok(_))));
+        assert_eq!(ticket.try_take(), None, "the result is delivered once");
+        assert!(matches!(ticket.wait(), Err(RuntimeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn cancelled_queued_job_resolves_immediately() {
+        let graph = figure2_graph();
+        // No spawned workers: the job can never start, so cancel must
+        // finalise it right away.
+        let pool = ExecutorPool::new(1);
+        let registry = KernelRegistry::new();
+        let compiled = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(1))
+            .unwrap()
+            .compile();
+        let ticket = pool.submit(&compiled, &registry);
+        ticket.cancel();
+        assert!(ticket.is_finished());
+        assert!(matches!(
+            ticket.try_take(),
+            Some(Err(RuntimeError::Cancelled))
+        ));
+    }
+
+    #[test]
+    fn cancel_after_completion_keeps_the_real_result() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(2);
+        let registry = KernelRegistry::new();
+        let compiled = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(1))
+            .unwrap()
+            .compile();
+        let ticket = pool.submit(&compiled, &registry);
+        while !ticket.is_finished() {
+            std::thread::yield_now();
+        }
+        // A completed run's outcome must survive a late cancellation.
+        ticket.cancel();
+        assert!(matches!(ticket.try_take(), Some(Ok(_))));
+    }
+
+    /// Regression: secondaries of a granularity-collapsed job must
+    /// *return to the hunt* rather than nap until the job ends —
+    /// otherwise one long fine-grained job hoards the whole pool and
+    /// concurrently queued jobs starve.
+    #[test]
+    fn collapsed_job_secondaries_serve_other_queued_jobs() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(2);
+        let registry = KernelRegistry::new();
+        // A long, cheap job asking for the whole pool: both workers
+        // join while the telemetry is cold; within a few samples the
+        // EWMA classifies figure2's rate-only kernels fine-grained and
+        // the secondary stands down.
+        let long = pool
+            .executor(
+                &graph,
+                RuntimeConfig::new(binding(8))
+                    .with_threads(2)
+                    .with_iterations(20_000),
+            )
+            .unwrap()
+            .compile();
+        let long_ticket = pool.submit(&long, &registry);
+        let short = pool
+            .executor(&graph, RuntimeConfig::new(binding(1)).with_threads(1))
+            .unwrap()
+            .compile();
+        let short_ticket = pool.submit(&short, &registry);
+        // The freed secondary must pick the short job up and finish it
+        // long before the 20k-iteration job ends (generous deadline —
+        // the stand-down is bounded by the stall timeout).
+        let deadline = Instant::now() + std::time::Duration::from_secs(20);
+        while !short_ticket.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "short job starved behind a collapsed long job"
+            );
+            std::thread::yield_now();
+        }
+        assert!(matches!(short_ticket.try_take(), Some(Ok(_))));
+        long_ticket.wait().unwrap();
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_concurrent_jobs() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(2);
+        let mut bad = KernelRegistry::new();
+        bad.register_fn("B", |_| panic!("kernel bug"));
+        let good_registry = KernelRegistry::new();
+        let config = RuntimeConfig::new(binding(2))
+            .with_threads(1)
+            .with_iterations(50);
+        let compiled = pool.executor(&graph, config).unwrap().compile();
+        let bad_ticket = pool.submit(&compiled, &bad);
+        let good_ticket = pool.submit(&compiled, &good_registry);
+        assert!(bad_ticket.wait().is_err(), "panicking job must fail");
+        let metrics = good_ticket.wait().unwrap();
+        assert_eq!(metrics.iterations, 50, "neighbour job must be untouched");
+    }
+
+    #[test]
+    fn completion_callback_fires_once_after_result() {
+        let graph = figure2_graph();
+        let pool = ExecutorPool::detached(2);
+        let registry = KernelRegistry::new();
+        let compiled = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(1))
+            .unwrap()
+            .compile();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let observer = Arc::clone(&fired);
+        let ticket = pool.submit_with(&compiled, &registry, move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        let metrics = ticket.wait().unwrap();
+        assert_eq!(metrics.iterations, 1);
+        // The callback runs on the finalising worker *after* the result
+        // is published — waiters are not ordered against it, so give
+        // the worker a moment to get there.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while fired.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pinned_cores_report_matches_feature_state() {
+        let pool = ExecutorPool::detached(2);
+        let pinned = pool.pinned_cores();
+        assert_eq!(pinned.len(), 2);
+        if cfg!(all(
+            feature = "core-pinning",
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert!(
+                pinned.iter().all(|c| c.is_some()),
+                "every detached worker must pin under the feature: {pinned:?}"
+            );
+        } else {
+            assert!(pinned.iter().all(|c| c.is_none()));
+        }
+        // The outcome rides along on every pooled run's metrics.
+        let graph = figure2_graph();
+        let registry = KernelRegistry::new();
+        let compiled = pool
+            .executor(&graph, RuntimeConfig::new(binding(2)).with_threads(2))
+            .unwrap()
+            .compile();
+        let metrics = pool.submit(&compiled, &registry).wait().unwrap();
+        assert_eq!(metrics.pinned_cores, pinned);
     }
 }

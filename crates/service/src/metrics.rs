@@ -1,0 +1,110 @@
+//! Aggregated statistics of a running (or drained) service.
+
+use crate::service::SessionId;
+
+/// Lifecycle phase of a session, as reported by [`SessionMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Accepting new requests.
+    Open,
+    /// Closed by [`crate::TpdfService::close`]: no new requests, the
+    /// remaining queue drains.
+    Closed,
+    /// Cancelled by [`crate::TpdfService::cancel`]: the in-flight run
+    /// was halted and the queue dropped.
+    Cancelled,
+}
+
+/// Per-session statistics, aggregated over the session's completed
+/// runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMetrics {
+    /// The session.
+    pub id: SessionId,
+    /// Lifecycle phase.
+    pub phase: SessionPhase,
+    /// Whether the session has fully retired (no queued or running
+    /// work remains and its admission demand has been released).
+    pub retired: bool,
+    /// Requests currently waiting in the ingress queue.
+    pub queue_depth: usize,
+    /// Whether a run of this session is in flight on the pool.
+    pub running: bool,
+    /// The processor share this session's deadline demands of the pool
+    /// (0 for sessions without a real-time deadline) — what admission
+    /// control charged against the capacity.
+    pub demand: f64,
+    /// Runs that completed successfully.
+    pub runs_completed: u64,
+    /// Runs that failed (kernel error, stall, panic).
+    pub runs_failed: u64,
+    /// Runs (queued or in flight) dropped by a cancellation.
+    pub runs_cancelled: u64,
+    /// Requests refused by ingress backpressure
+    /// ([`crate::AdmissionPolicy::Reject`] on a full queue).
+    pub requests_rejected: u64,
+    /// Total firings across the session's completed runs.
+    pub firings: u64,
+    /// Total tokens pushed across the session's completed runs.
+    pub tokens: u64,
+    /// Total real-time deadline misses across the session's completed
+    /// runs.
+    pub deadline_misses: u64,
+}
+
+/// Aggregate statistics of the whole service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Sessions admitted since the service started.
+    pub sessions_admitted: u64,
+    /// Sessions refused by admission control (session limit under
+    /// [`crate::AdmissionPolicy::Reject`], or deadline-aware
+    /// oversubscription).
+    pub sessions_rejected: u64,
+    /// Requests accepted onto some session's ingress queue.
+    pub requests_submitted: u64,
+    /// Requests refused by ingress backpressure.
+    pub requests_rejected: u64,
+    /// Runs completed successfully, over all sessions.
+    pub runs_completed: u64,
+    /// Runs that failed, over all sessions.
+    pub runs_failed: u64,
+    /// Sessions currently not retired.
+    pub active_sessions: usize,
+    /// Requests currently waiting across all ingress queues.
+    pub queued_requests: usize,
+    /// Σ demand of the admitted, non-retired deadline sessions.
+    pub demand: f64,
+    /// The pool's processor capacity admission compares against
+    /// (worker threads × configured max utilization).
+    pub capacity: f64,
+    /// Per-session breakdowns, in session-id order. Sessions that
+    /// retired **and** had every result taken are evicted from the
+    /// table (a long-lived service must not accumulate dead sessions)
+    /// and no longer appear here; the service-wide totals above keep
+    /// counting them.
+    pub per_session: Vec<SessionMetrics>,
+}
+
+impl ServiceMetrics {
+    /// The metrics of one session, if it exists.
+    pub fn session(&self, id: SessionId) -> Option<&SessionMetrics> {
+        self.per_session.iter().find(|s| s.id == id)
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} active sessions ({} admitted, {} rejected), {} runs ok / {} failed, \
+             {} queued requests, load {:.2}/{:.2}",
+            self.active_sessions,
+            self.sessions_admitted,
+            self.sessions_rejected,
+            self.runs_completed,
+            self.runs_failed,
+            self.queued_requests,
+            self.demand,
+            self.capacity,
+        )
+    }
+}

@@ -1,0 +1,1322 @@
+//! The session manager: admission, ingress queues, dispatch, lifecycle.
+
+use crate::metrics::{ServiceMetrics, SessionMetrics, SessionPhase};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use tpdf_core::graph::TpdfGraph;
+use tpdf_runtime::executor::ClockMode;
+use tpdf_runtime::pool::JobTicket;
+use tpdf_runtime::{
+    CompiledExecutor, Executor, ExecutorPool, KernelRegistry, Metrics, RuntimeConfig, RuntimeError,
+};
+
+/// Identifies one admitted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session {}", self.0)
+    }
+}
+
+/// Identifies one submitted request within its session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// What happens when an admission bound is hit: the session limit at
+/// [`TpdfService::open_session`], or a full ingress queue at
+/// [`TpdfService::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse immediately with an error (and count the rejection in
+    /// [`ServiceMetrics`]). The default: a serving layer should shed
+    /// load it cannot carry rather than stall its callers.
+    #[default]
+    Reject,
+    /// Block the caller until capacity frees up (a session retires, a
+    /// queued request dispatches). Deadline-aware oversubscription
+    /// still rejects — waiting cannot make a graph cheaper.
+    Block,
+}
+
+/// Configuration of a [`TpdfService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared pool (all detached OS threads).
+    pub threads: usize,
+    /// Maximum concurrently admitted (non-retired) sessions.
+    pub max_sessions: usize,
+    /// Bound of each session's ingress queue (requests waiting beyond
+    /// the one in flight).
+    pub queue_capacity: usize,
+    /// Reject-or-block behaviour at the session limit and on full
+    /// ingress queues.
+    pub admission: AdmissionPolicy,
+    /// Fraction of the pool's processor capacity deadline-aware
+    /// admission may hand out (capacity = `threads ×
+    /// max_utilization`). 1.0 admits up to nominal full load.
+    pub max_utilization: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 4,
+            max_sessions: 64,
+            queue_capacity: 16,
+            admission: AdmissionPolicy::default(),
+            max_utilization: 1.0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the pool's worker thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the concurrent-session limit (clamped to ≥ 1).
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions.max(1);
+        self
+    }
+
+    /// Sets the per-session ingress queue bound (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+
+    /// Sets the reject-or-block admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the admissible fraction of the pool's processor capacity.
+    pub fn with_max_utilization(mut self, max_utilization: f64) -> Self {
+        self.max_utilization = max_utilization.max(0.0);
+        self
+    }
+}
+
+/// Errors reported by the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The concurrent-session limit was hit under
+    /// [`AdmissionPolicy::Reject`].
+    SessionLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Deadline-aware admission refused the session: its estimated
+    /// processor demand does not fit the remaining capacity.
+    Oversubscribed {
+        /// The session's estimated demand (cost units per deadline
+        /// period).
+        demand: f64,
+        /// Demand already admitted.
+        load: f64,
+        /// Total admissible capacity (threads × max utilization).
+        capacity: f64,
+    },
+    /// The session's ingress queue is full under
+    /// [`AdmissionPolicy::Reject`].
+    Backpressure {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// No such session.
+    UnknownSession(SessionId),
+    /// No such request on that session (or its result was already
+    /// taken).
+    UnknownRequest(SessionId, RequestId),
+    /// The session no longer accepts requests (closed or cancelled).
+    SessionClosed(SessionId),
+    /// The service is draining and accepts no new work.
+    Draining,
+    /// The underlying runtime failed (executor construction, or a
+    /// failed run surfaced through [`TpdfService::wait`]).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::SessionLimit { limit } => {
+                write!(f, "session limit of {limit} reached")
+            }
+            ServiceError::Oversubscribed {
+                demand,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "admission refused: demand {demand:.3} does not fit load {load:.3} \
+                 of capacity {capacity:.3}"
+            ),
+            ServiceError::Backpressure { capacity } => {
+                write!(f, "ingress queue full (capacity {capacity})")
+            }
+            ServiceError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServiceError::UnknownRequest(id, req) => {
+                write!(f, "unknown request {} on {id}", req.0)
+            }
+            ServiceError::SessionClosed(id) => write!(f, "{id} is closed"),
+            ServiceError::Draining => write!(f, "service is draining"),
+            ServiceError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<RuntimeError> for ServiceError {
+    fn from(value: RuntimeError) -> Self {
+        ServiceError::Runtime(value)
+    }
+}
+
+/// Progress of one session, as reported by [`TpdfService::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Admitted, no queued or running work.
+    Idle,
+    /// Work outstanding.
+    Active {
+        /// Requests waiting in the ingress queue.
+        queued: usize,
+        /// Whether a run is in flight on the pool.
+        running: bool,
+    },
+    /// Closed or cancelled and fully drained; results remain
+    /// retrievable.
+    Retired,
+}
+
+/// One admitted session.
+struct SessionEntry {
+    compiled: CompiledExecutor,
+    registry: KernelRegistry,
+    /// The processor share admission charged for this session.
+    demand: f64,
+    /// Requests accepted but not yet dispatched, in order.
+    queue: VecDeque<u64>,
+    /// The request currently running on the pool. The ticket is `None`
+    /// while a dispatcher is submitting the job *outside* the service
+    /// lock (pool submission allocates the run's whole ring state —
+    /// holding the lock across it would serialise every session's
+    /// dispatch and completion on one mutex); see
+    /// [`Shared::run_dispatch`] for the installation protocol.
+    inflight: Option<(u64, Option<JobTicket>)>,
+    /// Finished results awaiting retrieval.
+    results: BTreeMap<u64, Result<Metrics, ServiceError>>,
+    next_request: u64,
+    phase: SessionPhase,
+    retired: bool,
+    requests_rejected: u64,
+    runs_completed: u64,
+    runs_failed: u64,
+    runs_cancelled: u64,
+    firings: u64,
+    tokens: u64,
+    deadline_misses: u64,
+}
+
+impl SessionEntry {
+    fn idle(&self) -> bool {
+        self.inflight.is_none() && self.queue.is_empty()
+    }
+
+    /// Files a finished run's result into the session's aggregates and
+    /// result map. Returns the `(completed, failed)` deltas for the
+    /// service-wide totals (applied by the caller once the entry borrow
+    /// ends).
+    fn record_result(&mut self, request: u64, result: Result<Metrics, RuntimeError>) -> (u64, u64) {
+        match result {
+            Ok(metrics) => {
+                self.runs_completed += 1;
+                self.firings += metrics.firings.iter().sum::<u64>();
+                self.tokens += metrics.total_tokens;
+                self.deadline_misses += metrics.deadline_misses;
+                self.results.insert(request, Ok(metrics));
+                (1, 0)
+            }
+            Err(error) => {
+                self.runs_failed += 1;
+                self.results.insert(request, Err(error.into()));
+                (0, 1)
+            }
+        }
+    }
+}
+
+/// One dispatch popped from a session's ingress queue under the service
+/// lock, to be submitted to the pool *outside* it.
+struct PendingDispatch {
+    session: u64,
+    request: u64,
+    compiled: CompiledExecutor,
+    registry: KernelRegistry,
+}
+
+#[derive(Default)]
+struct Inner {
+    sessions: BTreeMap<u64, SessionEntry>,
+    next_session: u64,
+    /// Σ demand of the non-retired sessions.
+    demand: f64,
+    draining: bool,
+    sessions_admitted: u64,
+    sessions_rejected: u64,
+    requests_submitted: u64,
+    requests_rejected: u64,
+    runs_completed: u64,
+    runs_failed: u64,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Notified on every state change: completions, retirements,
+    /// dispatches — what blocked admissions and `drain`/`wait` sleep
+    /// on.
+    cond: Condvar,
+    config: ServiceConfig,
+}
+
+/// The multi-session streaming service (see the crate docs).
+pub struct TpdfService {
+    pool: Arc<ExecutorPool>,
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for TpdfService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TpdfService")
+            .field("threads", &self.shared.config.threads)
+            .field("max_sessions", &self.shared.config.max_sessions)
+            .finish()
+    }
+}
+
+/// The processor share a session demands of the pool: its reference
+/// per-iteration cost divided by its shortest Clock deadline period.
+/// Sessions without a real-time deadline demand nothing — they have no
+/// timeliness contract for admission to protect.
+fn session_demand(compiled: &CompiledExecutor) -> f64 {
+    match (&compiled.config().clock_mode, compiled.min_clock_period()) {
+        (ClockMode::RealTime { .. }, Some(period)) if period > 0 => {
+            compiled.estimated_cost_units() as f64 / period as f64
+        }
+        _ => 0.0,
+    }
+}
+
+impl TpdfService {
+    /// Starts a service: spawns a detached [`ExecutorPool`] of
+    /// `config.threads` workers that every session shares.
+    pub fn new(config: ServiceConfig) -> Self {
+        let pool = Arc::new(ExecutorPool::detached(config.threads.max(1)));
+        TpdfService {
+            pool,
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner::default()),
+                cond: Condvar::new(),
+                config,
+            }),
+        }
+    }
+
+    /// The shared pool (for telemetry inspection — e.g.
+    /// [`ExecutorPool::sampled_firing_cost_ns`],
+    /// [`ExecutorPool::pinned_cores`]).
+    pub fn pool(&self) -> &ExecutorPool {
+        &self.pool
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Admits a new session: analyses `graph` under the session's own
+    /// `config` (the reference sizing simulation doubles as the cost
+    /// estimate), checks the session limit and the deadline-aware
+    /// capacity, and registers the session with its kernel `registry`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::Runtime`] when the executor cannot be built
+    ///   (inconsistent graph, incomplete binding, sizing failure);
+    /// * [`ServiceError::SessionLimit`] at the session cap under
+    ///   [`AdmissionPolicy::Reject`] (blocks under
+    ///   [`AdmissionPolicy::Block`]);
+    /// * [`ServiceError::Oversubscribed`] when the session's deadline
+    ///   demand does not fit the remaining capacity (always a
+    ///   rejection);
+    /// * [`ServiceError::Draining`] once [`TpdfService::drain`] ran.
+    pub fn open_session(
+        &self,
+        graph: &TpdfGraph,
+        config: RuntimeConfig,
+        registry: KernelRegistry,
+    ) -> Result<SessionId, ServiceError> {
+        // Compile outside the service lock: the reference sizing run
+        // can be expensive, and it needs no service state. The session
+        // gets its *own* firing-cost telemetry (`Executor::new`, not
+        // `pool.executor`): one executor serves all the session's runs,
+        // so granularity classification still carries across them —
+        // without a cheap session's estimate freezing a heavy
+        // neighbour's runs at one worker (the pool-wide EWMA is shared
+        // across heterogeneous graphs in a multi-tenant service).
+        let compiled = Executor::new(graph, config)?.compile();
+        let demand = session_demand(&compiled);
+        let capacity = self.shared.config.threads as f64 * self.shared.config.max_utilization;
+
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        loop {
+            if inner.draining {
+                return Err(ServiceError::Draining);
+            }
+            let open = inner.sessions.values().filter(|s| !s.retired).count();
+            if open < self.shared.config.max_sessions {
+                break;
+            }
+            match self.shared.config.admission {
+                AdmissionPolicy::Reject => {
+                    inner.sessions_rejected += 1;
+                    return Err(ServiceError::SessionLimit {
+                        limit: self.shared.config.max_sessions,
+                    });
+                }
+                AdmissionPolicy::Block => {
+                    inner = self.shared.cond.wait(inner).expect("service lock");
+                }
+            }
+        }
+        if inner.demand + demand > capacity + 1e-9 {
+            inner.sessions_rejected += 1;
+            return Err(ServiceError::Oversubscribed {
+                demand,
+                load: inner.demand,
+                capacity,
+            });
+        }
+        inner.demand += demand;
+        inner.sessions_admitted += 1;
+        let id = inner.next_session;
+        inner.next_session += 1;
+        inner.sessions.insert(
+            id,
+            SessionEntry {
+                compiled,
+                registry,
+                demand,
+                queue: VecDeque::new(),
+                inflight: None,
+                results: BTreeMap::new(),
+                next_request: 0,
+                phase: SessionPhase::Open,
+                retired: false,
+                requests_rejected: 0,
+                runs_completed: 0,
+                runs_failed: 0,
+                runs_cancelled: 0,
+                firings: 0,
+                tokens: 0,
+                deadline_misses: 0,
+            },
+        );
+        Ok(SessionId(id))
+    }
+
+    /// Submits one run of the session's graph (its configured
+    /// iterations, binding sequence and clock mode). The request joins
+    /// the session's bounded ingress queue and is dispatched to the
+    /// pool as soon as the session's previous request finishes;
+    /// requests of different sessions run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::Backpressure`] on a full ingress queue under
+    ///   [`AdmissionPolicy::Reject`] (blocks until space frees under
+    ///   [`AdmissionPolicy::Block`]);
+    /// * [`ServiceError::UnknownSession`] /
+    ///   [`ServiceError::SessionClosed`] / [`ServiceError::Draining`]
+    ///   for lifecycle violations.
+    pub fn submit(&self, session: SessionId) -> Result<RequestId, ServiceError> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        loop {
+            if inner.draining {
+                return Err(ServiceError::Draining);
+            }
+            let Some(entry) = inner.sessions.get(&session.0) else {
+                // An evicted (fully retired) session no longer accepts
+                // work; an id never handed out is the caller's bug.
+                return Err(if inner.was_admitted(session.0) {
+                    ServiceError::SessionClosed(session)
+                } else {
+                    ServiceError::UnknownSession(session)
+                });
+            };
+            if entry.phase != SessionPhase::Open {
+                return Err(ServiceError::SessionClosed(session));
+            }
+            if entry.queue.len() < self.shared.config.queue_capacity {
+                break;
+            }
+            match self.shared.config.admission {
+                AdmissionPolicy::Reject => {
+                    let entry = inner
+                        .sessions
+                        .get_mut(&session.0)
+                        .expect("session existence just checked");
+                    entry.requests_rejected += 1;
+                    inner.requests_rejected += 1;
+                    return Err(ServiceError::Backpressure {
+                        capacity: self.shared.config.queue_capacity,
+                    });
+                }
+                AdmissionPolicy::Block => {
+                    inner = self.shared.cond.wait(inner).expect("service lock");
+                }
+            }
+        }
+        let entry = inner
+            .sessions
+            .get_mut(&session.0)
+            .expect("session existence just checked");
+        let request = entry.next_request;
+        entry.next_request += 1;
+        entry.queue.push_back(request);
+        inner.requests_submitted += 1;
+        let pending = inner.begin_dispatch(session.0);
+        drop(inner);
+        self.shared.cond.notify_all();
+        if let Some(pending) = pending {
+            Shared::run_dispatch(&self.shared, &self.pool, pending);
+        }
+        Ok(RequestId(request))
+    }
+
+    /// The session's current status.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when the id was never admitted.
+    pub fn poll(&self, session: SessionId) -> Result<SessionStatus, ServiceError> {
+        let inner = self.shared.inner.lock().expect("service lock");
+        let Some(entry) = inner.sessions.get(&session.0) else {
+            return if inner.was_admitted(session.0) {
+                Ok(SessionStatus::Retired)
+            } else {
+                Err(ServiceError::UnknownSession(session))
+            };
+        };
+        Ok(if entry.retired {
+            SessionStatus::Retired
+        } else if entry.idle() {
+            SessionStatus::Idle
+        } else {
+            SessionStatus::Active {
+                queued: entry.queue.len(),
+                running: entry.inflight.is_some(),
+            }
+        })
+    }
+
+    /// Takes the result of a finished request without blocking: `None`
+    /// while the request is still queued or running.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when the id was never admitted.
+    pub fn try_take(
+        &self,
+        session: SessionId,
+        request: RequestId,
+    ) -> Result<Option<Result<Metrics, ServiceError>>, ServiceError> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        let Some(entry) = inner.sessions.get_mut(&session.0) else {
+            // Evicted session: every result was already taken.
+            return if inner.was_admitted(session.0) {
+                Ok(None)
+            } else {
+                Err(ServiceError::UnknownSession(session))
+            };
+        };
+        let result = entry.results.remove(&request.0);
+        Inner::evict_if_spent(&mut inner, session.0);
+        Ok(result)
+    }
+
+    /// Blocks until `request` finishes and returns its [`Metrics`]
+    /// (each result can be taken once).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::Runtime`] when the run failed (stall, kernel
+    ///   error, panic, cancellation);
+    /// * [`ServiceError::UnknownRequest`] when the request is not
+    ///   outstanding on the session (never submitted, or its result
+    ///   was already taken).
+    pub fn wait(&self, session: SessionId, request: RequestId) -> Result<Metrics, ServiceError> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        loop {
+            let Some(entry) = inner.sessions.get_mut(&session.0) else {
+                // Evicted session: nothing is outstanding any more.
+                return Err(if inner.was_admitted(session.0) {
+                    ServiceError::UnknownRequest(session, request)
+                } else {
+                    ServiceError::UnknownSession(session)
+                });
+            };
+            if let Some(result) = entry.results.remove(&request.0) {
+                Inner::evict_if_spent(&mut inner, session.0);
+                return result;
+            }
+            let outstanding = entry.queue.contains(&request.0)
+                || entry
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|(r, _)| *r == request.0);
+            if !outstanding {
+                return Err(ServiceError::UnknownRequest(session, request));
+            }
+            inner = self.shared.cond.wait(inner).expect("service lock");
+        }
+    }
+
+    /// Closes the session: no new requests are accepted, the queued
+    /// ones still run, and the session retires (releasing its admitted
+    /// demand) once drained. Idempotent; cancelled sessions stay
+    /// cancelled.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when the id was never admitted.
+    pub fn close(&self, session: SessionId) -> Result<(), ServiceError> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        let Some(entry) = inner.sessions.get_mut(&session.0) else {
+            // Evicted sessions are closed by definition; close is
+            // idempotent.
+            return if inner.was_admitted(session.0) {
+                Ok(())
+            } else {
+                Err(ServiceError::UnknownSession(session))
+            };
+        };
+        if entry.phase == SessionPhase::Open {
+            entry.phase = SessionPhase::Closed;
+        }
+        Inner::maybe_retire(&mut inner, session.0);
+        drop(inner);
+        self.shared.cond.notify_all();
+        Ok(())
+    }
+
+    /// Cancels the session: queued requests are dropped (their results
+    /// resolve to [`RuntimeError::Cancelled`]), the in-flight run — if
+    /// any — is halted at its next scheduling point, and the session
+    /// retires. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when the id was never admitted.
+    pub fn cancel(&self, session: SessionId) -> Result<(), ServiceError> {
+        let ticket = {
+            let mut inner = self.shared.inner.lock().expect("service lock");
+            let Some(entry) = inner.sessions.get_mut(&session.0) else {
+                // Evicted sessions have nothing left to cancel; cancel
+                // is idempotent.
+                return if inner.was_admitted(session.0) {
+                    Ok(())
+                } else {
+                    Err(ServiceError::UnknownSession(session))
+                };
+            };
+            entry.phase = SessionPhase::Cancelled;
+            let dropped: Vec<u64> = entry.queue.drain(..).collect();
+            entry.runs_cancelled += dropped.len() as u64;
+            for request in dropped {
+                entry
+                    .results
+                    .insert(request, Err(RuntimeError::Cancelled.into()));
+            }
+            // The in-flight run (if any) is *not* recorded here: its
+            // job is halted below and the completion callback — the
+            // single recorder — files the actual outcome, which is
+            // `Err(Cancelled)` for a halted run but `Ok(Metrics)` for a
+            // run that won the race and completed (the engine's cancel
+            // never overwrites a finished run's result, and reporting
+            // it cancelled would drop produced data). A ticketless
+            // placeholder stays put: the dispatcher observes the
+            // cancelled phase when installing and halts its fresh job
+            // itself.
+            let ticket = entry
+                .inflight
+                .as_ref()
+                .and_then(|(_, ticket)| ticket.clone());
+            Inner::maybe_retire(&mut inner, session.0);
+            ticket
+        };
+        // Outside the service lock: cancel may finalise the job inline
+        // and fire its completion callback, which re-locks the service.
+        if let Some(ticket) = ticket {
+            ticket.cancel();
+        }
+        self.shared.cond.notify_all();
+        Ok(())
+    }
+
+    /// Gracefully drains the service: stops accepting sessions and
+    /// requests, waits for every queued and in-flight run to finish,
+    /// and reports the final aggregated [`ServiceMetrics`]. Results of
+    /// finished requests remain retrievable afterwards.
+    pub fn drain(&self) -> ServiceMetrics {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.draining = true;
+        // Admissions parked under `AdmissionPolicy::Block` must wake to
+        // observe the drain and error out — nothing else will ever
+        // notify them on an idle service.
+        self.shared.cond.notify_all();
+        while inner.sessions.values().any(|s| !s.idle()) {
+            inner = self.shared.cond.wait(inner).expect("service lock");
+        }
+        Self::snapshot(&inner, &self.shared.config)
+    }
+
+    /// A point-in-time [`ServiceMetrics`] snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let inner = self.shared.inner.lock().expect("service lock");
+        Self::snapshot(&inner, &self.shared.config)
+    }
+
+    fn snapshot(inner: &Inner, config: &ServiceConfig) -> ServiceMetrics {
+        ServiceMetrics {
+            sessions_admitted: inner.sessions_admitted,
+            sessions_rejected: inner.sessions_rejected,
+            requests_submitted: inner.requests_submitted,
+            requests_rejected: inner.requests_rejected,
+            runs_completed: inner.runs_completed,
+            runs_failed: inner.runs_failed,
+            active_sessions: inner.sessions.values().filter(|s| !s.retired).count(),
+            queued_requests: inner.sessions.values().map(|s| s.queue.len()).sum(),
+            demand: inner.demand,
+            capacity: config.threads as f64 * config.max_utilization,
+            per_session: inner
+                .sessions
+                .iter()
+                .map(|(&id, s)| SessionMetrics {
+                    id: SessionId(id),
+                    phase: s.phase,
+                    retired: s.retired,
+                    queue_depth: s.queue.len(),
+                    running: s.inflight.is_some(),
+                    demand: s.demand,
+                    runs_completed: s.runs_completed,
+                    runs_failed: s.runs_failed,
+                    runs_cancelled: s.runs_cancelled,
+                    requests_rejected: s.requests_rejected,
+                    firings: s.firings,
+                    tokens: s.tokens,
+                    deadline_misses: s.deadline_misses,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Inner {
+    /// Whether `session` was admitted at some point: ids are handed out
+    /// monotonically, so an id below the counter that is no longer in
+    /// the table belongs to a retired-and-evicted session, not to a
+    /// typo.
+    fn was_admitted(&self, session: u64) -> bool {
+        session < self.next_session
+    }
+
+    /// Retires a drained closed/cancelled session: releases its
+    /// admitted demand exactly once, then evicts the entry as soon as
+    /// every result has been taken — a service living through millions
+    /// of sessions must not grow its table with the dead ones.
+    fn maybe_retire(inner: &mut Inner, session: u64) {
+        let Some(entry) = inner.sessions.get_mut(&session) else {
+            return;
+        };
+        if !entry.retired {
+            if entry.phase == SessionPhase::Open || !entry.idle() {
+                return;
+            }
+            entry.retired = true;
+            inner.demand -= entry.demand;
+            if inner.demand < 0.0 {
+                inner.demand = 0.0;
+            }
+        }
+        Inner::evict_if_spent(inner, session);
+    }
+
+    /// Drops a retired session whose results were all taken. Called
+    /// after retirement and after every result retrieval.
+    fn evict_if_spent(inner: &mut Inner, session: u64) {
+        if inner
+            .sessions
+            .get(&session)
+            .is_some_and(|entry| entry.retired && entry.results.is_empty())
+        {
+            inner.sessions.remove(&session);
+        }
+    }
+}
+
+impl Inner {
+    /// Pops the session's next dispatchable request and marks it in
+    /// flight with a *placeholder* ticket (`None`). The returned work
+    /// is submitted to the pool outside the service lock by
+    /// [`Shared::run_dispatch`]. Must hold the service lock.
+    fn begin_dispatch(&mut self, session: u64) -> Option<PendingDispatch> {
+        let entry = self.sessions.get_mut(&session)?;
+        if entry.inflight.is_some() || entry.phase == SessionPhase::Cancelled {
+            return None;
+        }
+        let request = entry.queue.pop_front()?;
+        entry.inflight = Some((request, None));
+        Some(PendingDispatch {
+            session,
+            request,
+            compiled: entry.compiled.clone(),
+            registry: entry.registry.clone(),
+        })
+    }
+}
+
+impl Shared {
+    /// Submits pending dispatches to the pool, *outside* the service
+    /// lock (pool submission sizes and allocates the run's entire ring
+    /// state). Installation protocol: the placeholder `(request, None)`
+    /// set by [`Inner::begin_dispatch`] reserves the in-flight slot; we
+    /// submit, re-lock and install the ticket.
+    ///
+    /// Two races are handled here:
+    ///
+    /// * the session was cancelled (or evicted) while we submitted —
+    ///   the placeholder is gone, so the fresh job is cancelled and its
+    ///   result dropped (the cancellation already recorded it);
+    /// * the job *outran* the installation — its completion callback
+    ///   found a ticketless placeholder and left recording to us
+    ///   ([`Shared::on_job_complete`]), so after installing a finished
+    ///   ticket we record the completion ourselves, which may begin the
+    ///   session's next dispatch: hence the loop.
+    fn run_dispatch(shared: &Arc<Shared>, pool: &Arc<ExecutorPool>, mut pending: PendingDispatch) {
+        loop {
+            let (session, request) = (pending.session, pending.request);
+            let callback_shared = Arc::clone(shared);
+            let callback_pool = Arc::clone(pool);
+            let ticket = pool.submit_with(&pending.compiled, &pending.registry, move || {
+                Shared::on_job_complete(&callback_shared, &callback_pool, session, request);
+            });
+            let mut inner = shared.inner.lock().expect("service lock");
+            let placeholder_ok = inner.sessions.get(&session).is_some_and(|entry| {
+                entry
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|(r, t)| *r == request && t.is_none())
+            });
+            if !placeholder_ok {
+                // The session was evicted while we were submitting: the
+                // orphan job is halted and its result dropped.
+                drop(inner);
+                ticket.cancel();
+                shared.cond.notify_all();
+                return;
+            }
+            let entry = inner
+                .sessions
+                .get_mut(&session)
+                .expect("placeholder existence just checked");
+            // A cancellation that raced this dispatch left the
+            // placeholder for us: install, then halt the job so its
+            // completion callback records the cancellation (or the
+            // real result, if the run wins the race).
+            let halt_handle = (entry.phase == SessionPhase::Cancelled).then(|| ticket.clone());
+            let finished = ticket.is_finished();
+            entry.inflight = Some((request, Some(ticket)));
+            let next = if finished {
+                // The job completed before the ticket was installed;
+                // its callback deferred to us (see on_job_complete).
+                Shared::record_completion(&mut inner, session, request)
+            } else {
+                None
+            };
+            drop(inner);
+            shared.cond.notify_all();
+            if let Some(handle) = halt_handle {
+                handle.cancel();
+            }
+            match next {
+                Some(next) => pending = next,
+                None => return,
+            }
+        }
+    }
+
+    /// Records the finished in-flight `request`, begins the session's
+    /// next dispatch and retires the session if drained. Returns the
+    /// pending dispatch to run outside the lock. No-ops (returning
+    /// `None`) when the in-flight slot does not hold this request with
+    /// an installed ticket — a cancellation got there first, or the
+    /// ticket is still being installed. Must hold the service lock.
+    fn record_completion(inner: &mut Inner, session: u64, request: u64) -> Option<PendingDispatch> {
+        let entry = inner.sessions.get_mut(&session)?;
+        let (inflight_request, maybe_ticket) = entry.inflight.take()?;
+        if inflight_request != request {
+            entry.inflight = Some((inflight_request, maybe_ticket));
+            return None;
+        }
+        let Some(ticket) = maybe_ticket else {
+            // Our ticket is still being installed by run_dispatch; put
+            // the placeholder back — the installer observes the
+            // finished ticket and records through this same path.
+            entry.inflight = Some((inflight_request, None));
+            return None;
+        };
+        let result = ticket.try_take().unwrap_or(Err(RuntimeError::Cancelled));
+        // A cancelled session's halted runs are accounted as
+        // cancellations, not failures; every other outcome — including
+        // an `Ok` that won the race against the cancel — is recorded
+        // as the run's real result.
+        let (completed, failed) = if entry.phase == SessionPhase::Cancelled
+            && matches!(result, Err(RuntimeError::Cancelled))
+        {
+            entry.runs_cancelled += 1;
+            entry
+                .results
+                .insert(request, Err(RuntimeError::Cancelled.into()));
+            (0, 0)
+        } else {
+            entry.record_result(request, result)
+        };
+        inner.runs_completed += completed;
+        inner.runs_failed += failed;
+        let pending = inner.begin_dispatch(session);
+        Inner::maybe_retire(inner, session);
+        pending
+    }
+
+    /// Pool-side completion hook: records the finished run, dispatches
+    /// the session's next request, retires drained sessions and wakes
+    /// every waiter. Runs on a pool worker thread with no pool lock
+    /// held.
+    fn on_job_complete(shared: &Arc<Shared>, pool: &Arc<ExecutorPool>, session: u64, request: u64) {
+        let pending = {
+            let mut inner = shared.inner.lock().expect("service lock");
+            Shared::record_completion(&mut inner, session, request)
+        };
+        shared.cond.notify_all();
+        if let Some(pending) = pending {
+            Shared::run_dispatch(shared, pool, pending);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tpdf_core::actors::KernelKind;
+    use tpdf_core::examples::figure2_graph;
+    use tpdf_core::rate::RateSeq;
+    use tpdf_runtime::Token;
+    use tpdf_symexpr::Binding;
+
+    fn binding(p: i64) -> Binding {
+        Binding::from_pairs([("p", p)])
+    }
+
+    /// A graph whose Transaction is driven by a Clock (deadline) and
+    /// whose kernels carry `work` units of execution time per firing.
+    fn deadline_graph(work: u64, period: u64) -> TpdfGraph {
+        TpdfGraph::builder()
+            .kernel_with("src", KernelKind::Regular, work)
+            .kernel_with("proc", KernelKind::Regular, work)
+            .kernel_with("clock", KernelKind::Clock { period }, 0)
+            .kernel_with("tran", KernelKind::Transaction { votes_required: 0 }, 1)
+            .kernel("snk")
+            .channel("src", "proc", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .channel(
+                "proc",
+                "tran",
+                RateSeq::constant(1),
+                RateSeq::constant(1),
+                0,
+            )
+            .control_channel("clock", "tran", RateSeq::constant(1), RateSeq::constant(1))
+            .channel("tran", "snk", RateSeq::constant(1), RateSeq::constant(1), 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sessions_run_and_aggregate_metrics() {
+        let service = TpdfService::new(ServiceConfig::default().with_threads(2));
+        let graph = figure2_graph();
+        let session = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(2))
+                    .with_threads(2)
+                    .with_iterations(3),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        let r1 = service.submit(session).unwrap();
+        let r2 = service.submit(session).unwrap();
+        let m1 = service.wait(session, r1).unwrap();
+        let m2 = service.wait(session, r2).unwrap();
+        assert_eq!(m1.iterations, 3);
+        assert_eq!(m1.firings, m2.firings);
+        assert_eq!(service.poll(session).unwrap(), SessionStatus::Idle);
+        let report = service.metrics();
+        assert_eq!(report.runs_completed, 2);
+        let per = report.session(session).unwrap();
+        assert_eq!(per.runs_completed, 2);
+        assert_eq!(
+            per.firings,
+            2 * m1.firings.iter().sum::<u64>(),
+            "per-session firings aggregate over the session's runs"
+        );
+        assert!(per.tokens > 0);
+    }
+
+    #[test]
+    fn session_limit_rejects_and_counts() {
+        let service = TpdfService::new(
+            ServiceConfig::default()
+                .with_threads(1)
+                .with_max_sessions(2),
+        );
+        let graph = figure2_graph();
+        let config = || RuntimeConfig::new(binding(1)).with_threads(1);
+        let a = service
+            .open_session(&graph, config(), KernelRegistry::new())
+            .unwrap();
+        service
+            .open_session(&graph, config(), KernelRegistry::new())
+            .unwrap();
+        let refused = service.open_session(&graph, config(), KernelRegistry::new());
+        assert_eq!(refused, Err(ServiceError::SessionLimit { limit: 2 }));
+        assert_eq!(service.metrics().sessions_rejected, 1);
+
+        // Retiring a session frees a slot.
+        service.close(a).unwrap();
+        assert_eq!(service.poll(a).unwrap(), SessionStatus::Retired);
+        service
+            .open_session(&graph, config(), KernelRegistry::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn deadline_demand_admission_refuses_oversubscription() {
+        // Each session demands cost/period = (2·10 + 3·1)/30 ≈ 0.77 of
+        // a 1-thread pool (the clock, transaction and sink each carry
+        // the floor execution time of 1): the first fits, the second
+        // would oversubscribe.
+        let service = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let graph = deadline_graph(10, 30);
+        let config = || {
+            RuntimeConfig::new(Binding::new())
+                .with_threads(1)
+                .with_real_time(Duration::from_micros(50))
+        };
+        service
+            .open_session(&graph, config(), KernelRegistry::new())
+            .unwrap();
+        let refused = service.open_session(&graph, config(), KernelRegistry::new());
+        assert!(
+            matches!(refused, Err(ServiceError::Oversubscribed { .. })),
+            "second 0.7-demand session must not fit one worker: {refused:?}"
+        );
+        let report = service.metrics();
+        assert_eq!(report.sessions_rejected, 1);
+        assert!(
+            (report.demand - 23.0 / 30.0).abs() < 1e-9,
+            "{}",
+            report.demand
+        );
+
+        // A virtual-clock session of the same graph demands nothing.
+        service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(Binding::new()).with_threads(1),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn ingress_backpressure_rejects_on_full_queue() {
+        let service = TpdfService::new(
+            ServiceConfig::default()
+                .with_threads(1)
+                .with_queue_capacity(1),
+        );
+        let graph = figure2_graph();
+        // A slow kernel keeps the first request in flight while the
+        // queue fills behind it.
+        let mut registry = KernelRegistry::new();
+        registry.register_fn("B", |ctx| {
+            std::thread::sleep(Duration::from_millis(20));
+            ctx.fill_outputs_cycling(&[Token::Int(1)]);
+            Ok(())
+        });
+        let session = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(1)).with_threads(1),
+                registry,
+            )
+            .unwrap();
+        let first = service.submit(session).unwrap();
+        // One request rides in flight, one sits in the queue; the next
+        // submit must hit backpressure.
+        let mut rejected = false;
+        let mut accepted = vec![first];
+        for _ in 0..3 {
+            match service.submit(session) {
+                Ok(request) => accepted.push(request),
+                Err(ServiceError::Backpressure { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected, "the bounded queue must push back");
+        assert!(service.metrics().requests_rejected >= 1);
+        for request in accepted {
+            service.wait(session, request).unwrap();
+        }
+    }
+
+    #[test]
+    fn blocking_admission_waits_for_capacity() {
+        let service = Arc::new(TpdfService::new(
+            ServiceConfig::default()
+                .with_threads(1)
+                .with_max_sessions(1)
+                .with_admission(AdmissionPolicy::Block),
+        ));
+        let graph = figure2_graph();
+        let first = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(1)).with_threads(1),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        let opener = {
+            let service = Arc::clone(&service);
+            let graph = graph.clone();
+            std::thread::spawn(move || {
+                service.open_session(
+                    &graph,
+                    RuntimeConfig::new(binding(1)).with_threads(1),
+                    KernelRegistry::new(),
+                )
+            })
+        };
+        // Give the opener time to block, then free the slot.
+        std::thread::sleep(Duration::from_millis(20));
+        service.close(first).unwrap();
+        let second = opener.join().unwrap().unwrap();
+        assert_ne!(second, first);
+    }
+
+    #[test]
+    fn drain_wakes_admissions_blocked_at_the_session_limit() {
+        let service = Arc::new(TpdfService::new(
+            ServiceConfig::default()
+                .with_threads(1)
+                .with_max_sessions(1)
+                .with_admission(AdmissionPolicy::Block),
+        ));
+        let graph = figure2_graph();
+        service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(1)).with_threads(1),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        let blocked = {
+            let service = Arc::clone(&service);
+            let graph = graph.clone();
+            std::thread::spawn(move || {
+                service.open_session(
+                    &graph,
+                    RuntimeConfig::new(binding(1)).with_threads(1),
+                    KernelRegistry::new(),
+                )
+            })
+        };
+        // Let the opener park on the full session table, then drain:
+        // nothing else will ever notify it on an idle service.
+        std::thread::sleep(Duration::from_millis(20));
+        service.drain();
+        assert_eq!(blocked.join().unwrap(), Err(ServiceError::Draining));
+    }
+
+    #[test]
+    fn cancel_drops_queue_and_halts_inflight() {
+        let service = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let graph = figure2_graph();
+        let mut registry = KernelRegistry::new();
+        registry.register_fn("B", |ctx| {
+            std::thread::sleep(Duration::from_millis(5));
+            ctx.fill_outputs_cycling(&[Token::Int(1)]);
+            Ok(())
+        });
+        let session = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(2))
+                    .with_threads(1)
+                    .with_iterations(50),
+                registry,
+            )
+            .unwrap();
+        let running = service.submit(session).unwrap();
+        let queued = service.submit(session).unwrap();
+        service.cancel(session).unwrap();
+        // The queued request is recorded synchronously; the in-flight
+        // one by its completion callback once the halt lands. Both
+        // count as cancellations while their results are still unread
+        // (the session cannot be evicted before they are taken).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let cancelled = service
+                .metrics()
+                .session(session)
+                .expect("unread results pin the session")
+                .runs_cancelled;
+            if cancelled == 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "both runs must record as cancelled, got {cancelled}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for request in [running, queued] {
+            assert_eq!(
+                service.wait(session, request),
+                Err(ServiceError::Runtime(RuntimeError::Cancelled)),
+                "request {request:?}"
+            );
+        }
+        // The session retires (immediately or as soon as the halted
+        // in-flight run drains off the pool), then — all results taken
+        // — is evicted, still reported `Retired` by id.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.poll(session).unwrap() != SessionStatus::Retired {
+            assert!(std::time::Instant::now() < deadline, "session must retire");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(service.submit(session).is_err(), "no submits after cancel");
+        let report = service.drain();
+        assert_eq!(report.runs_completed, 0);
+    }
+
+    #[test]
+    fn spent_retired_sessions_are_evicted_but_stay_addressable() {
+        let service = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let graph = figure2_graph();
+        let session = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(1)).with_threads(1),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        let request = service.submit(session).unwrap();
+        service.wait(session, request).unwrap();
+        service.close(session).unwrap();
+        // Retired with no unread results → evicted from the table…
+        assert!(service.metrics().per_session.is_empty());
+        // …but its id keeps answering sensibly (not UnknownSession).
+        assert_eq!(service.poll(session).unwrap(), SessionStatus::Retired);
+        assert_eq!(service.try_take(session, request).unwrap(), None);
+        assert_eq!(
+            service.submit(session),
+            Err(ServiceError::SessionClosed(session))
+        );
+        assert_eq!(service.close(session), Ok(()));
+        assert_eq!(service.cancel(session), Ok(()));
+        // Totals keep counting the evicted session's work.
+        let report = service.metrics();
+        assert_eq!(report.runs_completed, 1);
+        assert_eq!(report.sessions_admitted, 1);
+        assert_eq!(report.active_sessions, 0);
+    }
+
+    #[test]
+    fn drain_finishes_outstanding_work_and_blocks_new() {
+        let service = TpdfService::new(ServiceConfig::default().with_threads(2));
+        let graph = figure2_graph();
+        let session = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(2)).with_threads(1),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        for _ in 0..4 {
+            service.submit(session).unwrap();
+        }
+        let report = service.drain();
+        assert_eq!(report.runs_completed, 4);
+        assert_eq!(report.queued_requests, 0);
+        assert_eq!(service.submit(session), Err(ServiceError::Draining));
+        assert!(matches!(
+            service.open_session(
+                &graph,
+                RuntimeConfig::new(binding(1)),
+                KernelRegistry::new()
+            ),
+            Err(ServiceError::Draining)
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_are_reported() {
+        let service = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let ghost = SessionId(42);
+        assert_eq!(
+            service.poll(ghost),
+            Err(ServiceError::UnknownSession(ghost))
+        );
+        let graph = figure2_graph();
+        let session = service
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(1)).with_threads(1),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        let request = service.submit(session).unwrap();
+        service.wait(session, request).unwrap();
+        // Taken once; a second wait reports the request unknown.
+        assert_eq!(
+            service.wait(session, request),
+            Err(ServiceError::UnknownRequest(session, request))
+        );
+    }
+}

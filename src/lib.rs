@@ -21,6 +21,9 @@
 //!   radio, FM radio).
 //! * [`runtime`] — a multi-threaded, token-level execution engine that
 //!   runs TPDF graphs on real data with real deadlines.
+//! * [`service`] — a multi-session streaming service layer: many
+//!   concurrent graph instances admitted, run and retired on one shared
+//!   worker pool.
 //!
 //! ## Quickstart
 //!
@@ -41,5 +44,6 @@ pub use tpdf_core as core;
 pub use tpdf_csdf as csdf;
 pub use tpdf_manycore as manycore;
 pub use tpdf_runtime as runtime;
+pub use tpdf_service as service;
 pub use tpdf_sim as sim;
 pub use tpdf_symexpr as symexpr;

@@ -152,6 +152,69 @@ fn repeated_runs_leak_no_threads_and_reset_metrics() {
     }
 }
 
+/// Regression for the `Metrics` reset gap with *concurrent* jobs:
+/// `worker_firings` / `worker_steals` must be tallied per job (indexed
+/// by the job's own participation slots), never per pool-worker
+/// lifetime. With the single-slot pool a worker's index doubled as its
+/// job index; once several jobs share the pool, lifetime-indexed
+/// counters would smear one job's firings into its neighbours'
+/// metrics. Submitting many concurrent jobs and checking each job's
+/// counters against its own solo reference catches both the smear and
+/// any cross-job accumulation.
+#[test]
+fn concurrent_jobs_tally_worker_metrics_per_job() {
+    let _guard = serial();
+    let graph = figure2_graph();
+    let registry = KernelRegistry::new();
+    let pool = ExecutorPool::detached(4);
+    let before = os_thread_count();
+
+    let params: [i64; 6] = [1, 2, 3, 4, 2, 3];
+    let mut tickets = Vec::new();
+    let mut references = Vec::new();
+    for (i, &p) in params.iter().enumerate() {
+        let config = RuntimeConfig::new(binding(p))
+            .with_threads(1 + i % 3)
+            .with_iterations(3);
+        references.push(
+            Simulator::new(&graph, SimulationConfig::new(binding(p)))
+                .unwrap()
+                .run_iterations(3)
+                .unwrap(),
+        );
+        let compiled = pool.executor(&graph, config).unwrap().compile();
+        tickets.push(pool.submit(&compiled, &registry));
+    }
+    for (ticket, reference) in tickets.into_iter().zip(&references) {
+        let metrics = ticket.wait().unwrap();
+        assert_eq!(metrics.firings, reference.firings);
+        // Per-job tally: this job's participation slots account for
+        // exactly this job's firings — no bleed from the jobs that ran
+        // concurrently on the same pool workers.
+        assert_eq!(
+            metrics.worker_firings.len(),
+            metrics.effective_workers,
+            "one counter per participation slot"
+        );
+        assert_eq!(
+            metrics.worker_firings.iter().sum::<u64>(),
+            metrics.firings.iter().sum::<u64>(),
+            "worker firings must sum to the job's own firings"
+        );
+        assert_eq!(metrics.worker_steals.len(), metrics.effective_workers);
+        assert!(
+            metrics.worker_steals.iter().sum::<u64>() <= metrics.firings.iter().sum::<u64>(),
+            "steals are a subset of the job's own firings"
+        );
+    }
+
+    // The concurrent burst ran entirely on the workers spawned at
+    // construction.
+    if let (Some(before), Some(after)) = (before, os_thread_count()) {
+        assert_eq!(before, after, "no thread may be spawned per job");
+    }
+}
+
 /// The EWMA telemetry carries across runs: a fine-grained graph is
 /// classified during run 1, and run 2 starts already collapsed to the
 /// single-worker fast path (`effective_workers == 1`) — with a

@@ -1,0 +1,397 @@
+//! Stress suite for the `tpdf-service` multi-session layer: many
+//! concurrent sessions — mixed case studies (edge detection, OFDM,
+//! FM radio) under mixed per-session `RuntimeConfig`s (thread counts,
+//! placement policies, control policies, binding sequences) — share one
+//! pool, and every session's sink token stream must be **byte-identical
+//! to its solo run**; the pool spawns no thread per session; one
+//! panicking session must not poison its neighbours; admission
+//! rejections must be observable in `ServiceMetrics`.
+//!
+//! CI matrix knob: `TPDF_SERVICE_THREADS` — pool worker count
+//! (default 4).
+
+use tpdf_suite::apps::edge_detection::{EdgeDetectionApp, EdgeDetector};
+use tpdf_suite::apps::fm_radio::FmRadioConfig;
+use tpdf_suite::apps::image::GrayImage;
+use tpdf_suite::apps::ofdm::OfdmConfig;
+use tpdf_suite::core::examples::figure2_graph;
+use tpdf_suite::core::graph::TpdfGraph;
+use tpdf_suite::manycore::MappingStrategy;
+use tpdf_suite::runtime::{
+    EdgeDetectionRuntime, Executor, FmRadioRuntime, KernelRegistry, OfdmRuntime, OutputCapture,
+    PlacementPolicy, RuntimeConfig, Token,
+};
+use tpdf_suite::service::{ServiceConfig, ServiceError, SessionStatus, TpdfService};
+use tpdf_suite::sim::engine::{ControlPolicy, SimulationConfig, Simulator};
+use tpdf_suite::symexpr::Binding;
+
+/// Runs of each session (the ingress queue sees more than one request
+/// per session, and captures accumulate across them).
+const RUNS_PER_SESSION: u64 = 2;
+
+fn service_threads() -> usize {
+    std::env::var("TPDF_SERVICE_THREADS")
+        .ok()
+        .and_then(|spec| spec.trim().parse().ok())
+        .filter(|&threads| threads > 0)
+        .unwrap_or(4)
+}
+
+/// The process's current OS thread count, from `/proc/self/status`
+/// (Linux-only; `None` elsewhere).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// One prepared session: the graph, its per-session configuration, the
+/// registry wired for the service run, the service-side capture, and
+/// the solo-run reference tokens.
+struct SessionSpec {
+    name: &'static str,
+    graph: TpdfGraph,
+    config: RuntimeConfig,
+    registry: KernelRegistry,
+    capture: Option<OutputCapture>,
+    /// Sink tokens of `RUNS_PER_SESSION` solo scoped runs on a fresh
+    /// registry — the byte-identical reference.
+    solo_tokens: Option<Vec<Token>>,
+}
+
+impl SessionSpec {
+    fn new(
+        name: &'static str,
+        graph: TpdfGraph,
+        config: RuntimeConfig,
+        service_pair: (KernelRegistry, OutputCapture),
+        solo_pair: (KernelRegistry, OutputCapture),
+    ) -> Self {
+        let (registry, capture) = service_pair;
+        let (solo_registry, solo_capture) = solo_pair;
+        let executor = Executor::new(&graph, config.clone()).expect("solo executor");
+        for _ in 0..RUNS_PER_SESSION {
+            executor.run(&solo_registry).expect("solo run");
+        }
+        SessionSpec {
+            name,
+            graph,
+            config,
+            registry,
+            capture: Some(capture),
+            solo_tokens: Some(solo_capture.tokens()),
+        }
+    }
+}
+
+fn edge_specs() -> Vec<SessionSpec> {
+    let mut specs = Vec::new();
+    // WaitAll: the Transaction forwards the best (Canny) result.
+    let port =
+        EdgeDetectionRuntime::new(EdgeDetectionApp::default(), GrayImage::synthetic(32, 32, 5));
+    specs.push(SessionSpec::new(
+        "edge_waitall",
+        port.graph(),
+        RuntimeConfig::new(Binding::new()).with_threads(4),
+        port.registry(None),
+        port.registry(None),
+    ));
+    // SelectInput: a scripted policy picks one detector.
+    let port =
+        EdgeDetectionRuntime::new(EdgeDetectionApp::default(), GrayImage::synthetic(24, 24, 9));
+    specs.push(SessionSpec::new(
+        "edge_select_sobel",
+        port.graph(),
+        RuntimeConfig::new(Binding::new())
+            .with_threads(2)
+            .with_policy(ControlPolicy::SelectInput(
+                EdgeDetector::ALL
+                    .iter()
+                    .position(|d| *d == EdgeDetector::Sobel)
+                    .unwrap(),
+            )),
+        port.registry(None),
+        port.registry(None),
+    ));
+    // Affinity placement driven by the manycore mapper.
+    let port =
+        EdgeDetectionRuntime::new(EdgeDetectionApp::default(), GrayImage::synthetic(28, 28, 3));
+    specs.push(SessionSpec::new(
+        "edge_affinity",
+        port.graph(),
+        RuntimeConfig::new(Binding::new())
+            .with_threads(4)
+            .with_placement(PlacementPolicy::Affinity(MappingStrategy::LoadBalanced)),
+        port.registry(None),
+        port.registry(None),
+    ));
+    specs
+}
+
+fn ofdm_specs() -> Vec<SessionSpec> {
+    let mut specs = Vec::new();
+    // QPSK, data-dependent control (CON reads M from SRC's stream).
+    let port = OfdmRuntime::new(
+        OfdmConfig {
+            symbol_len: 16,
+            cyclic_prefix: 2,
+            bits_per_symbol: 2,
+            vectorization: 2,
+        },
+        31,
+    );
+    specs.push(SessionSpec::new(
+        "ofdm_qpsk",
+        port.graph(),
+        RuntimeConfig::new(port.config().binding())
+            .with_threads(4)
+            .with_mode_selector(port.mode_selector())
+            .with_value_trace(port.value_trace()),
+        port.registry(),
+        port.registry(),
+    ));
+    // QAM on a different symbol stream.
+    let port = OfdmRuntime::new(
+        OfdmConfig {
+            symbol_len: 16,
+            cyclic_prefix: 1,
+            bits_per_symbol: 4,
+            vectorization: 2,
+        },
+        5,
+    );
+    specs.push(SessionSpec::new(
+        "ofdm_qam",
+        port.graph(),
+        RuntimeConfig::new(port.config().binding())
+            .with_threads(2)
+            .with_mode_selector(port.mode_selector())
+            .with_value_trace(port.value_trace()),
+        port.registry(),
+        port.registry(),
+    ));
+    // QPSK again, under affinity placement.
+    let port = OfdmRuntime::new(
+        OfdmConfig {
+            symbol_len: 32,
+            cyclic_prefix: 2,
+            bits_per_symbol: 2,
+            vectorization: 3,
+        },
+        77,
+    );
+    specs.push(SessionSpec::new(
+        "ofdm_qpsk_affinity",
+        port.graph(),
+        RuntimeConfig::new(port.config().binding())
+            .with_threads(4)
+            .with_placement(PlacementPolicy::Affinity(MappingStrategy::RoundRobin))
+            .with_mode_selector(port.mode_selector())
+            .with_value_trace(port.value_trace()),
+        port.registry(),
+        port.registry(),
+    ));
+    specs
+}
+
+fn fm_specs() -> Vec<SessionSpec> {
+    let mut specs = Vec::new();
+    for (name, bands, block, seed, band, threads) in [
+        ("fm_band0", 3usize, 8usize, 7u64, 0usize, 1usize),
+        ("fm_band2", 4, 16, 11, 2, 2),
+        ("fm_band1", 3, 8, 3, 1, 4),
+    ] {
+        let port = FmRadioRuntime::new(FmRadioConfig { bands, block }, seed);
+        specs.push(SessionSpec::new(
+            name,
+            port.graph(),
+            RuntimeConfig::new(port.binding())
+                .with_threads(threads)
+                .with_policy(ControlPolicy::SelectInput(band)),
+            port.registry(),
+            port.registry(),
+        ));
+    }
+    specs
+}
+
+/// Figure 2 with a per-iteration binding sequence: rebinds work
+/// unchanged per session. Compared by firing counts against the
+/// count-level reference (the default kernels move unit tokens, so
+/// there is no payload capture to diff).
+fn figure2_spec() -> SessionSpec {
+    let binding = Binding::from_pairs([("p", 1)]);
+    let sequence = vec![
+        Binding::from_pairs([("p", 1)]),
+        Binding::from_pairs([("p", 3)]),
+        Binding::from_pairs([("p", 2)]),
+    ];
+    SessionSpec {
+        name: "figure2_rebinding",
+        graph: figure2_graph(),
+        config: RuntimeConfig::new(binding)
+            .with_threads(2)
+            .with_iterations(3)
+            .with_binding_sequence(sequence),
+        registry: KernelRegistry::new(),
+        capture: None,
+        solo_tokens: None,
+    }
+}
+
+#[test]
+fn concurrent_sessions_match_solo_runs_without_leaks_or_poisoning() {
+    // Solo references first: scoped runs spawn-and-join their own
+    // threads, so they are done long before the leak check baselines.
+    let mut specs = Vec::new();
+    specs.extend(edge_specs());
+    specs.extend(ofdm_specs());
+    specs.extend(fm_specs());
+    specs.push(figure2_spec());
+    assert!(
+        specs.len() >= 8,
+        "the issue demands ≥ 8 concurrent sessions"
+    );
+
+    let threads = service_threads();
+    let session_budget = specs.len() + 1; // + the panicking session
+    let service = TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(threads)
+            .with_max_sessions(session_budget)
+            .with_queue_capacity(RUNS_PER_SESSION as usize),
+    );
+    let baseline_threads = os_thread_count();
+
+    // A deliberately panicking session rides along with the healthy
+    // ones: its runs must fail, its neighbours must not notice.
+    let panic_graph = figure2_graph();
+    let mut panic_registry = KernelRegistry::new();
+    panic_registry.register_fn("B", |_| panic!("session gone rogue"));
+    let panic_session = service
+        .open_session(
+            &panic_graph,
+            RuntimeConfig::new(Binding::from_pairs([("p", 2)])).with_threads(2),
+            panic_registry,
+        )
+        .expect("admit the panicking session");
+
+    // Admission control is observable: the session budget is now
+    // exhausted mid-way, so an extra open must be rejected and counted.
+    let mut sessions = Vec::new();
+    for spec in &specs {
+        let id = service
+            .open_session(&spec.graph, spec.config.clone(), spec.registry.clone())
+            .unwrap_or_else(|e| panic!("admit {}: {e}", spec.name));
+        sessions.push(id);
+    }
+    let refused = service.open_session(
+        &figure2_graph(),
+        RuntimeConfig::new(Binding::from_pairs([("p", 1)])).with_threads(1),
+        KernelRegistry::new(),
+    );
+    assert!(
+        matches!(refused, Err(ServiceError::SessionLimit { .. })),
+        "the {session_budget}-session budget must reject the extra: {refused:?}"
+    );
+
+    // Submit every session's requests up front: the ingress queues hold
+    // them while the pool multiplexes the sessions concurrently.
+    let mut requests = vec![Vec::new(); specs.len()];
+    let mut panic_requests = Vec::new();
+    for run in 0..RUNS_PER_SESSION {
+        for (session, requests) in sessions.iter().zip(&mut requests) {
+            requests.push(service.submit(*session).unwrap());
+        }
+        if run == 0 {
+            panic_requests.push(service.submit(panic_session).unwrap());
+        }
+    }
+
+    // The panicking session fails — and only it.
+    for request in panic_requests {
+        let outcome = service.wait(panic_session, request);
+        assert!(
+            matches!(outcome, Err(ServiceError::Runtime(_))),
+            "the rogue session must fail its own runs: {outcome:?}"
+        );
+    }
+
+    for ((spec, session), session_requests) in specs.iter().zip(&sessions).zip(&requests) {
+        for request in session_requests {
+            let metrics = service
+                .wait(*session, *request)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(metrics.iterations > 0, "{}", spec.name);
+        }
+        assert_eq!(
+            service.poll(*session).unwrap(),
+            SessionStatus::Idle,
+            "{}",
+            spec.name
+        );
+    }
+
+    // Byte-identical sink streams: the multiplexed runs produced
+    // exactly the solo runs' tokens, session by session.
+    for spec in &specs {
+        if let (Some(capture), Some(solo)) = (&spec.capture, &spec.solo_tokens) {
+            assert_eq!(
+                &capture.tokens(),
+                solo,
+                "{}: service sink stream differs from its solo run",
+                spec.name
+            );
+            assert!(!solo.is_empty(), "{}: vacuous comparison", spec.name);
+        }
+    }
+
+    // The rebinding session is checked against the count-level engine.
+    {
+        let spec = specs.last().expect("figure2 spec is last");
+        let reference = Simulator::new(
+            &spec.graph,
+            SimulationConfig::new(spec.config.binding.clone())
+                .with_binding_sequence(spec.config.binding_sequence.clone()),
+        )
+        .unwrap()
+        .run_iterations(spec.config.iterations)
+        .unwrap();
+        let report = service.metrics();
+        let per = report.session(*sessions.last().unwrap()).unwrap();
+        assert_eq!(
+            per.firings,
+            RUNS_PER_SESSION * reference.firings.iter().sum::<u64>(),
+            "rebinding session firings must match the reference per run"
+        );
+    }
+
+    let report = service.drain();
+    assert!(report.sessions_rejected >= 1, "rejections must be counted");
+    assert_eq!(
+        report.runs_completed,
+        specs.len() as u64 * RUNS_PER_SESSION,
+        "every healthy run completes"
+    );
+    assert_eq!(report.runs_failed, 1, "exactly the rogue session failed");
+    assert_eq!(report.queued_requests, 0, "drain leaves no queued work");
+    for spec_metrics in &report.per_session {
+        assert_eq!(spec_metrics.queue_depth, 0);
+        assert!(!spec_metrics.running);
+    }
+
+    // No OS-thread leak: everything ran on the workers the service
+    // spawned at construction.
+    if let (Some(before), Some(after)) = (baseline_threads, os_thread_count()) {
+        assert_eq!(
+            before, after,
+            "OS thread count changed across {} sessions × {RUNS_PER_SESSION} runs",
+            session_budget
+        );
+    }
+}
