@@ -26,15 +26,21 @@
 //!   summary is *not* rewritten (smoke numbers are noise);
 //! * `TPDF_BENCH_ENFORCE=1` — exit non-zero when 4-thread throughput
 //!   drops below 1-thread throughput on the Figure 2 graph (work
-//!   stealing *or* affinity), or when the pooled repeat-run throughput
-//!   drops below the spawn-per-run throughput at 1 thread.
+//!   stealing *or* affinity), when the pooled repeat-run throughput
+//!   drops below the spawn-per-run throughput at 1 thread, or when the
+//!   `figure2_traced` tracing-overhead cells exceed their bounds
+//!   (≤ 5% with the tracer disabled, ≤ 15% with the flight recorder
+//!   on, vs the untraced 4-thread cell).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 use tpdf_core::examples::figure2_graph;
 use tpdf_manycore::MappingStrategy;
-use tpdf_runtime::{Executor, ExecutorPool, KernelRegistry, PlacementPolicy, RuntimeConfig};
+use tpdf_runtime::{
+    Executor, ExecutorPool, KernelRegistry, PlacementPolicy, RuntimeConfig, Tracer,
+};
 use tpdf_service::{ServiceConfig, SessionId, TpdfService};
 use tpdf_sim::engine::{SimulationConfig, Simulator};
 use tpdf_symexpr::Binding;
@@ -87,8 +93,11 @@ fn sample_size() -> usize {
     // collapse to the single-worker fast path), so the comparison is
     // all noise floor — and the stub's interquartile mean needs enough
     // samples to actually trim scheduler outliers on small CI hosts.
+    // The enforce guards use min-time throughput, so more samples can
+    // only improve the estimate; a fine-grained sample is sub-ms, so
+    // the extra smoke samples cost almost nothing.
     if smoke() {
-        15
+        40
     } else {
         60
     }
@@ -202,6 +211,39 @@ fn bench_runtime(c: &mut Criterion) {
                 .expect("simulation completes")
         })
     });
+    group.finish();
+}
+
+/// The tracing overhead cells: the 4-thread figure 2 workload with a
+/// `tpdf-trace` flight recorder installed — once disabled (the cost of
+/// carrying the instrumentation: one relaxed load and a branch per
+/// site) and once recording (the full per-event ring-write cost).
+/// `TPDF_BENCH_ENFORCE` holds `disabled ≥ 0.95×` and
+/// `recording ≥ 0.85×` of the untraced `figure2_threads/4` cell.
+fn bench_runtime_traced(c: &mut Criterion) {
+    let graph = figure2_graph();
+    let binding = Binding::from_pairs([("p", P)]);
+    let registry = KernelRegistry::new();
+    let tokens = tokens_per_run(P, iterations(), &registry);
+    let threads = 4;
+
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.sample_size(sample_size());
+    group.throughput(Throughput::Elements(tokens));
+
+    for (cell, enabled) in [("off", false), ("flight", true)] {
+        let tracer = Tracer::flight_recorder(threads, 4096);
+        tracer.set_enabled(enabled);
+        let pool = ExecutorPool::new(threads);
+        let config = RuntimeConfig::new(binding.clone())
+            .with_threads(threads)
+            .with_iterations(iterations())
+            .with_tracer(Arc::clone(&tracer));
+        let executor = pool.executor(&graph, config).expect("executor");
+        group.bench_with_input(BenchmarkId::new("figure2_traced", cell), &cell, |b, _| {
+            b.iter(|| pool.run(&executor, &registry).expect("run completes"))
+        });
+    }
     group.finish();
 }
 
@@ -409,6 +451,24 @@ fn main() {
             0.85,
             "pooled repeat-run vs spawn-per-run (1 thread)",
         );
+        // Tracing overhead bounds: a *disabled* tracer must cost at
+        // most 5% (one relaxed load and a branch per site), the live
+        // flight recorder at most 15% — both against the untraced
+        // 4-thread cell running the identical workload.
+        enforce_ratio(
+            samples,
+            "runtime_throughput/figure2_traced/off",
+            "runtime_throughput/figure2_threads/4",
+            0.95,
+            "disabled-tracer overhead (4 threads)",
+        );
+        enforce_ratio(
+            samples,
+            "runtime_throughput/figure2_traced/flight",
+            "runtime_throughput/figure2_threads/4",
+            0.85,
+            "flight-recorder overhead (4 threads)",
+        );
         // Multiplexing many sessions on one pool must not cost more
         // than 10% of the strictly sequential aggregate: both sides
         // complete the same 8 runs, so this guards the slot-table and
@@ -438,6 +498,7 @@ fn main() {
 criterion_group!(
     benches,
     bench_runtime,
+    bench_runtime_traced,
     bench_runtime_weighted,
     bench_service_sessions
 );

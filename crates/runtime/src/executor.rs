@@ -78,6 +78,7 @@ use tpdf_core::mode::Mode;
 use tpdf_manycore::{map_graph, node_workloads, Mapping, MappingStrategy, Platform};
 use tpdf_sim::engine::{ControlPolicy, SimulationConfig, Simulator};
 use tpdf_symexpr::Binding;
+use tpdf_trace::{EventKind, TraceEvent, Tracer};
 
 use crate::metrics::RebindEvent;
 
@@ -189,6 +190,17 @@ pub struct RuntimeConfig {
     /// Safety net: a worker finding nothing to do wakes up after this
     /// long to re-check for stalls.
     pub stall_timeout: Duration,
+    /// Structured tracing sink (see [`tpdf_trace::Tracer`]). `None`
+    /// costs a pointer null-check per instrumentation site; an
+    /// installed-but-disabled tracer costs one `Relaxed` load plus a
+    /// branch. Installed tracers also enrich stall errors with the
+    /// flight-recorder tail.
+    pub tracer: Option<Arc<Tracer>>,
+    /// Job tag stamped on every trace event this execution emits
+    /// (Chrome export groups tags into processes). 0 means *untagged*:
+    /// a pool assigns a fresh tag per job, a service assigns one per
+    /// session.
+    pub trace_tag: u32,
 }
 
 impl RuntimeConfig {
@@ -207,6 +219,8 @@ impl RuntimeConfig {
             clock_mode: ClockMode::Virtual,
             capacity_slack: 2,
             stall_timeout: Duration::from_millis(100),
+            tracer: None,
+            trace_tag: 0,
         }
     }
 
@@ -309,6 +323,33 @@ impl RuntimeConfig {
     pub fn with_capacity_slack(mut self, slack: u64) -> Self {
         self.capacity_slack = slack.max(1);
         self
+    }
+
+    /// Installs a structured tracing sink (see [`tpdf_trace::Tracer`]).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Tags every trace event of this execution with `tag` (Chrome
+    /// export groups tags into processes; 0 = untagged).
+    pub fn with_trace_tag(mut self, tag: u32) -> Self {
+        self.trace_tag = tag;
+        self
+    }
+}
+
+/// Encodes a [`Mode`] into the 32-bit operand a
+/// [`tpdf_trace::EventKind::ModeEmit`] event carries: `WaitAll` = 0,
+/// `HighestPriority` = 1, `SelectOne(p)` = `0x100 | p`, and
+/// `SelectMany(ps)` = `0x200 | ps.len()` (the port set itself stays in
+/// the mode log).
+pub fn mode_code(mode: &Mode) -> u32 {
+    match mode {
+        Mode::WaitAll => 0,
+        Mode::HighestPriority => 1,
+        Mode::SelectOne(port) => 0x100 | (*port as u32 & 0xFF),
+        Mode::SelectMany(ports) => 0x200 | (ports.len() as u32 & 0xFF),
     }
 }
 
@@ -447,6 +488,11 @@ struct ParkInner {
 /// (≈ 0.5–1 µs per firing).
 const FINE_GRAIN_NS: u64 = 10_000;
 
+/// Flight-recorder events a stall error dumps into its diagnostics —
+/// enough to see the last few firings and the park/wake churn leading
+/// into the stall, small enough to keep the error message bounded.
+pub const STALL_DUMP_EVENTS: usize = 32;
+
 /// Sampled firing-cost telemetry (1 in 8 firings is timed): an
 /// exponentially weighted moving average (α = 1/8) in nanoseconds,
 /// feeding the granularity heuristic. An EWMA — not a cumulative mean —
@@ -538,6 +584,10 @@ pub(crate) struct RunState {
     mode_log: Vec<Mutex<Vec<Mode>>>,
     /// Parameter rebindings applied at iteration barriers.
     rebinds: Mutex<Vec<RebindEvent>>,
+    /// Job tag stamped on this run's trace events (see
+    /// [`RuntimeConfig::trace_tag`]; a pool overwrites 0 with a fresh
+    /// tag before starting workers).
+    pub(crate) trace_job: u32,
     park: Mutex<ParkInner>,
     cond: Condvar,
 }
@@ -576,6 +626,18 @@ struct Claim {
     deadline_missed: bool,
     /// Record a [`DeadlineSelection`] for this firing.
     record_deadline: bool,
+}
+
+/// Per-worker scratch threaded through the firing path: the local
+/// firing counter that drives the 1-in-8 sampling cadence, and the
+/// cached trace timestamp that unsampled firings stamp their events
+/// with — tracing then costs one clock read per *sampled* firing
+/// instead of per firing, which is what keeps the flight recorder
+/// within its overhead budget on fine-grained graphs.
+#[derive(Default)]
+struct FireScratch {
+    fired: u64,
+    ts_ns: u64,
 }
 
 /// The multi-threaded executor of one TPDF graph.
@@ -1254,8 +1316,21 @@ impl Engine {
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
             rebinds: Mutex::new(Vec::new()),
+            trace_job: self.config.trace_tag,
             park: Mutex::new(ParkInner::default()),
             cond: Condvar::new(),
+        }
+    }
+
+    /// The active tracer, or `None` when tracing costs nothing: the
+    /// instrumentation sites branch on this, so with no tracer
+    /// installed the cost is a pointer null-check, and with a disabled
+    /// tracer one `Relaxed` load plus a branch.
+    #[inline]
+    pub(crate) fn trace(&self) -> Option<&Tracer> {
+        match &self.config.tracer {
+            Some(tracer) if tracer.is_enabled() => Some(tracer),
+            _ => None,
         }
     }
 
@@ -1273,7 +1348,7 @@ impl Engine {
     ) -> bool {
         let real_time = matches!(self.config.clock_mode, ClockMode::RealTime { .. });
         let affinity = self.config.placement.is_affinity();
-        let mut fired_local: u64 = 0;
+        let mut scratch = FireScratch::default();
         // Consecutive empty hunts; under affinity placement, crossing
         // the boundary (foreign-queue steals, foreign-node scan fires)
         // requires `starved >= AFFINITY_STEAL_THRESHOLD`.
@@ -1321,7 +1396,7 @@ impl Engine {
                     registry,
                     start,
                     real_time,
-                    &mut fired_local,
+                    &mut scratch,
                 ) {
                     starved = 0;
                 }
@@ -1342,7 +1417,7 @@ impl Engine {
                     registry,
                     start,
                     real_time,
-                    &mut fired_local,
+                    &mut scratch,
                 )
             });
             if fired {
@@ -1359,7 +1434,7 @@ impl Engine {
                 continue;
             }
             // 5. Nothing claimable anywhere: park (or report a stall).
-            self.park(state, epoch, start);
+            self.park(state, me, epoch, start);
         }
     }
 
@@ -1397,7 +1472,7 @@ impl Engine {
     /// identical by the determinacy argument; only the schedule
     /// differs.
     pub(crate) fn run_single(&self, state: &RunState, registry: &KernelRegistry, start: Instant) {
-        let mut fired_local: u64 = 0;
+        let mut scratch = FireScratch::default();
         loop {
             if state.halt.load(Ordering::Relaxed) {
                 return;
@@ -1409,7 +1484,7 @@ impl Engine {
                 while let Some(claim) = self.try_claim_node(state, node, false) {
                     progressed = true;
                     if let Err(error) =
-                        self.execute_timed(state, claim, registry, start, &mut fired_local)
+                        self.execute_timed(state, claim, registry, start, 0, &mut scratch)
                     {
                         self.fail(state, error);
                         return;
@@ -1419,7 +1494,7 @@ impl Engine {
                     ns.fired_total.fetch_add(1, Ordering::Relaxed);
                     state.worker_firings[0].fetch_add(1, Ordering::Relaxed);
                     if state.remaining_iter.fetch_sub(1, Ordering::Relaxed) == 1 {
-                        self.iteration_barrier(state);
+                        self.iteration_barrier(state, 0);
                         if state.halt.load(Ordering::Relaxed) {
                             return;
                         }
@@ -1429,13 +1504,8 @@ impl Engine {
             if !progressed {
                 // A full scan fired nothing and nothing can be in
                 // flight: the graph is stalled.
-                self.fail(
-                    state,
-                    RuntimeError::Stalled {
-                        blocked: self.blocked_names(state),
-                        iteration: state.iteration.load(Ordering::Relaxed),
-                    },
-                );
+                let error = self.stall_error(state);
+                self.fail(state, error);
                 return;
             }
         }
@@ -1517,7 +1587,7 @@ impl Engine {
         registry: &KernelRegistry,
         start: Instant,
         real_time: bool,
-        fired_local: &mut u64,
+        scratch: &mut FireScratch,
     ) -> bool {
         let info = &self.nodes[node];
         if real_time && info.is_clock {
@@ -1549,8 +1619,11 @@ impl Engine {
                     // fired by a starved worker.
                     if stolen || !self.is_home(state, node, me, state.queues.len()) {
                         state.worker_steals[me].fetch_add(1, Ordering::Relaxed);
+                        if let Some(tracer) = self.trace() {
+                            tracer.event(me, EventKind::Steal, state.trace_job, node as u32, 0, 0);
+                        }
                     }
-                    match self.execute_timed(state, claim, registry, start, fired_local) {
+                    match self.execute_timed(state, claim, registry, start, me, scratch) {
                         Ok(()) => self.finish_firing(state, me, node),
                         Err(error) => self.fail(state, error),
                     }
@@ -1568,20 +1641,66 @@ impl Engine {
     /// cost. Shared by the multi-worker and single-worker paths so the
     /// telemetry feeding [`Executor::fine_grained`] cannot diverge
     /// between them.
+    ///
+    /// Tracing rides the same cadence: sampled firings pay two clock
+    /// reads (a fresh timestamp plus the duration) and feed the shared
+    /// `firing_ns` histogram that every worker contends on; the seven
+    /// firings in between still emit their event — the flight-recorder
+    /// counts stay exact — but as a zero-width slice stamped with the
+    /// worker's cached timestamp. The merged log is timestamp-sorted,
+    /// so coarse stamps remain monotone per lane.
     fn execute_timed(
         &self,
         state: &RunState,
         claim: Claim,
         registry: &KernelRegistry,
         start: Instant,
-        fired_local: &mut u64,
+        me: usize,
+        scratch: &mut FireScratch,
     ) -> Result<(), RuntimeError> {
-        *fired_local += 1;
-        let timer = (*fired_local & 7 == 1).then(Instant::now);
-        let outcome = self
-            .execute(claim, registry)
-            .and_then(|(claim, mut ctx)| self.publish_outputs(state, &claim, &mut ctx, start));
-        if let Some(timer) = timer {
+        scratch.fired += 1;
+        let node = claim.node;
+        let plan_idx = claim.plan;
+        let sampled = scratch.fired & 7 == 1;
+        let tracer = self.trace();
+        if sampled {
+            if let Some(tracer) = tracer {
+                scratch.ts_ns = tracer.now_ns();
+            }
+        }
+        let timer = (sampled && tracer.is_none()).then(Instant::now);
+        let mut tokens: u64 = 0;
+        let outcome = self.execute(claim, registry).and_then(|(claim, mut ctx)| {
+            if tracer.is_some() {
+                // Data tokens this firing is about to publish (the
+                // slabs are drained into the rings by the publish).
+                tokens = ctx.outputs.iter().map(|o| o.tokens.len() as u64).sum();
+            }
+            self.publish_outputs(state, &claim, &mut ctx, start, me)
+        });
+        if let Some(tracer) = tracer {
+            let (ts_ns, dur) = if sampled {
+                let started = scratch.ts_ns;
+                let ended = tracer.now_ns();
+                let dur = ended.saturating_sub(started);
+                self.record_cost_sample(dur);
+                tracer.histograms().firing_ns.record(dur);
+                // Later unsampled firings stamp "after this one".
+                scratch.ts_ns = ended;
+                (started, dur)
+            } else {
+                (scratch.ts_ns, 0)
+            };
+            tracer.event_at(
+                ts_ns,
+                me,
+                EventKind::Firing,
+                state.trace_job,
+                node as u32,
+                plan_idx as u32,
+                TraceEvent::pack_firing(dur, tokens),
+            );
+        } else if let Some(timer) = timer {
             self.record_cost_sample(timer.elapsed().as_nanos() as u64);
         }
         outcome
@@ -1782,6 +1901,7 @@ impl Engine {
         claim: &Claim,
         ctx: &mut FiringContext,
         start: Instant,
+        me: usize,
     ) -> Result<(), RuntimeError> {
         let node = claim.node;
         let info = &self.nodes[node];
@@ -1820,6 +1940,16 @@ impl Engine {
                 state.control_ring(chan).push_clones(&mode, rate as usize)?;
                 state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
             }
+            if let Some(tracer) = self.trace() {
+                tracer.event(
+                    me,
+                    EventKind::ModeEmit,
+                    state.trace_job,
+                    node as u32,
+                    mode_code(&mode),
+                    ns.control_firings.load(Ordering::Relaxed),
+                );
+            }
             state.mode_log[node]
                 .lock()
                 .expect("mode log lock")
@@ -1846,6 +1976,16 @@ impl Engine {
         }
         if ctx.deadline_missed {
             state.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(tracer) = self.trace() {
+                tracer.event(
+                    me,
+                    EventKind::DeadlineMiss,
+                    state.trace_job,
+                    node as u32,
+                    0,
+                    0,
+                );
+            }
         }
         if ctx.vote_failed {
             state.vote_failures.fetch_add(1, Ordering::Relaxed);
@@ -1867,7 +2007,7 @@ impl Engine {
         ns.claimed.store(false, Ordering::Release);
         let surplus = self.enqueue_candidates(state, me, node);
         if state.remaining_iter.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.iteration_barrier(state);
+            self.iteration_barrier(state, me);
         }
         self.signal_progress(state, surplus);
     }
@@ -1929,7 +2069,21 @@ impl Engine {
     /// no claim can race with the flush, the plan switch or the ring
     /// growth; the `Release` budget republication is what publishes all
     /// of them to the next claimants.
-    fn iteration_barrier(&self, state: &RunState) {
+    fn iteration_barrier(&self, state: &RunState, me: usize) {
+        let tracer = self.trace();
+        // The iteration index being finished (0-based), for the trace
+        // events bracketing the barrier.
+        let finishing = state.iteration.load(Ordering::Relaxed);
+        if let Some(t) = tracer {
+            t.event(
+                me,
+                EventKind::BarrierEnter,
+                state.trace_job,
+                0,
+                0,
+                finishing,
+            );
+        }
         // Flush data channels whose consuming (controlled) port was
         // rejected for the whole iteration back to their initial state.
         for (i, info) in self.chans.iter().enumerate() {
@@ -1961,12 +2115,34 @@ impl Engine {
             if next != state.plan.load(Ordering::Relaxed) {
                 let plan = &self.plans[next];
                 for (i, &cap) in plan.capacities.iter().enumerate() {
-                    match &state.rings[i] {
+                    let old = match &state.rings[i] {
                         ChannelRing::Data(ring) => ring.grow(cap as usize),
                         ChannelRing::Control(ring) => ring.grow(cap as usize),
+                    };
+                    if old < cap as usize {
+                        if let Some(t) = tracer {
+                            t.event(
+                                me,
+                                EventKind::RingGrow,
+                                state.trace_job,
+                                i as u32,
+                                old as u32,
+                                cap,
+                            );
+                        }
                     }
                 }
                 state.plan.store(next, Ordering::Relaxed);
+                if let Some(t) = tracer {
+                    t.event(
+                        me,
+                        EventKind::PlanSwitch,
+                        state.trace_job,
+                        next as u32,
+                        0,
+                        finished,
+                    );
+                }
                 let capacities = state
                     .rings
                     .iter()
@@ -1993,6 +2169,16 @@ impl Engine {
             for (n, ns) in state.nodes.iter().enumerate() {
                 ns.budget.store(plan.counts[n], Ordering::Release);
             }
+        }
+        if let Some(t) = tracer {
+            t.event(
+                me,
+                EventKind::BarrierExit,
+                state.trace_job,
+                0,
+                (finished >= self.config.iterations) as u32,
+                finishing,
+            );
         }
     }
 
@@ -2063,7 +2249,7 @@ impl Engine {
     /// is attempting or holding a claim (attempts bracket `in_flight`),
     /// and if no real-time clock tick is pending either, the graph can
     /// never make progress again.
-    fn park(&self, state: &RunState, epoch: u64, start: Instant) {
+    fn park(&self, state: &RunState, me: usize, epoch: u64, start: Instant) {
         state.parked.fetch_add(1, Ordering::SeqCst);
         let guard = state.park.lock().expect("park lock");
         let stale = state.epoch.load(Ordering::SeqCst) != epoch;
@@ -2075,16 +2261,17 @@ impl Engine {
             if state.in_flight.load(Ordering::SeqCst) == 0 && next_tick.is_none() {
                 let mut guard = guard;
                 if guard.error.is_none() {
-                    guard.error = Some(RuntimeError::Stalled {
-                        blocked: self.blocked_names(state),
-                        iteration: state.iteration.load(Ordering::Relaxed),
-                    });
+                    guard.error = Some(self.stall_error(state));
                 }
                 state.halt.store(true, Ordering::SeqCst);
                 drop(guard);
                 state.cond.notify_all();
             } else {
                 let timeout = next_tick.unwrap_or(self.config.stall_timeout);
+                let tracer = self.trace();
+                if let Some(t) = tracer {
+                    t.event(me, EventKind::Park, state.trace_job, 0, 0, 0);
+                }
                 drop(
                     state
                         .cond
@@ -2092,6 +2279,9 @@ impl Engine {
                         .expect("park lock")
                         .0,
                 );
+                if let Some(t) = tracer {
+                    t.event(me, EventKind::Wake, state.trace_job, 0, 0, 0);
+                }
             }
         }
         state.parked.fetch_sub(1, Ordering::SeqCst);
@@ -2104,6 +2294,51 @@ impl Engine {
             .filter(|&&n| state.nodes[n].budget.load(Ordering::Relaxed) > 0)
             .map(|&n| self.nodes[n].name.to_string())
             .collect()
+    }
+
+    /// Builds the [`RuntimeError::Stalled`] for a proven stall,
+    /// recording a [`EventKind::Stall`] marker and attaching the
+    /// per-node budget breakdown plus the flight-recorder tail.
+    fn stall_error(&self, state: &RunState) -> RuntimeError {
+        let iteration = state.iteration.load(Ordering::Relaxed);
+        if let Some(tracer) = self.trace() {
+            tracer.control_event(EventKind::Stall, state.trace_job, 0, 0, iteration);
+        }
+        RuntimeError::Stalled {
+            blocked: self.blocked_names(state),
+            iteration,
+            diagnostics: self.stall_diagnostics(state),
+        }
+    }
+
+    /// Renders the stall post-mortem: one line per node with firings
+    /// remaining, then the last [`STALL_DUMP_EVENTS`] flight-recorder
+    /// events. The tail is read from the tracer even when recording is
+    /// currently disabled — its rings still hold the recent past.
+    fn stall_diagnostics(&self, state: &RunState) -> String {
+        use std::fmt::Write;
+        let plan = &self.plans[state.plan.load(Ordering::Relaxed)];
+        let mut out = String::new();
+        for &n in &self.scan_order {
+            let remaining = state.nodes[n].budget.load(Ordering::Relaxed);
+            if remaining > 0 {
+                let _ = writeln!(
+                    out,
+                    "  node {n} ({}): {remaining} of {} firings remaining",
+                    self.nodes[n].name, plan.counts[n]
+                );
+            }
+        }
+        if let Some(tracer) = &self.config.tracer {
+            let tail = tracer.recent(STALL_DUMP_EVENTS);
+            if !tail.is_empty() {
+                let _ = writeln!(out, "  flight recorder tail ({} events):", tail.len());
+                for event in &tail {
+                    let _ = writeln!(out, "    {}", event.summary());
+                }
+            }
+        }
+        out
     }
 
     /// The wall-clock instant of real-time clock tick `k` (0-based) of
@@ -2161,13 +2396,20 @@ impl Engine {
             // Re-check under the claim: another worker may have fired
             // this very tick between the check above and the CAS.
             let remaining = ns.budget.load(Ordering::Acquire);
-            let due = remaining > 0
-                && Instant::now()
-                    >= self.tick_instant(start, node, ns.fired_total.load(Ordering::Relaxed), unit);
+            let tick = self.tick_instant(start, node, ns.fired_total.load(Ordering::Relaxed), unit);
+            let due = remaining > 0 && Instant::now() >= tick;
             let fired = if due {
+                if let Some(tracer) = self.trace() {
+                    // Tick lateness: how long past its wall-clock
+                    // deadline this tick actually fired.
+                    tracer
+                        .histograms()
+                        .deadline_slack_ns
+                        .record(Instant::now().saturating_duration_since(tick).as_nanos() as u64);
+                }
                 let plan_idx = state.plan.load(Ordering::Relaxed);
                 let ordinal = self.plans[plan_idx].counts[node] - remaining;
-                match self.fire_clock_claimed(state, node, ordinal, plan_idx) {
+                match self.fire_clock_claimed(state, node, ordinal, plan_idx, me) {
                     Ok(()) => self.finish_firing(state, me, node),
                     Err(error) => self.fail(state, error),
                 }
@@ -2194,6 +2436,7 @@ impl Engine {
         node: usize,
         ordinal: u64,
         plan_idx: usize,
+        me: usize,
     ) -> Result<(), RuntimeError> {
         let info = &self.nodes[node];
         let ns = &state.nodes[node];
@@ -2216,6 +2459,16 @@ impl Engine {
             state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
         }
         if !info.control_outputs.is_empty() {
+            if let Some(tracer) = self.trace() {
+                tracer.event(
+                    me,
+                    EventKind::ModeEmit,
+                    state.trace_job,
+                    node as u32,
+                    mode_code(&mode),
+                    ns.control_firings.load(Ordering::Relaxed),
+                );
+            }
             state.mode_log[node]
                 .lock()
                 .expect("mode log lock")
@@ -2593,6 +2846,73 @@ mod tests {
         // The reference sizing run already detects the deadlock.
         let result = Executor::new(&g, RuntimeConfig::new(binding(2)));
         assert!(matches!(result, Err(RuntimeError::Analysis(_))));
+    }
+
+    /// The stall post-mortem (a defensive path — a well-formed graph's
+    /// deadlocks are caught by analysis before the runtime ever sees
+    /// them) must list per-node remaining budgets and attach the
+    /// flight-recorder tail, bounded by [`STALL_DUMP_EVENTS`].
+    #[test]
+    fn stall_error_carries_budgets_and_bounded_recorder_tail() {
+        let tracer = Tracer::flight_recorder(1, 256);
+        // More history than the dump bound: the tail must be clipped.
+        for i in 0..(2 * STALL_DUMP_EVENTS as u32) {
+            tracer.event(0, EventKind::Steal, 0, i, 0, 0);
+        }
+        let g = figure2_graph();
+        let executor = Executor::new(
+            &g,
+            RuntimeConfig::new(binding(2)).with_tracer(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let engine = executor.engine();
+        let state = engine.initial_state(1);
+        let error = engine.stall_error(&state);
+        let RuntimeError::Stalled {
+            blocked,
+            diagnostics,
+            ..
+        } = &error
+        else {
+            panic!("expected Stalled, got {error}");
+        };
+        assert!(!blocked.is_empty());
+        assert!(
+            diagnostics.contains("firings remaining"),
+            "budgets must be listed:\n{diagnostics}"
+        );
+        assert!(
+            diagnostics.contains("flight recorder tail"),
+            "the recorder tail must be attached:\n{diagnostics}"
+        );
+        let tail_lines = diagnostics
+            .lines()
+            .filter(|line| line.starts_with("    "))
+            .count();
+        assert!(
+            tail_lines > 0 && tail_lines <= STALL_DUMP_EVENTS,
+            "tail must be non-empty and bounded by {STALL_DUMP_EVENTS}, got {tail_lines}"
+        );
+        // The stall itself is recorded as a control-lane event, and the
+        // rendered error surfaces the diagnostics.
+        assert_eq!(tracer.collect().count(EventKind::Stall), 1);
+        assert!(error.to_string().contains("flight recorder tail"));
+    }
+
+    /// Without a tracer the stall error still explains itself through
+    /// the per-node budgets, just without a recorder tail.
+    #[test]
+    fn stall_error_without_tracer_lists_budgets_only() {
+        let g = figure2_graph();
+        let executor = Executor::new(&g, RuntimeConfig::new(binding(2))).unwrap();
+        let engine = executor.engine();
+        let state = engine.initial_state(1);
+        let error = engine.stall_error(&state);
+        let RuntimeError::Stalled { diagnostics, .. } = &error else {
+            panic!("expected Stalled, got {error}");
+        };
+        assert!(diagnostics.contains("firings remaining"));
+        assert!(!diagnostics.contains("flight recorder tail"));
     }
 
     #[test]

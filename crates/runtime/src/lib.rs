@@ -15,6 +15,12 @@
 //! | [`metrics`] | [`metrics::Metrics`]: per-actor firings, tokens/sec, deadline misses, per-worker firing/steal counts |
 //! | [`cases`] | the edge-detection, OFDM and FM-radio case studies ported to run end-to-end |
 //!
+//! Structured tracing: install a [`tpdf_trace::Tracer`] with
+//! [`executor::RuntimeConfig::with_tracer`] and every layer — executor
+//! firings/steals/barriers, pool job lifecycle, service sessions —
+//! records fixed-size events into its per-worker flight-recorder rings
+//! (re-exported here as [`Tracer`]).
+//!
 //! ## Semantics
 //!
 //! The executor implements the untimed `tpdf-sim` engine's semantics on
@@ -70,6 +76,7 @@ pub mod metrics;
 mod pinning;
 pub mod pool;
 pub mod ring;
+mod snapshot;
 pub mod token;
 
 pub use cases::{EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture};
@@ -79,6 +86,7 @@ pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
 pub use pool::{ExecutorPool, JobTicket};
 pub use ring::RingBuffer;
 pub use token::Token;
+pub use tpdf_trace::Tracer;
 
 use std::fmt;
 
@@ -96,6 +104,12 @@ pub enum RuntimeError {
         blocked: Vec<String>,
         /// Iteration index at the stall.
         iteration: u64,
+        /// Post-mortem detail rendered at the stall site: per-node
+        /// remaining firing budgets, and — when a
+        /// [`tpdf_trace::Tracer`] is installed — the flight-recorder
+        /// tail (the last [`executor::STALL_DUMP_EVENTS`] events).
+        /// Empty when no detail is available.
+        diagnostics: String,
     },
     /// A ring buffer overflowed (indicates an executor bug — output
     /// space is reserved before firing).
@@ -134,11 +148,21 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid runtime configuration: {msg}"),
-            RuntimeError::Stalled { blocked, iteration } => write!(
-                f,
-                "runtime stalled in iteration {iteration}; blocked nodes: {}",
-                blocked.join(", ")
-            ),
+            RuntimeError::Stalled {
+                blocked,
+                iteration,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "runtime stalled in iteration {iteration}; blocked nodes: {}",
+                    blocked.join(", ")
+                )?;
+                if !diagnostics.is_empty() {
+                    write!(f, "\n{}", diagnostics.trim_end())?;
+                }
+                Ok(())
+            }
             RuntimeError::CapacityExceeded { channel, capacity } => {
                 write!(f, "ring {channel} overflowed its capacity of {capacity}")
             }
@@ -188,8 +212,15 @@ mod tests {
         let stalled = RuntimeError::Stalled {
             blocked: vec!["A".into(), "B".into()],
             iteration: 3,
+            diagnostics: String::new(),
         };
         assert!(stalled.to_string().contains("A, B"));
+        let detailed = RuntimeError::Stalled {
+            blocked: vec!["A".into()],
+            iteration: 0,
+            diagnostics: "  node 0 (A): 1 of 2 firings remaining\n".into(),
+        };
+        assert!(detailed.to_string().contains("firings remaining"));
         assert!(RuntimeError::CapacityExceeded {
             channel: "e1".into(),
             capacity: 8

@@ -40,7 +40,11 @@ pub struct RebindEvent {
 }
 
 /// Aggregate statistics of one runtime execution.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The serde derives are the workspace's offline no-op stubs; the
+/// concrete text codec behind the seam is
+/// [`Metrics::to_snapshot`] / [`Metrics::from_snapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Metrics {
     /// Complete graph iterations executed.
     pub iterations: u64,

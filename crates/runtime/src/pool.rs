@@ -72,11 +72,12 @@ use crate::metrics::Metrics;
 use crate::pinning::pin_to_nth_allowed_core;
 use crate::RuntimeError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tpdf_core::graph::TpdfGraph;
+use tpdf_trace::EventKind;
 
 /// One submitted run: everything a pool worker needs, owned, plus the
 /// participation and completion accounting of the slot table.
@@ -214,6 +215,16 @@ fn try_elect_finalizer(slot: &mut PoolSlot, job: &Arc<PoolJob>) -> bool {
 /// instead of [`leave`]).
 fn participate(job: &Arc<PoolJob>, idx: usize) -> bool {
     let start = job.started();
+    if let Some(tracer) = job.engine.trace() {
+        tracer.event(
+            idx,
+            EventKind::JobClaim,
+            job.state.trace_job,
+            idx as u32,
+            0,
+            0,
+        );
+    }
     let single_virtual =
         job.workers == 1 && matches!(job.engine.config().clock_mode, ClockMode::Virtual);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -294,6 +305,15 @@ fn finalize_job(shared: &PoolShared, job: &Arc<PoolJob>) {
     if let Ok(metrics) = &mut result {
         metrics.pinned_cores = shared.pinned.lock().expect("pinning lock").clone();
     }
+    if let Some(tracer) = job.engine.trace() {
+        tracer.control_event(
+            EventKind::JobFinalize,
+            job.state.trace_job,
+            0,
+            result.is_err() as u32,
+            0,
+        );
+    }
     *job.result.lock().expect("result lock") = Some(result);
     job.finished.store(true, Ordering::Release);
     // Pass through the mutex so a waiter that checked `finished` but
@@ -364,6 +384,10 @@ pub struct ExecutorPool {
     handles: Vec<JoinHandle<()>>,
     telemetry: Arc<CostTelemetry>,
     threads: usize,
+    /// Monotone trace tags handed to jobs whose config left
+    /// [`crate::executor::RuntimeConfig::trace_tag`] at 0 (see
+    /// [`tag_job`](Self::tag_job)).
+    job_tags: AtomicU32,
 }
 
 impl std::fmt::Debug for ExecutorPool {
@@ -426,6 +450,20 @@ impl ExecutorPool {
             handles,
             telemetry: Arc::new(CostTelemetry::default()),
             threads,
+            job_tags: AtomicU32::new(0),
+        }
+    }
+
+    /// Stamps an untagged job's run state with a fresh pool-assigned
+    /// trace tag and records the submission. Pool-assigned tags live in
+    /// the upper half of the tag space (`0x8000_0000 |`) so they never
+    /// collide with the small tags a service assigns per session.
+    fn tag_job(&self, engine: &Engine, state: &mut RunState, workers: usize) {
+        if state.trace_job == 0 {
+            state.trace_job = 0x8000_0000 | (self.job_tags.fetch_add(1, Ordering::Relaxed) + 1);
+        }
+        if let Some(tracer) = engine.trace() {
+            tracer.control_event(EventKind::JobSubmit, state.trace_job, workers as u32, 0, 0);
         }
     }
 
@@ -498,7 +536,8 @@ impl ExecutorPool {
     ) -> Result<Metrics, RuntimeError> {
         let engine = Arc::clone(executor.engine());
         let workers = engine.effective_workers().min(self.threads);
-        let state = engine.initial_state(workers);
+        let mut state = engine.initial_state(workers);
+        self.tag_job(&engine, &mut state, workers);
         let start = Instant::now();
         let virtual_clocks = matches!(engine.config().clock_mode, ClockMode::Virtual);
         if workers == 1 && virtual_clocks {
@@ -535,6 +574,9 @@ impl ExecutorPool {
             slot.queue.push(Arc::clone(&job));
             drop(slot);
             self.shared.work.notify_all();
+        }
+        if let Some(tracer) = job.engine.trace() {
+            tracer.event(0, EventKind::JobClaim, job.state.trace_job, 0, 0, 0);
         }
         // A caller-side panic is caught so the halt can be published
         // and the secondaries drained (otherwise they would hold their
@@ -593,7 +635,8 @@ impl ExecutorPool {
     ) -> JobTicket {
         let engine = Arc::clone(compiled.engine());
         let workers = engine.effective_workers().min(self.threads);
-        let state = engine.initial_state(workers);
+        let mut state = engine.initial_state(workers);
+        self.tag_job(&engine, &mut state, workers);
         let job = Arc::new(PoolJob {
             engine,
             registry: registry.clone(),

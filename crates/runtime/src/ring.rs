@@ -293,10 +293,14 @@ impl<T> RingBuffer<T> {
     }
 
     /// Grows the ring in place to `new_capacity` slots, preserving the
-    /// stored elements, their FIFO order and both cursors. A no-op when
-    /// `new_capacity` does not exceed the current capacity — rings never
-    /// shrink, so a parameter rebinding can only relax the backpressure
-    /// an in-flight producer relies on, never invalidate it.
+    /// stored elements, their FIFO order and both cursors. Returns the
+    /// capacity the ring had before the call — equal to `new_capacity`
+    /// only if nothing changed, which is how the barrier's trace
+    /// instrumentation distinguishes a real growth from a no-op. A
+    /// no-op when `new_capacity` does not exceed the current capacity —
+    /// rings never shrink, so a parameter rebinding can only relax the
+    /// backpressure an in-flight producer relies on, never invalidate
+    /// it.
     ///
     /// **Quiescence required:** the caller must guarantee that no
     /// producer or consumer touches the ring for the duration of the
@@ -308,10 +312,10 @@ impl<T> RingBuffer<T> {
     /// survive: cursors keep their values, and because the slot index of
     /// cursor `c` is `c % capacity`, the elements are re-homed to their
     /// new slots during the copy.
-    pub fn grow(&self, new_capacity: usize) {
+    pub fn grow(&self, new_capacity: usize) -> usize {
         let old_capacity = self.capacity();
         if new_capacity <= old_capacity {
-            return;
+            return old_capacity;
         }
         let head = self.head.load(Ordering::Acquire);
         let tail = self.tail.load(Ordering::Acquire);
@@ -334,6 +338,7 @@ impl<T> RingBuffer<T> {
             *self.slots.get() = new_slots;
         }
         self.cap.store(new_capacity, Ordering::Release);
+        old_capacity
     }
 }
 

@@ -1,9 +1,18 @@
 //! Aggregated statistics of a running (or drained) service.
+//!
+//! [`ServiceMetrics`] is serializable through the workspace's serde
+//! stub seam: the derive markers are no-ops, and the concrete codec is
+//! [`ServiceMetrics::to_snapshot`] / [`ServiceMetrics::from_snapshot`]
+//! (the same line-oriented `key=value` document format as
+//! `tpdf_runtime::Metrics`, with one repeated `session` line per
+//! session). [`ServiceMetrics::to_prometheus`] renders the same
+//! numbers in Prometheus text exposition format.
 
 use crate::service::SessionId;
+use tpdf_trace::{Exposition, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Lifecycle phase of a session, as reported by [`SessionMetrics`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SessionPhase {
     /// Accepting new requests.
     Open,
@@ -17,7 +26,7 @@ pub enum SessionPhase {
 
 /// Per-session statistics, aggregated over the session's completed
 /// runs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SessionMetrics {
     /// The session.
     pub id: SessionId,
@@ -53,7 +62,7 @@ pub struct SessionMetrics {
 }
 
 /// Aggregate statistics of the whole service.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceMetrics {
     /// Sessions admitted since the service started.
     pub sessions_admitted: u64,
@@ -106,5 +115,292 @@ impl ServiceMetrics {
             self.demand,
             self.capacity,
         )
+    }
+
+    /// Writes every field into `writer`: scalar `key=value` lines plus
+    /// one repeated `session` line per session (comma-separated fields
+    /// in declaration order, demand as an exact `f64:<hex>` bit
+    /// pattern).
+    pub fn write_snapshot(&self, writer: &mut SnapshotWriter) {
+        writer.field("sessions_admitted", self.sessions_admitted);
+        writer.field("sessions_rejected", self.sessions_rejected);
+        writer.field("requests_submitted", self.requests_submitted);
+        writer.field("requests_rejected", self.requests_rejected);
+        writer.field("runs_completed", self.runs_completed);
+        writer.field("runs_failed", self.runs_failed);
+        writer.field("active_sessions", self.active_sessions);
+        writer.field("queued_requests", self.queued_requests);
+        writer.field_f64("demand", self.demand);
+        writer.field_f64("capacity", self.capacity);
+        for session in &self.per_session {
+            let phase = match session.phase {
+                SessionPhase::Open => "open",
+                SessionPhase::Closed => "closed",
+                SessionPhase::Cancelled => "cancelled",
+            };
+            writer.field(
+                "session",
+                format_args!(
+                    "{},{},{},{},{},f64:{:016x},{},{},{},{},{},{},{}",
+                    session.id.0,
+                    phase,
+                    session.retired as u8,
+                    session.queue_depth,
+                    session.running as u8,
+                    session.demand.to_bits(),
+                    session.runs_completed,
+                    session.runs_failed,
+                    session.runs_cancelled,
+                    session.requests_rejected,
+                    session.firings,
+                    session.tokens,
+                    session.deadline_misses,
+                ),
+            );
+        }
+    }
+
+    /// Reads a snapshot written by [`ServiceMetrics::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when a required field is absent or fails to
+    /// parse.
+    pub fn read_snapshot(reader: &SnapshotReader) -> Result<ServiceMetrics, SnapshotError> {
+        let mut per_session = Vec::new();
+        for line in reader.values("session") {
+            let malformed = || SnapshotError::Malformed(format!("session={line}"));
+            let parts: Vec<&str> = line.split(',').collect();
+            let [id, phase, retired, queue_depth, running, demand, runs_completed, runs_failed, runs_cancelled, requests_rejected, firings, tokens, deadline_misses] =
+                parts[..]
+            else {
+                return Err(malformed());
+            };
+            let phase = match phase {
+                "open" => SessionPhase::Open,
+                "closed" => SessionPhase::Closed,
+                "cancelled" => SessionPhase::Cancelled,
+                _ => return Err(malformed()),
+            };
+            let flag = |text: &str| match text {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                _ => Err(malformed()),
+            };
+            let int = |text: &str| text.parse::<u64>().map_err(|_| malformed());
+            let demand = demand
+                .strip_prefix("f64:")
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .map(f64::from_bits)
+                .ok_or_else(malformed)?;
+            per_session.push(SessionMetrics {
+                id: SessionId(int(id)?),
+                phase,
+                retired: flag(retired)?,
+                queue_depth: int(queue_depth)? as usize,
+                running: flag(running)?,
+                demand,
+                runs_completed: int(runs_completed)?,
+                runs_failed: int(runs_failed)?,
+                runs_cancelled: int(runs_cancelled)?,
+                requests_rejected: int(requests_rejected)?,
+                firings: int(firings)?,
+                tokens: int(tokens)?,
+                deadline_misses: int(deadline_misses)?,
+            });
+        }
+        Ok(ServiceMetrics {
+            sessions_admitted: reader.u64("sessions_admitted")?,
+            sessions_rejected: reader.u64("sessions_rejected")?,
+            requests_submitted: reader.u64("requests_submitted")?,
+            requests_rejected: reader.u64("requests_rejected")?,
+            runs_completed: reader.u64("runs_completed")?,
+            runs_failed: reader.u64("runs_failed")?,
+            active_sessions: reader.get("active_sessions")?,
+            queued_requests: reader.get("queued_requests")?,
+            demand: reader.f64("demand")?,
+            capacity: reader.f64("capacity")?,
+            per_session,
+        })
+    }
+
+    /// The snapshot as one text document.
+    pub fn to_snapshot(&self) -> String {
+        let mut writer = SnapshotWriter::new();
+        self.write_snapshot(&mut writer);
+        writer.finish()
+    }
+
+    /// Parses a document produced by [`ServiceMetrics::to_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on a missing or malformed field.
+    pub fn from_snapshot(text: &str) -> Result<ServiceMetrics, SnapshotError> {
+        ServiceMetrics::read_snapshot(&SnapshotReader::parse(text)?)
+    }
+
+    /// Renders the service aggregates in Prometheus text exposition
+    /// format (metrics prefixed `tpdf_service_`, per-session counters
+    /// labelled by session id).
+    pub fn to_prometheus(&self) -> String {
+        let mut expo = Exposition::new();
+        expo.counter(
+            "tpdf_service_sessions_admitted_total",
+            "Sessions admitted since the service started",
+            self.sessions_admitted,
+        );
+        expo.counter(
+            "tpdf_service_sessions_rejected_total",
+            "Sessions refused by admission control",
+            self.sessions_rejected,
+        );
+        expo.counter(
+            "tpdf_service_requests_submitted_total",
+            "Requests accepted onto ingress queues",
+            self.requests_submitted,
+        );
+        expo.counter(
+            "tpdf_service_requests_rejected_total",
+            "Requests refused by ingress backpressure",
+            self.requests_rejected,
+        );
+        expo.counter(
+            "tpdf_service_runs_completed_total",
+            "Runs completed successfully over all sessions",
+            self.runs_completed,
+        );
+        expo.counter(
+            "tpdf_service_runs_failed_total",
+            "Runs that failed over all sessions",
+            self.runs_failed,
+        );
+        expo.gauge(
+            "tpdf_service_active_sessions",
+            "Sessions currently not retired",
+            self.active_sessions as f64,
+        );
+        expo.gauge(
+            "tpdf_service_queued_requests",
+            "Requests waiting across all ingress queues",
+            self.queued_requests as f64,
+        );
+        expo.gauge(
+            "tpdf_service_demand",
+            "Admitted deadline demand in processor shares",
+            self.demand,
+        );
+        expo.gauge(
+            "tpdf_service_capacity",
+            "Admissible processor capacity",
+            self.capacity,
+        );
+        for session in &self.per_session {
+            let id = session.id.0.to_string();
+            expo.counter_with(
+                "tpdf_service_session_runs_completed_total",
+                "Runs completed per session",
+                ("session", &id),
+                session.runs_completed,
+            );
+            expo.counter_with(
+                "tpdf_service_session_firings_total",
+                "Firings per session over its completed runs",
+                ("session", &id),
+                session.firings,
+            );
+            expo.counter_with(
+                "tpdf_service_session_deadline_misses_total",
+                "Deadline misses per session",
+                ("session", &id),
+                session.deadline_misses,
+            );
+        }
+        expo.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceMetrics {
+        ServiceMetrics {
+            sessions_admitted: 3,
+            sessions_rejected: 1,
+            requests_submitted: 9,
+            requests_rejected: 2,
+            runs_completed: 7,
+            runs_failed: 1,
+            active_sessions: 2,
+            queued_requests: 1,
+            demand: 0.75,
+            capacity: 4.0,
+            per_session: vec![
+                SessionMetrics {
+                    id: SessionId(0),
+                    phase: SessionPhase::Open,
+                    retired: false,
+                    queue_depth: 1,
+                    running: true,
+                    demand: 0.75,
+                    runs_completed: 4,
+                    runs_failed: 0,
+                    runs_cancelled: 0,
+                    requests_rejected: 2,
+                    firings: 320,
+                    tokens: 1280,
+                    deadline_misses: 1,
+                },
+                SessionMetrics {
+                    id: SessionId(2),
+                    phase: SessionPhase::Cancelled,
+                    retired: true,
+                    queue_depth: 0,
+                    running: false,
+                    demand: 0.0,
+                    runs_completed: 3,
+                    runs_failed: 1,
+                    runs_cancelled: 2,
+                    requests_rejected: 0,
+                    firings: 96,
+                    tokens: 384,
+                    deadline_misses: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn service_metrics_round_trip_exactly() {
+        let metrics = sample();
+        let back = ServiceMetrics::from_snapshot(&metrics.to_snapshot()).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn empty_session_table_round_trips() {
+        let mut metrics = sample();
+        metrics.per_session.clear();
+        let back = ServiceMetrics::from_snapshot(&metrics.to_snapshot()).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn malformed_session_lines_are_rejected() {
+        let mut text = sample().to_snapshot();
+        text = text.replace(",open,", ",paused,");
+        assert!(matches!(
+            ServiceMetrics::from_snapshot(&text),
+            Err(SnapshotError::Malformed(what)) if what.contains("session=")
+        ));
+    }
+
+    #[test]
+    fn prometheus_rendering_labels_sessions() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE tpdf_service_sessions_admitted_total counter"));
+        assert!(text.contains("tpdf_service_sessions_admitted_total 3"));
+        assert!(text.contains("tpdf_service_session_firings_total{session=\"2\"} 96"));
     }
 }

@@ -3,13 +3,16 @@
 use crate::metrics::{ServiceMetrics, SessionMetrics, SessionPhase};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 use tpdf_core::graph::TpdfGraph;
 use tpdf_runtime::executor::ClockMode;
 use tpdf_runtime::pool::JobTicket;
 use tpdf_runtime::{
     CompiledExecutor, Executor, ExecutorPool, KernelRegistry, Metrics, RuntimeConfig, RuntimeError,
 };
+use tpdf_trace::{EventKind, Tracer};
 
 /// Identifies one admitted session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -58,6 +61,13 @@ pub struct ServiceConfig {
     /// admission may hand out (capacity = `threads ×
     /// max_utilization`). 1.0 admits up to nominal full load.
     pub max_utilization: f64,
+    /// Structured tracer shared by every session (see [`tpdf_trace`]).
+    /// Injected into each admitted session's [`RuntimeConfig`] unless
+    /// the session brings its own; the service layer additionally
+    /// records session lifecycle events (open, reject, dispatch,
+    /// close) and ingress/latency histograms on it. `None` (the
+    /// default) leaves tracing fully disabled.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +78,7 @@ impl Default for ServiceConfig {
             queue_capacity: 16,
             admission: AdmissionPolicy::default(),
             max_utilization: 1.0,
+            tracer: None,
         }
     }
 }
@@ -100,6 +111,15 @@ impl ServiceConfig {
     /// Sets the admissible fraction of the pool's processor capacity.
     pub fn with_max_utilization(mut self, max_utilization: f64) -> Self {
         self.max_utilization = max_utilization.max(0.0);
+        self
+    }
+
+    /// Installs a shared [`Tracer`]: every admitted session records
+    /// its executor-level events into it (unless the session's own
+    /// [`RuntimeConfig`] already carries a tracer), and the service
+    /// adds session lifecycle events and ingress/latency histograms.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -204,8 +224,9 @@ struct SessionEntry {
     registry: KernelRegistry,
     /// The processor share admission charged for this session.
     demand: f64,
-    /// Requests accepted but not yet dispatched, in order.
-    queue: VecDeque<u64>,
+    /// Requests accepted but not yet dispatched, in order, each with
+    /// its submission instant (for the ingress-queue wait histogram).
+    queue: VecDeque<(u64, Instant)>,
     /// The request currently running on the pool. The ticket is `None`
     /// while a dispatcher is submitting the job *outside* the service
     /// lock (pool submission allocates the run's whole ring state —
@@ -213,6 +234,9 @@ struct SessionEntry {
     /// dispatch and completion on one mutex); see
     /// [`Shared::run_dispatch`] for the installation protocol.
     inflight: Option<(u64, Option<JobTicket>)>,
+    /// When the in-flight request left the ingress queue — the start
+    /// of the run-latency measurement.
+    inflight_since: Option<Instant>,
     /// Finished results awaiting retrieval.
     results: BTreeMap<u64, Result<Metrics, ServiceError>>,
     next_request: u64,
@@ -260,6 +284,8 @@ impl SessionEntry {
 struct PendingDispatch {
     session: u64,
     request: u64,
+    /// When the request joined the ingress queue.
+    submitted: Instant,
     compiled: CompiledExecutor,
     registry: KernelRegistry,
 }
@@ -286,6 +312,20 @@ struct Shared {
     /// on.
     cond: Condvar,
     config: ServiceConfig,
+    /// Source of per-session trace tags (the Chrome "process" ids):
+    /// small positive integers, disjoint from the pool's self-assigned
+    /// tags (which carry the top bit).
+    trace_tags: AtomicU32,
+}
+
+impl Shared {
+    /// The service tracer, when installed *and* enabled.
+    fn trace(&self) -> Option<&Tracer> {
+        self.config
+            .tracer
+            .as_deref()
+            .filter(|tracer| tracer.is_enabled())
+    }
 }
 
 /// The multi-session streaming service (see the crate docs).
@@ -327,6 +367,7 @@ impl TpdfService {
                 inner: Mutex::new(Inner::default()),
                 cond: Condvar::new(),
                 config,
+                trace_tags: AtomicU32::new(0),
             }),
         }
     }
@@ -362,9 +403,19 @@ impl TpdfService {
     pub fn open_session(
         &self,
         graph: &TpdfGraph,
-        config: RuntimeConfig,
+        mut config: RuntimeConfig,
         registry: KernelRegistry,
     ) -> Result<SessionId, ServiceError> {
+        // Thread the service tracer through the session's runtime
+        // config (unless the session brings its own), and tag the
+        // session so its runs appear as one Chrome trace process.
+        if config.tracer.is_none() {
+            config.tracer = self.shared.config.tracer.clone();
+        }
+        if config.trace_tag == 0 && config.tracer.is_some() {
+            config.trace_tag = self.shared.trace_tags.fetch_add(1, Relaxed) + 1;
+        }
+        let tag = config.trace_tag;
         // Compile outside the service lock: the reference sizing run
         // can be expensive, and it needs no service state. The session
         // gets its *own* firing-cost telemetry (`Executor::new`, not
@@ -389,6 +440,10 @@ impl TpdfService {
             match self.shared.config.admission {
                 AdmissionPolicy::Reject => {
                     inner.sessions_rejected += 1;
+                    if let Some(tracer) = self.shared.trace() {
+                        let limit = self.shared.config.max_sessions as u64;
+                        tracer.control_event(EventKind::SessionReject, tag, 0, 0, limit);
+                    }
                     return Err(ServiceError::SessionLimit {
                         limit: self.shared.config.max_sessions,
                     });
@@ -400,6 +455,9 @@ impl TpdfService {
         }
         if inner.demand + demand > capacity + 1e-9 {
             inner.sessions_rejected += 1;
+            if let Some(tracer) = self.shared.trace() {
+                tracer.control_event(EventKind::SessionReject, tag, 1, 0, demand as u64);
+            }
             return Err(ServiceError::Oversubscribed {
                 demand,
                 load: inner.demand,
@@ -418,6 +476,7 @@ impl TpdfService {
                 demand,
                 queue: VecDeque::new(),
                 inflight: None,
+                inflight_since: None,
                 results: BTreeMap::new(),
                 next_request: 0,
                 phase: SessionPhase::Open,
@@ -431,6 +490,9 @@ impl TpdfService {
                 deadline_misses: 0,
             },
         );
+        if let Some(tracer) = self.shared.trace() {
+            tracer.control_event(EventKind::SessionOpen, tag, id as u32, 0, 0);
+        }
         Ok(SessionId(id))
     }
 
@@ -492,8 +554,18 @@ impl TpdfService {
             .expect("session existence just checked");
         let request = entry.next_request;
         entry.next_request += 1;
-        entry.queue.push_back(request);
+        entry.queue.push_back((request, Instant::now()));
+        let tag = entry.compiled.config().trace_tag;
         inner.requests_submitted += 1;
+        if let Some(tracer) = self.shared.trace() {
+            tracer.control_event(
+                EventKind::RequestSubmit,
+                tag,
+                session.0 as u32,
+                request as u32,
+                0,
+            );
+        }
         let pending = inner.begin_dispatch(session.0);
         drop(inner);
         self.shared.cond.notify_all();
@@ -579,7 +651,7 @@ impl TpdfService {
                 Inner::evict_if_spent(&mut inner, session.0);
                 return result;
             }
-            let outstanding = entry.queue.contains(&request.0)
+            let outstanding = entry.queue.iter().any(|(r, _)| *r == request.0)
                 || entry
                     .inflight
                     .as_ref()
@@ -612,6 +684,10 @@ impl TpdfService {
         };
         if entry.phase == SessionPhase::Open {
             entry.phase = SessionPhase::Closed;
+            let tag = entry.compiled.config().trace_tag;
+            if let Some(tracer) = self.shared.trace() {
+                tracer.control_event(EventKind::SessionClose, tag, session.0 as u32, 0, 0);
+            }
         }
         Inner::maybe_retire(&mut inner, session.0);
         drop(inner);
@@ -639,8 +715,10 @@ impl TpdfService {
                     Err(ServiceError::UnknownSession(session))
                 };
             };
+            let was_cancelled = entry.phase == SessionPhase::Cancelled;
             entry.phase = SessionPhase::Cancelled;
-            let dropped: Vec<u64> = entry.queue.drain(..).collect();
+            let tag = entry.compiled.config().trace_tag;
+            let dropped: Vec<u64> = entry.queue.drain(..).map(|(r, _)| r).collect();
             entry.runs_cancelled += dropped.len() as u64;
             for request in dropped {
                 entry
@@ -661,6 +739,11 @@ impl TpdfService {
                 .inflight
                 .as_ref()
                 .and_then(|(_, ticket)| ticket.clone());
+            if !was_cancelled {
+                if let Some(tracer) = self.shared.trace() {
+                    tracer.control_event(EventKind::SessionClose, tag, session.0 as u32, 1, 0);
+                }
+            }
             Inner::maybe_retire(&mut inner, session.0);
             ticket
         };
@@ -784,11 +867,13 @@ impl Inner {
         if entry.inflight.is_some() || entry.phase == SessionPhase::Cancelled {
             return None;
         }
-        let request = entry.queue.pop_front()?;
+        let (request, submitted) = entry.queue.pop_front()?;
         entry.inflight = Some((request, None));
+        entry.inflight_since = Some(Instant::now());
         Some(PendingDispatch {
             session,
             request,
+            submitted,
             compiled: entry.compiled.clone(),
             registry: entry.registry.clone(),
         })
@@ -815,6 +900,17 @@ impl Shared {
     fn run_dispatch(shared: &Arc<Shared>, pool: &Arc<ExecutorPool>, mut pending: PendingDispatch) {
         loop {
             let (session, request) = (pending.session, pending.request);
+            if let Some(tracer) = shared.trace() {
+                let waited = pending.submitted.elapsed().as_nanos() as u64;
+                tracer.histograms().queue_wait_ns.record(waited);
+                tracer.control_event(
+                    EventKind::SessionDispatch,
+                    pending.compiled.config().trace_tag,
+                    session as u32,
+                    request as u32,
+                    waited,
+                );
+            }
             let callback_shared = Arc::clone(shared);
             let callback_pool = Arc::clone(pool);
             let ticket = pool.submit_with(&pending.compiled, &pending.registry, move || {
@@ -849,7 +945,7 @@ impl Shared {
             let next = if finished {
                 // The job completed before the ticket was installed;
                 // its callback deferred to us (see on_job_complete).
-                Shared::record_completion(&mut inner, session, request)
+                Shared::record_completion(shared, &mut inner, session, request)
             } else {
                 None
             };
@@ -871,7 +967,12 @@ impl Shared {
     /// `None`) when the in-flight slot does not hold this request with
     /// an installed ticket — a cancellation got there first, or the
     /// ticket is still being installed. Must hold the service lock.
-    fn record_completion(inner: &mut Inner, session: u64, request: u64) -> Option<PendingDispatch> {
+    fn record_completion(
+        shared: &Shared,
+        inner: &mut Inner,
+        session: u64,
+        request: u64,
+    ) -> Option<PendingDispatch> {
         let entry = inner.sessions.get_mut(&session)?;
         let (inflight_request, maybe_ticket) = entry.inflight.take()?;
         if inflight_request != request {
@@ -886,6 +987,21 @@ impl Shared {
             return None;
         };
         let result = ticket.try_take().unwrap_or(Err(RuntimeError::Cancelled));
+        if let Some(tracer) = shared.trace() {
+            let latency = entry
+                .inflight_since
+                .map(|since| since.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            tracer.histograms().run_latency_ns.record(latency);
+            tracer.control_event(
+                EventKind::RunComplete,
+                entry.compiled.config().trace_tag,
+                session as u32,
+                request as u32,
+                latency,
+            );
+        }
+        entry.inflight_since = None;
         // A cancelled session's halted runs are accounted as
         // cancellations, not failures; every other outcome — including
         // an `Ok` that won the race against the cancel — is recorded
@@ -915,7 +1031,7 @@ impl Shared {
     fn on_job_complete(shared: &Arc<Shared>, pool: &Arc<ExecutorPool>, session: u64, request: u64) {
         let pending = {
             let mut inner = shared.inner.lock().expect("service lock");
-            Shared::record_completion(&mut inner, session, request)
+            Shared::record_completion(shared, &mut inner, session, request)
         };
         shared.cond.notify_all();
         if let Some(pending) = pending {

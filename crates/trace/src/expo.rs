@@ -1,0 +1,121 @@
+//! Prometheus-style text exposition.
+//!
+//! [`Exposition`] accumulates counters, gauges and histograms and
+//! renders them in the Prometheus text format (version 0.0.4): one
+//! `# HELP`/`# TYPE` header pair per metric name, then one sample per
+//! line. Histograms come from [`crate::HistogramSnapshot`] and expand
+//! into cumulative `_bucket{le=...}` samples plus `_sum` and `_count`,
+//! which is how the log2 latency histograms reach a scraper.
+
+use std::fmt::Write;
+
+use crate::hist::HistogramSnapshot;
+
+/// Builds a Prometheus text-format document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    last_header: String,
+}
+
+impl Exposition {
+    /// Creates an empty exposition.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header once per metric name.
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if self.last_header == name {
+            return;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self.last_header = name.to_string();
+    }
+
+    /// Adds an unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Adds a counter sample with one label. Consecutive samples of
+    /// the same metric share the header.
+    pub fn counter_with(&mut self, name: &str, help: &str, label: (&str, &str), value: u64) {
+        self.header(name, "counter", help);
+        let _ = writeln!(self.out, "{name}{{{}=\"{}\"}} {value}", label.0, label.1);
+    }
+
+    /// Adds an unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, "gauge", help);
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Adds a gauge sample with one label.
+    pub fn gauge_with(&mut self, name: &str, help: &str, label: (&str, &str), value: f64) {
+        self.header(name, "gauge", help);
+        let _ = writeln!(self.out, "{name}{{{}=\"{}\"}} {value}", label.0, label.1);
+    }
+
+    /// Expands a histogram snapshot into cumulative buckets plus
+    /// `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+        self.header(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for (i, &n) in snapshot.buckets.iter().enumerate() {
+            cumulative += n;
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                HistogramSnapshot::bucket_bound(i)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {}", snapshot.count);
+        let _ = writeln!(self.out, "{name}_sum {}", snapshot.sum);
+        let _ = writeln!(self.out, "{name}_count {}", snapshot.count);
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Log2Histogram;
+
+    #[test]
+    fn renders_counters_and_gauges_with_single_headers() {
+        let mut e = Exposition::new();
+        e.counter("tpdf_runs_total", "Completed runs.", 3);
+        e.counter_with("tpdf_firings_total", "Firings.", ("worker", "0"), 10);
+        e.counter_with("tpdf_firings_total", "Firings.", ("worker", "1"), 20);
+        e.gauge("tpdf_demand", "Deadline demand.", 0.5);
+        let text = e.finish();
+        assert_eq!(text.matches("# TYPE tpdf_firings_total").count(), 1);
+        assert!(text.contains("tpdf_runs_total 3"));
+        assert!(text.contains("tpdf_firings_total{worker=\"1\"} 20"));
+        assert!(text.contains("tpdf_demand 0.5"));
+    }
+
+    #[test]
+    fn histograms_are_cumulative_and_closed_by_inf() {
+        let h = Log2Histogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        let mut e = Exposition::new();
+        e.histogram("tpdf_firing_ns", "Firing duration.", &h.snapshot());
+        let text = e.finish();
+        assert!(text.contains("# TYPE tpdf_firing_ns histogram"));
+        assert!(text.contains("tpdf_firing_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("tpdf_firing_ns_bucket{le=\"3\"} 3"));
+        assert!(text.contains("tpdf_firing_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("tpdf_firing_ns_sum 6"));
+        assert!(text.contains("tpdf_firing_ns_count 3"));
+    }
+}

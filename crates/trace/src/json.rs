@@ -1,0 +1,266 @@
+//! A dependency-free JSON well-formedness checker.
+//!
+//! The container has no serde_json, so the Chrome trace exporter
+//! writes JSON by hand; this module is the independent referee. It is
+//! a strict recursive-descent parser over RFC 8259's grammar that
+//! validates structure only (no DOM is built), used by the exporter's
+//! tests and by [`crate::log::TraceLog::to_chrome_json`] consumers who
+//! want a sanity gate before shipping a file to Perfetto.
+
+/// Validates that `text` is exactly one well-formed JSON value.
+/// Returns the byte offset and a message on the first error.
+pub fn validate(text: &str) -> Result<(), (usize, String)> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err((p.pos, "trailing data after JSON value".into()));
+    }
+    Ok(())
+}
+
+/// Nesting limit; Chrome traces are ~3 levels deep, anything beyond
+/// this is a generator bug, not a legitimate document.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, (usize, String)> {
+        Err((self.pos, msg.to_string()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), (usize, String)> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), (usize, String)> {
+        if self.depth >= MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b'0'..=b'9' | b'-') => self.number(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), (usize, String)> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), (usize, String)> {
+        self.depth += 1;
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), (usize, String)> {
+        self.depth += 1;
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), (usize, String)> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(
+                                    self.peek(),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return self.err("bad \\u escape");
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), (usize, String)> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.err("expected a digit"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("expected a fraction digit");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("expected an exponent digit");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for doc in [
+            "null",
+            "  [1, 2.5, -3e+2, \"a\\nb\\u00e9\", {\"k\": [true, false]}] ",
+            "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0.001,\"dur\":1.5}],\"displayTimeUnit\":\"ns\"}",
+            "{}",
+            "\"\"",
+            "-0.5",
+        ] {
+            assert!(validate(doc).is_ok(), "rejected: {doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "[1,]",
+            "{\"a\":}",
+            "{a: 1}",
+            "[1] extra",
+            "\"unterminated",
+            "01",
+            "1.",
+            "+1",
+            "nul",
+            "\"bad \\x escape\"",
+            "\"ctrl \u{0}\"",
+            "{\"a\" 1}",
+        ] {
+            assert!(validate(doc).is_err(), "accepted: {doc}");
+        }
+    }
+
+    #[test]
+    fn reports_an_offset() {
+        let err = validate("[1, oops]").unwrap_err();
+        assert_eq!(err.0, 4);
+    }
+
+    #[test]
+    fn bounds_nesting_depth() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(validate(&deep).is_err());
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(validate(&ok).is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! The lock-free overwrite-oldest event ring.
+//!
+//! Each lane of a [`crate::Tracer`] owns one [`EventRing`]: a bounded
+//! array of fixed-size slots that wraps around when full, keeping the
+//! newest events — a flight recorder. Writers never block and never
+//! allocate; readers run concurrently and skip slots they catch
+//! mid-write.
+//!
+//! ## Slot protocol
+//!
+//! Every slot is five `AtomicU64` words: a sequence word and four
+//! payload words. A writer takes a global ticket with
+//! `head.fetch_add(1)`, maps it onto a slot (`ticket % capacity`),
+//! stamps the slot's sequence with a `WRITING` sentinel, stores the
+//! payload, then publishes `ticket + 1` with `Release` ordering. A
+//! reader loads the sequence with `Acquire`, copies the payload, and
+//! re-checks the sequence: any change (or the sentinel) means the copy
+//! may be torn and the slot is skipped and counted as dropped.
+//!
+//! The protocol is `unsafe`-free — slots are plain atomics, so a torn
+//! read is a *skipped event*, never undefined behaviour. With multiple
+//! writers racing on one lane a slot can in principle be lapped back to
+//! the same sequence mid-copy and go undetected; lanes are normally
+//! single-writer (one worker each), which makes the recorder exact, and
+//! the shared control lane tolerates the (benign) best-effort window.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Sequence sentinel marking a slot that is mid-write.
+const WRITING: u64 = u64::MAX;
+
+/// Words per slot: sequence + ts + kind/lane/job + a/b + c.
+const SLOT_WORDS: usize = 5;
+
+/// A bounded, lock-free, overwrite-oldest ring of trace events.
+pub struct EventRing {
+    /// Monotone ticket counter; `head` is also the number of events
+    /// ever written to this lane.
+    head: AtomicU64,
+    /// `capacity * SLOT_WORDS` atomics, slot-major.
+    slots: Box<[AtomicU64]>,
+    capacity: usize,
+}
+
+impl EventRing {
+    /// Creates a ring holding the newest `capacity` events. Capacity
+    /// is clamped to at least 1.
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity * SLOT_WORDS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            head: AtomicU64::new(0),
+            slots,
+            capacity,
+        }
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever written to this lane (including overwritten
+    /// ones).
+    pub fn written(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends one event, overwriting the oldest slot when full.
+    pub fn push(&self, ev: TraceEvent) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let base = (ticket as usize % self.capacity) * SLOT_WORDS;
+        let w1 = ((ev.kind as u64) << 56) | ((ev.lane as u64) << 40) | ev.job as u64;
+        let w2 = ((ev.a as u64) << 32) | ev.b as u64;
+        self.slots[base].store(WRITING, Ordering::Relaxed);
+        self.slots[base + 1].store(ev.ts_ns, Ordering::Relaxed);
+        self.slots[base + 2].store(w1, Ordering::Relaxed);
+        self.slots[base + 3].store(w2, Ordering::Relaxed);
+        self.slots[base + 4].store(ev.c, Ordering::Relaxed);
+        self.slots[base].store(ticket + 1, Ordering::Release);
+    }
+
+    /// Snapshots the ring's current contents, oldest first. Returns
+    /// the decoded events and the number of events unavailable —
+    /// overwritten by the flight recorder, skipped as torn, or holding
+    /// an undecodable kind byte.
+    pub fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let live = head.min(self.capacity as u64);
+        let mut dropped = head - live;
+        let mut out = Vec::with_capacity(live as usize);
+        // Oldest surviving ticket first so the lane comes out in write
+        // order even after wrapping.
+        for ticket in (head - live)..head {
+            let base = (ticket as usize % self.capacity) * SLOT_WORDS;
+            let seq = self.slots[base].load(Ordering::Acquire);
+            let ts = self.slots[base + 1].load(Ordering::Relaxed);
+            let w1 = self.slots[base + 2].load(Ordering::Relaxed);
+            let w2 = self.slots[base + 3].load(Ordering::Relaxed);
+            let c = self.slots[base + 4].load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let seq_after = self.slots[base].load(Ordering::Relaxed);
+            // The slot must have held this exact ticket's payload for
+            // the whole copy; a newer ticket, the WRITING sentinel, or
+            // an empty slot all mean the event is unavailable.
+            if seq != ticket + 1 || seq_after != ticket + 1 {
+                dropped += 1;
+                continue;
+            }
+            let kind = match EventKind::from_u8((w1 >> 56) as u8) {
+                Some(kind) => kind,
+                None => {
+                    dropped += 1;
+                    continue;
+                }
+            };
+            out.push(TraceEvent {
+                ts_ns: ts,
+                kind,
+                lane: ((w1 >> 40) & 0xFFFF) as u16,
+                job: (w1 & 0xFFFF_FFFF) as u32,
+                a: (w2 >> 32) as u32,
+                b: (w2 & 0xFFFF_FFFF) as u32,
+                c,
+            });
+        }
+        (out, dropped)
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("written", &self.written())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: EventKind, a: u32) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            kind,
+            lane: 3,
+            job: 9,
+            a,
+            b: a + 1,
+            c: (a as u64) << 32 | 5,
+        }
+    }
+
+    #[test]
+    fn round_trips_below_capacity() {
+        let ring = EventRing::new(8);
+        for i in 0..5 {
+            ring.push(ev(i, EventKind::Firing, i as u32));
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 5);
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(*event, ev(i as u64, EventKind::Firing, i as u32));
+        }
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i, EventKind::Steal, i as u32));
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 6);
+        assert_eq!(
+            events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(ring.written(), 10);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(ev(1, EventKind::Park, 0));
+        ring.push(ev(2, EventKind::Wake, 0));
+        let (events, dropped) = ring.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ts_ns, 2);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_garbage() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        ring.push(ev((t * 1000 + i) as u64, EventKind::ModeEmit, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(events.len() as u64 + dropped, 4000);
+        for event in events {
+            assert_eq!(event.kind, EventKind::ModeEmit);
+            assert_eq!(event.lane, 3);
+            assert_eq!(event.job, 9);
+            assert_eq!(event.b, event.a + 1);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The [`Tracer`]: the shared recorder handle installed into
+//! executors, pools and services.
+//!
+//! A tracer owns one [`EventRing`] per worker lane plus a **control
+//! lane** for job/session lifecycle events written from threads that
+//! are not pool workers, and a set of [`TraceHistograms`]. It is
+//! handed around as `Arc<Tracer>`; instrumentation sites gate on
+//! [`Tracer::is_enabled`] (one `Relaxed` load) so a disabled tracer
+//! costs a load plus a branch, and no tracer at all costs a pointer
+//! null-check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::hist::Log2Histogram;
+use crate::log::TraceLog;
+use crate::ring::EventRing;
+
+/// The latency histograms a tracer maintains alongside its event
+/// rings. All are in nanoseconds and lock-free to record into.
+#[derive(Debug, Default)]
+pub struct TraceHistograms {
+    /// Firing duration (execute + publish) per firing.
+    pub firing_ns: Log2Histogram,
+    /// Dispatch-to-completion latency of service runs.
+    pub run_latency_ns: Log2Histogram,
+    /// Submit-to-dispatch wait of requests in session ingress queues.
+    pub queue_wait_ns: Log2Histogram,
+    /// How early a clock tick fired relative to its deadline (lateness
+    /// records as 0 slack; misses are counted separately).
+    pub deadline_slack_ns: Log2Histogram,
+}
+
+/// A lock-free, always-compiled, cheaply-disabled event recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    /// One ring per worker lane, plus the trailing control lane.
+    lanes: Box<[EventRing]>,
+    hist: TraceHistograms,
+}
+
+impl Tracer {
+    /// Creates an enabled flight recorder with `workers` worker lanes
+    /// (plus the control lane) of `capacity` events each. Sized small
+    /// it keeps only the recent past — overwrite-oldest, safe to leave
+    /// on in production.
+    pub fn flight_recorder(workers: usize, capacity: usize) -> Arc<Tracer> {
+        let lanes = (0..workers.max(1) + 1)
+            .map(|_| EventRing::new(capacity))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(Tracer {
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+            lanes,
+            hist: TraceHistograms::default(),
+        })
+    }
+
+    /// Turns recording on or off. Off, instrumentation sites cost one
+    /// `Relaxed` load plus a branch; already-recorded events remain
+    /// collectable.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether instrumentation sites should record (one `Relaxed`
+    /// load).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this tracer was created — the timebase of
+    /// every event it records.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Number of worker lanes (the control lane is extra).
+    pub fn worker_lanes(&self) -> usize {
+        self.lanes.len() - 1
+    }
+
+    /// Records an event timestamped now. No-op while disabled. Lanes
+    /// out of range clamp to the control lane.
+    #[inline]
+    pub fn event(&self, lane: usize, kind: EventKind, job: u32, a: u32, b: u32, c: u64) {
+        self.event_at(self.now_ns(), lane, kind, job, a, b, c);
+    }
+
+    /// Records an event with an explicit timestamp (used when the
+    /// site measured the start itself). No-op while disabled.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn event_at(
+        &self,
+        ts_ns: u64,
+        lane: usize,
+        kind: EventKind,
+        job: u32,
+        a: u32,
+        b: u32,
+        c: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let lane = lane.min(self.lanes.len() - 1);
+        self.lanes[lane].push(TraceEvent {
+            ts_ns,
+            kind,
+            lane: lane as u16,
+            job,
+            a,
+            b,
+            c,
+        });
+    }
+
+    /// Records a lifecycle event on the control lane (for threads
+    /// that are not pool workers). No-op while disabled.
+    #[inline]
+    pub fn control_event(&self, kind: EventKind, job: u32, a: u32, b: u32, c: u64) {
+        self.event(self.lanes.len() - 1, kind, job, a, b, c);
+    }
+
+    /// The tracer's latency histograms.
+    pub fn histograms(&self) -> &TraceHistograms {
+        &self.hist
+    }
+
+    /// Drains every lane and merges the events into one
+    /// timestamp-ordered [`TraceLog`].
+    pub fn collect(&self) -> TraceLog {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for lane in self.lanes.iter() {
+            let (mut lane_events, lane_dropped) = lane.drain();
+            events.append(&mut lane_events);
+            dropped += lane_dropped;
+        }
+        TraceLog::new(events, dropped)
+    }
+
+    /// The newest `n` events across all lanes — the flight-recorder
+    /// tail dumped by stall diagnostics.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let log = self.collect();
+        let events = log.events();
+        events[events.len().saturating_sub(n)..].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_collects_across_lanes() {
+        let tracer = Tracer::flight_recorder(2, 16);
+        assert_eq!(tracer.worker_lanes(), 2);
+        tracer.event(0, EventKind::Firing, 1, 0, 0, TraceEvent::pack_firing(5, 1));
+        tracer.event(1, EventKind::Steal, 1, 3, 0, 0);
+        tracer.control_event(EventKind::JobSubmit, 1, 2, 0, 0);
+        let log = tracer.collect();
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.count(EventKind::JobSubmit), 1);
+        assert_eq!(log.events().iter().map(|e| e.lane).max(), Some(2));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::flight_recorder(1, 16);
+        tracer.set_enabled(false);
+        assert!(!tracer.is_enabled());
+        tracer.event(0, EventKind::Firing, 0, 0, 0, 0);
+        tracer.control_event(EventKind::JobSubmit, 0, 0, 0, 0);
+        assert!(tracer.collect().events().is_empty());
+        tracer.set_enabled(true);
+        tracer.event(0, EventKind::Firing, 0, 0, 0, 0);
+        assert_eq!(tracer.collect().events().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_lanes_clamp_to_control() {
+        let tracer = Tracer::flight_recorder(1, 16);
+        tracer.event(99, EventKind::Wake, 0, 0, 0, 0);
+        let log = tracer.collect();
+        assert_eq!(log.events()[0].lane as usize, tracer.worker_lanes());
+    }
+
+    #[test]
+    fn recent_returns_the_bounded_tail() {
+        let tracer = Tracer::flight_recorder(1, 64);
+        for i in 0..10u32 {
+            tracer.event_at(i as u64, 0, EventKind::ModeEmit, 0, i, 0, 0);
+        }
+        let tail = tracer.recent(3);
+        assert_eq!(tail.iter().map(|e| e.a).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(tracer.recent(100).len(), 10);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_lane() {
+        let tracer = Tracer::flight_recorder(1, 128);
+        for _ in 0..50 {
+            tracer.event(0, EventKind::Wake, 0, 0, 0, 0);
+        }
+        let log = tracer.collect();
+        let ts: Vec<u64> = log.events().iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,177 @@
+//! Observability end to end: a multi-session service run with the
+//! flight recorder on, exported as a Perfetto-loadable Chrome trace
+//! and as Prometheus text exposition.
+//!
+//! Three figure-2 sessions (p = 1, 2, 3) share a 4-worker pool while a
+//! `Tracer` records every firing, steal, park and session lifecycle
+//! event into per-worker flight-recorder rings. After the runs drain,
+//! the example:
+//!
+//! * writes `target/trace_sessions.json` — open it in
+//!   <https://ui.perfetto.dev> or `chrome://tracing` (sessions appear
+//!   as processes, worker lanes as threads);
+//! * prints the per-phase throughput summary and the sampled
+//!   latency histograms (firing duration, ingress-queue wait,
+//!   end-to-end run latency);
+//! * renders the combined Prometheus exposition (service counters
+//!   plus trace histograms).
+//!
+//! Run with: `cargo run --release --example trace_sessions`
+//!
+//! Pass `--serve [addr]` (default `127.0.0.1:9100`) to additionally
+//! serve the exposition over HTTP — `curl http://127.0.0.1:9100/metrics`
+//! — until the process is interrupted.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use tpdf_suite::core::examples::figure2_graph;
+use tpdf_suite::runtime::{KernelRegistry, RuntimeConfig, Tracer};
+use tpdf_suite::service::{ServiceConfig, TpdfService};
+use tpdf_suite::symexpr::Binding;
+use tpdf_suite::trace::{ChromeLabels, EventKind, Exposition};
+
+const THREADS: usize = 4;
+const RUNS_PER_SESSION: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let serve = std::env::args().position(|a| a == "--serve").map(|at| {
+        std::env::args()
+            .nth(at + 1)
+            .filter(|a| !a.starts_with("--"))
+            .unwrap_or_else(|| "127.0.0.1:9100".to_string())
+    });
+
+    // One tracer shared by the whole pool: `THREADS` worker lanes plus
+    // a control lane, each a bounded overwrite-oldest ring.
+    let tracer = Tracer::flight_recorder(THREADS, 1 << 14);
+    let service = TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(THREADS)
+            .with_tracer(Arc::clone(&tracer)),
+    );
+
+    let graph = figure2_graph();
+    let mut sessions = Vec::new();
+    for p in [1i64, 2, 3] {
+        let session = service.open_session(
+            &graph,
+            RuntimeConfig::new(Binding::from_pairs([("p", p)]))
+                .with_threads(THREADS)
+                .with_iterations(8),
+            KernelRegistry::new(),
+        )?;
+        sessions.push((p, session));
+    }
+    for _ in 0..RUNS_PER_SESSION {
+        let requests: Vec<_> = sessions
+            .iter()
+            .map(|&(_, session)| (session, service.submit(session).expect("queue has room")))
+            .collect();
+        for (session, request) in requests {
+            service.wait(session, request)?;
+        }
+    }
+    let report = service.drain();
+    println!("{}", report.summary());
+
+    // --- Chrome trace-event JSON (Perfetto-loadable). ---------------
+    let log = tracer.collect();
+    let labels = ChromeLabels {
+        nodes: graph.nodes().map(|(_, node)| node.name.clone()).collect(),
+        // Trace tags are handed out in admission order, starting at 1.
+        jobs: sessions
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, _))| (i as u32 + 1, format!("figure2 p={p}")))
+            .collect(),
+    };
+    let chrome = log.to_chrome_json(&labels);
+    let path = std::path::Path::new("target").join("trace_sessions.json");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&path, &chrome)?;
+    println!(
+        "\nwrote {} ({} events, {} overwritten) — load it in ui.perfetto.dev",
+        path.display(),
+        log.events().len(),
+        log.dropped(),
+    );
+
+    // --- Flight-recorder digest. ------------------------------------
+    println!(
+        "firings traced: {}, steals: {}, session opens: {}",
+        log.count(EventKind::Firing),
+        log.count(EventKind::Steal),
+        log.count(EventKind::SessionOpen),
+    );
+    for phase in log.phase_summary() {
+        println!(
+            "phase {}: {} firings, {} tokens, {:.0} firings/s",
+            phase.plan,
+            phase.firings,
+            phase.tokens,
+            phase.firings_per_sec(),
+        );
+    }
+    let h = tracer.histograms();
+    for (what, hist) in [
+        ("firing duration (sampled 1-in-8)", &h.firing_ns),
+        ("ingress queue wait", &h.queue_wait_ns),
+        ("end-to-end run latency", &h.run_latency_ns),
+    ] {
+        let s = hist.snapshot();
+        println!(
+            "{what}: n={}, p50={}ns, p99={}ns",
+            s.count,
+            s.percentile(0.50),
+            s.percentile(0.99),
+        );
+    }
+
+    // --- Prometheus text exposition. --------------------------------
+    let mut exposition = report.to_prometheus();
+    let mut histograms = Exposition::new();
+    histograms.histogram(
+        "tpdf_trace_firing_ns",
+        "Sampled firing duration.",
+        &h.firing_ns.snapshot(),
+    );
+    histograms.histogram(
+        "tpdf_trace_queue_wait_ns",
+        "Ingress-queue wait before dispatch.",
+        &h.queue_wait_ns.snapshot(),
+    );
+    histograms.histogram(
+        "tpdf_trace_run_latency_ns",
+        "Dispatch-to-completion run latency.",
+        &h.run_latency_ns.snapshot(),
+    );
+    exposition.push_str(&histograms.finish());
+
+    match serve {
+        None => println!("\n--- /metrics ---\n{exposition}"),
+        Some(addr) => serve_metrics(&addr, &exposition)?,
+    }
+    Ok(())
+}
+
+/// A deliberately tiny scrape endpoint: answers every request on
+/// `addr` with the exposition, one connection at a time, forever.
+fn serve_metrics(addr: &str, exposition: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    println!("\nserving http://{addr}/metrics — Ctrl-C to stop");
+    let body = exposition.as_bytes();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    for stream in listener.incoming() {
+        let mut stream = stream?;
+        // Drain whatever request line arrived; the answer is the same.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body)?;
+    }
+    Ok(())
+}

@@ -24,6 +24,9 @@
 //! * [`service`] — a multi-session streaming service layer: many
 //!   concurrent graph instances admitted, run and retired on one shared
 //!   worker pool.
+//! * [`trace`] — low-overhead structured tracing: per-worker
+//!   flight-recorder rings, Chrome trace-event JSON and Prometheus
+//!   text exposition, shared by runtime, pool and service.
 //!
 //! ## Quickstart
 //!
@@ -47,3 +50,4 @@ pub use tpdf_runtime as runtime;
 pub use tpdf_service as service;
 pub use tpdf_sim as sim;
 pub use tpdf_symexpr as symexpr;
+pub use tpdf_trace as trace;
