@@ -1,0 +1,258 @@
+//! Per-worker slab arenas: recycled `Vec` firing slabs, bucketed by
+//! capacity class.
+//!
+//! The executor moves tokens in whole-firing slabs — one `Vec<Token>`
+//! per input port popped out of a ring, one per output port pushed
+//! back in. Allocating those slabs fresh per firing puts the global
+//! allocator on the hot path of every firing; on fine-grained graphs
+//! (the regime the granularity heuristic collapses to a single
+//! worker) that cost dominates the firing itself.
+//!
+//! A [`SlabArena`] removes it. Each worker owns one arena inside its
+//! firing scratch; slabs never cross workers (the slab that carried a
+//! firing's inputs is recycled by the worker that fired it — only the
+//! *tokens* cross threads, through the ring slots), so the arena needs
+//! no synchronisation at all. Retired slabs are kept on size-bucketed
+//! freelists: class `c` holds slabs able to store at least `1 << c`
+//! elements, a request for `n` elements is served from class
+//! `ceil(log2 n)`, and a recycled slab files under
+//! `floor(log2 capacity)` — so whatever class a request hits, every
+//! slab parked there is large enough. Misses fall back to the global
+//! allocator (cold start, or a ring retired at a growth barrier) and
+//! allocate the full class size so the slab re-files into the same
+//! class it was served from; steady-state firings therefore allocate
+//! nothing.
+//!
+//! The arena also swallows storage retired by in-place ring growth at
+//! the iteration barrier ([`crate::ring::RingBuffer::grow_reclaim`]):
+//! the old slot array re-enters the freelists as an ordinary slab
+//! instead of going back to the allocator.
+
+/// Number of power-of-two capacity classes. Class indices are
+/// `0..CLASS_COUNT`, so the largest class serves slabs of up to
+/// `2^(CLASS_COUNT - 1)` elements — far beyond any firing rate or ring
+/// capacity this runtime sizes.
+const CLASS_COUNT: usize = 32;
+
+/// Retention bound per class: a class already holding this many parked
+/// slabs drops further recycles back to the allocator, so a plan
+/// switch that changes the dominant slab size cannot make a worker
+/// hoard the old generation forever.
+const MAX_PER_CLASS: usize = 64;
+
+/// Counters describing an arena's traffic, flushed into
+/// [`crate::metrics::Metrics`] when a worker leaves its loop.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Requests served from a freelist (no allocation).
+    pub hits: u64,
+    /// Requests that fell back to the global allocator.
+    pub misses: u64,
+    /// Slabs returned to a freelist.
+    pub recycled: u64,
+    /// Slabs dropped because their class was full.
+    pub retired: u64,
+}
+
+/// A per-worker, single-threaded pool of reusable `Vec<T>` slabs (see
+/// the [module docs](self)).
+#[derive(Debug)]
+pub struct SlabArena<T> {
+    /// `classes[c]` parks cleared slabs with `capacity >= 1 << c`.
+    classes: Vec<Vec<Vec<T>>>,
+    stats: ArenaStats,
+}
+
+impl<T> Default for SlabArena<T> {
+    fn default() -> Self {
+        SlabArena::new()
+    }
+}
+
+impl<T> SlabArena<T> {
+    /// Creates an empty arena (one bookkeeping allocation; the
+    /// freelists themselves materialise on first recycle).
+    pub fn new() -> Self {
+        let mut classes = Vec::with_capacity(CLASS_COUNT);
+        classes.resize_with(CLASS_COUNT, Vec::new);
+        SlabArena {
+            classes,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// The class serving requests for `n` elements: `ceil(log2 n)`.
+    fn class_for_request(n: usize) -> usize {
+        debug_assert!(n > 0);
+        n.next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// The class a slab of the given capacity files under:
+    /// `floor(log2 capacity)` — rounding *down* keeps the invariant
+    /// that every slab in class `c` holds at least `1 << c` elements.
+    fn class_for_slab(capacity: usize) -> usize {
+        debug_assert!(capacity > 0);
+        (usize::BITS - 1 - capacity.leading_zeros()) as usize
+    }
+
+    /// An empty slab able to hold at least `capacity` elements:
+    /// recycled when the matching class has one parked, freshly
+    /// allocated (at the full class size, so it re-files into the same
+    /// class) otherwise. `capacity == 0` returns an unallocated `Vec`
+    /// without touching the freelists.
+    pub fn take(&mut self, capacity: usize) -> Vec<T> {
+        if capacity == 0 {
+            return Vec::new();
+        }
+        let class = Self::class_for_request(capacity).min(CLASS_COUNT - 1);
+        match self.classes[class].pop() {
+            Some(slab) => {
+                self.stats.hits += 1;
+                debug_assert!(slab.capacity() >= capacity);
+                slab
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::with_capacity(1usize << class)
+            }
+        }
+    }
+
+    /// Returns a slab to its capacity class. The elements still stored
+    /// are dropped here (the arena only parks cleared slabs);
+    /// zero-capacity slabs and overflowing classes fall through to the
+    /// allocator.
+    pub fn recycle(&mut self, mut slab: Vec<T>) {
+        slab.clear();
+        if slab.capacity() == 0 {
+            return;
+        }
+        let class = Self::class_for_slab(slab.capacity()).min(CLASS_COUNT - 1);
+        if self.classes[class].len() >= MAX_PER_CLASS {
+            self.stats.retired += 1;
+            return;
+        }
+        self.stats.recycled += 1;
+        self.classes[class].push(slab);
+    }
+
+    /// The traffic counters accumulated so far.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Slabs currently parked across all classes (test visibility).
+    pub fn retained(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_rounding_keeps_slabs_large_enough() {
+        // Requests round up, recycles round down: whatever class a
+        // request lands in, the parked slabs there satisfy it.
+        assert_eq!(SlabArena::<u8>::class_for_request(1), 0);
+        assert_eq!(SlabArena::<u8>::class_for_request(2), 1);
+        assert_eq!(SlabArena::<u8>::class_for_request(3), 2);
+        assert_eq!(SlabArena::<u8>::class_for_request(4), 2);
+        assert_eq!(SlabArena::<u8>::class_for_request(5), 3);
+        assert_eq!(SlabArena::<u8>::class_for_slab(1), 0);
+        assert_eq!(SlabArena::<u8>::class_for_slab(3), 1);
+        assert_eq!(SlabArena::<u8>::class_for_slab(4), 2);
+        assert_eq!(SlabArena::<u8>::class_for_slab(7), 2);
+        assert_eq!(SlabArena::<u8>::class_for_slab(8), 3);
+    }
+
+    #[test]
+    fn take_recycle_round_trip_reuses_storage() {
+        let mut arena: SlabArena<u32> = SlabArena::new();
+        let mut slab = arena.take(12);
+        assert!(slab.capacity() >= 12);
+        assert_eq!(arena.stats().misses, 1);
+        slab.extend(0..12);
+        let ptr = slab.as_ptr();
+        arena.recycle(slab);
+        assert_eq!(arena.stats().recycled, 1);
+        assert_eq!(arena.retained(), 1);
+        // The same request class gets the same allocation back, empty.
+        let again = arena.take(12);
+        assert_eq!(again.as_ptr(), ptr, "storage was reused, not reallocated");
+        assert!(again.is_empty(), "recycled slabs come back cleared");
+        assert_eq!(arena.stats().hits, 1);
+        assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn smaller_requests_ride_larger_recycled_slabs_only_when_classed() {
+        let mut arena: SlabArena<u32> = SlabArena::new();
+        // A 16-capacity slab files under class 4 and serves 9..=16.
+        arena.recycle(Vec::with_capacity(16));
+        let slab = arena.take(9);
+        assert!(slab.capacity() >= 9);
+        assert_eq!(arena.stats().hits, 1);
+        // An 8-element request looks in class 3, which is empty.
+        arena.recycle(slab);
+        let fresh = arena.take(8);
+        assert!(fresh.capacity() >= 8);
+        assert_eq!(arena.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_requests_and_slabs_skip_the_freelists() {
+        let mut arena: SlabArena<u32> = SlabArena::new();
+        let empty = arena.take(0);
+        assert_eq!(empty.capacity(), 0);
+        arena.recycle(Vec::new());
+        assert_eq!(arena.stats(), ArenaStats::default());
+        assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn recycle_drops_remaining_elements() {
+        use std::sync::Arc;
+        let payload = Arc::new(5u32);
+        let mut arena: SlabArena<Arc<u32>> = SlabArena::new();
+        let mut slab = arena.take(4);
+        slab.extend((0..4).map(|_| Arc::clone(&payload)));
+        assert_eq!(Arc::strong_count(&payload), 5);
+        arena.recycle(slab);
+        assert_eq!(Arc::strong_count(&payload), 1, "recycling drops tokens");
+        assert!(arena.take(4).is_empty());
+    }
+
+    #[test]
+    fn full_classes_retire_instead_of_hoarding() {
+        let mut arena: SlabArena<u8> = SlabArena::new();
+        for _ in 0..MAX_PER_CLASS {
+            arena.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(arena.retained(), MAX_PER_CLASS);
+        arena.recycle(Vec::with_capacity(8));
+        assert_eq!(arena.stats().retired, 1);
+        assert_eq!(arena.retained(), MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn steady_state_loop_stops_missing_after_warmup() {
+        let mut arena: SlabArena<u64> = SlabArena::new();
+        for round in 0..100 {
+            let mut a = arena.take(3);
+            let mut b = arena.take(17);
+            a.extend(0..3);
+            b.extend(0..17);
+            arena.recycle(a);
+            arena.recycle(b);
+            if round == 0 {
+                assert_eq!(arena.stats().misses, 2);
+            }
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.misses, 2, "only the cold start allocates");
+        assert_eq!(stats.hits, 2 * 99);
+        assert_eq!(stats.recycled, 2 * 100);
+    }
+}

@@ -11,7 +11,7 @@
 //! suite compares against the direct (graph-free) computation.
 
 use crate::kernel::KernelRegistry;
-use crate::token::Token;
+use crate::token::{Token, TokenBytes};
 use crate::RuntimeError;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -23,6 +23,7 @@ use tpdf_apps::ofdm::{OfdmConfig, OfdmDemodulator};
 use tpdf_core::control::{ModeSelector, TableTrace, ValueMapSelector, ValueTrace};
 use tpdf_core::graph::TpdfGraph;
 use tpdf_core::mode::Mode;
+use tpdf_core::rate::RateSeq;
 
 /// Collects every token a sink kernel consumed, in arrival order.
 #[derive(Debug, Clone, Default)]
@@ -51,29 +52,69 @@ impl OutputCapture {
         });
     }
 
-    /// All captured tokens, in arrival order.
-    pub fn tokens(&self) -> Vec<Token> {
-        self.tokens.lock().expect("capture lock").clone()
+    /// Drains the capture: all tokens collected so far, in arrival
+    /// order, moved out without copying. Subsequent reads see an empty
+    /// capture.
+    pub fn take_tokens(&self) -> Vec<Token> {
+        std::mem::take(&mut *self.tokens.lock().expect("capture lock"))
+    }
+
+    /// Tokens captured so far.
+    pub fn len(&self) -> usize {
+        self.tokens.lock().expect("capture lock").len()
+    }
+
+    /// Whether nothing has been captured (yet).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs a read-only view over the captured tokens under the lock —
+    /// the typed accessors below project through this instead of
+    /// cloning the whole stream, and none of them drain, so repeated
+    /// reads agree.
+    fn read<R>(&self, project: impl FnOnce(&[Token]) -> R) -> R {
+        project(&self.tokens.lock().expect("capture lock"))
     }
 
     /// The captured tokens interpreted as a bit stream (non-byte tokens
     /// are skipped).
     pub fn bits(&self) -> Vec<u8> {
-        self.tokens().iter().filter_map(Token::as_byte).collect()
+        self.read(|tokens| tokens.iter().filter_map(Token::as_byte).collect())
     }
 
     /// The captured tokens interpreted as images.
     pub fn images(&self) -> Vec<GrayImage> {
-        self.tokens()
-            .iter()
-            .filter_map(|t| t.as_image().cloned())
-            .collect()
+        self.read(|tokens| {
+            tokens
+                .iter()
+                .filter_map(|t| t.as_image().cloned())
+                .collect()
+        })
     }
 
     /// The captured tokens interpreted as an audio stream (non-float
     /// tokens are skipped).
     pub fn floats(&self) -> Vec<f64> {
-        self.tokens().iter().filter_map(Token::as_float).collect()
+        self.read(|tokens| tokens.iter().filter_map(Token::as_float).collect())
+    }
+
+    /// The captured tokens flattened to one byte stream: `Byte` tokens
+    /// contribute themselves, [`crate::token::TokenBytes`] blocks their
+    /// whole payload — so a scalar-per-byte pipeline and a
+    /// block-handle pipeline carrying the same data compare equal.
+    pub fn byte_stream(&self) -> Vec<u8> {
+        self.read(|tokens| {
+            let mut bytes = Vec::new();
+            for token in tokens {
+                match token {
+                    Token::Byte(b) => bytes.push(*b),
+                    Token::Block(block) => bytes.extend_from_slice(block.as_slice()),
+                    _ => {}
+                }
+            }
+            bytes
+        })
     }
 }
 
@@ -450,6 +491,127 @@ impl FmRadioRuntime {
     }
 }
 
+/// How a [`PayloadRuntime`] pipeline encodes its bytes as tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadEncoding {
+    /// One `Token::Byte` per payload byte — every hop copies the whole
+    /// payload token by token (the clone baseline).
+    Scalar,
+    /// One refcounted [`TokenBytes`] block per row — hops move a
+    /// handle, the payload bytes are never copied.
+    Block,
+}
+
+/// A large-payload pipeline (`SRC → RELAY → SNK`) moving the same
+/// bytes either as per-byte scalar tokens or as refcounted
+/// [`TokenBytes`] row handles — the runtime's demonstration (and
+/// benchmark substrate) for zero-copy payload movement, standing in
+/// for the case studies' image rows and OFDM symbol blocks.
+///
+/// Both encodings carry an identical byte stream to the sink
+/// ([`OutputCapture::byte_stream`] compares them directly); only the
+/// token count per firing differs, so the graphs are rebuilt per
+/// encoding with matching rates.
+#[derive(Debug, Clone)]
+pub struct PayloadRuntime {
+    rows: usize,
+    row_bytes: usize,
+    payload: Vec<u8>,
+    row_blocks: Vec<TokenBytes>,
+}
+
+impl PayloadRuntime {
+    /// Creates the pipeline state: `rows` rows of `row_bytes`
+    /// deterministic pseudo-random bytes each.
+    pub fn new(rows: usize, row_bytes: usize, seed: u64) -> Self {
+        let mut state = seed | 1;
+        let payload: Vec<u8> = (0..rows * row_bytes)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let row_blocks = payload.chunks(row_bytes).map(TokenBytes::from).collect();
+        PayloadRuntime {
+            rows,
+            row_bytes,
+            payload,
+            row_blocks,
+        }
+    }
+
+    /// The payload bytes one iteration delivers to the sink.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The per-row block handles the `Block` source emits; every
+    /// captured block must [share storage](TokenBytes::shares_storage)
+    /// with one of these for the run to have been zero-copy.
+    pub fn row_blocks(&self) -> &[TokenBytes] {
+        &self.row_blocks
+    }
+
+    fn tokens_per_firing(&self, encoding: PayloadEncoding) -> u64 {
+        match encoding {
+            PayloadEncoding::Scalar => (self.rows * self.row_bytes) as u64,
+            PayloadEncoding::Block => self.rows as u64,
+        }
+    }
+
+    /// The three-stage pipeline graph for the given encoding (rates are
+    /// the encoding's tokens per firing; the repetition vector is all
+    /// ones).
+    pub fn graph(&self, encoding: PayloadEncoding) -> TpdfGraph {
+        let rate = self.tokens_per_firing(encoding);
+        TpdfGraph::builder()
+            .kernel("SRC")
+            .kernel("RELAY")
+            .kernel("SNK")
+            .channel(
+                "SRC",
+                "RELAY",
+                RateSeq::constant(rate),
+                RateSeq::constant(rate),
+                0,
+            )
+            .channel(
+                "RELAY",
+                "SNK",
+                RateSeq::constant(rate),
+                RateSeq::constant(rate),
+                0,
+            )
+            .build()
+            .expect("payload pipeline is well-formed")
+    }
+
+    /// Builds the kernel registry for the given encoding: `SRC` replays
+    /// the payload (as bytes or as row handles), `RELAY` forwards, and
+    /// the capturing `SNK` collects what arrives.
+    pub fn registry(&self, encoding: PayloadEncoding) -> (KernelRegistry, OutputCapture) {
+        let mut registry = KernelRegistry::new();
+        let tokens: Vec<Token> = match encoding {
+            PayloadEncoding::Scalar => self.payload.iter().map(|&b| Token::Byte(b)).collect(),
+            PayloadEncoding::Block => self.row_blocks.iter().cloned().map(Token::Block).collect(),
+        };
+        registry.register_fn("SRC", move |ctx| {
+            ctx.fill_outputs_cycling(&tokens);
+            Ok(())
+        });
+        registry.register_fn("RELAY", move |ctx| {
+            let consumed = ctx.concatenated_inputs();
+            ctx.fill_outputs_cycling(&consumed);
+            Ok(())
+        });
+        let capture = OutputCapture::new();
+        capture.install(&mut registry, "SNK");
+        (registry, capture)
+    }
+}
+
 /// The complex payloads of every consumed token, in order.
 fn complex_inputs(ctx: &crate::kernel::FiringContext) -> Result<Vec<Complex>, RuntimeError> {
     ctx.concatenated_inputs()
@@ -674,6 +836,54 @@ mod tests {
                 capture.floats(),
                 radio.reference_audio(1),
                 "FM radio under {placement:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_encodings_deliver_identical_byte_streams() {
+        let port = PayloadRuntime::new(8, 64, 42);
+        let mut streams = Vec::new();
+        for encoding in [PayloadEncoding::Scalar, PayloadEncoding::Block] {
+            let graph = port.graph(encoding);
+            let (registry, capture) = port.registry(encoding);
+            let config = RuntimeConfig::new(Binding::new())
+                .with_threads(2)
+                .with_iterations(2);
+            let metrics = Executor::new(&graph, config)
+                .unwrap()
+                .run(&registry)
+                .unwrap();
+            assert_eq!(metrics.iterations, 2, "{encoding:?}");
+            streams.push(capture.byte_stream());
+        }
+        let expected: Vec<u8> = port
+            .payload()
+            .iter()
+            .chain(port.payload())
+            .copied()
+            .collect();
+        assert_eq!(streams[0], expected, "scalar stream");
+        assert_eq!(streams[0], streams[1], "encodings must agree byte-for-byte");
+    }
+
+    #[test]
+    fn payload_blocks_arrive_without_copying_the_bytes() {
+        let port = PayloadRuntime::new(4, 128, 9);
+        let graph = port.graph(PayloadEncoding::Block);
+        let (registry, capture) = port.registry(PayloadEncoding::Block);
+        let config = RuntimeConfig::new(Binding::new()).with_threads(1);
+        Executor::new(&graph, config)
+            .unwrap()
+            .run(&registry)
+            .unwrap();
+        let tokens = capture.take_tokens();
+        assert_eq!(tokens.len(), 4);
+        for (row, token) in tokens.iter().enumerate() {
+            let block = token.as_block().expect("block token");
+            assert!(
+                block.shares_storage(&port.row_blocks()[row]),
+                "row {row} was copied somewhere between SRC and SNK"
             );
         }
     }

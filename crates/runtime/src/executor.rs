@@ -59,6 +59,7 @@
 //! best result available *now* — and fires empty, counting a deadline
 //! miss, when nothing is ready).
 
+use crate::arena::{ArenaStats, SlabArena};
 use crate::kernel::{
     fire_default, fire_select_duplicate, fire_transaction, FiringContext, KernelRegistry,
     PortInput, PortOutput,
@@ -584,6 +585,12 @@ pub(crate) struct RunState {
     mode_log: Vec<Mutex<Vec<Mode>>>,
     /// Parameter rebindings applied at iteration barriers.
     rebinds: Mutex<Vec<RebindEvent>>,
+    /// Slab-arena traffic summed over the workers' private arenas, each
+    /// flushed once when its worker leaves the loop (never per firing).
+    arena_hits: AtomicU64,
+    arena_misses: AtomicU64,
+    arena_recycled: AtomicU64,
+    arena_retired: AtomicU64,
     /// Job tag stamped on this run's trace events (see
     /// [`RuntimeConfig::trace_tag`]; a pool overwrites 0 with a fresh
     /// tag before starting workers).
@@ -605,6 +612,16 @@ impl RunState {
             ChannelRing::Control(ring) => ring,
             ChannelRing::Data(_) => unreachable!("control port backed by data ring"),
         }
+    }
+
+    /// Adds one worker arena's lifetime counters into the run totals.
+    fn flush_arena(&self, stats: ArenaStats) {
+        self.arena_hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.arena_misses.fetch_add(stats.misses, Ordering::Relaxed);
+        self.arena_recycled
+            .fetch_add(stats.recycled, Ordering::Relaxed);
+        self.arena_retired
+            .fetch_add(stats.retired, Ordering::Relaxed);
     }
 }
 
@@ -629,15 +646,82 @@ struct Claim {
 }
 
 /// Per-worker scratch threaded through the firing path: the local
-/// firing counter that drives the 1-in-8 sampling cadence, and the
-/// cached trace timestamp that unsampled firings stamp their events
-/// with — tracing then costs one clock read per *sampled* firing
-/// instead of per firing, which is what keeps the flight recorder
-/// within its overhead budget on fine-grained graphs.
-#[derive(Default)]
+/// firing counter that drives the 1-in-8 sampling cadence, the cached
+/// trace timestamp that unsampled firings stamp their events with —
+/// tracing then costs one clock read per *sampled* firing instead of
+/// per firing, which is what keeps the flight recorder within its
+/// overhead budget on fine-grained graphs — and the worker's memory
+/// recycling state: the slab arena its firing slabs cycle through,
+/// the spare port-entry containers, and the scalar buffer the mode
+/// selector reads from. Together these make a steady-state firing
+/// allocation-free.
 struct FireScratch {
     fired: u64,
     ts_ns: u64,
+    /// Sampling cadence of the cost/trace timer as a power-of-two mask
+    /// (`fired & mask == 1` samples). Workers use 1-in-8; the
+    /// single-worker fast path stretches to 1-in-64 — it only runs
+    /// *after* the fine-grained verdict converged, so it needs enough
+    /// samples to notice a kernel growing coarse again, not to build
+    /// the estimate from scratch, and on sub-microsecond firings the
+    /// two clock reads per sample are themselves a measurable tax.
+    sample_mask: u64,
+    /// Recycled `Vec<Token>` firing slabs, bucketed by capacity class.
+    arena: SlabArena<Token>,
+    /// The previous firing's (drained) port containers, reused so the
+    /// `Vec<PortInput>`/`Vec<PortOutput>` of a context cost nothing
+    /// either.
+    spare_inputs: Vec<PortInput>,
+    spare_outputs: Vec<PortOutput>,
+    /// Idle port entries parked per node, with their shared channel
+    /// labels still attached: reusing an entry skips the two `Arc`
+    /// refcount round-trips per port per firing that rebuilding one
+    /// costs (lazily sized to the node count on first use).
+    ports: Vec<NodePorts>,
+    /// Reused scalar-view buffer for data-dependent mode selection.
+    scalars: Vec<i64>,
+    /// Arena counters already emitted as trace events (the
+    /// `SlabRecycle`/`SlabMiss` pair rides the sampling cadence and
+    /// reports deltas since the previous sampled firing).
+    traced: ArenaStats,
+}
+
+/// One node's parked port entries (see [`FireScratch::ports`]).
+#[derive(Default)]
+struct NodePorts {
+    inputs: Vec<PortInput>,
+    outputs: Vec<PortOutput>,
+    /// The node-name handle of the last [`FiringContext`] this worker
+    /// built for the node, parked here when the context is dismantled
+    /// so the next firing's context skips the clone/drop pair on the
+    /// shared `Arc<str>`.
+    name: Option<Arc<str>>,
+}
+
+impl Default for FireScratch {
+    fn default() -> Self {
+        FireScratch {
+            fired: 0,
+            ts_ns: 0,
+            sample_mask: 7,
+            arena: SlabArena::default(),
+            spare_inputs: Vec::new(),
+            spare_outputs: Vec::new(),
+            ports: Vec::new(),
+            scalars: Vec::new(),
+            traced: ArenaStats::default(),
+        }
+    }
+}
+
+impl FireScratch {
+    /// The parked entries of `node`, growing the table on first touch.
+    fn node_ports(&mut self, node: usize) -> &mut NodePorts {
+        if self.ports.len() <= node {
+            self.ports.resize_with(node + 1, NodePorts::default);
+        }
+        &mut self.ports[node]
+    }
 }
 
 /// The multi-threaded executor of one TPDF graph.
@@ -1259,6 +1343,10 @@ impl Engine {
             // Scoped runs have no persistent workers to pin; the pool
             // overwrites this with its own pinning record.
             pinned_cores: Vec::new(),
+            arena_hits: state.arena_hits.load(Ordering::Relaxed),
+            arena_misses: state.arena_misses.load(Ordering::Relaxed),
+            arena_recycled: state.arena_recycled.load(Ordering::Relaxed),
+            arena_retired: state.arena_retired.load(Ordering::Relaxed),
         })
     }
 
@@ -1307,15 +1395,35 @@ impl Engine {
             parked: AtomicUsize::new(0),
             deadline_misses: AtomicU64::new(0),
             vote_failures: AtomicU64::new(0),
+            // Hints are deduplicated by the per-node `queued` flag, so
+            // all queues together never hold more than one entry per
+            // node — reserving that bound up front keeps `VecDeque`
+            // growth off the steady-state firing path.
             queues: (0..workers.max(1))
-                .map(|_| Mutex::new(VecDeque::new()))
+                .map(|_| Mutex::new(VecDeque::with_capacity(self.nodes.len() + 1)))
                 .collect(),
             worker_firings: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             worker_steals: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            // Mode logs grow by one entry per control-actor firing;
+            // reserving the whole run's worth (bounded, for very long
+            // runs) keeps their doubling reallocations out of the
+            // steady state too.
             mode_log: (0..self.nodes.len())
-                .map(|_| Mutex::new(Vec::new()))
+                .map(|n| {
+                    let per_iter = if self.nodes[n].control_outputs.is_empty() {
+                        0
+                    } else {
+                        self.plans.iter().map(|p| p.counts[n]).max().unwrap_or(0)
+                    };
+                    let reserve = (per_iter * self.config.iterations).min(1 << 16) as usize;
+                    Mutex::new(Vec::with_capacity(reserve))
+                })
                 .collect(),
             rebinds: Mutex::new(Vec::new()),
+            arena_hits: AtomicU64::new(0),
+            arena_misses: AtomicU64::new(0),
+            arena_recycled: AtomicU64::new(0),
+            arena_retired: AtomicU64::new(0),
             trace_job: self.config.trace_tag,
             park: Mutex::new(ParkInner::default()),
             cond: Condvar::new(),
@@ -1353,13 +1461,13 @@ impl Engine {
         // the boundary (foreign-queue steals, foreign-node scan fires)
         // requires `starved >= AFFINITY_STEAL_THRESHOLD`.
         let mut starved: u32 = 0;
-        loop {
+        let stood_down = loop {
             if state.halt.load(Ordering::SeqCst) {
-                return false;
+                break false;
             }
             // 1. Real-time clock ticks that are due fire immediately.
             if let ClockMode::RealTime { time_unit } = &self.config.clock_mode {
-                if self.fire_due_clock(state, me, start, *time_unit) {
+                if self.fire_due_clock(state, me, start, *time_unit, &mut scratch) {
                     continue;
                 }
             }
@@ -1378,7 +1486,7 @@ impl Engine {
             //    would average into invisibility, and `run` promises
             //    real-time runs the full pool.
             if me != 0 && !real_time && self.fine_grained() {
-                return true;
+                break true;
             }
             // The epoch is captured before looking for work so that a
             // completion racing with the hunt below is detectable when
@@ -1435,7 +1543,9 @@ impl Engine {
             }
             // 5. Nothing claimable anywhere: park (or report a stall).
             self.park(state, me, epoch, start);
-        }
+        };
+        state.flush_arena(scratch.arena.stats());
+        stood_down
     }
 
     /// Whether `node`'s home worker is `me` under the active plan's
@@ -1472,31 +1582,45 @@ impl Engine {
     /// identical by the determinacy argument; only the schedule
     /// differs.
     pub(crate) fn run_single(&self, state: &RunState, registry: &KernelRegistry, start: Instant) {
-        let mut scratch = FireScratch::default();
-        loop {
+        let mut scratch = FireScratch {
+            sample_mask: 63,
+            ..FireScratch::default()
+        };
+        'run: loop {
             if state.halt.load(Ordering::Relaxed) {
-                return;
+                break 'run;
             }
             let mut progressed = false;
             for &node in &self.scan_order {
                 // Keep firing the same node while it stays claimable:
                 // its rings and rate tables are hot.
-                while let Some(claim) = self.try_claim_node(state, node, false) {
+                while let Some(claim) = self.try_claim_node(state, node, false, &mut scratch) {
                     progressed = true;
                     if let Err(error) =
                         self.execute_timed(state, claim, registry, start, 0, &mut scratch)
                     {
                         self.fail(state, error);
-                        return;
+                        break 'run;
                     }
+                    // Plain load + store instead of `fetch_*`: this
+                    // thread is the only writer of every one of these
+                    // counters in the single-worker regime, and the
+                    // metrics readers only look after the run joins.
+                    // Dropping the four lock-prefixed RMWs saves a
+                    // measurable slice of the per-firing overhead.
                     let ns = &state.nodes[node];
-                    ns.budget.fetch_sub(1, Ordering::Relaxed);
-                    ns.fired_total.fetch_add(1, Ordering::Relaxed);
-                    state.worker_firings[0].fetch_add(1, Ordering::Relaxed);
-                    if state.remaining_iter.fetch_sub(1, Ordering::Relaxed) == 1 {
-                        self.iteration_barrier(state, 0);
+                    let budget = ns.budget.load(Ordering::Relaxed);
+                    ns.budget.store(budget - 1, Ordering::Relaxed);
+                    let fired = ns.fired_total.load(Ordering::Relaxed);
+                    ns.fired_total.store(fired + 1, Ordering::Relaxed);
+                    let mine = state.worker_firings[0].load(Ordering::Relaxed);
+                    state.worker_firings[0].store(mine + 1, Ordering::Relaxed);
+                    let left = state.remaining_iter.load(Ordering::Relaxed);
+                    state.remaining_iter.store(left - 1, Ordering::Relaxed);
+                    if left == 1 {
+                        self.iteration_barrier(state, 0, &mut scratch.arena);
                         if state.halt.load(Ordering::Relaxed) {
-                            return;
+                            break 'run;
                         }
                     }
                 }
@@ -1506,9 +1630,10 @@ impl Engine {
                 // flight: the graph is stalled.
                 let error = self.stall_error(state);
                 self.fail(state, error);
-                return;
+                break 'run;
             }
         }
+        state.flush_arena(scratch.arena.stats());
     }
 
     /// Parks a scoped secondary that stood down from a fine-grained
@@ -1608,7 +1733,7 @@ impl Engine {
         {
             false
         } else {
-            match self.try_claim_node(state, node, real_time) {
+            match self.try_claim_node(state, node, real_time, scratch) {
                 None => {
                     ns.claimed.store(false, Ordering::Release);
                     false
@@ -1624,7 +1749,7 @@ impl Engine {
                         }
                     }
                     match self.execute_timed(state, claim, registry, start, me, scratch) {
-                        Ok(()) => self.finish_firing(state, me, node),
+                        Ok(()) => self.finish_firing(state, me, node, scratch),
                         Err(error) => self.fail(state, error),
                     }
                     true
@@ -1661,7 +1786,7 @@ impl Engine {
         scratch.fired += 1;
         let node = claim.node;
         let plan_idx = claim.plan;
-        let sampled = scratch.fired & 7 == 1;
+        let sampled = scratch.fired & scratch.sample_mask == 1;
         let tracer = self.trace();
         if sampled {
             if let Some(tracer) = tracer {
@@ -1670,14 +1795,41 @@ impl Engine {
         }
         let timer = (sampled && tracer.is_none()).then(Instant::now);
         let mut tokens: u64 = 0;
-        let outcome = self.execute(claim, registry).and_then(|(claim, mut ctx)| {
-            if tracer.is_some() {
-                // Data tokens this firing is about to publish (the
-                // slabs are drained into the rings by the publish).
-                tokens = ctx.outputs.iter().map(|o| o.tokens.len() as u64).sum();
-            }
-            self.publish_outputs(state, &claim, &mut ctx, start, me)
-        });
+        let outcome = self
+            .execute(claim, registry, scratch)
+            .and_then(|(claim, mut ctx)| {
+                if tracer.is_some() {
+                    // Data tokens this firing is about to publish (the
+                    // slabs are drained into the rings by the publish).
+                    tokens = ctx.outputs.iter().map(|o| o.tokens.len() as u64).sum();
+                }
+                let published =
+                    self.publish_outputs(state, &claim, &mut ctx, start, me, &mut scratch.scalars);
+                if published.is_ok() {
+                    // Return the firing's slabs (consumed input tokens
+                    // are dropped here; output slabs were drained into
+                    // the rings), park the port entries with their
+                    // channel labels still attached, and keep the
+                    // emptied containers — the next firing rebuilds
+                    // the whole context without touching the allocator
+                    // or an `Arc` refcount.
+                    scratch.node_ports(node);
+                    let FireScratch { arena, ports, .. } = &mut *scratch;
+                    let parked = &mut ports[node];
+                    for mut input in ctx.inputs.drain(..) {
+                        arena.recycle(std::mem::take(&mut input.tokens));
+                        parked.inputs.push(input);
+                    }
+                    for mut output in ctx.outputs.drain(..) {
+                        arena.recycle(std::mem::take(&mut output.tokens));
+                        parked.outputs.push(output);
+                    }
+                    parked.name = Some(ctx.node);
+                    scratch.spare_inputs = ctx.inputs;
+                    scratch.spare_outputs = ctx.outputs;
+                }
+                published
+            });
         if let Some(tracer) = tracer {
             let (ts_ns, dur) = if sampled {
                 let started = scratch.ts_ns;
@@ -1700,6 +1852,35 @@ impl Engine {
                 plan_idx as u32,
                 TraceEvent::pack_firing(dur, tokens),
             );
+            if sampled {
+                // Arena traffic rides the same 1-in-8 cadence: one
+                // event per counter that moved since the last sampled
+                // firing, stamped with the cached timestamp.
+                let stats = scratch.arena.stats();
+                if stats.recycled > scratch.traced.recycled {
+                    tracer.event_at(
+                        scratch.ts_ns,
+                        me,
+                        EventKind::SlabRecycle,
+                        state.trace_job,
+                        node as u32,
+                        0,
+                        stats.recycled - scratch.traced.recycled,
+                    );
+                }
+                if stats.misses > scratch.traced.misses {
+                    tracer.event_at(
+                        scratch.ts_ns,
+                        me,
+                        EventKind::SlabMiss,
+                        state.trace_job,
+                        node as u32,
+                        0,
+                        stats.misses - scratch.traced.misses,
+                    );
+                }
+                scratch.traced = stats;
+            }
         } else if let Some(timer) = timer {
             self.record_cost_sample(timer.elapsed().as_nanos() as u64);
         }
@@ -1714,7 +1895,13 @@ impl Engine {
     /// accumulate) and the unique producer of the output rings (free
     /// space only grows), so the checks below cannot be invalidated
     /// between check and commit.
-    fn try_claim_node(&self, state: &RunState, node: usize, real_time: bool) -> Option<Claim> {
+    fn try_claim_node(
+        &self,
+        state: &RunState,
+        node: usize,
+        real_time: bool,
+        scratch: &mut FireScratch,
+    ) -> Option<Claim> {
         let info = &self.nodes[node];
         let ns = &state.nodes[node];
         // The budget gate. Acquire pairs with the barrier's Release
@@ -1810,20 +1997,36 @@ impl Engine {
             }
         }
         let controlled = info.control_port.is_some();
-        let mut inputs = Vec::with_capacity(mode.selected_count(port_count).min(port_count));
+        // The port-entry container, the entries themselves (with their
+        // channel-label `Arc`s) and the token slabs all come out of the
+        // worker's recycling state: nothing here touches the global
+        // allocator — or an `Arc` refcount — once the caches are warm.
+        let mut inputs = std::mem::take(&mut scratch.spare_inputs);
+        debug_assert!(inputs.is_empty());
+        scratch.node_ports(node);
+        let FireScratch { arena, ports, .. } = scratch;
+        let parked = &mut ports[node];
         let mut take = |port: usize, chan: usize| {
             let rate = plan.cons_rate(chan, ordinal_iter) as usize;
             if controlled {
                 state.selected[chan].store(true, Ordering::Relaxed);
             }
-            let mut slab = Vec::with_capacity(rate);
+            let mut slab = arena.take(rate);
             state.data_ring(chan).pop_into(rate, &mut slab);
-            inputs.push(PortInput {
-                port,
-                priority: self.chans[chan].priority,
-                channel: self.chans[chan].label.clone(),
-                tokens: slab,
-            });
+            let entry = match parked.inputs.iter().position(|p| p.port == port) {
+                Some(at) => {
+                    let mut entry = parked.inputs.swap_remove(at);
+                    entry.tokens = slab;
+                    entry
+                }
+                None => PortInput {
+                    port,
+                    priority: self.chans[chan].priority,
+                    channel: self.chans[chan].label.clone(),
+                    tokens: slab,
+                },
+            };
+            inputs.push(entry);
         };
         match &mode {
             Mode::HighestPriority => {
@@ -1858,28 +2061,39 @@ impl Engine {
         &self,
         mut claim: Claim,
         registry: &KernelRegistry,
+        scratch: &mut FireScratch,
     ) -> Result<(Claim, FiringContext), RuntimeError> {
         let info = &self.nodes[claim.node];
         let plan = &self.plans[claim.plan];
+        let mut outputs = std::mem::take(&mut scratch.spare_outputs);
+        debug_assert!(outputs.is_empty());
+        scratch.node_ports(claim.node);
+        let FireScratch { arena, ports, .. } = scratch;
+        let parked = &mut ports[claim.node];
+        outputs.extend(info.data_outputs.iter().enumerate().map(|(port, &chan)| {
+            let rate = plan.prod_rate(chan, claim.ordinal_iter);
+            let tokens = arena.take(rate as usize);
+            match parked.outputs.iter().position(|p| p.port == port) {
+                Some(at) => {
+                    let mut entry = parked.outputs.swap_remove(at);
+                    entry.rate = rate;
+                    entry.tokens = tokens;
+                    entry
+                }
+                None => PortOutput {
+                    port,
+                    channel: self.chans[chan].label.clone(),
+                    rate,
+                    tokens,
+                },
+            }
+        }));
         let mut ctx = FiringContext {
-            node: info.name.clone(),
+            node: parked.name.take().unwrap_or_else(|| info.name.clone()),
             ordinal: claim.ordinal_total,
             mode: claim.mode.clone(),
             inputs: std::mem::take(&mut claim.inputs),
-            outputs: info
-                .data_outputs
-                .iter()
-                .enumerate()
-                .map(|(port, &chan)| {
-                    let rate = plan.prod_rate(chan, claim.ordinal_iter);
-                    PortOutput {
-                        port,
-                        channel: self.chans[chan].label.clone(),
-                        rate,
-                        tokens: Vec::with_capacity(rate as usize),
-                    }
-                })
-                .collect(),
+            outputs,
             deadline_missed: claim.deadline_missed,
             vote_failed: false,
             emitted_mode: None,
@@ -1902,6 +2116,7 @@ impl Engine {
         ctx: &mut FiringContext,
         start: Instant,
         me: usize,
+        scalars: &mut Vec<i64>,
     ) -> Result<(), RuntimeError> {
         let node = claim.node;
         let info = &self.nodes[node];
@@ -1921,7 +2136,12 @@ impl Engine {
             }
             // The whole slab moves into the ring as one batch.
             state.data_ring(chan).push_from(produced)?;
-            state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+            // Load + store, not `fetch_add`: a channel's counter is only
+            // ever advanced by its unique producing node, and firings of
+            // one node are serialised by the claim's release/acquire
+            // chain, so the RMW's atomicity buys nothing here.
+            let pushed = state.tokens_pushed[chan].load(Ordering::Relaxed);
+            state.tokens_pushed[chan].store(pushed + rate, Ordering::Relaxed);
         }
 
         if !info.control_outputs.is_empty() {
@@ -1930,15 +2150,18 @@ impl Engine {
             // behaviour itself when it called `set_mode`.
             let mode = match ctx.emitted_mode.take() {
                 Some(mode) => mode,
-                None => self.selector.select(
-                    ns.control_firings.load(Ordering::Relaxed),
-                    &ctx.input_scalars(),
-                ),
+                None => {
+                    scalars.clear();
+                    ctx.input_scalars_into(scalars);
+                    self.selector
+                        .select(ns.control_firings.load(Ordering::Relaxed), scalars)
+                }
             };
             for &chan in &info.control_outputs {
                 let rate = plan.prod_rate(chan, claim.ordinal_iter);
                 state.control_ring(chan).push_clones(&mode, rate as usize)?;
-                state.tokens_pushed[chan].fetch_add(rate, Ordering::Relaxed);
+                let pushed = state.tokens_pushed[chan].load(Ordering::Relaxed);
+                state.tokens_pushed[chan].store(pushed + rate, Ordering::Relaxed);
             }
             if let Some(tracer) = self.trace() {
                 tracer.event(
@@ -1996,7 +2219,7 @@ impl Engine {
     /// Commits a published firing: advances the node's counters,
     /// releases the claim, enqueues the affected neighbours, handles
     /// the iteration barrier, and signals progress.
-    fn finish_firing(&self, state: &RunState, me: usize, node: usize) {
+    fn finish_firing(&self, state: &RunState, me: usize, node: usize, scratch: &mut FireScratch) {
         let ns = &state.nodes[node];
         // The budget decrement precedes the claim release: the next
         // claimant's successful CAS pairs with the Release below, so it
@@ -2007,7 +2230,7 @@ impl Engine {
         ns.claimed.store(false, Ordering::Release);
         let surplus = self.enqueue_candidates(state, me, node);
         if state.remaining_iter.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.iteration_barrier(state, me);
+            self.iteration_barrier(state, me, &mut scratch.arena);
         }
         self.signal_progress(state, surplus);
     }
@@ -2069,7 +2292,7 @@ impl Engine {
     /// no claim can race with the flush, the plan switch or the ring
     /// growth; the `Release` budget republication is what publishes all
     /// of them to the next claimants.
-    fn iteration_barrier(&self, state: &RunState, me: usize) {
+    fn iteration_barrier(&self, state: &RunState, me: usize, arena: &mut SlabArena<Token>) {
         let tracer = self.trace();
         // The iteration index being finished (0-based), for the trace
         // events bracketing the barrier.
@@ -2116,7 +2339,16 @@ impl Engine {
                 let plan = &self.plans[next];
                 for (i, &cap) in plan.capacities.iter().enumerate() {
                     let old = match &state.rings[i] {
-                        ChannelRing::Data(ring) => ring.grow(cap as usize),
+                        // A grown data ring's retired slot array goes
+                        // into this worker's arena as an ordinary slab
+                        // instead of back to the allocator.
+                        ChannelRing::Data(ring) => {
+                            let (old, retired) = ring.grow_reclaim(cap as usize);
+                            if let Some(storage) = retired {
+                                arena.recycle(storage);
+                            }
+                            old
+                        }
                         ChannelRing::Control(ring) => ring.grow(cap as usize),
                     };
                     if old < cap as usize {
@@ -2374,7 +2606,14 @@ impl Engine {
 
     /// Fires one due real-time clock, if any. Returns `true` when a
     /// clock fired (successfully or not).
-    fn fire_due_clock(&self, state: &RunState, me: usize, start: Instant, unit: Duration) -> bool {
+    fn fire_due_clock(
+        &self,
+        state: &RunState,
+        me: usize,
+        start: Instant,
+        unit: Duration,
+        scratch: &mut FireScratch,
+    ) -> bool {
         let now = Instant::now();
         for &node in &self.clock_nodes {
             let ns = &state.nodes[node];
@@ -2410,7 +2649,7 @@ impl Engine {
                 let plan_idx = state.plan.load(Ordering::Relaxed);
                 let ordinal = self.plans[plan_idx].counts[node] - remaining;
                 match self.fire_clock_claimed(state, node, ordinal, plan_idx, me) {
-                    Ok(()) => self.finish_firing(state, me, node),
+                    Ok(()) => self.finish_firing(state, me, node, scratch),
                     Err(error) => self.fail(state, error),
                 }
                 true
@@ -2930,7 +3169,7 @@ mod tests {
         let config = RuntimeConfig::new(Binding::new()).with_threads(4);
         let metrics = Executor::new(&g, config).unwrap().run(&registry).unwrap();
         // w1 disagrees; the two agreeing workers (value 5) win the vote.
-        assert_eq!(capture.tokens(), vec![Token::Int(5)]);
+        assert_eq!(capture.take_tokens(), vec![Token::Int(5)]);
         assert_eq!(metrics.vote_failures, 0);
     }
 

@@ -132,10 +132,18 @@ impl FiringContext {
     /// The scalar views of every consumed token, port after port, oldest
     /// first — the inputs a data-dependent mode selector reacts to.
     pub fn input_scalars(&self) -> Vec<i64> {
-        self.inputs
-            .iter()
-            .flat_map(|p| p.tokens.iter().map(Token::as_scalar))
-            .collect()
+        let mut out = Vec::new();
+        self.input_scalars_into(&mut out);
+        out
+    }
+
+    /// Appends the scalar views of every consumed token to `out` — the
+    /// allocation-free form of [`FiringContext::input_scalars`] the
+    /// executor feeds from a reused per-worker buffer.
+    pub fn input_scalars_into(&self, out: &mut Vec<i64>) {
+        for p in &self.inputs {
+            out.extend(p.tokens.iter().map(Token::as_scalar));
+        }
     }
 
     /// Makes this firing's control tokens carry `mode`, overriding the
@@ -161,10 +169,19 @@ impl FiringContext {
     pub fn fill_outputs_from_inputs(&mut self) {
         let total: usize = self.inputs.iter().map(|p| p.tokens.len()).sum();
         let (inputs, outputs) = (&self.inputs, &mut self.outputs);
+        // One participating port is the overwhelmingly common shape;
+        // it cycles through `write_cycled_into`'s slice fast path
+        // instead of the per-token chained iterator.
+        let single = match inputs.as_slice() {
+            [only] if only.tokens.len() == total => Some(only.tokens.as_slice()),
+            _ => None,
+        };
         for out in outputs.iter_mut() {
             out.tokens.clear();
             if total == 0 {
                 out.tokens.resize(out.rate as usize, Token::Unit);
+            } else if let Some(source) = single {
+                write_cycled_into(&mut out.tokens, source, out.rate);
             } else {
                 out.tokens.extend(
                     inputs
@@ -180,13 +197,22 @@ impl FiringContext {
 }
 
 /// Appends `rate` tokens to `out` by cycling through `source`;
-/// [`Token::Unit`] markers when `source` is empty.
+/// [`Token::Unit`] markers when `source` is empty. Whole-slice rounds
+/// go through `extend_from_slice` (a clone-from-slice specialisation),
+/// only the final partial round clones token by token.
 fn write_cycled_into(out: &mut Vec<Token>, source: &[Token], rate: u64) {
+    let rate = rate as usize;
     if source.is_empty() {
-        out.resize(out.len() + rate as usize, Token::Unit);
+        out.resize(out.len() + rate, Token::Unit);
         return;
     }
-    out.extend((0..rate as usize).map(|i| source[i % source.len()].clone()));
+    out.reserve(rate);
+    let mut remaining = rate;
+    while remaining >= source.len() {
+        out.extend_from_slice(source);
+        remaining -= source.len();
+    }
+    out.extend_from_slice(&source[..remaining]);
 }
 
 /// What a node computes when it fires.
@@ -275,29 +301,30 @@ pub(crate) fn fire_select_duplicate(ctx: &mut FiringContext) {
 /// Built-in semantics of the Transaction kernel: vote when configured,
 /// then forward the best participating input.
 pub(crate) fn fire_transaction(ctx: &mut FiringContext, votes_required: u32) {
-    let chosen: Option<Vec<Token>> = if votes_required > 0 {
+    if votes_required > 0 {
         match winning_vote(&ctx.inputs, votes_required) {
-            Some(tokens) => Some(tokens),
-            None => {
-                ctx.vote_failed = true;
-                best_input(&ctx.inputs)
+            Some(tokens) => {
+                ctx.fill_outputs_cycling(&tokens);
+                return;
             }
+            None => ctx.vote_failed = true,
         }
-    } else {
-        best_input(&ctx.inputs)
-    };
-    match chosen {
-        Some(tokens) => ctx.fill_outputs_cycling(&tokens),
-        None => ctx.fill_outputs_cycling(&[]),
     }
-}
-
-/// The token stream of the highest-priority participating input.
-fn best_input(inputs: &[PortInput]) -> Option<Vec<Token>> {
-    inputs
+    // No vote (or a failed one): forward the highest-priority
+    // participating input, straight out of its slab — the hot path of
+    // every Transaction firing allocates nothing.
+    let best = ctx
+        .inputs
         .iter()
-        .max_by_key(|p| p.priority)
-        .map(|p| p.tokens.clone())
+        .enumerate()
+        .max_by_key(|(_, p)| p.priority)
+        .map(|(index, _)| index);
+    let (inputs, outputs) = (&ctx.inputs, &mut ctx.outputs);
+    let source: &[Token] = best.map(|i| inputs[i].tokens.as_slice()).unwrap_or(&[]);
+    for out in outputs.iter_mut() {
+        out.tokens.clear();
+        write_cycled_into(&mut out.tokens, source, out.rate);
+    }
 }
 
 /// The token stream shared by at least `votes_required` inputs, if any

@@ -7,8 +7,9 @@
 //!
 //! | Module | Provides |
 //! |--------|----------|
-//! | [`token`] | [`token::Token`]: the values flowing through channels (units, scalars, bits, complex samples, shared images) |
+//! | [`token`] | [`token::Token`]: the values flowing through channels (units, scalars, bits, complex samples, shared images, refcounted [`token::TokenBytes`] blocks) |
 //! | [`ring`] | [`ring::RingBuffer`]: lock-free SPSC channel rings with batch slab transfer, sized from `tpdf-sim` buffer analysis |
+//! | [`arena`] | [`arena::SlabArena`]: per-worker recycled firing slabs, bucketed by capacity class — what makes a steady-state firing allocation-free |
 //! | [`kernel`] | [`kernel::KernelBehavior`] / [`kernel::KernelRegistry`]: what each node computes, plus built-in Select-Duplicate, Transaction-with-vote and default semantics |
 //! | [`executor`] | [`executor::Executor`]: the sharded scheduler (per-node atomic claims, per-worker ready queues with stealing or manycore-mapped affinity placement — [`executor::PlacementPolicy`]) with control-token mode switching and real-deadline [`tpdf_core::KernelKind::Clock`] watchdogs |
 //! | [`pool`] | [`pool::ExecutorPool`]: a persistent worker pool — threads spawned once, parked between runs, telemetry carried across runs |
@@ -69,6 +70,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cases;
 pub mod executor;
 pub mod kernel;
@@ -79,13 +81,17 @@ pub mod ring;
 mod snapshot;
 pub mod token;
 
-pub use cases::{EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture};
+pub use arena::{ArenaStats, SlabArena};
+pub use cases::{
+    EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture, PayloadEncoding,
+    PayloadRuntime,
+};
 pub use executor::{ClockMode, CompiledExecutor, Executor, PlacementPolicy, RuntimeConfig};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
 pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
 pub use pool::{ExecutorPool, JobTicket};
 pub use ring::RingBuffer;
-pub use token::Token;
+pub use token::{Token, TokenBytes};
 pub use tpdf_trace::Tracer;
 
 use std::fmt;

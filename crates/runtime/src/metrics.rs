@@ -109,6 +109,17 @@ pub struct Metrics {
     /// pool is never pinned). Empty for scoped `Executor::run`s, which
     /// have no persistent workers to pin.
     pub pinned_cores: Vec<Option<usize>>,
+    /// Slab-arena requests served from a worker freelist without
+    /// touching the allocator, summed over all workers.
+    pub arena_hits: u64,
+    /// Slab-arena requests that fell back to the global allocator
+    /// (cold start, or first firings after a plan switch).
+    pub arena_misses: u64,
+    /// Firing slabs returned to a worker freelist for reuse.
+    pub arena_recycled: u64,
+    /// Firing slabs dropped because their capacity class was already
+    /// full (retention bound).
+    pub arena_retired: u64,
 }
 
 impl Metrics {
@@ -167,6 +178,10 @@ mod tests {
             worker_steals: vec![0; 4],
             rebinds: Vec::new(),
             pinned_cores: Vec::new(),
+            arena_hits: 30,
+            arena_misses: 6,
+            arena_recycled: 30,
+            arena_retired: 0,
         }
     }
 

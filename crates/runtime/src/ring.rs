@@ -124,6 +124,21 @@ impl<T> RingBuffer<T> {
         &mut *slots[c % slots.len()].get()
     }
 
+    /// Base pointer of the slot array viewed as raw `T` storage, for
+    /// the batch `memcpy` paths: `UnsafeCell<MaybeUninit<T>>` is
+    /// documented to have the same in-memory representation as `T`
+    /// (both wrappers are `repr(transparent)`), so the slot array *is*
+    /// a `[T; capacity]` whose initialised range the cursors describe.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RingBuffer::slot`]: the caller may only touch
+    /// the slots its side of the cursor protocol owns, and no
+    /// concurrent [`RingBuffer::grow`] may be running.
+    unsafe fn base_ptr(&self) -> *mut T {
+        (*self.slots.get()).as_ptr() as *mut T
+    }
+
     /// Current number of elements.
     ///
     /// Exact from the consumer side (its own `head` plus a published
@@ -202,15 +217,25 @@ impl<T> RingBuffer<T> {
         let n = slab.len();
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Acquire);
-        if self.capacity() - tail.wrapping_sub(head) < n {
+        let capacity = self.capacity();
+        if capacity - tail.wrapping_sub(head) < n {
             return Err(self.overflow());
         }
-        for (i, value) in slab.drain(..).enumerate() {
-            // SAFETY: slots `tail..tail + n` are free (checked above)
-            // and invisible to the consumer until `tail` is published.
-            unsafe {
-                self.slot(tail.wrapping_add(i)).write(value);
-            }
+        // The batch occupies at most two contiguous slot segments (one
+        // wraparound split), each moved as a single memcpy.
+        //
+        // SAFETY: slots `tail..tail + n` are free (checked above) and
+        // invisible to the consumer until `tail` is published; the slab
+        // elements are bitwise-moved into them (`set_len(0)` forgets
+        // the sources, so nothing double-drops), and `base_ptr`'s
+        // layout argument makes the raw copy well-typed.
+        unsafe {
+            let base = self.base_ptr();
+            let start = tail % capacity;
+            let first = n.min(capacity - start);
+            std::ptr::copy_nonoverlapping(slab.as_ptr(), base.add(start), first);
+            std::ptr::copy_nonoverlapping(slab.as_ptr().add(first), base, n - first);
+            slab.set_len(0);
         }
         self.publish(tail, n);
         Ok(())
@@ -269,12 +294,20 @@ impl<T> RingBuffer<T> {
         );
         self.occupancy.fetch_sub(count as i64, Ordering::Relaxed);
         out.reserve(count);
-        for i in 0..count {
-            // SAFETY: slots `head..head + count` are published (checked
-            // above); each is moved out exactly once, then released by
-            // the single `head` advance below.
-            let value = unsafe { self.slot(head.wrapping_add(i)).assume_init_read() };
-            out.push(value);
+        let capacity = self.capacity();
+        // SAFETY: slots `head..head + count` are published (checked
+        // above) and span at most two contiguous segments; each value
+        // is bitwise-moved out exactly once into `out`'s reserved spare
+        // capacity (`set_len` claims them only after the copies), then
+        // released by the single `head` advance below.
+        unsafe {
+            let base = self.base_ptr();
+            let dst = out.as_mut_ptr().add(out.len());
+            let start = head % capacity;
+            let first = count.min(capacity - start);
+            std::ptr::copy_nonoverlapping(base.add(start), dst, first);
+            std::ptr::copy_nonoverlapping(base, dst.add(first), count - first);
+            out.set_len(out.len() + count);
         }
         self.head.store(head.wrapping_add(count), Ordering::Release);
     }
@@ -313,9 +346,20 @@ impl<T> RingBuffer<T> {
     /// cursor `c` is `c % capacity`, the elements are re-homed to their
     /// new slots during the copy.
     pub fn grow(&self, new_capacity: usize) -> usize {
+        self.grow_reclaim(new_capacity).0
+    }
+
+    /// [`RingBuffer::grow`] that additionally hands the *retired* slot
+    /// array back to the caller as an empty `Vec<T>` with the old
+    /// capacity — ready for a slab arena to recycle instead of going
+    /// straight back to the allocator. Returns the previous capacity
+    /// and, when a growth actually happened, the reclaimed storage.
+    ///
+    /// Same quiescence contract as [`RingBuffer::grow`].
+    pub fn grow_reclaim(&self, new_capacity: usize) -> (usize, Option<Vec<T>>) {
         let old_capacity = self.capacity();
         if new_capacity <= old_capacity {
-            return old_capacity;
+            return (old_capacity, None);
         }
         let head = self.head.load(Ordering::Acquire);
         let tail = self.tail.load(Ordering::Acquire);
@@ -325,20 +369,28 @@ impl<T> RingBuffer<T> {
         // SAFETY: quiescence (caller contract) makes this thread the
         // only one touching the slot array; every cursor in `[head,
         // tail)` indexes a published, initialised slot, and each value
-        // is moved exactly once (the old array is dropped as
-        // uninitialised storage, so nothing double-drops).
-        unsafe {
-            let old_slots = &*self.slots.get();
+        // is moved exactly once — the old array is then reinterpreted
+        // as *empty* `Vec<T>` storage, so nothing double-drops.
+        let retired = unsafe {
+            let old_slots = std::mem::replace(&mut *self.slots.get(), new_slots);
+            let installed = &*self.slots.get();
             let mut c = head;
             while c != tail {
                 let value = (*old_slots[c % old_capacity].get()).assume_init_read();
-                (*new_slots[c % new_capacity].get()).write(value);
+                (*installed[c % new_capacity].get()).write(value);
                 c = c.wrapping_add(1);
             }
-            *self.slots.get() = new_slots;
-        }
+            // `UnsafeCell<MaybeUninit<T>>` has `T`'s layout (see
+            // `base_ptr`), so the boxed slice's allocation — made by
+            // the global allocator with `old_capacity * size_of::<T>()`
+            // bytes at `T`'s alignment — is exactly what a `Vec<T>`
+            // with that capacity owns; length 0 because every element
+            // was moved out above.
+            let ptr = Box::into_raw(old_slots).cast::<T>();
+            Vec::from_raw_parts(ptr, 0, old_capacity)
+        };
         self.cap.store(new_capacity, Ordering::Release);
-        old_capacity
+        (old_capacity, Some(retired))
     }
 }
 
@@ -516,6 +568,47 @@ mod tests {
         r.push_from(&mut vec![1002, 1003, 1004]).unwrap();
         assert_eq!(drain(&r, 5), vec![1000, 1001, 1002, 1003, 1004]);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn grow_reclaim_returns_the_retired_storage() {
+        let r: RingBuffer<u32> = RingBuffer::new("g4", 4);
+        r.push_from(&mut vec![1, 2]).unwrap();
+        let (old, retired) = r.grow_reclaim(9);
+        assert_eq!(old, 4);
+        let mut storage = retired.expect("growth retires the old slot array");
+        assert_eq!(storage.len(), 0, "reclaimed storage is empty");
+        assert_eq!(storage.capacity(), 4, "and keeps the old capacity");
+        storage.extend([7, 8, 9, 10]); // usable as an ordinary Vec
+        assert_eq!(storage, vec![7, 8, 9, 10]);
+        assert_eq!(drain(&r, 2), vec![1, 2]);
+        // No-op growths reclaim nothing.
+        let (old, retired) = r.grow_reclaim(9);
+        assert_eq!((old, retired.is_some()), (9, false));
+    }
+
+    #[test]
+    fn batch_transfer_wraparound_with_refcounted_elements() {
+        // The two-segment memcpy paths must move ownership exactly once
+        // even when a batch wraps; Arc counts make duplication or loss
+        // observable.
+        let payload = Arc::new(1u32);
+        let r: RingBuffer<Arc<u32>> = RingBuffer::new("g5", 3);
+        r.push(Arc::clone(&payload)).unwrap();
+        r.pop();
+        let mut slab = vec![
+            Arc::clone(&payload),
+            Arc::clone(&payload),
+            Arc::clone(&payload),
+        ];
+        r.push_from(&mut slab).unwrap(); // wraps the backing array
+        assert!(slab.is_empty());
+        assert_eq!(Arc::strong_count(&payload), 4);
+        let mut out = Vec::new();
+        r.pop_into(3, &mut out);
+        assert_eq!(Arc::strong_count(&payload), 4);
+        drop(out);
+        assert_eq!(Arc::strong_count(&payload), 1);
     }
 
     #[test]

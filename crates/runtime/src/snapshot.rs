@@ -167,6 +167,10 @@ impl Metrics {
             .collect::<Vec<_>>()
             .join(",");
         writer.field("pinned_cores", pinned);
+        writer.field("arena_hits", self.arena_hits);
+        writer.field("arena_misses", self.arena_misses);
+        writer.field("arena_recycled", self.arena_recycled);
+        writer.field("arena_retired", self.arena_retired);
     }
 
     /// Reads a snapshot written by [`Metrics::write_snapshot`].
@@ -265,6 +269,10 @@ impl Metrics {
             worker_steals: reader.u64_list("worker_steals")?,
             rebinds,
             pinned_cores,
+            arena_hits: reader.u64("arena_hits")?,
+            arena_misses: reader.u64("arena_misses")?,
+            arena_recycled: reader.u64("arena_recycled")?,
+            arena_retired: reader.u64("arena_retired")?,
         })
     }
 
@@ -339,6 +347,21 @@ impl Metrics {
                 steals,
             );
         }
+        expo.counter(
+            "tpdf_run_arena_hits_total",
+            "Firing slabs served from worker freelists without allocating",
+            self.arena_hits,
+        );
+        expo.counter(
+            "tpdf_run_arena_misses_total",
+            "Firing-slab requests that fell back to the global allocator",
+            self.arena_misses,
+        );
+        expo.counter(
+            "tpdf_run_arena_recycled_total",
+            "Firing slabs returned to worker freelists",
+            self.arena_recycled,
+        );
         expo.finish()
     }
 }
@@ -394,6 +417,10 @@ mod tests {
                 capacities: vec![8, 4],
             }],
             pinned_cores: vec![Some(0), None, Some(3)],
+            arena_hits: 40,
+            arena_misses: 8,
+            arena_recycled: 44,
+            arena_retired: 1,
         }
     }
 

@@ -6,11 +6,120 @@
 //! bits, complex samples (OFDM) and shared images (edge detection).
 //! Images are reference-counted so duplicating one through a
 //! Select-Duplicate kernel costs a pointer, not a copy.
+//!
+//! Large contiguous payloads — an edge-detection image row, an OFDM
+//! symbol's worth of raw IQ bytes — travel as [`Token::Block`]: a
+//! [`TokenBytes`] handle (an `Arc`'d byte buffer plus an offset/length
+//! window, modeled on timely-dataflow's `bytes` crate) that clones and
+//! subslices in O(1). A block moving through a ring or a
+//! Select-Duplicate kernel costs one handle copy however many bytes it
+//! spans; the bytes themselves are written once, at the source.
 
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 use tpdf_apps::dsp::Complex;
 use tpdf_apps::image::GrayImage;
+
+/// A refcounted, immutable byte-slice handle: shared storage plus an
+/// `offset..offset + len` window into it.
+///
+/// Cloning copies three words; [`TokenBytes::slice`] carves a
+/// sub-window without touching the storage. Equality compares the
+/// *viewed bytes* (two handles over different storage but equal
+/// content are equal), which is what Transaction voting needs;
+/// [`TokenBytes::shares_storage`] exposes the identity question the
+/// zero-copy tests ask.
+#[derive(Clone)]
+pub struct TokenBytes {
+    data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
+}
+
+impl TokenBytes {
+    /// Wraps a whole buffer into a shared handle (the one copy a
+    /// payload's bytes ever undergo).
+    pub fn new(data: impl Into<Arc<[u8]>>) -> Self {
+        let data = data.into();
+        let len = data.len();
+        TokenBytes {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
+    /// A zero-copy sub-window of this handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` exceeds this handle's window.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of bounds of a {}-byte block",
+            range.start,
+            range.end,
+            self.len
+        );
+        TokenBytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Number of bytes in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether two handles view the *same allocation* (at any offset) —
+    /// true for clones and sub-slices, false for content-equal copies.
+    pub fn shares_storage(&self, other: &TokenBytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl PartialEq for TokenBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TokenBytes {}
+
+impl fmt::Debug for TokenBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TokenBytes")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl From<Vec<u8>> for TokenBytes {
+    fn from(data: Vec<u8>) -> Self {
+        TokenBytes::new(data)
+    }
+}
+
+impl From<&[u8]> for TokenBytes {
+    fn from(data: &[u8]) -> Self {
+        TokenBytes::new(data)
+    }
+}
 
 /// One data token.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,12 +137,29 @@ pub enum Token {
     Complex(Complex),
     /// A shared grayscale image (edge-detection case study).
     Image(Arc<GrayImage>),
+    /// A shared byte block ([`TokenBytes`] handle): image rows, OFDM
+    /// symbol payloads — anything large enough that element-wise
+    /// movement would dominate. Moves by handle, never by copy.
+    Block(TokenBytes),
 }
 
 impl Token {
     /// Wraps an image into a shared token.
     pub fn image(image: GrayImage) -> Self {
         Token::Image(Arc::new(image))
+    }
+
+    /// Wraps a byte buffer into a shared block token.
+    pub fn block(bytes: impl Into<TokenBytes>) -> Self {
+        Token::Block(bytes.into())
+    }
+
+    /// The block payload, if this token carries one.
+    pub fn as_block(&self) -> Option<&TokenBytes> {
+        match self {
+            Token::Block(b) => Some(b),
+            _ => None,
+        }
     }
 
     /// The image payload, if this token carries one.
@@ -80,11 +206,11 @@ impl Token {
     /// The scalar view of this token — what a data-dependent
     /// [`tpdf_core::control::ModeSelector`] sees when a control actor
     /// consumes it. Payload-free and non-numeric tokens ([`Token::Unit`],
-    /// [`Token::Image`]) view as 0; floats truncate; complex samples
-    /// view as their truncated real part.
+    /// [`Token::Image`], [`Token::Block`]) view as 0; floats truncate;
+    /// complex samples view as their truncated real part.
     pub fn as_scalar(&self) -> i64 {
         match self {
-            Token::Unit | Token::Image(_) => 0,
+            Token::Unit | Token::Image(_) | Token::Block(_) => 0,
             Token::Int(i) => *i,
             Token::Float(x) => *x as i64,
             Token::Byte(b) => *b as i64,
@@ -102,6 +228,7 @@ impl fmt::Display for Token {
             Token::Byte(b) => write!(f, "{b}"),
             Token::Complex(c) => write!(f, "{}+{}i", c.re, c.im),
             Token::Image(img) => write!(f, "image({}x{})", img.width(), img.height()),
+            Token::Block(b) => write!(f, "block({}B)", b.len()),
         }
     }
 }
@@ -175,5 +302,42 @@ mod tests {
         assert!(Token::image(GrayImage::new(2, 3))
             .to_string()
             .contains("2x3"));
+        assert_eq!(Token::block(vec![1u8, 2, 3]).to_string(), "block(3B)");
+    }
+
+    #[test]
+    fn block_handles_share_storage_and_slice_zero_copy() {
+        let bytes = TokenBytes::new((0u8..32).collect::<Vec<u8>>());
+        let a = Token::Block(bytes.clone());
+        let b = a.clone();
+        // Clones view the same allocation.
+        assert!(a.as_block().unwrap().shares_storage(b.as_block().unwrap()));
+        assert_eq!(a, b);
+        // Sub-slices stay zero-copy and window the right bytes.
+        let window = bytes.slice(8..12);
+        assert!(window.shares_storage(&bytes));
+        assert_eq!(window.as_slice(), &[8, 9, 10, 11]);
+        assert_eq!(window.len(), 4);
+        assert!(!window.is_empty());
+        let nested = window.slice(1..3);
+        assert_eq!(nested.as_slice(), &[9, 10]);
+        assert_eq!(bytes.as_slice().len(), 32);
+    }
+
+    #[test]
+    fn block_equality_is_by_content_not_identity() {
+        let a = TokenBytes::from(vec![1u8, 2, 3]);
+        let b = TokenBytes::from(&[1u8, 2, 3][..]);
+        assert_eq!(a, b, "equal content compares equal");
+        assert!(!a.shares_storage(&b), "but the storage is distinct");
+        assert_ne!(a, TokenBytes::from(vec![1u8, 2]));
+        assert_eq!(Token::Block(a).as_scalar(), 0);
+        assert!(format!("{:?}", TokenBytes::from(vec![0u8; 4])).contains("len"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_slice_out_of_bounds_panics() {
+        TokenBytes::from(vec![0u8; 4]).slice(2..6);
     }
 }

@@ -8,7 +8,7 @@
 //! too.
 
 use proptest::prelude::*;
-use tpdf_runtime::RingBuffer;
+use tpdf_runtime::{RingBuffer, Token, TokenBytes};
 
 /// Pushes `start..start + total` through an existing ring using the
 /// given (cycled) batch-size schedules, appending what the consumer
@@ -152,6 +152,67 @@ proptest! {
         ring.pop_into(leftover, &mut tail);
         prop_assert_eq!(tail, (next - leftover as u64..next).collect::<Vec<_>>());
         prop_assert!(ring.high_water() <= ring.capacity());
+    }
+
+    /// Refcounted block handles through the same grow-under-concurrency
+    /// schedule: every token is a [`TokenBytes`] slice of one shared
+    /// payload, and after batch transfers, wraparound and in-place
+    /// growth each received handle must still *share storage* with the
+    /// master block — growth re-homes the handles, never the bytes.
+    #[test]
+    fn block_handles_stay_zero_copy_across_growth(
+        phases in proptest::collection::vec((1usize..9, 1usize..300), 2..4),
+        batch in 1usize..4,
+    ) {
+        let total: usize = phases.iter().map(|&(_, count)| count).sum();
+        let master = TokenBytes::new(
+            (0..total).map(|i| (i % 251) as u8).collect::<Vec<u8>>(),
+        );
+        let ring: RingBuffer<Token> = RingBuffer::new("block-grow", 3);
+        let mut received: Vec<Token> = Vec::new();
+        let mut next = 0usize;
+        for (extra, count) in phases {
+            // Quiescent between phases, exactly like the rebind barrier.
+            ring.grow(ring.capacity() + extra);
+            let end = next + count;
+            let consumed_target = received.len() + count;
+            std::thread::scope(|s| {
+                let (master, ring) = (&master, &ring);
+                s.spawn(move || {
+                    let mut slab = Vec::new();
+                    let mut at = next;
+                    while at < end {
+                        let n = batch.min(end - at).min(ring.capacity());
+                        slab.extend((at..at + n).map(|i| Token::Block(master.slice(i..i + 1))));
+                        while ring.free() < n {
+                            std::thread::yield_now();
+                        }
+                        ring.push_from(&mut slab).expect("free space was checked");
+                        at += n;
+                    }
+                });
+                while received.len() < consumed_target {
+                    let available = ring.len();
+                    if available == 0 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let want = batch.min(consumed_target - received.len()).min(available);
+                    ring.pop_into(want, &mut received);
+                }
+            });
+            next = end;
+        }
+        prop_assert!(ring.is_empty());
+        prop_assert_eq!(received.len(), total);
+        for (i, token) in received.iter().enumerate() {
+            let block = token.as_block().expect("every token is a block");
+            prop_assert_eq!(block.as_slice(), &[(i % 251) as u8][..]);
+            prop_assert!(
+                block.shares_storage(&master),
+                "token {} was deep-copied somewhere in the transfer path", i
+            );
+        }
     }
 
     /// The certified high-water mark: exact whenever an operation ends

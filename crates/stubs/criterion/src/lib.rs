@@ -209,7 +209,7 @@ fn run_benchmark(
     let total: Duration = kept.iter().sum();
     let mean = total / kept.len() as u32;
     let elements_per_sec = match throughput {
-        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
             Some(n as f64 / mean.as_secs_f64())
         }
         _ => None,

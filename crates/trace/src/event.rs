@@ -67,6 +67,15 @@ pub enum EventKind {
     /// A dispatched run finished: `a` = session id, `b` = 1 when it
     /// failed, `c` = request id.
     RunComplete = 20,
+    /// Firing slabs were returned to a worker's slab arena: `a` = node
+    /// of the sampled firing, `c` = slabs recycled since the worker's
+    /// last sampled firing. Emitted on the 1-in-8 sampling cadence,
+    /// never per firing.
+    SlabRecycle = 21,
+    /// A slab request missed the arena and fell back to the global
+    /// allocator: `a` = node of the sampled firing, `c` = misses since
+    /// the worker's last sampled firing (cold start or ring growth).
+    SlabMiss = 22,
 }
 
 impl EventKind {
@@ -93,6 +102,8 @@ impl EventKind {
             18 => EventKind::SessionClose,
             19 => EventKind::RequestSubmit,
             20 => EventKind::RunComplete,
+            21 => EventKind::SlabRecycle,
+            22 => EventKind::SlabMiss,
             _ => return None,
         })
     }
@@ -120,6 +131,8 @@ impl EventKind {
             EventKind::SessionClose => "session_close",
             EventKind::RequestSubmit => "request_submit",
             EventKind::RunComplete => "run_complete",
+            EventKind::SlabRecycle => "slab_recycle",
+            EventKind::SlabMiss => "slab_miss",
         }
     }
 }
@@ -200,7 +213,7 @@ mod tests {
             }
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(21), None);
+        assert_eq!(EventKind::from_u8(23), None);
     }
 
     #[test]

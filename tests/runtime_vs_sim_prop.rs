@@ -183,7 +183,7 @@ fn assert_differential(
                 metrics.firings.iter().sum::<u64>(),
                 "per-worker firing counts must account for every firing"
             );
-            let tokens = capture.tokens();
+            let tokens = capture.take_tokens();
             match baseline.iter().find(|(t, _)| *t == threads) {
                 // The WorkStealing pass runs first and records the
                 // baseline for this thread count.

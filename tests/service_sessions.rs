@@ -84,7 +84,7 @@ impl SessionSpec {
             config,
             registry,
             capture: Some(capture),
-            solo_tokens: Some(solo_capture.tokens()),
+            solo_tokens: Some(solo_capture.take_tokens()),
         }
     }
 }
@@ -342,7 +342,7 @@ fn concurrent_sessions_match_solo_runs_without_leaks_or_poisoning() {
     for spec in &specs {
         if let (Some(capture), Some(solo)) = (&spec.capture, &spec.solo_tokens) {
             assert_eq!(
-                &capture.tokens(),
+                &capture.take_tokens(),
                 solo,
                 "{}: service sink stream differs from its solo run",
                 spec.name
