@@ -59,6 +59,22 @@ impl OutputCapture {
         std::mem::take(&mut *self.tokens.lock().expect("capture lock"))
     }
 
+    /// Clones the captured-but-untaken tokens without draining them —
+    /// what a checkpoint stores in [`crate::Checkpoint::captured`] so
+    /// the capture's state survives executor teardown: restore with
+    /// [`OutputCapture::restore_tokens`], and a later
+    /// [`OutputCapture::take_tokens`] equals the uninterrupted capture.
+    pub fn snapshot_tokens(&self) -> Vec<Token> {
+        self.tokens.lock().expect("capture lock").clone()
+    }
+
+    /// Replaces the capture's contents with a checkpointed snapshot
+    /// (the tokens captured before the teardown), so tokens captured
+    /// after the restore extend the original stream seamlessly.
+    pub fn restore_tokens(&self, tokens: Vec<Token>) {
+        *self.tokens.lock().expect("capture lock") = tokens;
+    }
+
     /// Tokens captured so far.
     pub fn len(&self) -> usize {
         self.tokens.lock().expect("capture lock").len()

@@ -60,6 +60,7 @@
 //! miss, when nothing is ready).
 
 use crate::arena::{ArenaStats, SlabArena};
+use crate::checkpoint::{ChannelCheckpoint, ChannelContents, Checkpoint, CheckpointError};
 use crate::kernel::{
     fire_default, fire_select_duplicate, fire_transaction, FiringContext, KernelRegistry,
     PortInput, PortOutput,
@@ -896,6 +897,44 @@ impl<'g> Executor<'g> {
     pub fn run(&self, registry: &KernelRegistry) -> Result<Metrics, RuntimeError> {
         self.engine.run_scoped(registry)
     }
+
+    /// Like [`Executor::run`], additionally capturing a
+    /// barrier-consistent [`Checkpoint`] of the run's final state (the
+    /// quiescent cut its last iteration barrier left). Run a *k*-
+    /// iteration executor, checkpoint, and hand the checkpoint to an
+    /// *N*-iteration executor's [`Executor::run_restored`] to split one
+    /// logical run across executors — or processes, through
+    /// [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run`].
+    pub fn run_checkpointed(
+        &self,
+        registry: &KernelRegistry,
+    ) -> Result<(Metrics, Checkpoint), RuntimeError> {
+        self.engine.run_scoped_checkpointed(registry)
+    }
+
+    /// Resumes a checkpointed run mid-graph: rebuilds rings, budgets
+    /// and metric prefixes from `checkpoint` and executes the remaining
+    /// iterations. The resulting sink streams, mode sequences and
+    /// firing counts are byte-identical to a run that never stopped —
+    /// across thread counts and placement policies.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Checkpoint`] when the checkpoint belongs to a
+    ///   different graph, disagrees in shape, or leaves nothing to
+    ///   resume;
+    /// * otherwise the same conditions as [`Executor::run`].
+    pub fn run_restored(
+        &self,
+        registry: &KernelRegistry,
+        checkpoint: &Checkpoint,
+    ) -> Result<Metrics, RuntimeError> {
+        self.engine.run_scoped_restored(registry, checkpoint)
+    }
 }
 
 /// An owned, `'static` executable form of an [`Executor`]: the analysed
@@ -1227,14 +1266,54 @@ impl Engine {
         let workers = self.effective_workers();
         let state = self.initial_state(workers);
         let start = Instant::now();
+        self.drive(&state, registry, workers, start);
+        self.collect_metrics(&state, start.elapsed(), workers)
+    }
 
+    /// Like [`Engine::run_scoped`], additionally capturing a
+    /// barrier-consistent [`Checkpoint`] of the finished run's state —
+    /// the quiescent state left by the final iteration barrier, before
+    /// any teardown.
+    pub(crate) fn run_scoped_checkpointed(
+        &self,
+        registry: &KernelRegistry,
+    ) -> Result<(Metrics, Checkpoint), RuntimeError> {
+        let workers = self.effective_workers();
+        let state = self.initial_state(workers);
+        let start = Instant::now();
+        self.drive(&state, registry, workers, start);
+        let metrics = self.collect_metrics(&state, start.elapsed(), workers)?;
+        let checkpoint = self.capture_checkpoint(&state, &metrics);
+        Ok((metrics, checkpoint))
+    }
+
+    /// Like [`Engine::run_scoped`], but resuming from `checkpoint`
+    /// instead of the initial state: rings, budgets, metrics prefixes
+    /// and control ordinals are rebuilt, then the run continues from
+    /// iteration `checkpoint.iteration` to the configured count.
+    pub(crate) fn run_scoped_restored(
+        &self,
+        registry: &KernelRegistry,
+        checkpoint: &Checkpoint,
+    ) -> Result<Metrics, RuntimeError> {
+        let workers = self.effective_workers();
+        let state = self.restore_state(checkpoint, workers)?;
+        let start = Instant::now();
+        self.drive(&state, registry, workers, start);
+        self.collect_metrics(&state, start.elapsed(), workers)
+    }
+
+    /// Runs the worker loops over `state` to completion on a scoped
+    /// thread pool — the execution core shared by the plain,
+    /// checkpointing and restoring entry points.
+    fn drive(&self, state: &RunState, registry: &KernelRegistry, workers: usize, start: Instant) {
         if workers == 1 && matches!(self.config.clock_mode, ClockMode::Virtual) {
             // Single-worker runs skip the coordination layer entirely:
             // no claim CAS, no in-flight bracketing, no epoch/wake
             // traffic, no ready-queue locks — just claim, execute,
             // publish. This is the path fine-grained graphs collapse
             // to whatever the configured pool size.
-            self.run_single(&state, registry, start);
+            self.run_single(state, registry, start);
         } else {
             std::thread::scope(|scope| {
                 // The calling thread is worker 0: a 1-thread run spawns
@@ -1242,7 +1321,6 @@ impl Engine {
                 // thread creation is a measurable fraction of short
                 // runs.
                 for me in 1..workers {
-                    let state = &state;
                     // A scoped secondary that stands down from a
                     // transiently fine-grained phase naps and
                     // re-enters: it has no other job to serve (unlike
@@ -1254,11 +1332,9 @@ impl Engine {
                         }
                     });
                 }
-                let _ = self.worker_loop(&state, 0, registry, start);
+                let _ = self.worker_loop(state, 0, registry, start);
             });
         }
-
-        self.collect_metrics(&state, start.elapsed(), workers)
     }
 
     /// Assembles the [`Metrics`] of a finished run. Borrows the state
@@ -1428,6 +1504,284 @@ impl Engine {
             park: Mutex::new(ParkInner::default()),
             cond: Condvar::new(),
         }
+    }
+
+    /// A structural fingerprint of the graph this engine executes: node
+    /// names plus channel topology (label, endpoints, control flag,
+    /// initial tokens), hashed with the checkpoint codec's FNV-1a.
+    /// Deliberately *excludes* iteration count, thread count, placement
+    /// and ring capacities — a checkpoint may be restored under any of
+    /// those varying (Kahn determinacy keeps the streams identical);
+    /// what it must never be restored into is a different graph.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for node in &self.nodes {
+            bytes.extend_from_slice(node.name.as_bytes());
+            bytes.push(0xFF);
+        }
+        for chan in &self.chans {
+            bytes.extend_from_slice(chan.label.as_bytes());
+            bytes.push(0xFE);
+            bytes.extend_from_slice(&(chan.source as u64).to_le_bytes());
+            bytes.extend_from_slice(&(chan.target as u64).to_le_bytes());
+            bytes.push(chan.is_control as u8);
+            bytes.extend_from_slice(&chan.initial_tokens.to_le_bytes());
+        }
+        crate::checkpoint::checksum(&bytes)
+    }
+
+    /// Captures a barrier-consistent [`Checkpoint`] from a *finished*
+    /// run's state: every worker has halted, so the rings are quiescent
+    /// (the [`RingBuffer::snapshot_contents`] contract) and hold
+    /// exactly the inter-iteration tokens the final barrier left.
+    /// `metrics` is the run's collected [`Metrics`], embedded so a
+    /// restore can rebuild the firing/token/mode/rebind prefixes.
+    pub(crate) fn capture_checkpoint(&self, state: &RunState, metrics: &Metrics) -> Checkpoint {
+        let iteration = state.iteration.load(Ordering::Relaxed);
+        if let Some(t) = self.trace() {
+            t.event(
+                0,
+                EventKind::CheckpointBegin,
+                state.trace_job,
+                0,
+                0,
+                iteration,
+            );
+        }
+        let channels: Vec<ChannelCheckpoint> = state
+            .rings
+            .iter()
+            .map(|ring| match ring {
+                ChannelRing::Data(ring) => ChannelCheckpoint {
+                    capacity: ring.capacity() as u64,
+                    contents: ChannelContents::Data(ring.snapshot_contents()),
+                },
+                ChannelRing::Control(ring) => ChannelCheckpoint {
+                    capacity: ring.capacity() as u64,
+                    contents: ChannelContents::Control(ring.snapshot_contents()),
+                },
+            })
+            .collect();
+        let checkpoint = Checkpoint {
+            iteration,
+            fingerprint: self.fingerprint(),
+            control_firings: state
+                .nodes
+                .iter()
+                .map(|n| n.control_firings.load(Ordering::Relaxed))
+                .collect(),
+            channels,
+            captured: Vec::new(),
+            metrics: metrics.clone(),
+        };
+        if let Some(t) = self.trace() {
+            t.event(
+                0,
+                EventKind::CheckpointEnd,
+                state.trace_job,
+                checkpoint.channels.len() as u32,
+                0,
+                iteration,
+            );
+        }
+        checkpoint
+    }
+
+    /// Rebuilds a [`RunState`] from a checkpoint, resuming at iteration
+    /// `checkpoint.iteration`. Replays the plan switch the
+    /// checkpointing run's final barrier skipped (its done-check fires
+    /// before the switch): the phase, ring growth, budgets and — when
+    /// the phase changed — the [`RebindEvent`] all match what an
+    /// uninterrupted run performs at that same barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::GraphMismatch`] / `ShapeMismatch` when the
+    /// checkpoint belongs to a different graph or compilation;
+    /// [`CheckpointError::NothingToResume`] when the configured
+    /// iteration count is not beyond the checkpoint.
+    pub(crate) fn restore_state(
+        &self,
+        checkpoint: &Checkpoint,
+        workers: usize,
+    ) -> Result<RunState, CheckpointError> {
+        let expected = self.fingerprint();
+        if checkpoint.fingerprint != expected {
+            return Err(CheckpointError::GraphMismatch {
+                expected,
+                found: checkpoint.fingerprint,
+            });
+        }
+        if checkpoint.channels.len() != self.chans.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                what: "channels",
+                expected: self.chans.len() as u64,
+                found: checkpoint.channels.len() as u64,
+            });
+        }
+        if checkpoint.control_firings.len() != self.nodes.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                what: "nodes",
+                expected: self.nodes.len() as u64,
+                found: checkpoint.control_firings.len() as u64,
+            });
+        }
+        for (metric, len) in [
+            ("metrics.firings", checkpoint.metrics.firings.len()),
+            (
+                "metrics.mode_sequences",
+                checkpoint.metrics.mode_sequences.len(),
+            ),
+        ] {
+            if len != self.nodes.len() {
+                return Err(CheckpointError::Malformed {
+                    field: "metrics",
+                    detail: format!("{metric} has {len} entries for {} nodes", self.nodes.len()),
+                });
+            }
+        }
+        if checkpoint.metrics.tokens_pushed.len() != self.chans.len() {
+            return Err(CheckpointError::Malformed {
+                field: "metrics",
+                detail: format!(
+                    "metrics.tokens_pushed has {} entries for {} channels",
+                    checkpoint.metrics.tokens_pushed.len(),
+                    self.chans.len()
+                ),
+            });
+        }
+        if checkpoint.iteration >= self.config.iterations {
+            return Err(CheckpointError::NothingToResume {
+                iteration: checkpoint.iteration,
+                configured: self.config.iterations,
+            });
+        }
+
+        // The phase the *next* iteration runs under. The checkpointing
+        // run never switched to it (its final barrier's done-check
+        // pre-empts the switch), so the restore performs the switch:
+        // rings are sized to at least this phase's plan.
+        let phase = self.phase_of(checkpoint.iteration);
+        let plan = &self.plans[phase];
+        let mut rings = Vec::with_capacity(self.chans.len());
+        for (i, info) in self.chans.iter().enumerate() {
+            let snap = &checkpoint.channels[i];
+            let capacity = (plan.capacities[i] as usize)
+                .max(snap.capacity as usize)
+                .max(snap.contents.len())
+                .max(1);
+            let ring = match (&snap.contents, info.is_control) {
+                (ChannelContents::Data(tokens), false) => {
+                    let ring = RingBuffer::new(info.label.clone(), capacity);
+                    for token in tokens {
+                        ring.push(token.clone())
+                            .expect("capacity covers checkpointed contents");
+                    }
+                    ChannelRing::Data(ring)
+                }
+                (ChannelContents::Control(modes), true) => {
+                    let ring = RingBuffer::new(info.label.clone(), capacity);
+                    for mode in modes {
+                        ring.push(mode.clone())
+                            .expect("capacity covers checkpointed contents");
+                    }
+                    ChannelRing::Control(ring)
+                }
+                _ => {
+                    return Err(CheckpointError::Malformed {
+                        field: "channels",
+                        detail: format!(
+                            "channel {i} ({}) kind disagrees with the graph",
+                            info.label
+                        ),
+                    })
+                }
+            };
+            rings.push(ring);
+        }
+
+        let nodes: Vec<NodeRunState> = (0..self.nodes.len())
+            .map(|n| {
+                let ns = NodeRunState::default();
+                ns.budget.store(plan.counts[n], Ordering::Relaxed);
+                ns.fired_total
+                    .store(checkpoint.metrics.firings[n], Ordering::Relaxed);
+                ns.control_firings
+                    .store(checkpoint.control_firings[n], Ordering::Relaxed);
+                ns
+            })
+            .collect();
+
+        // Replay the rebind event the skipped plan switch would have
+        // recorded, so the restored run's rebind log is byte-identical
+        // to an uninterrupted run's.
+        let mut rebinds = checkpoint.metrics.rebinds.clone();
+        if checkpoint.iteration > 0 && phase != self.phase_of(checkpoint.iteration - 1) {
+            let capacities = rings
+                .iter()
+                .map(|c| match c {
+                    ChannelRing::Data(ring) => ring.capacity() as u64,
+                    ChannelRing::Control(ring) => ring.capacity() as u64,
+                })
+                .collect();
+            rebinds.push(RebindEvent {
+                iteration: checkpoint.iteration,
+                binding: plan.binding.clone(),
+                counts: plan.counts.clone(),
+                capacities,
+            });
+        }
+
+        let park = ParkInner {
+            error: None,
+            done: false,
+            deadline_selections: checkpoint.metrics.deadline_selections.clone(),
+        };
+        Ok(RunState {
+            rings,
+            nodes,
+            tokens_pushed: checkpoint
+                .metrics
+                .tokens_pushed
+                .iter()
+                .map(|&t| AtomicU64::new(t))
+                .collect(),
+            selected: (0..self.chans.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            plan: AtomicUsize::new(phase),
+            remaining_iter: AtomicU64::new(plan.total_per_iter),
+            iteration: AtomicU64::new(checkpoint.iteration),
+            in_flight: AtomicUsize::new(0),
+            halt: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            deadline_misses: AtomicU64::new(checkpoint.metrics.deadline_misses),
+            vote_failures: AtomicU64::new(checkpoint.metrics.vote_failures),
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::with_capacity(self.nodes.len() + 1)))
+                .collect(),
+            // Per-worker tallies restart at zero: the restoring pool
+            // may have a different worker count, so the partial run's
+            // per-worker split is not meaningful here (the per-node
+            // `fired_total` carries the cross-restart truth).
+            worker_firings: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            worker_steals: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            mode_log: checkpoint
+                .metrics
+                .mode_sequences
+                .iter()
+                .map(|modes| Mutex::new(modes.clone()))
+                .collect(),
+            rebinds: Mutex::new(rebinds),
+            arena_hits: AtomicU64::new(checkpoint.metrics.arena_hits),
+            arena_misses: AtomicU64::new(checkpoint.metrics.arena_misses),
+            arena_recycled: AtomicU64::new(checkpoint.metrics.arena_recycled),
+            arena_retired: AtomicU64::new(checkpoint.metrics.arena_retired),
+            trace_job: self.config.trace_tag,
+            park: Mutex::new(park),
+            cond: Condvar::new(),
+        })
     }
 
     /// The active tracer, or `None` when tracing costs nothing: the

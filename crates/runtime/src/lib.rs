@@ -72,6 +72,7 @@
 
 pub mod arena;
 pub mod cases;
+pub mod checkpoint;
 pub mod executor;
 pub mod kernel;
 pub mod metrics;
@@ -86,6 +87,7 @@ pub use cases::{
     EdgeDetectionRuntime, FmRadioRuntime, OfdmRuntime, OutputCapture, PayloadEncoding,
     PayloadRuntime,
 };
+pub use checkpoint::{ChannelCheckpoint, ChannelContents, Checkpoint, CheckpointError};
 pub use executor::{ClockMode, CompiledExecutor, Executor, PlacementPolicy, RuntimeConfig};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
 pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
@@ -147,6 +149,9 @@ pub enum RuntimeError {
     /// ([`pool::JobTicket::cancel`], or the pool was dropped with the
     /// job still queued).
     Cancelled,
+    /// A checkpoint could not be decoded or restored (see
+    /// [`checkpoint::CheckpointError`]).
+    Checkpoint(checkpoint::CheckpointError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -185,11 +190,18 @@ impl fmt::Display for RuntimeError {
                 write!(f, "kernel {node} failed: {message}")
             }
             RuntimeError::Cancelled => write!(f, "run cancelled before completion"),
+            RuntimeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+impl From<checkpoint::CheckpointError> for RuntimeError {
+    fn from(value: checkpoint::CheckpointError) -> Self {
+        RuntimeError::Checkpoint(value)
+    }
+}
 
 impl From<tpdf_sim::SimError> for RuntimeError {
     fn from(value: tpdf_sim::SimError) -> Self {

@@ -66,6 +66,7 @@
 //! outcome is recorded per pool worker and attached to every pooled
 //! run's [`Metrics::pinned_cores`].
 
+use crate::checkpoint::Checkpoint;
 use crate::executor::{ClockMode, CompiledExecutor, CostTelemetry, Engine, Executor, RunState};
 use crate::kernel::KernelRegistry;
 use crate::metrics::Metrics;
@@ -111,6 +112,25 @@ impl PoolJob {
     /// The job's start instant, initialised by the first participant.
     fn started(&self) -> Instant {
         *self.start.get_or_init(Instant::now)
+    }
+}
+
+/// The finished state of a blocking pool run, handed back so a
+/// checkpoint can be captured after the run quiesced: the single-worker
+/// fast path keeps its state local, the slot-table path hands back the
+/// finalised job (all participants have left — the finaliser is elected
+/// only at `active == 0` — so reading the state races with nobody).
+enum FinishedRun {
+    Local(Box<RunState>),
+    Pooled(Arc<PoolJob>),
+}
+
+impl FinishedRun {
+    fn state(&self) -> &RunState {
+        match self {
+            FinishedRun::Local(state) => state,
+            FinishedRun::Pooled(job) => &job.state,
+        }
     }
 }
 
@@ -536,7 +556,93 @@ impl ExecutorPool {
     ) -> Result<Metrics, RuntimeError> {
         let engine = Arc::clone(executor.engine());
         let workers = engine.effective_workers().min(self.threads);
-        let mut state = engine.initial_state(workers);
+        let state = engine.initial_state(workers);
+        self.run_to_completion(engine, state, workers, registry).0
+    }
+
+    /// Like [`ExecutorPool::run`], additionally capturing a
+    /// barrier-consistent [`Checkpoint`] of the run's final state —
+    /// the pooled counterpart of [`Executor::run_checkpointed`], and
+    /// what a service's `checkpoint_session` drains onto.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutorPool::run`].
+    pub fn run_checkpointed(
+        &self,
+        compiled: &CompiledExecutor,
+        registry: &KernelRegistry,
+    ) -> Result<(Metrics, Checkpoint), RuntimeError> {
+        let engine = Arc::clone(compiled.engine());
+        let workers = engine.effective_workers().min(self.threads);
+        let state = engine.initial_state(workers);
+        let (result, finished) =
+            self.run_to_completion(Arc::clone(&engine), state, workers, registry);
+        let metrics = result?;
+        let checkpoint = engine.capture_checkpoint(finished.state(), &metrics);
+        Ok((metrics, checkpoint))
+    }
+
+    /// Resumes a checkpointed run on this pool — possibly a different
+    /// pool, with a different worker count and placement, than the one
+    /// that checkpointed it. Sink streams, mode sequences and firing
+    /// counts are byte-identical to a run that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Checkpoint`] when the checkpoint belongs to a
+    ///   different graph or leaves nothing to resume;
+    /// * otherwise the same conditions as [`ExecutorPool::run`].
+    pub fn run_restored(
+        &self,
+        compiled: &CompiledExecutor,
+        registry: &KernelRegistry,
+        checkpoint: &Checkpoint,
+    ) -> Result<Metrics, RuntimeError> {
+        let engine = Arc::clone(compiled.engine());
+        let workers = engine.effective_workers().min(self.threads);
+        let state = engine.restore_state(checkpoint, workers)?;
+        self.run_to_completion(engine, state, workers, registry).0
+    }
+
+    /// Resumes a checkpointed run and captures a fresh [`Checkpoint`]
+    /// at its final barrier — the chaining primitive for *periodic*
+    /// checkpointing: run to barrier 8, checkpoint, restore into a
+    /// barrier-16 executor, checkpoint again, and so on. The
+    /// `figure2_checkpoint` bench group guards the overhead of exactly
+    /// that chain.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutorPool::run_restored`].
+    pub fn run_restored_checkpointed(
+        &self,
+        compiled: &CompiledExecutor,
+        registry: &KernelRegistry,
+        checkpoint: &Checkpoint,
+    ) -> Result<(Metrics, Checkpoint), RuntimeError> {
+        let engine = Arc::clone(compiled.engine());
+        let workers = engine.effective_workers().min(self.threads);
+        let state = engine.restore_state(checkpoint, workers)?;
+        let (result, finished) =
+            self.run_to_completion(Arc::clone(&engine), state, workers, registry);
+        let metrics = result?;
+        let next = engine.capture_checkpoint(finished.state(), &metrics);
+        Ok((metrics, next))
+    }
+
+    /// Drives `state` to completion on the pool, the caller
+    /// participating as worker 0 — the execution core shared by
+    /// [`ExecutorPool::run`] and its checkpoint/restore variants. The
+    /// finished state rides back alongside the result so a checkpoint
+    /// can be captured from it after the run quiesces.
+    fn run_to_completion(
+        &self,
+        engine: Arc<Engine>,
+        mut state: RunState,
+        workers: usize,
+        registry: &KernelRegistry,
+    ) -> (Result<Metrics, RuntimeError>, FinishedRun) {
         self.tag_job(&engine, &mut state, workers);
         let start = Instant::now();
         let virtual_clocks = matches!(engine.config().clock_mode, ClockMode::Virtual);
@@ -549,7 +655,7 @@ impl ExecutorPool {
             if let Ok(m) = &mut metrics {
                 m.pinned_cores = self.pinned_cores();
             }
-            return metrics;
+            return (metrics, FinishedRun::Local(Box::new(state)));
         }
 
         let job = Arc::new(PoolJob {
@@ -599,7 +705,7 @@ impl ExecutorPool {
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
         }
-        result
+        (result, FinishedRun::Pooled(job))
     }
 
     /// Queues one run of `compiled` for asynchronous execution by the

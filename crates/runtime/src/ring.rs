@@ -432,6 +432,29 @@ impl<T: Clone> RingBuffer<T> {
         self.publish(tail, count);
         Ok(())
     }
+
+    /// Clones every live element, oldest first, without consuming any.
+    ///
+    /// **Quiescent point only** — same contract as
+    /// [`RingBuffer::grow_reclaim`]: the caller must guarantee that no
+    /// producer or consumer is concurrently active (the executor calls
+    /// this when checkpointing at an iteration barrier, after every
+    /// worker has halted). Slots between `head` and `tail` are then
+    /// stable initialized values that can be read through `&self`.
+    pub fn snapshot_contents(&self) -> Vec<T> {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut out = Vec::with_capacity(tail.wrapping_sub(head));
+        let mut cursor = head;
+        while cursor != tail {
+            // SAFETY: quiescence (caller contract) means the slot was
+            // published by a producer and not yet consumed; nobody
+            // mutates it while we read.
+            out.push(unsafe { self.slot(cursor).assume_init_ref().clone() });
+            cursor = cursor.wrapping_add(1);
+        }
+        out
+    }
 }
 
 impl<T> RingBuffer<T> {

@@ -38,19 +38,41 @@ fn placement_parse(text: &str) -> Result<PlacementPolicy, SnapshotError> {
     })
 }
 
-/// One mode as a compact token: `all`, `hp`, `one:3`, `many:1+2`.
-fn mode_str(mode: &Mode) -> String {
+/// Appends `v` in decimal without `fmt` machinery — the `modes` lines
+/// are the longest part of a metrics snapshot, and checkpoint encoding
+/// serializes one per capture under a guarded overhead budget.
+fn push_decimal(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Appends one mode as a compact token: `all`, `hp`, `one:3`,
+/// `many:1+2`.
+fn push_mode(out: &mut String, mode: &Mode) {
     match mode {
-        Mode::WaitAll => "all".into(),
-        Mode::HighestPriority => "hp".into(),
-        Mode::SelectOne(port) => format!("one:{port}"),
+        Mode::WaitAll => out.push_str("all"),
+        Mode::HighestPriority => out.push_str("hp"),
+        Mode::SelectOne(port) => {
+            out.push_str("one:");
+            push_decimal(out, *port as u64);
+        }
         Mode::SelectMany(ports) => {
-            let joined = ports
-                .iter()
-                .map(|p| p.to_string())
-                .collect::<Vec<_>>()
-                .join("+");
-            format!("many:{joined}")
+            out.push_str("many:");
+            for (i, port) in ports.iter().enumerate() {
+                if i > 0 {
+                    out.push('+');
+                }
+                push_decimal(out, *port as u64);
+            }
         }
     }
 }
@@ -130,9 +152,16 @@ impl Metrics {
                 ),
             );
         }
+        let mut scratch = String::new();
         for modes in &self.mode_sequences {
-            let joined = modes.iter().map(mode_str).collect::<Vec<_>>();
-            writer.field("modes", joined.join(" "));
+            scratch.clear();
+            for (i, mode) in modes.iter().enumerate() {
+                if i > 0 {
+                    scratch.push(' ');
+                }
+                push_mode(&mut scratch, mode);
+            }
+            writer.field("modes", &scratch);
         }
         writer.field_list("worker_firings", self.worker_firings.iter().copied());
         writer.field_list("worker_steals", self.worker_steals.iter().copied());

@@ -72,5 +72,6 @@ mod service;
 
 pub use metrics::{ServiceMetrics, SessionMetrics, SessionPhase};
 pub use service::{
-    AdmissionPolicy, RequestId, ServiceConfig, ServiceError, SessionId, SessionStatus, TpdfService,
+    AdmissionPolicy, RequestId, ServiceConfig, ServiceError, SessionCheckpoint, SessionId,
+    SessionStatus, TpdfService,
 };

@@ -78,6 +78,16 @@ pub struct ServiceMetrics {
     pub runs_completed: u64,
     /// Runs that failed, over all sessions.
     pub runs_failed: u64,
+    /// Session checkpoints taken ([`crate::TpdfService::checkpoint_session`],
+    /// including those taken on behalf of a migration).
+    pub checkpoints_taken: u64,
+    /// Sessions re-admitted from a checkpoint
+    /// ([`crate::TpdfService::restore_session`], including migration
+    /// arrivals).
+    pub restores: u64,
+    /// Sessions moved *away* to another service
+    /// ([`crate::TpdfService::migrate_session`] on the source side).
+    pub migrations: u64,
     /// Sessions currently not retired.
     pub active_sessions: usize,
     /// Requests currently waiting across all ingress queues.
@@ -128,6 +138,9 @@ impl ServiceMetrics {
         writer.field("requests_rejected", self.requests_rejected);
         writer.field("runs_completed", self.runs_completed);
         writer.field("runs_failed", self.runs_failed);
+        writer.field("checkpoints_taken", self.checkpoints_taken);
+        writer.field("restores", self.restores);
+        writer.field("migrations", self.migrations);
         writer.field("active_sessions", self.active_sessions);
         writer.field("queued_requests", self.queued_requests);
         writer.field_f64("demand", self.demand);
@@ -216,6 +229,9 @@ impl ServiceMetrics {
             requests_rejected: reader.u64("requests_rejected")?,
             runs_completed: reader.u64("runs_completed")?,
             runs_failed: reader.u64("runs_failed")?,
+            checkpoints_taken: reader.u64("checkpoints_taken")?,
+            restores: reader.u64("restores")?,
+            migrations: reader.u64("migrations")?,
             active_sessions: reader.get("active_sessions")?,
             queued_requests: reader.get("queued_requests")?,
             demand: reader.f64("demand")?,
@@ -275,6 +291,21 @@ impl ServiceMetrics {
             "Runs that failed over all sessions",
             self.runs_failed,
         );
+        expo.counter(
+            "tpdf_service_checkpoints_taken_total",
+            "Session checkpoints taken at request barriers",
+            self.checkpoints_taken,
+        );
+        expo.counter(
+            "tpdf_service_session_restores_total",
+            "Sessions re-admitted from checkpoints",
+            self.restores,
+        );
+        expo.counter(
+            "tpdf_service_session_migrations_total",
+            "Sessions migrated away to another service",
+            self.migrations,
+        );
         expo.gauge(
             "tpdf_service_active_sessions",
             "Sessions currently not retired",
@@ -332,6 +363,9 @@ mod tests {
             requests_rejected: 2,
             runs_completed: 7,
             runs_failed: 1,
+            checkpoints_taken: 2,
+            restores: 1,
+            migrations: 1,
             active_sessions: 2,
             queued_requests: 1,
             demand: 0.75,
@@ -401,6 +435,8 @@ mod tests {
         let text = sample().to_prometheus();
         assert!(text.contains("# TYPE tpdf_service_sessions_admitted_total counter"));
         assert!(text.contains("tpdf_service_sessions_admitted_total 3"));
+        assert!(text.contains("tpdf_service_checkpoints_taken_total 2"));
+        assert!(text.contains("tpdf_service_session_migrations_total 1"));
         assert!(text.contains("tpdf_service_session_firings_total{session=\"2\"} 96"));
     }
 }

@@ -303,6 +303,9 @@ struct Inner {
     requests_rejected: u64,
     runs_completed: u64,
     runs_failed: u64,
+    checkpoints_taken: u64,
+    restores: u64,
+    migrations: u64,
 }
 
 struct Shared {
@@ -325,6 +328,59 @@ impl Shared {
             .tracer
             .as_deref()
             .filter(|tracer| tracer.is_enabled())
+    }
+}
+
+/// A captured, quiescent session: everything needed to re-admit it on
+/// this or another [`TpdfService`] in the same process.
+///
+/// Produced by [`TpdfService::checkpoint_session`] at the session's
+/// *request barrier* — the point where no run is in flight and the
+/// ingress queue is empty. A run never stops between iteration
+/// barriers, so draining the in-flight run *is* draining to the next
+/// barrier: the captured state is barrier-consistent by construction.
+/// The compiled executor and kernel registry are carried by handle
+/// (cheap `Arc` clones) — checkpoints move sessions between services
+/// within one process. For byte-exact crash/restart persistence of
+/// *runtime* state, compose with the [`tpdf_runtime::Checkpoint`]
+/// codec.
+pub struct SessionCheckpoint {
+    compiled: CompiledExecutor,
+    registry: KernelRegistry,
+    next_request: u64,
+    requests_rejected: u64,
+    runs_completed: u64,
+    runs_failed: u64,
+    runs_cancelled: u64,
+    firings: u64,
+    tokens: u64,
+    deadline_misses: u64,
+}
+
+impl SessionCheckpoint {
+    /// The processor share the session will demand at re-admission.
+    pub fn demand(&self) -> f64 {
+        session_demand(&self.compiled)
+    }
+
+    /// Runs the session completed before the checkpoint.
+    pub fn runs_completed(&self) -> u64 {
+        self.runs_completed
+    }
+
+    /// Total firings across the session's completed runs.
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+}
+
+impl fmt::Debug for SessionCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionCheckpoint")
+            .field("runs_completed", &self.runs_completed)
+            .field("firings", &self.firings)
+            .field("demand", &self.demand())
+            .finish_non_exhaustive()
     }
 }
 
@@ -415,7 +471,6 @@ impl TpdfService {
         if config.trace_tag == 0 && config.tracer.is_some() {
             config.trace_tag = self.shared.trace_tags.fetch_add(1, Relaxed) + 1;
         }
-        let tag = config.trace_tag;
         // Compile outside the service lock: the reference sizing run
         // can be expensive, and it needs no service state. The session
         // gets its *own* firing-cost telemetry (`Executor::new`, not
@@ -425,6 +480,20 @@ impl TpdfService {
         // neighbour's runs at one worker (the pool-wide EWMA is shared
         // across heterogeneous graphs in a multi-tenant service).
         let compiled = Executor::new(graph, config)?.compile();
+        self.admit(compiled, registry, None)
+    }
+
+    /// The shared admission path of [`TpdfService::open_session`] and
+    /// [`TpdfService::restore_session`]: session limit (reject or
+    /// block), deadline-aware capacity, entry registration. A restored
+    /// session carries its request numbering and aggregates forward.
+    fn admit(
+        &self,
+        compiled: CompiledExecutor,
+        registry: KernelRegistry,
+        restored: Option<&SessionCheckpoint>,
+    ) -> Result<SessionId, ServiceError> {
+        let tag = compiled.config().trace_tag;
         let demand = session_demand(&compiled);
         let capacity = self.shared.config.threads as f64 * self.shared.config.max_utilization;
 
@@ -466,6 +535,9 @@ impl TpdfService {
         }
         inner.demand += demand;
         inner.sessions_admitted += 1;
+        if restored.is_some() {
+            inner.restores += 1;
+        }
         let id = inner.next_session;
         inner.next_session += 1;
         inner.sessions.insert(
@@ -478,22 +550,171 @@ impl TpdfService {
                 inflight: None,
                 inflight_since: None,
                 results: BTreeMap::new(),
-                next_request: 0,
+                next_request: restored.map_or(0, |c| c.next_request),
                 phase: SessionPhase::Open,
                 retired: false,
-                requests_rejected: 0,
-                runs_completed: 0,
-                runs_failed: 0,
-                runs_cancelled: 0,
-                firings: 0,
-                tokens: 0,
-                deadline_misses: 0,
+                requests_rejected: restored.map_or(0, |c| c.requests_rejected),
+                runs_completed: restored.map_or(0, |c| c.runs_completed),
+                runs_failed: restored.map_or(0, |c| c.runs_failed),
+                runs_cancelled: restored.map_or(0, |c| c.runs_cancelled),
+                firings: restored.map_or(0, |c| c.firings),
+                tokens: restored.map_or(0, |c| c.tokens),
+                deadline_misses: restored.map_or(0, |c| c.deadline_misses),
             },
         );
         if let Some(tracer) = self.shared.trace() {
-            tracer.control_event(EventKind::SessionOpen, tag, id as u32, 0, 0);
+            let is_restore = restored.is_some() as u32;
+            tracer.control_event(EventKind::SessionOpen, tag, id as u32, is_restore, 0);
         }
         Ok(SessionId(id))
+    }
+
+    /// Captures the session at its *request barrier*: waits on the
+    /// service condvar until the in-flight run and every queued request
+    /// have drained (a run never stops between iteration barriers, so
+    /// its completion is the next barrier), then snapshots the
+    /// session's executor handle, kernel registry and aggregates into a
+    /// [`SessionCheckpoint`]. The session stays admitted and keeps
+    /// serving afterwards — use [`TpdfService::migrate_session`] to
+    /// move instead of copy.
+    ///
+    /// Callers should pause submissions while checkpointing: every new
+    /// request pushes the barrier further out and prolongs the wait.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when the id was never admitted;
+    /// [`ServiceError::SessionClosed`] when the session has already
+    /// retired.
+    pub fn checkpoint_session(
+        &self,
+        session: SessionId,
+    ) -> Result<SessionCheckpoint, ServiceError> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        let mut announced = false;
+        loop {
+            let Some(entry) = inner.sessions.get(&session.0) else {
+                return Err(if inner.was_admitted(session.0) {
+                    ServiceError::SessionClosed(session)
+                } else {
+                    ServiceError::UnknownSession(session)
+                });
+            };
+            if entry.retired {
+                return Err(ServiceError::SessionClosed(session));
+            }
+            if !announced {
+                announced = true;
+                if let Some(tracer) = self.shared.trace() {
+                    let tag = entry.compiled.config().trace_tag;
+                    let runs = entry.runs_completed;
+                    tracer.control_event(
+                        EventKind::CheckpointBegin,
+                        tag,
+                        session.0 as u32,
+                        0,
+                        runs,
+                    );
+                }
+            }
+            if entry.idle() {
+                break;
+            }
+            inner = self.shared.cond.wait(inner).expect("service lock");
+        }
+        let entry = inner
+            .sessions
+            .get(&session.0)
+            .expect("session existence just checked");
+        let tag = entry.compiled.config().trace_tag;
+        let checkpoint = SessionCheckpoint {
+            compiled: entry.compiled.clone(),
+            registry: entry.registry.clone(),
+            next_request: entry.next_request,
+            requests_rejected: entry.requests_rejected,
+            runs_completed: entry.runs_completed,
+            runs_failed: entry.runs_failed,
+            runs_cancelled: entry.runs_cancelled,
+            firings: entry.firings,
+            tokens: entry.tokens,
+            deadline_misses: entry.deadline_misses,
+        };
+        inner.checkpoints_taken += 1;
+        if let Some(tracer) = self.shared.trace() {
+            let runs = checkpoint.runs_completed;
+            tracer.control_event(EventKind::CheckpointEnd, tag, session.0 as u32, 0, runs);
+        }
+        Ok(checkpoint)
+    }
+
+    /// Re-admits a checkpointed session under this service's full
+    /// admission control (session limit, deadline-aware capacity),
+    /// carrying its request numbering and aggregates forward. The
+    /// restored session gets a fresh [`SessionId`] here; its graph is
+    /// *not* re-analysed — the compiled executor travels by handle.
+    ///
+    /// # Errors
+    ///
+    /// The admission errors of [`TpdfService::open_session`]:
+    /// [`ServiceError::SessionLimit`], [`ServiceError::Oversubscribed`]
+    /// and [`ServiceError::Draining`].
+    pub fn restore_session(
+        &self,
+        checkpoint: &SessionCheckpoint,
+    ) -> Result<SessionId, ServiceError> {
+        self.admit(
+            checkpoint.compiled.clone(),
+            checkpoint.registry.clone(),
+            Some(checkpoint),
+        )
+    }
+
+    /// Moves a live session onto another service: drains it to its
+    /// request barrier ([`TpdfService::checkpoint_session`]), re-admits
+    /// the checkpoint on `to` under *its* admission control, and only
+    /// then closes and retires the local original — an admission
+    /// rejection by the target (session limit, oversubscription,
+    /// draining) leaves the source session untouched and serving.
+    ///
+    /// Unread results of pre-migration requests stay retrievable on the
+    /// source under the old id until taken. Kernel state shared through
+    /// the registry (e.g. a sink's `OutputCapture`) travels by handle,
+    /// so output streams continue seamlessly across the move.
+    ///
+    /// # Errors
+    ///
+    /// The checkpoint errors ([`ServiceError::UnknownSession`],
+    /// [`ServiceError::SessionClosed`]) and the target's admission
+    /// errors ([`ServiceError::SessionLimit`],
+    /// [`ServiceError::Oversubscribed`], [`ServiceError::Draining`]).
+    pub fn migrate_session(
+        &self,
+        session: SessionId,
+        to: &TpdfService,
+    ) -> Result<SessionId, ServiceError> {
+        let checkpoint = self.checkpoint_session(session)?;
+        let target = to.restore_session(&checkpoint)?;
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.migrations += 1;
+        if let Some(entry) = inner.sessions.get_mut(&session.0) {
+            if entry.phase == SessionPhase::Open {
+                entry.phase = SessionPhase::Closed;
+            }
+            let tag = entry.compiled.config().trace_tag;
+            if let Some(tracer) = self.shared.trace() {
+                tracer.control_event(
+                    EventKind::SessionMigrate,
+                    tag,
+                    session.0 as u32,
+                    target.0 as u32,
+                    checkpoint.runs_completed,
+                );
+            }
+        }
+        Inner::maybe_retire(&mut inner, session.0);
+        drop(inner);
+        self.shared.cond.notify_all();
+        Ok(target)
     }
 
     /// Submits one run of the session's graph (its configured
@@ -787,6 +1008,9 @@ impl TpdfService {
             requests_rejected: inner.requests_rejected,
             runs_completed: inner.runs_completed,
             runs_failed: inner.runs_failed,
+            checkpoints_taken: inner.checkpoints_taken,
+            restores: inner.restores,
+            migrations: inner.migrations,
             active_sessions: inner.sessions.values().filter(|s| !s.retired).count(),
             queued_requests: inner.sessions.values().map(|s| s.queue.len()).sum(),
             demand: inner.demand,
@@ -1409,6 +1633,84 @@ mod tests {
             ),
             Err(ServiceError::Draining)
         ));
+    }
+
+    #[test]
+    fn checkpoint_restore_and_migrate_carry_session_state() {
+        let source = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let target = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let graph = figure2_graph();
+        let session = source
+            .open_session(
+                &graph,
+                RuntimeConfig::new(binding(2))
+                    .with_threads(1)
+                    .with_iterations(2),
+                KernelRegistry::new(),
+            )
+            .unwrap();
+        let first = source.submit(session).unwrap();
+        source.wait(session, first).unwrap();
+
+        let checkpoint = source.checkpoint_session(session).unwrap();
+        assert_eq!(checkpoint.runs_completed(), 1);
+        assert!(checkpoint.firings() > 0);
+
+        // A restore on the same service is a copy under admission.
+        let copy = source.restore_session(&checkpoint).unwrap();
+        assert_ne!(copy, session);
+
+        // Migration moves the original: retired here, serving there.
+        let moved = source.migrate_session(session, &target).unwrap();
+        assert_eq!(source.poll(session).unwrap(), SessionStatus::Retired);
+        assert_eq!(
+            source.submit(session),
+            Err(ServiceError::SessionClosed(session))
+        );
+        let next = target.submit(moved).unwrap();
+        let metrics = target.wait(moved, next).unwrap();
+        assert_eq!(metrics.iterations, 2);
+        // Request numbering continues across the move (one request ran
+        // before the checkpoint).
+        assert_eq!(next, RequestId(1));
+
+        let s = source.metrics();
+        assert_eq!(s.checkpoints_taken, 2, "explicit + the migration's");
+        assert_eq!(s.restores, 1);
+        assert_eq!(s.migrations, 1);
+        let t = target.metrics();
+        assert_eq!(t.restores, 1);
+        assert_eq!(t.migrations, 0);
+        assert_eq!(
+            t.session(moved).unwrap().runs_completed,
+            2,
+            "aggregates carry: one run before the move, one after"
+        );
+    }
+
+    #[test]
+    fn migration_rejected_by_target_leaves_source_serving() {
+        let source = TpdfService::new(ServiceConfig::default().with_threads(1));
+        let target = TpdfService::new(
+            ServiceConfig::default()
+                .with_threads(1)
+                .with_max_sessions(1),
+        );
+        let graph = figure2_graph();
+        let config = || RuntimeConfig::new(binding(1)).with_threads(1);
+        target
+            .open_session(&graph, config(), KernelRegistry::new())
+            .unwrap();
+        let session = source
+            .open_session(&graph, config(), KernelRegistry::new())
+            .unwrap();
+        let refused = source.migrate_session(session, &target);
+        assert_eq!(refused, Err(ServiceError::SessionLimit { limit: 1 }));
+        // The source session is untouched and keeps serving.
+        let request = source.submit(session).unwrap();
+        source.wait(session, request).unwrap();
+        assert_eq!(source.metrics().migrations, 0);
+        assert_eq!(target.metrics().restores, 0);
     }
 
     #[test]

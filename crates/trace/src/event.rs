@@ -76,6 +76,15 @@ pub enum EventKind {
     /// allocator: `a` = node of the sampled firing, `c` = misses since
     /// the worker's last sampled firing (cold start or ring growth).
     SlabMiss = 22,
+    /// A barrier-consistent checkpoint capture started: `c` = the
+    /// iteration index the run stopped at.
+    CheckpointBegin = 23,
+    /// The checkpoint capture finished: `a` = channels captured, `c` =
+    /// the iteration index.
+    CheckpointEnd = 24,
+    /// A session moved between services: `a` = source session id, `b` =
+    /// destination session id, `c` = the checkpointed iteration.
+    SessionMigrate = 25,
 }
 
 impl EventKind {
@@ -104,6 +113,9 @@ impl EventKind {
             20 => EventKind::RunComplete,
             21 => EventKind::SlabRecycle,
             22 => EventKind::SlabMiss,
+            23 => EventKind::CheckpointBegin,
+            24 => EventKind::CheckpointEnd,
+            25 => EventKind::SessionMigrate,
             _ => return None,
         })
     }
@@ -133,6 +145,9 @@ impl EventKind {
             EventKind::RunComplete => "run_complete",
             EventKind::SlabRecycle => "slab_recycle",
             EventKind::SlabMiss => "slab_miss",
+            EventKind::CheckpointBegin => "checkpoint_begin",
+            EventKind::CheckpointEnd => "checkpoint_end",
+            EventKind::SessionMigrate => "session_migrate",
         }
     }
 }
@@ -213,7 +228,7 @@ mod tests {
             }
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(23), None);
+        assert_eq!(EventKind::from_u8(26), None);
     }
 
     #[test]

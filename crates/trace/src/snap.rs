@@ -40,10 +40,29 @@ pub struct SnapshotWriter {
     out: String,
 }
 
+/// Appends `v` in decimal without going through `fmt` machinery —
+/// snapshot documents are integer-heavy and checkpoint encoding
+/// serializes one per capture on a guarded overhead budget.
+pub(crate) fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
 impl SnapshotWriter {
     /// Creates an empty writer.
     pub fn new() -> SnapshotWriter {
-        SnapshotWriter::default()
+        SnapshotWriter {
+            out: String::with_capacity(1024),
+        }
     }
 
     /// Writes one `key=value` line with any `Display` value. Repeating
@@ -78,13 +97,22 @@ impl SnapshotWriter {
     }
 
     /// Writes an iterator of integers as one comma-separated value.
+    /// Streams straight into the output buffer — no per-element
+    /// allocation; checkpoint encoding serializes metrics through here
+    /// on a guarded overhead budget.
     pub fn field_list(&mut self, key: &str, values: impl IntoIterator<Item = u64>) {
-        let joined = values
-            .into_iter()
-            .map(|v| v.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
-        self.field(key, joined);
+        debug_assert!(!key.contains('=') && !key.contains('\n'));
+        self.out.push_str(key);
+        self.out.push('=');
+        let mut first = true;
+        for v in values {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            push_u64(&mut self.out, v);
+        }
+        self.out.push('\n');
     }
 
     /// Finishes the document.

@@ -14,8 +14,10 @@ use tpdf_suite::apps::edge_detection::{EdgeDetectionApp, EdgeDetector};
 use tpdf_suite::apps::fm_radio::FmRadioConfig;
 use tpdf_suite::apps::image::GrayImage;
 use tpdf_suite::apps::ofdm::OfdmConfig;
+use tpdf_suite::core::actors::KernelKind;
 use tpdf_suite::core::examples::figure2_graph;
 use tpdf_suite::core::graph::TpdfGraph;
+use tpdf_suite::core::rate::RateSeq;
 use tpdf_suite::manycore::MappingStrategy;
 use tpdf_suite::runtime::{
     EdgeDetectionRuntime, Executor, FmRadioRuntime, KernelRegistry, OfdmRuntime, OutputCapture,
@@ -392,6 +394,219 @@ fn concurrent_sessions_match_solo_runs_without_leaks_or_poisoning() {
             before, after,
             "OS thread count changed across {} sessions × {RUNS_PER_SESSION} runs",
             session_budget
+        );
+    }
+}
+
+/// A Clock-driven deadline graph whose sessions carry real admission
+/// demand (cost units per period) — what makes a migration target
+/// genuinely *full*.
+fn deadline_graph(work: u64, period: u64) -> TpdfGraph {
+    TpdfGraph::builder()
+        .kernel_with("src", KernelKind::Regular, work)
+        .kernel_with("proc", KernelKind::Regular, work)
+        .kernel_with("clock", KernelKind::Clock { period }, 0)
+        .kernel_with("tran", KernelKind::Transaction { votes_required: 0 }, 1)
+        .kernel("snk")
+        .channel("src", "proc", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .channel(
+            "proc",
+            "tran",
+            RateSeq::constant(1),
+            RateSeq::constant(1),
+            0,
+        )
+        .control_channel("clock", "tran", RateSeq::constant(1), RateSeq::constant(1))
+        .channel("tran", "snk", RateSeq::constant(1), RateSeq::constant(1), 0)
+        .build()
+        .unwrap()
+}
+
+/// The live-migration stress case: ≥ 8 mixed sessions stream on a
+/// source service while a panicking rider runs alongside; three of
+/// them — one per case-study family — are migrated to a second service
+/// **mid-stream** (each with a run still in flight or queued when the
+/// migration starts; `migrate_session` drains to the request barrier
+/// itself). Every session's accumulated sink capture must stay
+/// byte-identical to its solo run, no OS thread may leak, and a
+/// migration towards a service whose deadline capacity is exhausted
+/// must be refused — leaving the victim serving on the source.
+#[test]
+fn live_migration_between_services_preserves_streams() {
+    let mut specs = Vec::new();
+    specs.extend(edge_specs());
+    specs.extend(ofdm_specs());
+    specs.extend(fm_specs());
+    specs.push(figure2_spec());
+    assert!(specs.len() >= 8, "the issue demands ≥ 8 live sessions");
+    // One spec per case-study family moves mid-stream.
+    let migrate_indices = [0usize, 4, specs.len() - 1];
+
+    let threads = service_threads();
+    let source = TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(threads)
+            .with_max_sessions(specs.len() + 2)
+            .with_queue_capacity(RUNS_PER_SESSION as usize),
+    );
+    let target = TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(2)
+            .with_max_sessions(specs.len()),
+    );
+    // The capacity-exhausted target for the refusal leg below; built up
+    // front so the thread-leak baseline covers all three pools.
+    let full_target = TpdfService::new(ServiceConfig::default().with_threads(1));
+    let deadline = deadline_graph(10, 30);
+    let deadline_config = || {
+        RuntimeConfig::new(Binding::new())
+            .with_threads(1)
+            .with_real_time(std::time::Duration::from_micros(50))
+    };
+    full_target
+        .open_session(&deadline, deadline_config(), KernelRegistry::new())
+        .expect("the first deadline session fits the target");
+    let baseline_threads = os_thread_count();
+
+    // The panicking rider stays busy on the source while the
+    // migrations drain their victims.
+    let panic_graph = figure2_graph();
+    let mut panic_registry = KernelRegistry::new();
+    panic_registry.register_fn("B", |_| panic!("session gone rogue"));
+    let panic_session = source
+        .open_session(
+            &panic_graph,
+            RuntimeConfig::new(Binding::from_pairs([("p", 2)]))
+                .with_threads(2)
+                .with_iterations(20),
+            panic_registry,
+        )
+        .expect("admit the panicking rider");
+
+    let mut sessions = Vec::new();
+    for spec in &specs {
+        let id = source
+            .open_session(&spec.graph, spec.config.clone(), spec.registry.clone())
+            .unwrap_or_else(|e| panic!("admit {}: {e}", spec.name));
+        sessions.push(id);
+    }
+
+    // First half of the load: every session gets a run in flight (or
+    // queued), the rider starts panicking.
+    let mut first_requests = Vec::new();
+    for session in &sessions {
+        first_requests.push(source.submit(*session).unwrap());
+    }
+    let rider_request = source.submit(panic_session).unwrap();
+
+    // Migrate mid-stream: the first run of each victim is still
+    // working its way through the shared pool. checkpoint_session
+    // (inside migrate) drains it to the request barrier, then the
+    // session moves; everyone else keeps streaming on the source.
+    let mut moved = Vec::new();
+    for &index in &migrate_indices {
+        let new_id = source
+            .migrate_session(sessions[index], &target)
+            .unwrap_or_else(|e| panic!("migrate {}: {e}", specs[index].name));
+        moved.push((index, new_id));
+        assert_eq!(
+            source.poll(sessions[index]).unwrap(),
+            SessionStatus::Retired,
+            "{}: the source original must retire after the move",
+            specs[index].name
+        );
+    }
+
+    // Second half of the load: migrated sessions run on the target,
+    // the rest stay on the source. The shared captures accumulate
+    // across both services.
+    let mut second_requests = Vec::new();
+    for (index, session) in sessions.iter().enumerate() {
+        match moved.iter().find(|(i, _)| *i == index) {
+            Some((_, new_id)) => {
+                second_requests.push((true, *new_id, target.submit(*new_id).unwrap()))
+            }
+            None => second_requests.push((false, *session, source.submit(*session).unwrap())),
+        }
+    }
+
+    // Collect everything. First-run results of migrated sessions stay
+    // retrievable on the *source* under the old id.
+    let rider = source.wait(panic_session, rider_request);
+    assert!(
+        matches!(rider, Err(ServiceError::Runtime(_))),
+        "the rider must fail only itself: {rider:?}"
+    );
+    for (index, (session, request)) in sessions.iter().zip(&first_requests).enumerate() {
+        source
+            .wait(*session, *request)
+            .unwrap_or_else(|e| panic!("{} first run: {e}", specs[index].name));
+    }
+    for (index, (on_target, session, request)) in second_requests.iter().enumerate() {
+        let service = if *on_target { &target } else { &source };
+        let metrics = service
+            .wait(*session, *request)
+            .unwrap_or_else(|e| panic!("{} second run: {e}", specs[index].name));
+        assert!(metrics.iterations > 0, "{}", specs[index].name);
+    }
+
+    // Byte-identical accumulated streams: one run on the source plus
+    // one on the target equals the solo double run, token for token.
+    for spec in &specs {
+        if let (Some(capture), Some(solo)) = (&spec.capture, &spec.solo_tokens) {
+            assert_eq!(
+                &capture.take_tokens(),
+                solo,
+                "{}: stream across the migration differs from its solo runs",
+                spec.name
+            );
+            assert!(!solo.is_empty(), "{}: vacuous comparison", spec.name);
+        }
+    }
+
+    // Request numbering continued across the move: the second request
+    // of every migrated session is numbered after its first.
+    for (on_target, _, request) in &second_requests {
+        if *on_target {
+            assert!(request.0 >= 1, "migrated request ids must continue");
+        }
+    }
+
+    // A target with exhausted deadline capacity refuses the migration
+    // and the victim keeps serving on the source. The 0.77-demand
+    // deadline sessions fit a 1-thread pool once, not twice.
+    let victim = source
+        .open_session(&deadline, deadline_config(), KernelRegistry::new())
+        .expect("the source has headroom");
+    let refused = source.migrate_session(victim, &full_target);
+    assert!(
+        matches!(refused, Err(ServiceError::Oversubscribed { .. })),
+        "a full target must refuse the move: {refused:?}"
+    );
+    let still_served = source.submit(victim).unwrap();
+    source
+        .wait(victim, still_served)
+        .expect("the refused victim keeps serving on the source");
+
+    // Ledger: three moves out of the source, three arrivals on the
+    // target, one refusal on the full target.
+    let source_report = source.drain();
+    assert_eq!(source_report.migrations, 3);
+    assert_eq!(
+        source_report.checkpoints_taken, 4,
+        "3 moves + the refused one"
+    );
+    assert_eq!(source_report.runs_failed, 1, "exactly the rider failed");
+    let target_report = target.drain();
+    assert_eq!(target_report.restores, 3);
+    assert_eq!(target_report.runs_completed, 3);
+    assert!(full_target.drain().sessions_rejected >= 1);
+
+    // Two services, one move wave, zero leaked OS threads.
+    if let (Some(before), Some(after)) = (baseline_threads, os_thread_count()) {
+        assert_eq!(
+            before, after,
+            "OS thread count changed across the migration"
         );
     }
 }
