@@ -39,13 +39,22 @@
 //!   drops below the identical uninterrupted run, or when the
 //!   zero-copy `payload_rows/block` cell fails to beat
 //!   `payload_rows/scalar` by ≥ 1.5×.
+//!
+//! The `net_loopback` group measures the `tpdf-net` wire-ingestion
+//! path (frames over loopback TCP into a wire-fed OFDM session)
+//! against the identical session driven in memory; it is reported and
+//! exported but not enforced — loopback latency varies too much
+//! across hosts to gate on.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+use tpdf_apps::ofdm::OfdmConfig;
 use tpdf_core::examples::figure2_graph;
 use tpdf_manycore::MappingStrategy;
+use tpdf_net::ofdm::{run_records, wire_fed_ofdm};
+use tpdf_net::{NetApps, NetClient, NetConfig, NetServer};
 use tpdf_runtime::{
     Executor, ExecutorPool, KernelRegistry, PayloadEncoding, PayloadRuntime, PlacementPolicy,
     RuntimeConfig, Tracer,
@@ -510,6 +519,90 @@ fn to_json(samples: &[criterion::Sample], tokens: u64, tokens_weighted: u64) -> 
     )
 }
 
+/// The wire-ingestion path: one loopback client streams OFDM runs
+/// through `tpdf-net` (frame encode → TCP → non-blocking decode →
+/// session feed → run → `Result` frame back), measured in input
+/// tokens/sec end-to-end, next to an `in_memory` cell running the
+/// identical session directly on the service — the difference is the
+/// whole wire stack. No enforce guard: the ratio is dominated by
+/// loopback latency, which varies too much across hosts to gate on.
+fn bench_net_loopback(c: &mut Criterion) {
+    let config = OfdmConfig {
+        symbol_len: 16,
+        cyclic_prefix: 2,
+        bits_per_symbol: 2,
+        vectorization: 2,
+    };
+    let (app, port) = wire_fed_ofdm(config, 31, 1);
+    let records = run_records(&port);
+    let tokens = records.len() as u64;
+    let mut apps = NetApps::new();
+    apps.register("ofdm", app.clone());
+
+    let service = Arc::new(TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(2)
+            .with_max_sessions(4)
+            .with_queue_capacity(4),
+    ));
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        apps,
+        NetConfig {
+            // The default 500µs idle sleep would dominate a cell whose
+            // in-memory half completes in ~30µs.
+            poll_interval: Duration::from_micros(20),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.hello("ofdm").expect("hello");
+
+    // The in-memory comparison: the same wire-fed session driven
+    // directly (feed pushed, run submitted, capture drained) with no
+    // sockets or frames involved.
+    let feed = tpdf_net::NetFeed::new();
+    let (registry, capture) = (app.build)(&feed);
+    let direct = service
+        .open_session(&app.graph, app.config.clone(), registry)
+        .expect("direct session");
+
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.sample_size(sample_size());
+    group.throughput(Throughput::Elements(tokens));
+    let mut seq = 0u64;
+    group.bench_with_input(
+        BenchmarkId::new("net_loopback", "stream"),
+        &tokens,
+        |b, _| {
+            b.iter(|| {
+                client.records(&records).expect("records");
+                client.barrier(seq).expect("barrier");
+                seq += 1;
+                let (_seq, out) = client.result().expect("result");
+                assert!(!out.is_empty());
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("net_loopback", "in_memory"),
+        &tokens,
+        |b, _| {
+            b.iter(|| {
+                feed.push(records.iter().cloned());
+                let request = service.submit(direct).expect("submit");
+                service.wait(direct, request).expect("run");
+                assert!(!capture.take_tokens().is_empty());
+            })
+        },
+    );
+    group.finish();
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
 /// *Best-observed* tokens/sec of the sample with the given id, if
 /// present: elements over the minimum sample time rather than the
 /// mean. The enforce guards compare near-identical code paths, where
@@ -702,5 +795,6 @@ criterion_group!(
     bench_runtime_weighted,
     bench_payload,
     bench_checkpoint,
-    bench_service_sessions
+    bench_service_sessions,
+    bench_net_loopback
 );

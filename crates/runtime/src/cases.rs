@@ -246,6 +246,16 @@ impl OfdmRuntime {
         &self.sent_bits
     }
 
+    /// The flattened time-domain sample stream `SRC` replays each
+    /// iteration — exactly what a wire-fed source must be sent per
+    /// run to match the solo execution byte for byte.
+    pub fn samples(&self) -> Vec<Token> {
+        self.symbols
+            .iter()
+            .flat_map(|symbol| symbol.iter().map(|&c| Token::Complex(c)))
+            .collect()
+    }
+
     /// The bit stream the graph-free reference demodulation produces
     /// (`RCP → FFT → demap` applied directly).
     pub fn reference_bits(&self) -> Vec<u8> {

@@ -1579,7 +1579,7 @@ impl Engine {
                 0,
                 EventKind::CheckpointEnd,
                 state.trace_job,
-                checkpoint.channels.len() as u32,
+                checkpoint.channels.len() as u64,
                 0,
                 iteration,
             );
@@ -2099,7 +2099,7 @@ impl Engine {
                     if stolen || !self.is_home(state, node, me, state.queues.len()) {
                         state.worker_steals[me].fetch_add(1, Ordering::Relaxed);
                         if let Some(tracer) = self.trace() {
-                            tracer.event(me, EventKind::Steal, state.trace_job, node as u32, 0, 0);
+                            tracer.event(me, EventKind::Steal, state.trace_job, node as u64, 0, 0);
                         }
                     }
                     match self.execute_timed(state, claim, registry, start, me, scratch) {
@@ -2202,8 +2202,8 @@ impl Engine {
                 me,
                 EventKind::Firing,
                 state.trace_job,
-                node as u32,
-                plan_idx as u32,
+                node as u64,
+                plan_idx as u64,
                 TraceEvent::pack_firing(dur, tokens),
             );
             if sampled {
@@ -2217,7 +2217,7 @@ impl Engine {
                         me,
                         EventKind::SlabRecycle,
                         state.trace_job,
-                        node as u32,
+                        node as u64,
                         0,
                         stats.recycled - scratch.traced.recycled,
                     );
@@ -2228,7 +2228,7 @@ impl Engine {
                         me,
                         EventKind::SlabMiss,
                         state.trace_job,
-                        node as u32,
+                        node as u64,
                         0,
                         stats.misses - scratch.traced.misses,
                     );
@@ -2522,8 +2522,8 @@ impl Engine {
                     me,
                     EventKind::ModeEmit,
                     state.trace_job,
-                    node as u32,
-                    mode_code(&mode),
+                    node as u64,
+                    mode_code(&mode) as u64,
                     ns.control_firings.load(Ordering::Relaxed),
                 );
             }
@@ -2558,7 +2558,7 @@ impl Engine {
                     me,
                     EventKind::DeadlineMiss,
                     state.trace_job,
-                    node as u32,
+                    node as u64,
                     0,
                     0,
                 );
@@ -2711,8 +2711,8 @@ impl Engine {
                                 me,
                                 EventKind::RingGrow,
                                 state.trace_job,
-                                i as u32,
-                                old as u32,
+                                i as u64,
+                                old as u64,
                                 cap,
                             );
                         }
@@ -2724,7 +2724,7 @@ impl Engine {
                         me,
                         EventKind::PlanSwitch,
                         state.trace_job,
-                        next as u32,
+                        next as u64,
                         0,
                         finished,
                     );
@@ -2762,7 +2762,7 @@ impl Engine {
                 EventKind::BarrierExit,
                 state.trace_job,
                 0,
-                (finished >= self.config.iterations) as u32,
+                (finished >= self.config.iterations) as u64,
                 finishing,
             );
         }
@@ -3057,8 +3057,8 @@ impl Engine {
                     me,
                     EventKind::ModeEmit,
                     state.trace_job,
-                    node as u32,
-                    mode_code(&mode),
+                    node as u64,
+                    mode_code(&mode) as u64,
                     ns.control_firings.load(Ordering::Relaxed),
                 );
             }
@@ -3449,7 +3449,7 @@ mod tests {
     fn stall_error_carries_budgets_and_bounded_recorder_tail() {
         let tracer = Tracer::flight_recorder(1, 256);
         // More history than the dump bound: the tail must be clipped.
-        for i in 0..(2 * STALL_DUMP_EVENTS as u32) {
+        for i in 0..(2 * STALL_DUMP_EVENTS as u64) {
             tracer.event(0, EventKind::Steal, 0, i, 0, 0);
         }
         let g = figure2_graph();

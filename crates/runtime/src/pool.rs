@@ -240,7 +240,7 @@ fn participate(job: &Arc<PoolJob>, idx: usize) -> bool {
             idx,
             EventKind::JobClaim,
             job.state.trace_job,
-            idx as u32,
+            idx as u64,
             0,
             0,
         );
@@ -330,7 +330,7 @@ fn finalize_job(shared: &PoolShared, job: &Arc<PoolJob>) {
             EventKind::JobFinalize,
             job.state.trace_job,
             0,
-            result.is_err() as u32,
+            result.is_err() as u64,
             0,
         );
     }
@@ -483,7 +483,7 @@ impl ExecutorPool {
             state.trace_job = 0x8000_0000 | (self.job_tags.fetch_add(1, Ordering::Relaxed) + 1);
         }
         if let Some(tracer) = engine.trace() {
-            tracer.control_event(EventKind::JobSubmit, state.trace_job, workers as u32, 0, 0);
+            tracer.control_event(EventKind::JobSubmit, state.trace_job, workers as u64, 0, 0);
         }
     }
 

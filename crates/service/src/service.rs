@@ -563,8 +563,8 @@ impl TpdfService {
             },
         );
         if let Some(tracer) = self.shared.trace() {
-            let is_restore = restored.is_some() as u32;
-            tracer.control_event(EventKind::SessionOpen, tag, id as u32, is_restore, 0);
+            let is_restore = restored.is_some() as u64;
+            tracer.control_event(EventKind::SessionOpen, tag, id, is_restore, 0);
         }
         Ok(SessionId(id))
     }
@@ -608,13 +608,7 @@ impl TpdfService {
                 if let Some(tracer) = self.shared.trace() {
                     let tag = entry.compiled.config().trace_tag;
                     let runs = entry.runs_completed;
-                    tracer.control_event(
-                        EventKind::CheckpointBegin,
-                        tag,
-                        session.0 as u32,
-                        0,
-                        runs,
-                    );
+                    tracer.control_event(EventKind::CheckpointBegin, tag, session.0, 0, runs);
                 }
             }
             if entry.idle() {
@@ -642,7 +636,7 @@ impl TpdfService {
         inner.checkpoints_taken += 1;
         if let Some(tracer) = self.shared.trace() {
             let runs = checkpoint.runs_completed;
-            tracer.control_event(EventKind::CheckpointEnd, tag, session.0 as u32, 0, runs);
+            tracer.control_event(EventKind::CheckpointEnd, tag, session.0, 0, runs);
         }
         Ok(checkpoint)
     }
@@ -705,8 +699,8 @@ impl TpdfService {
                 tracer.control_event(
                     EventKind::SessionMigrate,
                     tag,
-                    session.0 as u32,
-                    target.0 as u32,
+                    session.0,
+                    target.0,
                     checkpoint.runs_completed,
                 );
             }
@@ -779,13 +773,7 @@ impl TpdfService {
         let tag = entry.compiled.config().trace_tag;
         inner.requests_submitted += 1;
         if let Some(tracer) = self.shared.trace() {
-            tracer.control_event(
-                EventKind::RequestSubmit,
-                tag,
-                session.0 as u32,
-                request as u32,
-                0,
-            );
+            tracer.control_event(EventKind::RequestSubmit, tag, session.0, request, 0);
         }
         let pending = inner.begin_dispatch(session.0);
         drop(inner);
@@ -907,7 +895,7 @@ impl TpdfService {
             entry.phase = SessionPhase::Closed;
             let tag = entry.compiled.config().trace_tag;
             if let Some(tracer) = self.shared.trace() {
-                tracer.control_event(EventKind::SessionClose, tag, session.0 as u32, 0, 0);
+                tracer.control_event(EventKind::SessionClose, tag, session.0, 0, 0);
             }
         }
         Inner::maybe_retire(&mut inner, session.0);
@@ -962,7 +950,7 @@ impl TpdfService {
                 .and_then(|(_, ticket)| ticket.clone());
             if !was_cancelled {
                 if let Some(tracer) = self.shared.trace() {
-                    tracer.control_event(EventKind::SessionClose, tag, session.0 as u32, 1, 0);
+                    tracer.control_event(EventKind::SessionClose, tag, session.0, 1, 0);
                 }
             }
             Inner::maybe_retire(&mut inner, session.0);
@@ -1130,8 +1118,8 @@ impl Shared {
                 tracer.control_event(
                     EventKind::SessionDispatch,
                     pending.compiled.config().trace_tag,
-                    session as u32,
-                    request as u32,
+                    session,
+                    request,
                     waited,
                 );
             }
@@ -1220,8 +1208,8 @@ impl Shared {
             tracer.control_event(
                 EventKind::RunComplete,
                 entry.compiled.config().trace_tag,
-                session as u32,
-                request as u32,
+                session,
+                request,
                 latency,
             );
         }

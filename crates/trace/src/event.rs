@@ -1,10 +1,13 @@
 //! The fixed-size binary event model.
 //!
-//! Every trace record is 40 bytes of atomics in its ring slot: a
-//! sequence word plus four payload words packing a timestamp, the
-//! event kind, the writing lane, a job tag and three generic operands
-//! (`a`, `b`, `c`) whose meaning depends on the kind — see
-//! [`EventKind`] for the per-kind layout.
+//! Every trace record is 48 bytes of atomics in its ring slot: a
+//! sequence word plus five payload words packing a timestamp, the
+//! event kind, the writing lane, a job tag and three generic 64-bit
+//! operands (`a`, `b`, `c`) whose meaning depends on the kind — see
+//! [`EventKind`] for the per-kind layout. The operands are full words
+//! on purpose: session and request ids are monotone and never reused,
+//! so a long-lived service would silently alias trace identities if
+//! the payload truncated them to 32 bits.
 
 /// What happened. The operand meanings (`a`/`b`/`c` of
 /// [`TraceEvent`]) are listed per variant.
@@ -50,22 +53,24 @@ pub enum EventKind {
     JobClaim = 13,
     /// A job was finalised: `b` = 1 when it failed.
     JobFinalize = 14,
-    /// A session was admitted: `a` = session id.
+    /// A session was admitted: `a` = session id, `b` = 1 when the
+    /// session was restored from a checkpoint.
     SessionOpen = 15,
-    /// Admission refused a session: `a` = 0 for the session limit,
-    /// 1 for deadline oversubscription.
+    /// Admission refused a session: `a` = 0 for the session limit
+    /// (`c` = the limit), 1 for deadline oversubscription (`c` = the
+    /// truncated demand).
     SessionReject = 16,
     /// A queued request was dispatched onto the pool: `a` = session
-    /// id, `c` = request id.
+    /// id, `b` = request id, `c` = queue-wait nanoseconds.
     SessionDispatch = 17,
     /// A session closed (`b` = 0) or was cancelled (`b` = 1):
     /// `a` = session id.
     SessionClose = 18,
     /// A request joined a session's ingress queue: `a` = session id,
-    /// `c` = request id.
+    /// `b` = request id.
     RequestSubmit = 19,
-    /// A dispatched run finished: `a` = session id, `b` = 1 when it
-    /// failed, `c` = request id.
+    /// A dispatched run finished: `a` = session id, `b` = request id,
+    /// `c` = end-to-end latency in nanoseconds.
     RunComplete = 20,
     /// Firing slabs were returned to a worker's slab arena: `a` = node
     /// of the sampled firing, `c` = slabs recycled since the worker's
@@ -76,15 +81,27 @@ pub enum EventKind {
     /// allocator: `a` = node of the sampled firing, `c` = misses since
     /// the worker's last sampled firing (cold start or ring growth).
     SlabMiss = 22,
-    /// A barrier-consistent checkpoint capture started: `c` = the
-    /// iteration index the run stopped at.
+    /// A barrier-consistent checkpoint capture started: `a` = session
+    /// id, `c` = runs completed at the request barrier.
     CheckpointBegin = 23,
-    /// The checkpoint capture finished: `a` = channels captured, `c` =
-    /// the iteration index.
+    /// The checkpoint capture finished: `a` = session id, `c` = runs
+    /// completed in the captured ledger.
     CheckpointEnd = 24,
     /// A session moved between services: `a` = source session id, `b` =
-    /// destination session id, `c` = the checkpointed iteration.
+    /// destination session id, `c` = the checkpointed run count.
     SessionMigrate = 25,
+    /// The net layer accepted a client connection: `a` = connection id.
+    ConnAccept = 26,
+    /// A complete frame arrived on a connection: `a` = connection id,
+    /// `b` = frame type byte, `c` = frame length in bytes.
+    FrameRecv = 27,
+    /// Backpressure was signalled to a client (full ingress queue or
+    /// admission refusal): `a` = connection id, `b` = session id.
+    Backoff = 28,
+    /// A connection ended: `a` = connection id, `b` = reason (0 =
+    /// clean `Bye`, 1 = peer disconnect, 2 = evicted as slow or idle,
+    /// 3 = protocol error).
+    ConnClose = 29,
 }
 
 impl EventKind {
@@ -116,6 +133,10 @@ impl EventKind {
             23 => EventKind::CheckpointBegin,
             24 => EventKind::CheckpointEnd,
             25 => EventKind::SessionMigrate,
+            26 => EventKind::ConnAccept,
+            27 => EventKind::FrameRecv,
+            28 => EventKind::Backoff,
+            29 => EventKind::ConnClose,
             _ => return None,
         })
     }
@@ -148,6 +169,10 @@ impl EventKind {
             EventKind::CheckpointBegin => "checkpoint_begin",
             EventKind::CheckpointEnd => "checkpoint_end",
             EventKind::SessionMigrate => "session_migrate",
+            EventKind::ConnAccept => "conn_accept",
+            EventKind::FrameRecv => "frame_recv",
+            EventKind::Backoff => "backoff",
+            EventKind::ConnClose => "conn_close",
         }
     }
 }
@@ -173,9 +198,10 @@ pub struct TraceEvent {
     /// plain scoped runs.
     pub job: u32,
     /// First operand (kind-specific; usually the node or session).
-    pub a: u32,
-    /// Second operand (kind-specific).
-    pub b: u32,
+    /// Full-width so monotone ids never alias.
+    pub a: u64,
+    /// Second operand (kind-specific; full-width like `a`).
+    pub b: u64,
     /// Third operand (kind-specific; 64-bit for ids and packed
     /// payloads).
     pub c: u64,
@@ -228,7 +254,7 @@ mod tests {
             }
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(26), None);
+        assert_eq!(EventKind::from_u8(30), None);
     }
 
     #[test]

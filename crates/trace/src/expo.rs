@@ -6,10 +6,59 @@
 //! line. Histograms come from [`crate::HistogramSnapshot`] and expand
 //! into cumulative `_bucket{le=...}` samples plus `_sum` and `_count`,
 //! which is how the log2 latency histograms reach a scraper.
+//!
+//! Label **values** are arbitrary UTF-8 (a session or graph name may
+//! contain `"`, `\` or a newline) and are escaped per the exposition
+//! spec; metric and label **names** are programmer-supplied constants,
+//! so an invalid one is a bug and panics loudly rather than producing
+//! an exposition the scraper will reject.
 
 use std::fmt::Write;
 
 use crate::hist::HistogramSnapshot;
+
+/// Escapes a label value per the text-exposition spec: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Panics unless `name` is a valid metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn check_metric_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    let tail_ok = chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    assert!(
+        head_ok && tail_ok,
+        "invalid Prometheus metric name {name:?}: names must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+    );
+}
+
+/// Panics unless `name` is a valid label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`; colons are metric-name only).
+fn check_label_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    let tail_ok = chars.all(|c| c.is_ascii_alphanumeric() || c == '_');
+    assert!(
+        head_ok && tail_ok,
+        "invalid Prometheus label name {name:?}: names must match [a-zA-Z_][a-zA-Z0-9_]*"
+    );
+}
 
 /// Builds a Prometheus text-format document.
 #[derive(Debug, Default)]
@@ -26,6 +75,7 @@ impl Exposition {
 
     /// Emits the `# HELP` / `# TYPE` header once per metric name.
     fn header(&mut self, name: &str, kind: &str, help: &str) {
+        check_metric_name(name);
         if self.last_header == name {
             return;
         }
@@ -41,10 +91,16 @@ impl Exposition {
     }
 
     /// Adds a counter sample with one label. Consecutive samples of
-    /// the same metric share the header.
+    /// the same metric share the header; the label value is escaped.
     pub fn counter_with(&mut self, name: &str, help: &str, label: (&str, &str), value: u64) {
         self.header(name, "counter", help);
-        let _ = writeln!(self.out, "{name}{{{}=\"{}\"}} {value}", label.0, label.1);
+        check_label_name(label.0);
+        let _ = writeln!(
+            self.out,
+            "{name}{{{}=\"{}\"}} {value}",
+            label.0,
+            escape_label_value(label.1)
+        );
     }
 
     /// Adds an unlabeled gauge sample.
@@ -53,10 +109,17 @@ impl Exposition {
         let _ = writeln!(self.out, "{name} {value}");
     }
 
-    /// Adds a gauge sample with one label.
+    /// Adds a gauge sample with one label (value escaped like
+    /// [`Exposition::counter_with`]).
     pub fn gauge_with(&mut self, name: &str, help: &str, label: (&str, &str), value: f64) {
         self.header(name, "gauge", help);
-        let _ = writeln!(self.out, "{name}{{{}=\"{}\"}} {value}", label.0, label.1);
+        check_label_name(label.0);
+        let _ = writeln!(
+            self.out,
+            "{name}{{{}=\"{}\"}} {value}",
+            label.0,
+            escape_label_value(label.1)
+        );
     }
 
     /// Expands a histogram snapshot into cumulative buckets plus
@@ -117,5 +180,38 @@ mod tests {
         assert!(text.contains("tpdf_firing_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("tpdf_firing_ns_sum 6"));
         assert!(text.contains("tpdf_firing_ns_count 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_spec() {
+        let mut e = Exposition::new();
+        e.counter_with(
+            "tpdf_sessions_total",
+            "Sessions.",
+            ("session", "evil\"name\\with\nnewline"),
+            1,
+        );
+        e.gauge_with("tpdf_demand", "Demand.", ("session", "a\\b"), 0.5);
+        let text = e.finish();
+        assert!(
+            text.contains(r#"tpdf_sessions_total{session="evil\"name\\with\nnewline"} 1"#),
+            "unescaped exposition: {text}"
+        );
+        assert!(text.contains(r#"tpdf_demand{session="a\\b"} 0.5"#));
+        // The document itself stays line-framed: the raw newline never
+        // reaches the output.
+        assert!(text.lines().all(|l| !l.contains('\n')));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn invalid_metric_names_are_rejected_loudly() {
+        Exposition::new().counter("tpdf-bad-name", "Hyphens are not allowed.", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus label name")]
+    fn invalid_label_names_are_rejected_loudly() {
+        Exposition::new().counter_with("tpdf_ok", "Bad label.", ("se ssion", "v"), 1);
     }
 }

@@ -10,10 +10,26 @@
 /// Validates that `text` is exactly one well-formed JSON value.
 /// Returns the byte offset and a message on the first error.
 pub fn validate(text: &str) -> Result<(), (usize, String)> {
+    validate_with(text, false)
+}
+
+/// Like [`validate`], but additionally asserts *interoperability*:
+/// every integer literal must round-trip exactly through an IEEE
+/// double, i.e. its magnitude must not exceed 2^53. Spec-compliant
+/// consumers (RFC 8259 §6 interoperability note; Perfetto included)
+/// parse all numbers as doubles, so a 64-bit id emitted as a bare
+/// number would be silently corrupted — this checker makes that a
+/// test failure instead.
+pub fn validate_interop(text: &str) -> Result<(), (usize, String)> {
+    validate_with(text, true)
+}
+
+fn validate_with(text: &str, interop: bool) -> Result<(), (usize, String)> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
         depth: 0,
+        interop,
     };
     p.skip_ws();
     p.value()?;
@@ -24,6 +40,9 @@ pub fn validate(text: &str) -> Result<(), (usize, String)> {
     Ok(())
 }
 
+/// Largest integer magnitude an IEEE double represents exactly (2^53).
+const MAX_EXACT_DOUBLE: u64 = 1 << 53;
+
 /// Nesting limit; Chrome traces are ~3 levels deep, anything beyond
 /// this is a generator bug, not a legitimate document.
 const MAX_DEPTH: usize = 64;
@@ -32,6 +51,8 @@ struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
+    /// Reject integer literals a double cannot represent exactly.
+    interop: bool,
 }
 
 impl Parser<'_> {
@@ -174,9 +195,11 @@ impl Parser<'_> {
     }
 
     fn number(&mut self) -> Result<(), (usize, String)> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        let int_start = self.pos;
         match self.peek() {
             Some(b'0') => self.pos += 1,
             Some(b'1'..=b'9') => {
@@ -185,6 +208,25 @@ impl Parser<'_> {
                 }
             }
             _ => return self.err("expected a digit"),
+        }
+        let int_end = self.pos;
+        if self.interop && !matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            // A bare integer literal: it must survive the double
+            // round-trip every spec-compliant parser puts it through.
+            let digits = std::str::from_utf8(&self.bytes[int_start..int_end]).expect("digits");
+            let exact = digits
+                .parse::<u64>()
+                .ok()
+                .is_some_and(|v| v <= MAX_EXACT_DOUBLE);
+            if !exact {
+                return Err((
+                    start,
+                    format!(
+                        "integer literal {digits} exceeds 2^53 and loses \
+                         precision in double-based JSON parsers; emit it as a string"
+                    ),
+                ));
+            }
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
@@ -254,6 +296,21 @@ mod tests {
     fn reports_an_offset() {
         let err = validate("[1, oops]").unwrap_err();
         assert_eq!(err.0, 4);
+    }
+
+    #[test]
+    fn interop_mode_rejects_integers_beyond_2_53() {
+        // 2^53 itself is exactly representable; 2^53 + 1 is the first
+        // integer a double cannot hold.
+        assert!(validate_interop("9007199254740992").is_ok());
+        assert!(validate_interop("9007199254740993").is_err());
+        assert!(validate_interop("{\"id\": 18446744073709551615}").is_err());
+        // As a string the same id is lossless and accepted.
+        assert!(validate_interop("{\"id\": \"18446744073709551615\"}").is_ok());
+        // Fractions and exponents are approximate by nature and pass.
+        assert!(validate_interop("[0.010, 1.5e300]").is_ok());
+        // The plain validator keeps accepting big integers.
+        assert!(validate("9007199254740993").is_ok());
     }
 
     #[test]

@@ -11,14 +11,14 @@
 //!
 //! | Module | Provides |
 //! |--------|----------|
-//! | [`event`] | [`event::TraceEvent`] / [`event::EventKind`]: the fixed 40-byte binary event model |
+//! | [`event`] | [`event::TraceEvent`] / [`event::EventKind`]: the fixed 48-byte binary event model |
 //! | [`ring`] | [`ring::EventRing`]: the lock-free overwrite-oldest event ring (all-atomic seqlock slots) |
 //! | [`tracer`] | [`tracer::Tracer`]: the per-worker-lane recorder handed to executors, pools and services |
 //! | [`hist`] | [`hist::Log2Histogram`] / [`hist::HistogramSnapshot`]: lock-free log2-bucket latency histograms |
 //! | [`log`] | [`log::TraceLog`]: the merged monotone timeline, Chrome trace-event JSON export, per-phase summaries |
 //! | [`expo`] | [`expo::Exposition`]: Prometheus-style text exposition builder |
 //! | [`snap`] | [`snap::SnapshotWriter`] / [`snap::SnapshotReader`]: the line-oriented snapshot codec backing the serde seam |
-//! | [`json`] | [`json::validate`]: a dependency-free JSON well-formedness checker (used by the exporter's tests) |
+//! | [`json`] | [`json::validate`] / [`json::validate_interop`]: a dependency-free JSON well-formedness checker (the interop variant also rejects integer literals a double cannot hold exactly) |
 //!
 //! ## Cost model
 //!

@@ -27,7 +27,7 @@ pub struct ChromeLabels {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PhaseSummary {
     /// Plan index the firings executed under.
-    pub plan: u32,
+    pub plan: u64,
     /// Number of firings observed in this phase.
     pub firings: u64,
     /// Data tokens produced by those firings.
@@ -97,7 +97,7 @@ impl TraceLog {
     /// Aggregates firing events into per-plan (per-phase) throughput
     /// summaries, sorted by plan index.
     pub fn phase_summary(&self) -> Vec<PhaseSummary> {
-        let mut phases: BTreeMap<u32, PhaseSummary> = BTreeMap::new();
+        let mut phases: BTreeMap<u64, PhaseSummary> = BTreeMap::new();
         for e in &self.events {
             if e.kind != EventKind::Firing {
                 continue;
@@ -124,6 +124,12 @@ impl TraceLog {
     /// a thread. Firings and park intervals become complete (`X`)
     /// spans, barriers become matched `B`/`E` pairs, everything else an
     /// instant. One event per line; loadable in Perfetto.
+    ///
+    /// The generic `a`/`b`/`c` operands are emitted as JSON *strings*:
+    /// they carry 64-bit ids, and a spec-compliant parser reads bare
+    /// numbers as IEEE doubles, silently corrupting anything above
+    /// 2^53. Timestamps stay numeric (the trace format requires it)
+    /// and are microsecond decimals well inside the exact range.
     pub fn to_chrome_json(&self, labels: &ChromeLabels) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
         let mut first = true;
@@ -256,7 +262,7 @@ impl TraceLog {
                         &mut first,
                         &format!(
                             "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{},\
-                             \"name\":\"{}\",\"args\":{{\"a\":{},\"b\":{},\"c\":{}}}}}",
+                             \"name\":\"{}\",\"args\":{{\"a\":\"{}\",\"b\":\"{}\",\"c\":\"{}\"}}}}",
                             e.job,
                             e.lane,
                             us(e.ts_ns),
@@ -299,7 +305,7 @@ mod tests {
     use super::*;
     use crate::json;
 
-    fn ev(ts: u64, kind: EventKind, lane: u16, job: u32, a: u32, b: u32, c: u64) -> TraceEvent {
+    fn ev(ts: u64, kind: EventKind, lane: u16, job: u32, a: u64, b: u64, c: u64) -> TraceEvent {
         TraceEvent {
             ts_ns: ts,
             kind,
@@ -421,7 +427,7 @@ mod tests {
             jobs: vec![],
         };
         let json_text = log.to_chrome_json(&labels);
-        json::validate(&json_text).expect("chrome export must be valid JSON");
+        json::validate_interop(&json_text).expect("chrome export must be valid interop JSON");
         assert_eq!(
             json_text.matches("\"ph\":\"B\"").count(),
             json_text.matches("\"ph\":\"E\"").count()
@@ -430,6 +436,28 @@ mod tests {
         assert!(json_text.contains("src \\\"quoted\\\""));
         assert!(json_text.contains("\"name\":\"park\""));
         assert!(json_text.contains("\"ts\":0.010"));
+    }
+
+    #[test]
+    fn ids_beyond_2_53_survive_the_chrome_export() {
+        // A long-lived service's monotone ids overflow the exact range
+        // of a double; the export must carry them as strings, and the
+        // strict checker must prove no bare literal leaks through.
+        let big = (1u64 << 60) + 3;
+        let log = TraceLog::new(
+            vec![
+                ev(5, EventKind::SessionOpen, 4, 7, big, 0, 0),
+                ev(10, EventKind::SessionDispatch, 4, 7, big, big + 1, 17),
+            ],
+            0,
+        );
+        let json_text = log.to_chrome_json(&ChromeLabels::default());
+        json::validate_interop(&json_text).expect("large ids must not be bare JSON numbers");
+        // Round-trip: the decimal digits of the id appear verbatim,
+        // quoted, so a parser recovers the exact value as a string.
+        assert!(json_text.contains(&format!("\"a\":\"{big}\"")));
+        assert!(json_text.contains(&format!("\"b\":\"{}\"", big + 1)));
+        assert!(json_text.contains(&format!("session {big}")));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! ## Slot protocol
 //!
-//! Every slot is five `AtomicU64` words: a sequence word and four
+//! Every slot is six `AtomicU64` words: a sequence word and five
 //! payload words. A writer takes a global ticket with
 //! `head.fetch_add(1)`, maps it onto a slot (`ticket % capacity`),
 //! stamps the slot's sequence with a `WRITING` sentinel, stores the
@@ -31,8 +31,8 @@ use crate::event::{EventKind, TraceEvent};
 /// Sequence sentinel marking a slot that is mid-write.
 const WRITING: u64 = u64::MAX;
 
-/// Words per slot: sequence + ts + kind/lane/job + a/b + c.
-const SLOT_WORDS: usize = 5;
+/// Words per slot: sequence + ts + kind/lane/job + a + b + c.
+const SLOT_WORDS: usize = 6;
 
 /// A bounded, lock-free, overwrite-oldest ring of trace events.
 pub struct EventRing {
@@ -76,12 +76,12 @@ impl EventRing {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let base = (ticket as usize % self.capacity) * SLOT_WORDS;
         let w1 = ((ev.kind as u64) << 56) | ((ev.lane as u64) << 40) | ev.job as u64;
-        let w2 = ((ev.a as u64) << 32) | ev.b as u64;
         self.slots[base].store(WRITING, Ordering::Relaxed);
         self.slots[base + 1].store(ev.ts_ns, Ordering::Relaxed);
         self.slots[base + 2].store(w1, Ordering::Relaxed);
-        self.slots[base + 3].store(w2, Ordering::Relaxed);
-        self.slots[base + 4].store(ev.c, Ordering::Relaxed);
+        self.slots[base + 3].store(ev.a, Ordering::Relaxed);
+        self.slots[base + 4].store(ev.b, Ordering::Relaxed);
+        self.slots[base + 5].store(ev.c, Ordering::Relaxed);
         self.slots[base].store(ticket + 1, Ordering::Release);
     }
 
@@ -101,8 +101,9 @@ impl EventRing {
             let seq = self.slots[base].load(Ordering::Acquire);
             let ts = self.slots[base + 1].load(Ordering::Relaxed);
             let w1 = self.slots[base + 2].load(Ordering::Relaxed);
-            let w2 = self.slots[base + 3].load(Ordering::Relaxed);
-            let c = self.slots[base + 4].load(Ordering::Relaxed);
+            let a = self.slots[base + 3].load(Ordering::Relaxed);
+            let b = self.slots[base + 4].load(Ordering::Relaxed);
+            let c = self.slots[base + 5].load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             let seq_after = self.slots[base].load(Ordering::Relaxed);
             // The slot must have held this exact ticket's payload for
@@ -124,8 +125,8 @@ impl EventRing {
                 kind,
                 lane: ((w1 >> 40) & 0xFFFF) as u16,
                 job: (w1 & 0xFFFF_FFFF) as u32,
-                a: (w2 >> 32) as u32,
-                b: (w2 & 0xFFFF_FFFF) as u32,
+                a,
+                b,
                 c,
             });
         }
@@ -146,7 +147,7 @@ impl std::fmt::Debug for EventRing {
 mod tests {
     use super::*;
 
-    fn ev(ts: u64, kind: EventKind, a: u32) -> TraceEvent {
+    fn ev(ts: u64, kind: EventKind, a: u64) -> TraceEvent {
         TraceEvent {
             ts_ns: ts,
             kind,
@@ -154,7 +155,7 @@ mod tests {
             job: 9,
             a,
             b: a + 1,
-            c: (a as u64) << 32 | 5,
+            c: a << 32 | 5,
         }
     }
 
@@ -162,13 +163,13 @@ mod tests {
     fn round_trips_below_capacity() {
         let ring = EventRing::new(8);
         for i in 0..5 {
-            ring.push(ev(i, EventKind::Firing, i as u32));
+            ring.push(ev(i, EventKind::Firing, i));
         }
         let (events, dropped) = ring.drain();
         assert_eq!(dropped, 0);
         assert_eq!(events.len(), 5);
         for (i, event) in events.iter().enumerate() {
-            assert_eq!(*event, ev(i as u64, EventKind::Firing, i as u32));
+            assert_eq!(*event, ev(i as u64, EventKind::Firing, i as u64));
         }
     }
 
@@ -176,7 +177,7 @@ mod tests {
     fn overwrites_oldest_when_full() {
         let ring = EventRing::new(4);
         for i in 0..10 {
-            ring.push(ev(i, EventKind::Steal, i as u32));
+            ring.push(ev(i, EventKind::Steal, i));
         }
         let (events, dropped) = ring.drain();
         assert_eq!(dropped, 6);
@@ -207,8 +208,8 @@ mod tests {
             .map(|t| {
                 let ring = Arc::clone(&ring);
                 std::thread::spawn(move || {
-                    for i in 0..1000u32 {
-                        ring.push(ev((t * 1000 + i) as u64, EventKind::ModeEmit, i));
+                    for i in 0..1000u64 {
+                        ring.push(ev(t * 1000 + i, EventKind::ModeEmit, i));
                     }
                 })
             })

@@ -90,7 +90,7 @@ impl Tracer {
     /// Records an event timestamped now. No-op while disabled. Lanes
     /// out of range clamp to the control lane.
     #[inline]
-    pub fn event(&self, lane: usize, kind: EventKind, job: u32, a: u32, b: u32, c: u64) {
+    pub fn event(&self, lane: usize, kind: EventKind, job: u32, a: u64, b: u64, c: u64) {
         self.event_at(self.now_ns(), lane, kind, job, a, b, c);
     }
 
@@ -104,8 +104,8 @@ impl Tracer {
         lane: usize,
         kind: EventKind,
         job: u32,
-        a: u32,
-        b: u32,
+        a: u64,
+        b: u64,
         c: u64,
     ) {
         if !self.is_enabled() {
@@ -126,7 +126,7 @@ impl Tracer {
     /// Records a lifecycle event on the control lane (for threads
     /// that are not pool workers). No-op while disabled.
     #[inline]
-    pub fn control_event(&self, kind: EventKind, job: u32, a: u32, b: u32, c: u64) {
+    pub fn control_event(&self, kind: EventKind, job: u32, a: u64, b: u64, c: u64) {
         self.event(self.lanes.len() - 1, kind, job, a, b, c);
     }
 
@@ -199,8 +199,8 @@ mod tests {
     #[test]
     fn recent_returns_the_bounded_tail() {
         let tracer = Tracer::flight_recorder(1, 64);
-        for i in 0..10u32 {
-            tracer.event_at(i as u64, 0, EventKind::ModeEmit, 0, i, 0, 0);
+        for i in 0..10u64 {
+            tracer.event_at(i, 0, EventKind::ModeEmit, 0, i, 0, 0);
         }
         let tail = tracer.recent(3);
         assert_eq!(tail.iter().map(|e| e.a).collect::<Vec<_>>(), vec![7, 8, 9]);

@@ -24,6 +24,9 @@
 //! * [`service`] — a multi-session streaming service layer: many
 //!   concurrent graph instances admitted, run and retired on one shared
 //!   worker pool.
+//! * [`net`] — wire-fed sessions: a non-blocking TCP ingestion layer
+//!   with a checksummed binary frame protocol and end-to-end
+//!   backpressure in front of the service.
 //! * [`trace`] — low-overhead structured tracing: per-worker
 //!   flight-recorder rings, Chrome trace-event JSON and Prometheus
 //!   text exposition, shared by runtime, pool and service.
@@ -46,6 +49,7 @@ pub use tpdf_apps as apps;
 pub use tpdf_core as core;
 pub use tpdf_csdf as csdf;
 pub use tpdf_manycore as manycore;
+pub use tpdf_net as net;
 pub use tpdf_runtime as runtime;
 pub use tpdf_service as service;
 pub use tpdf_sim as sim;

@@ -610,3 +610,155 @@ fn live_migration_between_services_preserves_streams() {
         );
     }
 }
+
+/// The drain-vs-migrate race: `drain()` and `migrate_session` both
+/// park on the service condvar waiting for sessions to go idle. This
+/// races them on live sessions with runs still in flight — neither
+/// waiter may be stranded (a missed wakeup deadlocks one of them),
+/// every submitted run must complete, the sink streams must stay
+/// byte-identical to their solo runs, and the
+/// migration/checkpoint/restore ledgers must agree across both
+/// services afterwards.
+#[test]
+fn drain_racing_migration_strands_no_waiter_and_keeps_ledgers_consistent() {
+    let specs = ofdm_specs();
+    let threads = service_threads();
+    let source = TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(threads)
+            .with_max_sessions(specs.len())
+            .with_queue_capacity(RUNS_PER_SESSION as usize),
+    );
+    let target = TpdfService::new(
+        ServiceConfig::default()
+            .with_threads(2)
+            .with_max_sessions(specs.len()),
+    );
+    let baseline_threads = os_thread_count();
+
+    // Admit and load every session so the race starts with the pool
+    // busy: drain has something to wait for, and each migration's
+    // checkpoint must first drain its victim to the request barrier.
+    let mut sessions = Vec::new();
+    let mut requests = vec![Vec::new(); specs.len()];
+    for (spec, session_requests) in specs.iter().zip(&mut requests) {
+        let id = source
+            .open_session(&spec.graph, spec.config.clone(), spec.registry.clone())
+            .unwrap_or_else(|e| panic!("admit {}: {e}", spec.name));
+        for _ in 0..RUNS_PER_SESSION {
+            session_requests.push(source.submit(id).unwrap());
+        }
+        sessions.push(id);
+    }
+
+    // The race: one thread drains the source while another migrates
+    // every session to the target. The submitted runs are still
+    // working through the pool when both waiters park.
+    let (drain_report, migrations) = std::thread::scope(|scope| {
+        let drainer = scope.spawn(|| source.drain());
+        let migrator = scope.spawn(|| {
+            sessions
+                .iter()
+                .map(|&id| source.migrate_session(id, &target))
+                .collect::<Vec<_>>()
+        });
+        (
+            drainer.join().expect("drain thread"),
+            migrator.join().expect("migrate thread"),
+        )
+    });
+
+    // `drain` stops admissions and requests, but a checkpoint of a
+    // live session is still legal — so on this quiet source every
+    // migration must have succeeded (the assertions below catch a
+    // migration erroring out as much as a stranded waiter would have
+    // hung the scope above).
+    let mut moved = Vec::new();
+    for (spec, outcome) in specs.iter().zip(migrations) {
+        match outcome {
+            Ok(new_id) => moved.push(new_id),
+            Err(e) => panic!("{}: migration lost the race it must win: {e}", spec.name),
+        }
+    }
+
+    // Every pre-race run completed on the source; results of migrated
+    // sessions stay retrievable under the old id.
+    for ((spec, session), session_requests) in specs.iter().zip(&sessions).zip(&requests) {
+        for request in session_requests {
+            source
+                .wait(*session, *request)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    // Byte identity across the race: the captures hold exactly the
+    // solo runs' tokens — nothing was lost, duplicated or reordered.
+    for spec in &specs {
+        let (capture, solo) = (
+            spec.capture.as_ref().expect("ofdm specs capture"),
+            spec.solo_tokens.as_ref().expect("ofdm specs reference"),
+        );
+        assert_eq!(
+            &capture.take_tokens(),
+            solo,
+            "{}: stream through the drain/migrate race differs from its solo runs",
+            spec.name
+        );
+        assert!(!solo.is_empty(), "{}: vacuous comparison", spec.name);
+    }
+
+    // The migrated sessions keep serving on the (non-draining) target:
+    // one more run each, producing the per-run token slice again.
+    for (spec, new_id) in specs.iter().zip(&moved) {
+        let request = target
+            .submit(*new_id)
+            .unwrap_or_else(|e| panic!("{} on the target: {e}", spec.name));
+        target
+            .wait(*new_id, request)
+            .unwrap_or_else(|e| panic!("{} on the target: {e}", spec.name));
+        let capture = spec.capture.as_ref().expect("ofdm specs capture");
+        let solo = spec.solo_tokens.as_ref().expect("ofdm specs reference");
+        let per_run = solo.len() / RUNS_PER_SESSION as usize;
+        assert_eq!(
+            capture.take_tokens(),
+            solo[..per_run],
+            "{}: the post-migration run diverges from a solo run",
+            spec.name
+        );
+    }
+
+    // Ledgers agree: the drain report predates (some of) the moves, so
+    // compare final counters; each successful migration is exactly one
+    // checkpoint on the source and one restore on the target.
+    let final_source = source.metrics();
+    assert_eq!(final_source.migrations, moved.len() as u64);
+    assert_eq!(final_source.checkpoints_taken, moved.len() as u64);
+    assert!(final_source.migrations >= drain_report.migrations);
+    let target_report = target.drain();
+    assert_eq!(target_report.restores, moved.len() as u64);
+    assert_eq!(target_report.runs_completed, moved.len() as u64);
+    assert_eq!(
+        final_source.runs_completed,
+        specs.len() as u64 * RUNS_PER_SESSION
+    );
+
+    // A drained source refuses new work even after the migrations.
+    let refused = source.open_session(
+        &figure2_graph(),
+        RuntimeConfig::new(Binding::from_pairs([("p", 1)])).with_threads(1),
+        KernelRegistry::new(),
+    );
+    assert!(
+        matches!(refused, Err(ServiceError::Draining)),
+        "a drained source must stay drained: {refused:?}"
+    );
+
+    if let (Some(before), Some(after)) = (baseline_threads, os_thread_count()) {
+        // `<=`: a scoped solo-run thread from spec construction may
+        // still be winding down when the baseline is taken.
+        assert!(
+            after <= before,
+            "thread leak across the race: {before} OS threads before, {after} after"
+        );
+    }
+}
