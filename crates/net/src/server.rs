@@ -258,6 +258,13 @@ impl NetServer {
         self.metrics.snapshot()
     }
 
+    /// The live ledger itself (all-atomic counters) — what a
+    /// continuous sampler attaches to so it can take its own periodic
+    /// snapshots without going through the server handle.
+    pub fn metrics_handle(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Stops the loop and joins the server thread. Open sessions of
     /// live connections are cancelled.
     pub fn shutdown(mut self) {

@@ -1,0 +1,105 @@
+//! Tri-state health verdicts: per SLO check, per session, service-wide.
+
+use tpdf_service::{SessionId, SessionPhase};
+
+/// The tri-state health of a session or of the whole service.
+///
+/// The fold is deliberately coarse — load balancers and pagers act on
+/// three states, not on a score. `Degraded` means "an SLO bound is
+/// currently violated but the condition is recent"; `Failing` means
+/// the violation persisted across the configured streak, or a hard
+/// signal fired (stall watchdog, failed runs, cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Health {
+    /// Every evaluated check passed.
+    #[default]
+    Ok,
+    /// At least one check is failing, shorter than the failing streak.
+    Degraded,
+    /// A hard signal fired or a violation persisted.
+    Failing,
+}
+
+impl Health {
+    /// Stable lowercase label (`ok` / `degraded` / `failing`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Failing => "failing",
+        }
+    }
+
+    /// Whether a load-balancer probe should keep routing traffic here:
+    /// degraded capacity still serves, failing does not.
+    pub fn is_serving(self) -> bool {
+        self != Health::Failing
+    }
+}
+
+/// The outcome of one SLO bound evaluation within a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloVerdict {
+    /// Which bound: `deadline_miss_rate`, `run_latency_p99_ns`,
+    /// `tokens_per_sec` or `queue_depth`.
+    pub check: &'static str,
+    /// Whether the observation satisfied the bound.
+    pub ok: bool,
+    /// The windowed observation the bound was compared against.
+    pub observed: f64,
+    /// The bound from the session's [`tpdf_service::SloSpec`].
+    pub bound: f64,
+}
+
+/// One session's health plus the windowed rates it was judged on.
+#[derive(Debug, Clone)]
+pub struct SessionHealth {
+    /// The session.
+    pub id: SessionId,
+    /// The folded tri-state verdict.
+    pub health: Health,
+    /// Lifecycle phase at sampling time.
+    pub phase: SessionPhase,
+    /// Whether the session has retired.
+    pub retired: bool,
+    /// Whether a run was in flight at sampling time.
+    pub running: bool,
+    /// Ingress queue depth at sampling time.
+    pub queue_depth: usize,
+    /// Token throughput over the sampler's retained window.
+    pub tokens_per_sec: f64,
+    /// Completed runs per second over the window.
+    pub runs_per_sec: f64,
+    /// Deadline misses per completed run over the window (0 when no
+    /// run completed in the window).
+    pub deadline_miss_rate: f64,
+    /// Fraction of firing-slab requests served without allocating,
+    /// over the session's lifetime.
+    pub arena_hit_rate: f64,
+    /// Per-bound verdicts (empty when the session has no SLO, or no
+    /// bound was evaluable yet).
+    pub verdicts: Vec<SloVerdict>,
+}
+
+/// The service-wide report the sampler publishes every period.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Worst health over the *non-retired* sessions (`Ok` when the
+    /// table is empty — an idle service is a healthy service). Retired
+    /// sessions keep their terminal per-session health below but no
+    /// longer gate the service: their results merely await retrieval.
+    pub health: Health,
+    /// Per-session breakdowns, session-id order.
+    pub sessions: Vec<SessionHealth>,
+    /// Sampler timestamp (nanoseconds since the plane started).
+    pub at_ns: u64,
+    /// Total sampler ticks so far.
+    pub samples: u64,
+}
+
+impl HealthReport {
+    /// The health entry of one session, if present.
+    pub fn session(&self, id: SessionId) -> Option<&SessionHealth> {
+        self.sessions.iter().find(|s| s.id == id)
+    }
+}

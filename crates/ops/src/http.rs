@@ -1,0 +1,268 @@
+//! The HTTP admin surface: a minimal `std::net` listener serving the
+//! plane's read-only views. One request per connection
+//! (`Connection: close`), GET only — the plane observes, it does not
+//! mutate, so the surface stays trivially safe to expose on loopback.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tpdf_trace::ChromeLabels;
+
+use crate::health::{HealthReport, SessionHealth};
+use crate::incident::Incident;
+use crate::plane::Shared;
+
+/// Accept-loop poll interval while idle (the listener is non-blocking
+/// so shutdown is prompt).
+const IDLE_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read budget: admin requests are one short GET line.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+const MAX_REQUEST: usize = 4096;
+
+/// Binds `addr` and spawns the accept loop. Returns the join handle
+/// and the bound address (so `"127.0.0.1:0"` reports its real port).
+pub(crate) fn serve(
+    shared: Arc<Shared>,
+    addr: &str,
+) -> std::io::Result<(JoinHandle<()>, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("tpdf-ops-http".to_string())
+        .spawn(move || accept_loop(shared, listener))?;
+    Ok((handle, bound))
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.stop.load(Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Handled inline: admin traffic is a curl or a probe,
+                // not a fleet, and inline handling keeps the plane at
+                // exactly two threads.
+                let _ = handle_connection(&shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => std::thread::sleep(IDLE_POLL),
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() >= MAX_REQUEST {
+            return respond(&mut stream, 400, "text/plain", "request too large\n");
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "GET only\n");
+    }
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &shared.metrics_text(),
+        ),
+        "/healthz" => {
+            let report = shared.report();
+            let status = if report.health.is_serving() { 200 } else { 503 };
+            respond(
+                &mut stream,
+                status,
+                "application/json",
+                &healthz_json(&report),
+            )
+        }
+        "/sessions" => {
+            let report = shared.report();
+            respond(
+                &mut stream,
+                200,
+                "application/json",
+                &sessions_json(&report),
+            )
+        }
+        "/incidents" => {
+            let incidents = shared.incident_log();
+            respond(
+                &mut stream,
+                200,
+                "application/json",
+                &incidents_json(&incidents),
+            )
+        }
+        "/trace.json" => match &shared.tracer {
+            Some(tracer) => {
+                let text = tracer.collect().to_chrome_json(&ChromeLabels::default());
+                respond(&mut stream, 200, "application/json", &text)
+            }
+            None => respond(&mut stream, 404, "text/plain", "no tracer installed\n"),
+        },
+        _ => respond(
+            &mut stream,
+            404,
+            "text/plain",
+            "routes: /metrics /healthz /sessions /incidents /trace.json\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering. Hand-rolled like the Chrome trace export: the shapes
+// are flat and fixed, and the crate stays dependency-free. Validated
+// against `tpdf_trace::json::validate` in the tests.
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number (non-finite observations render as 0 rather
+/// than producing invalid JSON).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn session_json(s: &SessionHealth) -> String {
+    let verdicts: Vec<String> = s
+        .verdicts
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"check\":\"{}\",\"ok\":{},\"observed\":{},\"bound\":{}}}",
+                v.check,
+                v.ok,
+                num(v.observed),
+                num(v.bound)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"id\":{},\"health\":\"{}\",\"phase\":\"{}\",\"retired\":{},\"running\":{},\
+         \"queue_depth\":{},\"tokens_per_sec\":{},\"runs_per_sec\":{},\
+         \"deadline_miss_rate\":{},\"arena_hit_rate\":{},\"verdicts\":[{}]}}",
+        s.id.0,
+        s.health.as_str(),
+        esc(&format!("{:?}", s.phase)),
+        s.retired,
+        s.running,
+        s.queue_depth,
+        num(s.tokens_per_sec),
+        num(s.runs_per_sec),
+        num(s.deadline_miss_rate),
+        num(s.arena_hit_rate),
+        verdicts.join(",")
+    )
+}
+
+pub(crate) fn healthz_json(report: &HealthReport) -> String {
+    let sessions: Vec<String> = report.sessions.iter().map(session_json).collect();
+    format!(
+        "{{\"health\":\"{}\",\"serving\":{},\"at_ms\":{},\"samples\":{},\"sessions\":[{}]}}\n",
+        report.health.as_str(),
+        report.health.is_serving(),
+        report.at_ns / 1_000_000,
+        report.samples,
+        sessions.join(",")
+    )
+}
+
+pub(crate) fn sessions_json(report: &HealthReport) -> String {
+    let sessions: Vec<String> = report.sessions.iter().map(session_json).collect();
+    format!("[{}]\n", sessions.join(","))
+}
+
+pub(crate) fn incidents_json(incidents: &[Incident]) -> String {
+    let rendered: Vec<String> = incidents
+        .iter()
+        .map(|i| {
+            let events: Vec<String> = i
+                .events
+                .iter()
+                .map(|e| format!("\"{}\"", esc(&e.summary())))
+                .collect();
+            format!(
+                "{{\"id\":{},\"session\":{},\"cause\":\"{}\",\"at_ms\":{},\
+                 \"message\":\"{}\",\"window\":{{\"tokens_per_sec\":{},\
+                 \"runs_completed\":{},\"deadline_misses\":{},\"requests_rejected\":{},\
+                 \"queue_depth\":{},\"since_progress_ms\":{}}},\"events\":[{}]}}",
+                i.id,
+                i.session.0,
+                i.cause.as_str(),
+                i.at_ns / 1_000_000,
+                esc(&i.message),
+                num(i.window.tokens_per_sec),
+                num(i.window.runs_completed),
+                num(i.window.deadline_misses),
+                num(i.window.requests_rejected),
+                i.window.queue_depth,
+                i.window
+                    .since_progress
+                    .map_or("null".to_string(), |d| d.as_millis().to_string()),
+                events.join(",")
+            )
+        })
+        .collect();
+    format!("[{}]\n", rendered.join(","))
+}

@@ -1,0 +1,102 @@
+//! Bounded incident records: the PR 6 stall dump generalized from
+//! "fatal error" to "observable event".
+
+use std::time::Duration;
+use tpdf_service::SessionId;
+use tpdf_trace::TraceEvent;
+
+/// Why the watchdog filed an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentCause {
+    /// A run was in flight but the executor's progress beacon stayed
+    /// silent past the session's stall budget.
+    Stall,
+    /// Ingress backpressure rejected requests on several consecutive
+    /// sampler ticks.
+    Backpressure,
+    /// The ingress queue sat at capacity across consecutive ticks with
+    /// no run completing — work arrives faster than it drains.
+    QueueHighWater,
+    /// A run failed (kernel error, runtime stall error, panic).
+    RunFailed,
+    /// The session was cancelled (by the operator, or by the net layer
+    /// reaping a dead connection).
+    SessionCancelled,
+}
+
+impl IncidentCause {
+    /// Stable lowercase label for rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncidentCause::Stall => "stall",
+            IncidentCause::Backpressure => "backpressure",
+            IncidentCause::QueueHighWater => "queue_high_water",
+            IncidentCause::RunFailed => "run_failed",
+            IncidentCause::SessionCancelled => "session_cancelled",
+        }
+    }
+}
+
+/// The windowed rates at the moment the incident was filed — the
+/// "what did the dashboard show" context preserved with the record.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// Token throughput over the sampler window.
+    pub tokens_per_sec: f64,
+    /// Runs completed within the window.
+    pub runs_completed: f64,
+    /// Deadline misses within the window.
+    pub deadline_misses: f64,
+    /// Requests rejected by backpressure within the window.
+    pub requests_rejected: f64,
+    /// Ingress queue depth at filing time.
+    pub queue_depth: usize,
+    /// Time since the executor's last progress signal, if it ever
+    /// made progress.
+    pub since_progress: Option<Duration>,
+}
+
+/// One filed incident: cause, window context and the flight-recorder
+/// tail at filing time. Kept in a bounded log (overwrite-oldest), so
+/// an incident storm cannot grow memory without bound.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Monotone incident number (total filed, not index into the
+    /// bounded log).
+    pub id: u64,
+    /// The session the incident belongs to.
+    pub session: SessionId,
+    /// Why it was filed.
+    pub cause: IncidentCause,
+    /// When it was filed (nanoseconds since the plane started).
+    pub at_ns: u64,
+    /// One-line human-readable description.
+    pub message: String,
+    /// Windowed rates at filing time.
+    pub window: WindowStats,
+    /// The flight recorder's tail at filing time, filtered to the
+    /// session's trace tag when the tag appears in the tail (the full
+    /// tail otherwise); empty when no tracer is installed.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Incident {
+    /// A multi-line rendering: the header plus one
+    /// [`TraceEvent::summary`] line per recorder event.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "incident #{}: {} on {} at {}ms — {}\n",
+            self.id,
+            self.cause.as_str(),
+            self.session,
+            self.at_ns / 1_000_000,
+            self.message
+        );
+        for event in &self.events {
+            out.push_str("  ");
+            out.push_str(&event.summary());
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,280 @@
+//! # tpdf-ops — the live operations plane
+//!
+//! Everything before this crate answers "what happened?" after the
+//! fact: `tpdf-trace` records, `tpdf-service` counts, the checkpoint
+//! layer preserves. This crate answers the operator's question — *"is
+//! it healthy right now, and if not, why?"* — while the service runs.
+//!
+//! Four pieces, one [`OpsPlane`]:
+//!
+//! 1. **Sampler** — one background thread snapshots the service,
+//!    net and per-session metrics every [`OpsConfig::period`]
+//!    (default 250ms) into fixed-capacity [`tpdf_trace::SeriesRing`]s
+//!    (overwrite-oldest). Rates — tokens/s, deadline-miss rate, queue
+//!    depth — come from window deltas, never from lifetime counters.
+//! 2. **SLO evaluator** — each session's declarative
+//!    [`tpdf_service::SloSpec`] (attached at
+//!    [`tpdf_service::TpdfService::open_session_with_slo`]) is judged
+//!    against the window and folded into a tri-state [`Health`]:
+//!    `Ok` → `Degraded` (recent violation) → `Failing` (persistent
+//!    violation or hard signal). Service health is the worst over the
+//!    non-retired sessions.
+//! 3. **Watchdog** — stalls (a run in flight but the executor's
+//!    progress beacon silent past the session's stall budget),
+//!    sustained backpressure, queue high-water, failed runs and
+//!    cancellations each file a bounded [`Incident`] carrying the
+//!    window stats and the flight recorder's tail at filing time —
+//!    the postmortem is captured at detection, not reconstructed.
+//! 4. **Admin surface** — an optional `std::net` HTTP listener serves
+//!    `GET /metrics` (Prometheus, linted), `/healthz` (tri-state,
+//!    `503` when failing), `/sessions`, `/incidents` and
+//!    `/trace.json` (Chrome trace), so `curl` and a probe are the
+//!    only dashboard dependencies.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tpdf_ops::{OpsConfig, OpsPlane};
+//! use tpdf_service::{ServiceConfig, TpdfService};
+//!
+//! let service = Arc::new(TpdfService::new(ServiceConfig::default()));
+//! let plane = OpsPlane::start(
+//!     Arc::clone(&service),
+//!     OpsConfig::default().with_http_addr("127.0.0.1:0"),
+//! )
+//! .unwrap();
+//! println!("admin surface at http://{}", plane.http_addr().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod health;
+mod http;
+mod incident;
+mod plane;
+
+pub use health::{Health, HealthReport, SessionHealth, SloVerdict};
+pub use incident::{Incident, IncidentCause, WindowStats};
+pub use plane::{OpsConfig, OpsPlane};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use tpdf_core::examples::figure2_graph;
+    use tpdf_runtime::{KernelRegistry, RuntimeConfig};
+    use tpdf_service::{ServiceConfig, SloSpec, TpdfService};
+    use tpdf_symexpr::Binding;
+
+    fn runtime_config() -> RuntimeConfig {
+        RuntimeConfig::new(Binding::from_pairs([("p", 2)]))
+            .with_threads(1)
+            .with_iterations(2)
+    }
+
+    fn service() -> Arc<TpdfService> {
+        Arc::new(TpdfService::new(ServiceConfig::default().with_threads(2)))
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect admin");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn empty_service_is_healthy() {
+        let plane = OpsPlane::start(service(), OpsConfig::default()).unwrap();
+        plane.sample_now();
+        let report = plane.health();
+        assert_eq!(report.health, Health::Ok);
+        assert!(report.sessions.is_empty());
+        assert!(report.samples >= 1);
+        assert_eq!(plane.incidents_total(), 0);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn session_rates_come_from_the_window() {
+        let svc = service();
+        let plane = OpsPlane::start(Arc::clone(&svc), OpsConfig::default()).unwrap();
+        let graph = figure2_graph();
+        let session = svc
+            .open_session(&graph, runtime_config(), KernelRegistry::new())
+            .expect("open");
+        plane.sample_now();
+        let request = svc.submit(session).expect("submit");
+        svc.wait(session, request).expect("run succeeds");
+        plane.sample_now();
+        let report = plane.health();
+        let s = report.session(session).expect("session tracked");
+        assert_eq!(s.health, Health::Ok);
+        assert!(
+            s.tokens_per_sec > 0.0,
+            "windowed token rate should see the run: {s:?}"
+        );
+        assert_eq!(plane.incidents_total(), 0, "healthy run files nothing");
+        // A cancelled session with every result already taken evicts
+        // synchronously — the tracker must follow.
+        svc.cancel(session).unwrap();
+        plane.sample_now();
+        assert!(
+            plane.health().sessions.is_empty(),
+            "evicted session dropped"
+        );
+        plane.shutdown();
+    }
+
+    #[test]
+    fn throughput_slo_degrades_fails_and_recovers() {
+        let svc = service();
+        let config = OpsConfig {
+            failing_after: 2,
+            ring_capacity: 3,
+            // Manual ticks only: this test counts exact consecutive
+            // violated samples, so a concurrent background tick
+            // between a wait and a sample_now would skew the streak.
+            period: Duration::from_secs(3600),
+            ..OpsConfig::default()
+        };
+        let plane = OpsPlane::start(Arc::clone(&svc), config).unwrap();
+        // Let the sampler thread's startup tick land (it may only get
+        // scheduled once this thread blocks, e.g. inside `wait`);
+        // after it the thread parks for the full hour and every later
+        // sample is one of ours.
+        while plane.health().samples == 0 {
+            std::thread::yield_now();
+        }
+        // No session clears 10^18 tokens/s — violated on every window
+        // that contains a completed run, unmeasured otherwise.
+        let slo = SloSpec::default().with_min_tokens_per_sec(1e18);
+        let graph = figure2_graph();
+        let session = svc
+            .open_session_with_slo(&graph, runtime_config(), KernelRegistry::new(), Some(slo))
+            .expect("open");
+        plane.sample_now();
+        let request = svc.submit(session).expect("submit");
+        svc.wait(session, request).expect("run succeeds");
+        plane.sample_now();
+        let s = plane.health().session(session).unwrap().clone();
+        assert_eq!(
+            s.health,
+            Health::Degraded,
+            "first violation degrades: {s:?}"
+        );
+        assert!(
+            s.verdicts
+                .iter()
+                .any(|v| v.check == "tokens_per_sec" && !v.ok),
+            "the throughput verdict must be recorded: {s:?}"
+        );
+        plane.sample_now();
+        assert_eq!(
+            plane.health().session(session).unwrap().health,
+            Health::Failing,
+            "persistent violation fails"
+        );
+        assert_eq!(plane.health().health, Health::Failing, "service follows");
+        // With a 3-sample ring the run ages out of the window; an idle
+        // session is unmeasured, not failing.
+        plane.sample_now();
+        plane.sample_now();
+        assert_eq!(
+            plane.health().session(session).unwrap().health,
+            Health::Ok,
+            "idle window recovers"
+        );
+        assert_eq!(plane.incidents_total(), 0, "SLO verdicts are not incidents");
+        plane.shutdown();
+    }
+
+    #[test]
+    fn admin_surface_serves_all_routes() {
+        let svc = service();
+        let plane = OpsPlane::start(
+            Arc::clone(&svc),
+            OpsConfig::default().with_http_addr("127.0.0.1:0"),
+        )
+        .unwrap();
+        let addr = plane.http_addr().expect("listener bound");
+        let graph = figure2_graph();
+        let session = svc
+            .open_session(&graph, runtime_config(), KernelRegistry::new())
+            .expect("open");
+        let request = svc.submit(session).expect("submit");
+        svc.wait(session, request).expect("run succeeds");
+        plane.sample_now();
+
+        let (status, metrics) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        tpdf_trace::lint_prometheus(&metrics).unwrap_or_else(|e| panic!("lint: {e}"));
+        assert!(metrics.contains("tpdf_ops_health 0"));
+        assert!(metrics.contains("tpdf_service_session_runs_completed_total"));
+        assert!(metrics.contains("tpdf_ops_session_tokens_per_sec"));
+
+        let (status, healthz) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
+        tpdf_trace::json::validate(&healthz).unwrap_or_else(|e| panic!("json: {e:?}"));
+        assert!(healthz.contains("\"health\":\"ok\""));
+
+        let (status, sessions) = http_get(addr, "/sessions");
+        assert_eq!(status, 200);
+        tpdf_trace::json::validate(&sessions).unwrap_or_else(|e| panic!("json: {e:?}"));
+        assert!(sessions.contains(&format!("\"id\":{}", session.0)));
+
+        let (status, incidents) = http_get(addr, "/incidents");
+        assert_eq!(status, 200);
+        tpdf_trace::json::validate(&incidents).unwrap_or_else(|e| panic!("json: {e:?}"));
+        assert_eq!(incidents.trim(), "[]");
+
+        // No tracer installed on this service: /trace.json is honest.
+        let (status, _) = http_get(addr, "/trace.json");
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/nope");
+        assert_eq!(status, 404);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn incident_log_is_bounded_and_renders() {
+        use tpdf_service::SessionId;
+        let incident = Incident {
+            id: 7,
+            session: SessionId(3),
+            cause: IncidentCause::Stall,
+            at_ns: 42_000_000,
+            message: "no progress for 80ms (budget 50ms)".to_string(),
+            window: WindowStats::default(),
+            events: Vec::new(),
+        };
+        let text = incident.render();
+        assert!(text.contains("incident #7: stall"));
+        assert!(text.contains("42ms"));
+        let json = http_json_roundtrip(&[incident]);
+        assert!(json.contains("\"cause\":\"stall\""));
+    }
+
+    fn http_json_roundtrip(incidents: &[Incident]) -> String {
+        let text = crate::http::incidents_json(incidents);
+        tpdf_trace::json::validate(&text).unwrap_or_else(|e| panic!("json: {e:?}"));
+        text
+    }
+}

@@ -785,6 +785,10 @@ pub(crate) struct Engine {
     /// The shortest Clock period in the graph, if any — under
     /// [`ClockMode::RealTime`] one iteration must complete within it.
     min_clock_period: Option<u64>,
+    /// Liveness counters for external watchdogs (see
+    /// [`ProgressBeacon`]); shared by every run of this compilation
+    /// through the engine `Arc`, so it survives checkpoint/migrate.
+    beacon: ProgressBeacon,
 }
 
 impl<'g> Executor<'g> {
@@ -937,6 +941,96 @@ impl<'g> Executor<'g> {
     }
 }
 
+/// Liveness counters an external watchdog can poll without touching
+/// the hot path: runs started/finished and iteration barriers crossed,
+/// plus a coarse "last progress" timestamp. Barriers are the natural
+/// progress grain — every firing budget of an iteration was exhausted
+/// to reach one — so "no barrier within a budget while a run is in
+/// flight" is exactly the stall signal the PR 6 stall dump keys on,
+/// made observable instead of fatal.
+///
+/// All stores are `Relaxed`: the beacon is advisory telemetry, ordered
+/// only with itself, and adds one `Instant::now` per *iteration* (not
+/// per firing) to the barrier.
+#[derive(Debug)]
+pub(crate) struct ProgressBeacon {
+    /// Construction time; progress timestamps are nanoseconds since
+    /// this epoch (0 = never), so one `AtomicU64` carries them.
+    epoch: Instant,
+    barriers: AtomicU64,
+    runs_started: AtomicU64,
+    runs_finished: AtomicU64,
+    last_progress_ns: AtomicU64,
+}
+
+impl ProgressBeacon {
+    fn new() -> Self {
+        ProgressBeacon {
+            epoch: Instant::now(),
+            barriers: AtomicU64::new(0),
+            runs_started: AtomicU64::new(0),
+            runs_finished: AtomicU64::new(0),
+            last_progress_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        // `max(1)` keeps 0 reserved for "no progress ever".
+        (self.epoch.elapsed().as_nanos() as u64).max(1)
+    }
+
+    fn touch(&self) {
+        self.last_progress_ns
+            .store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    fn barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+        self.touch();
+    }
+
+    fn run_started(&self) {
+        self.runs_started.fetch_add(1, Ordering::Relaxed);
+        self.touch();
+    }
+
+    fn run_finished(&self) {
+        self.runs_finished.fetch_add(1, Ordering::Relaxed);
+        self.touch();
+    }
+
+    fn snapshot(&self) -> ProgressSnapshot {
+        let last = self.last_progress_ns.load(Ordering::Relaxed);
+        ProgressSnapshot {
+            barriers: self.barriers.load(Ordering::Relaxed),
+            runs_started: self.runs_started.load(Ordering::Relaxed),
+            runs_finished: self.runs_finished.load(Ordering::Relaxed),
+            since_progress: if last == 0 {
+                None
+            } else {
+                Some(Duration::from_nanos(self.now_ns().saturating_sub(last)))
+            },
+        }
+    }
+}
+
+/// A point-in-time view of a [`CompiledExecutor`]'s progress beacon —
+/// what `tpdf-ops`' stall watchdog polls. `since_progress` is `None`
+/// until the executor has run at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgressSnapshot {
+    /// Iteration barriers crossed over the executor's lifetime (all
+    /// runs, all sessions sharing the compilation).
+    pub barriers: u64,
+    /// Runs entered (fresh or restored from a checkpoint).
+    pub runs_started: u64,
+    /// Runs whose metrics were collected (successful or failed).
+    pub runs_finished: u64,
+    /// Wall-clock time since the last progress signal (run start,
+    /// barrier, or run finish); `None` before the first run.
+    pub since_progress: Option<Duration>,
+}
+
 /// An owned, `'static` executable form of an [`Executor`]: the analysed
 /// plans, per-node facts and shared telemetry behind one `Arc`, with no
 /// borrow of the source graph. This is what a multi-session service
@@ -976,6 +1070,14 @@ impl CompiledExecutor {
     /// [`ClockMode::RealTime`] one iteration must complete within it.
     pub fn min_clock_period(&self) -> Option<u64> {
         self.engine.min_clock_period
+    }
+
+    /// A point-in-time view of the progress beacon: runs started and
+    /// finished, iteration barriers crossed, and time since the last
+    /// progress signal. Lock-free; safe to poll from a sampler thread
+    /// while runs execute.
+    pub fn progress(&self) -> ProgressSnapshot {
+        self.engine.beacon.snapshot()
     }
 
     /// The engine, for the pool's submission path.
@@ -1227,6 +1329,7 @@ impl Engine {
             telemetry,
             cost_units,
             min_clock_period,
+            beacon: ProgressBeacon::new(),
         })
     }
 
@@ -1346,6 +1449,10 @@ impl Engine {
         elapsed: Duration,
         effective_workers: usize,
     ) -> Result<Metrics, RuntimeError> {
+        // A failed run still *finished* for liveness purposes — the
+        // watchdog distinguishes failure from stall by the error, not
+        // by a hung counter.
+        self.beacon.run_finished();
         let park = state.park.lock().expect("no worker may panic");
         if let Some(error) = &park.error {
             return Err(error.clone());
@@ -1427,6 +1534,7 @@ impl Engine {
     }
 
     pub(crate) fn initial_state(&self, workers: usize) -> RunState {
+        self.beacon.run_started();
         let plan = &self.plans[0];
         let rings = self
             .chans
@@ -1737,6 +1845,7 @@ impl Engine {
             done: false,
             deadline_selections: checkpoint.metrics.deadline_selections.clone(),
         };
+        self.beacon.run_started();
         Ok(RunState {
             rings,
             nodes,
@@ -2678,6 +2787,7 @@ impl Engine {
                     .expect("capacity covers initial tokens");
             }
         }
+        self.beacon.barrier();
         let finished = state.iteration.fetch_add(1, Ordering::Relaxed) + 1;
         if finished >= self.config.iterations {
             state.park.lock().expect("park lock").done = true;
@@ -3110,6 +3220,25 @@ mod tests {
             assert!(metrics.total_tokens > 0);
             assert!(metrics.tokens_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn progress_beacon_counts_runs_and_barriers() {
+        let g = figure2_graph();
+        let exec = Executor::new(&g, RuntimeConfig::new(binding(2)).with_iterations(3)).unwrap();
+        let compiled = exec.compile();
+        let before = compiled.progress();
+        assert_eq!(before.runs_started, 0);
+        assert_eq!(before.runs_finished, 0);
+        assert_eq!(before.barriers, 0);
+        assert_eq!(before.since_progress, None);
+        exec.run(&KernelRegistry::new()).unwrap();
+        exec.run(&KernelRegistry::new()).unwrap();
+        let after = compiled.progress();
+        assert_eq!(after.runs_started, 2);
+        assert_eq!(after.runs_finished, 2);
+        assert_eq!(after.barriers, 6, "3 iterations x 2 runs");
+        assert!(after.since_progress.is_some());
     }
 
     #[test]

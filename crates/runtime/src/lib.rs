@@ -88,7 +88,9 @@ pub use cases::{
     PayloadRuntime,
 };
 pub use checkpoint::{ChannelCheckpoint, ChannelContents, Checkpoint, CheckpointError};
-pub use executor::{ClockMode, CompiledExecutor, Executor, PlacementPolicy, RuntimeConfig};
+pub use executor::{
+    ClockMode, CompiledExecutor, Executor, PlacementPolicy, ProgressSnapshot, RuntimeConfig,
+};
 pub use kernel::{FiringContext, KernelBehavior, KernelRegistry};
 pub use metrics::{DeadlineSelection, Metrics, RebindEvent};
 pub use pool::{ExecutorPool, JobTicket};

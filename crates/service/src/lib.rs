@@ -73,5 +73,5 @@ mod service;
 pub use metrics::{ServiceMetrics, SessionMetrics, SessionPhase};
 pub use service::{
     AdmissionPolicy, RequestId, ServiceConfig, ServiceError, SessionCheckpoint, SessionId,
-    SessionStatus, TpdfService,
+    SessionInspection, SessionStatus, SloSpec, TpdfService,
 };

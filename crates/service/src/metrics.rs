@@ -59,6 +59,25 @@ pub struct SessionMetrics {
     /// Total real-time deadline misses across the session's completed
     /// runs.
     pub deadline_misses: u64,
+    /// Firing slabs served from worker freelists across the session's
+    /// completed runs (see `tpdf_runtime::Metrics::arena_hits`).
+    pub arena_hits: u64,
+    /// Firing-slab requests that fell back to the global allocator.
+    pub arena_misses: u64,
+}
+
+impl SessionMetrics {
+    /// Fraction of firing-slab requests served without allocating
+    /// (`1.0` when the session saw no slab traffic at all — nothing
+    /// allocated is as good as everything recycled).
+    pub fn arena_hit_rate(&self) -> f64 {
+        let total = self.arena_hits + self.arena_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.arena_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Aggregate statistics of the whole service.
@@ -154,7 +173,7 @@ impl ServiceMetrics {
             writer.field(
                 "session",
                 format_args!(
-                    "{},{},{},{},{},f64:{:016x},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},f64:{:016x},{},{},{},{},{},{},{},{},{}",
                     session.id.0,
                     phase,
                     session.retired as u8,
@@ -168,6 +187,8 @@ impl ServiceMetrics {
                     session.firings,
                     session.tokens,
                     session.deadline_misses,
+                    session.arena_hits,
+                    session.arena_misses,
                 ),
             );
         }
@@ -184,7 +205,7 @@ impl ServiceMetrics {
         for line in reader.values("session") {
             let malformed = || SnapshotError::Malformed(format!("session={line}"));
             let parts: Vec<&str> = line.split(',').collect();
-            let [id, phase, retired, queue_depth, running, demand, runs_completed, runs_failed, runs_cancelled, requests_rejected, firings, tokens, deadline_misses] =
+            let [id, phase, retired, queue_depth, running, demand, runs_completed, runs_failed, runs_cancelled, requests_rejected, firings, tokens, deadline_misses, arena_hits, arena_misses] =
                 parts[..]
             else {
                 return Err(malformed());
@@ -220,6 +241,8 @@ impl ServiceMetrics {
                 firings: int(firings)?,
                 tokens: int(tokens)?,
                 deadline_misses: int(deadline_misses)?,
+                arena_hits: int(arena_hits)?,
+                arena_misses: int(arena_misses)?,
             });
         }
         Ok(ServiceMetrics {
@@ -326,25 +349,41 @@ impl ServiceMetrics {
             "Admissible processor capacity",
             self.capacity,
         );
+        // One loop per family, not one family-interleaving loop per
+        // session: the text format requires all samples of a family to
+        // be consecutive under a single header pair ([`Exposition`]
+        // panics on violations, and [`tpdf_trace::expo::lint`] checks
+        // rendered documents).
         for session in &self.per_session {
-            let id = session.id.0.to_string();
             expo.counter_with(
                 "tpdf_service_session_runs_completed_total",
                 "Runs completed per session",
-                ("session", &id),
+                ("session", &session.id.0.to_string()),
                 session.runs_completed,
             );
+        }
+        for session in &self.per_session {
             expo.counter_with(
                 "tpdf_service_session_firings_total",
                 "Firings per session over its completed runs",
-                ("session", &id),
+                ("session", &session.id.0.to_string()),
                 session.firings,
             );
+        }
+        for session in &self.per_session {
             expo.counter_with(
                 "tpdf_service_session_deadline_misses_total",
                 "Deadline misses per session",
-                ("session", &id),
+                ("session", &session.id.0.to_string()),
                 session.deadline_misses,
+            );
+        }
+        for session in &self.per_session {
+            expo.gauge_with(
+                "tpdf_service_session_arena_hit_rate",
+                "Fraction of firing-slab requests served without allocating",
+                ("session", &session.id.0.to_string()),
+                session.arena_hit_rate(),
             );
         }
         expo.finish()
@@ -385,6 +424,8 @@ mod tests {
                     firings: 320,
                     tokens: 1280,
                     deadline_misses: 1,
+                    arena_hits: 96,
+                    arena_misses: 4,
                 },
                 SessionMetrics {
                     id: SessionId(2),
@@ -400,6 +441,8 @@ mod tests {
                     firings: 96,
                     tokens: 384,
                     deadline_misses: 0,
+                    arena_hits: 0,
+                    arena_misses: 0,
                 },
             ],
         }
@@ -438,5 +481,20 @@ mod tests {
         assert!(text.contains("tpdf_service_checkpoints_taken_total 2"));
         assert!(text.contains("tpdf_service_session_migrations_total 1"));
         assert!(text.contains("tpdf_service_session_firings_total{session=\"2\"} 96"));
+        assert!(text.contains("tpdf_service_session_arena_hit_rate{session=\"0\"} 0.96"));
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families_and_lints() {
+        let text = sample().to_prometheus();
+        // With ≥ 2 sessions, each per-session family must still appear
+        // exactly once — this is the conformance regression a
+        // per-session emitting loop reintroduces.
+        assert_eq!(
+            text.matches("# TYPE tpdf_service_session_runs_completed_total")
+                .count(),
+            1
+        );
+        tpdf_trace::lint_prometheus(&text).unwrap_or_else(|e| panic!("lint: {e}"));
     }
 }

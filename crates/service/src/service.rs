@@ -5,12 +5,13 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tpdf_core::graph::TpdfGraph;
 use tpdf_runtime::executor::ClockMode;
 use tpdf_runtime::pool::JobTicket;
 use tpdf_runtime::{
-    CompiledExecutor, Executor, ExecutorPool, KernelRegistry, Metrics, RuntimeConfig, RuntimeError,
+    CompiledExecutor, Executor, ExecutorPool, KernelRegistry, Metrics, ProgressSnapshot,
+    RuntimeConfig, RuntimeError,
 };
 use tpdf_trace::{EventKind, Tracer};
 
@@ -218,6 +219,98 @@ pub enum SessionStatus {
     Retired,
 }
 
+/// A declarative service-level objective attached to a session at
+/// admission ([`TpdfService::open_session_with_slo`]). The service
+/// stores it verbatim; *evaluation* lives in the operations plane
+/// (`tpdf-ops`), which folds each bound against the session's windowed
+/// rates into a tri-state health verdict. Every bound is optional —
+/// `SloSpec::default()` expresses no objective at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// Maximum acceptable deadline misses per completed run over the
+    /// evaluation window (e.g. `0.01` = one miss per hundred runs).
+    pub max_deadline_miss_rate: Option<f64>,
+    /// Upper bound on the p99 run latency (queue exit to completion)
+    /// in nanoseconds, checked against the window's
+    /// [`tpdf_trace::Log2Histogram`] percentiles.
+    pub max_run_latency_p99_ns: Option<u64>,
+    /// Minimum sustained token throughput over the window, tokens per
+    /// second. Compare against the analysis-side expectation derived
+    /// from [`CompiledExecutor::estimated_cost_units`].
+    pub min_tokens_per_sec: Option<f64>,
+    /// How long the session may go without *any* executor progress
+    /// (run start, iteration barrier, run finish) while work is in
+    /// flight before the watchdog declares a stall.
+    pub stall_budget: Option<Duration>,
+    /// Ingress queue depth above which the session counts as
+    /// overloaded.
+    pub max_queue_depth: Option<usize>,
+}
+
+impl SloSpec {
+    /// Bounds the windowed deadline-miss rate (misses per run).
+    pub fn with_max_deadline_miss_rate(mut self, rate: f64) -> Self {
+        self.max_deadline_miss_rate = Some(rate);
+        self
+    }
+
+    /// Bounds the windowed p99 run latency in nanoseconds.
+    pub fn with_max_run_latency_p99_ns(mut self, ns: u64) -> Self {
+        self.max_run_latency_p99_ns = Some(ns);
+        self
+    }
+
+    /// Requires a minimum windowed token throughput.
+    pub fn with_min_tokens_per_sec(mut self, rate: f64) -> Self {
+        self.min_tokens_per_sec = Some(rate);
+        self
+    }
+
+    /// Sets the watchdog's no-progress budget.
+    pub fn with_stall_budget(mut self, budget: Duration) -> Self {
+        self.stall_budget = Some(budget);
+        self
+    }
+
+    /// Bounds the ingress queue depth.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = Some(depth);
+        self
+    }
+
+    /// Whether any bound is set.
+    pub fn is_empty(&self) -> bool {
+        *self == SloSpec::default()
+    }
+}
+
+/// Everything an external health evaluator needs to know about one
+/// session, in one lock acquisition: the same per-session metrics
+/// [`TpdfService::metrics`] reports, plus the analysis-side cost facts,
+/// the executor's live progress beacon and the session's [`SloSpec`].
+/// Produced by [`TpdfService::inspect_sessions`].
+#[derive(Debug, Clone)]
+pub struct SessionInspection {
+    /// The session's aggregate metrics (identical to the corresponding
+    /// [`ServiceMetrics::per_session`] entry).
+    pub metrics: SessionMetrics,
+    /// Reference cost of one iteration in virtual work units
+    /// ([`CompiledExecutor::estimated_cost_units`]).
+    pub cost_units: u64,
+    /// The session's shortest Clock period, if any
+    /// ([`CompiledExecutor::min_clock_period`]).
+    pub min_clock_period: Option<u64>,
+    /// The session's trace tag (its Chrome "process" id; 0 when
+    /// untraced) — lets an incident report filter the flight recorder
+    /// down to this session's events.
+    pub trace_tag: u32,
+    /// The executor's progress beacon: runs started/finished,
+    /// iteration barriers crossed, time since the last progress signal.
+    pub progress: ProgressSnapshot,
+    /// The SLO attached at admission, if any.
+    pub slo: Option<SloSpec>,
+}
+
 /// One admitted session.
 struct SessionEntry {
     compiled: CompiledExecutor,
@@ -249,6 +342,12 @@ struct SessionEntry {
     firings: u64,
     tokens: u64,
     deadline_misses: u64,
+    arena_hits: u64,
+    arena_misses: u64,
+    /// The SLO attached at admission, reported verbatim through
+    /// [`TpdfService::inspect_sessions`] (the service itself never
+    /// evaluates it).
+    slo: Option<SloSpec>,
 }
 
 impl SessionEntry {
@@ -267,6 +366,8 @@ impl SessionEntry {
                 self.firings += metrics.firings.iter().sum::<u64>();
                 self.tokens += metrics.total_tokens;
                 self.deadline_misses += metrics.deadline_misses;
+                self.arena_hits += metrics.arena_hits;
+                self.arena_misses += metrics.arena_misses;
                 self.results.insert(request, Ok(metrics));
                 (1, 0)
             }
@@ -355,6 +456,9 @@ pub struct SessionCheckpoint {
     firings: u64,
     tokens: u64,
     deadline_misses: u64,
+    arena_hits: u64,
+    arena_misses: u64,
+    slo: Option<SloSpec>,
 }
 
 impl SessionCheckpoint {
@@ -459,8 +563,27 @@ impl TpdfService {
     pub fn open_session(
         &self,
         graph: &TpdfGraph,
+        config: RuntimeConfig,
+        registry: KernelRegistry,
+    ) -> Result<SessionId, ServiceError> {
+        self.open_session_with_slo(graph, config, registry, None)
+    }
+
+    /// [`TpdfService::open_session`] with a service-level objective
+    /// attached: the [`SloSpec`] travels with the session (through
+    /// checkpoints and migrations included) and is reported by
+    /// [`TpdfService::inspect_sessions`] for the operations plane to
+    /// evaluate. `None` (or an empty spec) admits without objectives.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`TpdfService::open_session`].
+    pub fn open_session_with_slo(
+        &self,
+        graph: &TpdfGraph,
         mut config: RuntimeConfig,
         registry: KernelRegistry,
+        slo: Option<SloSpec>,
     ) -> Result<SessionId, ServiceError> {
         // Thread the service tracer through the session's runtime
         // config (unless the session brings its own), and tag the
@@ -480,7 +603,7 @@ impl TpdfService {
         // neighbour's runs at one worker (the pool-wide EWMA is shared
         // across heterogeneous graphs in a multi-tenant service).
         let compiled = Executor::new(graph, config)?.compile();
-        self.admit(compiled, registry, None)
+        self.admit(compiled, registry, None, slo.filter(|s| !s.is_empty()))
     }
 
     /// The shared admission path of [`TpdfService::open_session`] and
@@ -492,6 +615,7 @@ impl TpdfService {
         compiled: CompiledExecutor,
         registry: KernelRegistry,
         restored: Option<&SessionCheckpoint>,
+        slo: Option<SloSpec>,
     ) -> Result<SessionId, ServiceError> {
         let tag = compiled.config().trace_tag;
         let demand = session_demand(&compiled);
@@ -560,6 +684,9 @@ impl TpdfService {
                 firings: restored.map_or(0, |c| c.firings),
                 tokens: restored.map_or(0, |c| c.tokens),
                 deadline_misses: restored.map_or(0, |c| c.deadline_misses),
+                arena_hits: restored.map_or(0, |c| c.arena_hits),
+                arena_misses: restored.map_or(0, |c| c.arena_misses),
+                slo,
             },
         );
         if let Some(tracer) = self.shared.trace() {
@@ -632,6 +759,9 @@ impl TpdfService {
             firings: entry.firings,
             tokens: entry.tokens,
             deadline_misses: entry.deadline_misses,
+            arena_hits: entry.arena_hits,
+            arena_misses: entry.arena_misses,
+            slo: entry.slo.clone(),
         };
         inner.checkpoints_taken += 1;
         if let Some(tracer) = self.shared.trace() {
@@ -660,6 +790,7 @@ impl TpdfService {
             checkpoint.compiled.clone(),
             checkpoint.registry.clone(),
             Some(checkpoint),
+            checkpoint.slo.clone(),
         )
     }
 
@@ -988,6 +1119,48 @@ impl TpdfService {
         Self::snapshot(&inner, &self.shared.config)
     }
 
+    /// Everything an external health evaluator needs, per session, in
+    /// one lock acquisition: metrics, analysis-side cost facts, the
+    /// executor's progress beacon and the attached [`SloSpec`].
+    /// Includes retired-but-unread sessions (they still appear in
+    /// [`ServiceMetrics::per_session`] and their terminal health is
+    /// still reportable); evicted sessions are gone.
+    pub fn inspect_sessions(&self) -> Vec<SessionInspection> {
+        let inner = self.shared.inner.lock().expect("service lock");
+        inner
+            .sessions
+            .iter()
+            .map(|(&id, s)| SessionInspection {
+                metrics: Self::session_metrics(id, s),
+                cost_units: s.compiled.estimated_cost_units(),
+                min_clock_period: s.compiled.min_clock_period(),
+                trace_tag: s.compiled.config().trace_tag,
+                progress: s.compiled.progress(),
+                slo: s.slo.clone(),
+            })
+            .collect()
+    }
+
+    fn session_metrics(id: u64, s: &SessionEntry) -> SessionMetrics {
+        SessionMetrics {
+            id: SessionId(id),
+            phase: s.phase,
+            retired: s.retired,
+            queue_depth: s.queue.len(),
+            running: s.inflight.is_some(),
+            demand: s.demand,
+            runs_completed: s.runs_completed,
+            runs_failed: s.runs_failed,
+            runs_cancelled: s.runs_cancelled,
+            requests_rejected: s.requests_rejected,
+            firings: s.firings,
+            tokens: s.tokens,
+            deadline_misses: s.deadline_misses,
+            arena_hits: s.arena_hits,
+            arena_misses: s.arena_misses,
+        }
+    }
+
     fn snapshot(inner: &Inner, config: &ServiceConfig) -> ServiceMetrics {
         ServiceMetrics {
             sessions_admitted: inner.sessions_admitted,
@@ -1006,21 +1179,7 @@ impl TpdfService {
             per_session: inner
                 .sessions
                 .iter()
-                .map(|(&id, s)| SessionMetrics {
-                    id: SessionId(id),
-                    phase: s.phase,
-                    retired: s.retired,
-                    queue_depth: s.queue.len(),
-                    running: s.inflight.is_some(),
-                    demand: s.demand,
-                    runs_completed: s.runs_completed,
-                    runs_failed: s.runs_failed,
-                    runs_cancelled: s.runs_cancelled,
-                    requests_rejected: s.requests_rejected,
-                    firings: s.firings,
-                    tokens: s.tokens,
-                    deadline_misses: s.deadline_misses,
-                })
+                .map(|(&id, s)| Self::session_metrics(id, s))
                 .collect(),
         }
     }

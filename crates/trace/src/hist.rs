@@ -126,6 +126,29 @@ impl HistogramSnapshot {
         Self::bucket_bound(self.buckets.len().saturating_sub(1))
     }
 
+    /// The observations recorded *since* `earlier` was taken, assuming
+    /// `earlier` is an older snapshot of the same monotone histogram —
+    /// how a sampler turns lifetime counters into a rate-over-window
+    /// view (e.g. "p99 run latency over the last minute"). Differences
+    /// saturate at zero, so a mismatched or newer `earlier` degrades to
+    /// an empty window instead of garbage.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// Writes the snapshot through the line codec under `prefix`.
     pub fn write_into(&self, prefix: &str, w: &mut SnapshotWriter) {
         w.field_list(&format!("{prefix}.buckets"), self.buckets.iter().copied());
@@ -190,6 +213,27 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.buckets.len(), 64);
         assert_eq!(s.buckets[63], 1);
+    }
+
+    #[test]
+    fn delta_isolates_the_window() {
+        let h = Log2Histogram::new();
+        for v in [1u64, 1, 2] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [1u64, 900] {
+            h.record(v);
+        }
+        let window = h.snapshot().delta(&earlier);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.sum, 901);
+        assert_eq!(window.buckets[1], 1);
+        assert_eq!(window.percentile(1.0), 1023);
+        // A reversed (newer) baseline degrades to empty, not garbage.
+        let empty = earlier.delta(&h.snapshot());
+        assert_eq!(empty.count, 0);
+        assert!(empty.buckets.is_empty());
     }
 
     #[test]

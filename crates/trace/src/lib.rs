@@ -16,7 +16,8 @@
 //! | [`tracer`] | [`tracer::Tracer`]: the per-worker-lane recorder handed to executors, pools and services |
 //! | [`hist`] | [`hist::Log2Histogram`] / [`hist::HistogramSnapshot`]: lock-free log2-bucket latency histograms |
 //! | [`log`] | [`log::TraceLog`]: the merged monotone timeline, Chrome trace-event JSON export, per-phase summaries |
-//! | [`expo`] | [`expo::Exposition`]: Prometheus-style text exposition builder |
+//! | [`expo`] | [`expo::Exposition`]: Prometheus-style text exposition builder, plus [`expo::lint`], a promtool-style conformance check |
+//! | [`series`] | [`series::SeriesRing`]: bounded overwrite-oldest time series for sampled aggregates (rate-over-window views) |
 //! | [`snap`] | [`snap::SnapshotWriter`] / [`snap::SnapshotReader`]: the line-oriented snapshot codec backing the serde seam |
 //! | [`json`] | [`json::validate`] / [`json::validate_interop`]: a dependency-free JSON well-formedness checker (the interop variant also rejects integer literals a double cannot hold exactly) |
 //!
@@ -50,13 +51,15 @@ pub mod hist;
 pub mod json;
 pub mod log;
 pub mod ring;
+pub mod series;
 pub mod snap;
 pub mod tracer;
 
 pub use event::{EventKind, TraceEvent};
-pub use expo::Exposition;
+pub use expo::{lint as lint_prometheus, Exposition};
 pub use hist::{HistogramSnapshot, Log2Histogram};
 pub use log::{ChromeLabels, PhaseSummary, TraceLog};
 pub use ring::EventRing;
+pub use series::{SeriesRing, SeriesSample};
 pub use snap::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use tracer::{TraceHistograms, Tracer};

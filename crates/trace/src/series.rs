@@ -1,0 +1,154 @@
+//! Fixed-capacity time series for sampled aggregates.
+//!
+//! A [`SeriesRing`] is the flight recorder's idea applied to metrics: a
+//! bounded ring of `(timestamp, value)` samples that overwrites its
+//! oldest entry instead of growing, so an always-on sampler can push a
+//! snapshot every period forever in O(capacity) memory. The payoff is
+//! *windowed* views — [`SeriesRing::window_delta`] and
+//! [`SeriesRing::window_rate`] turn lifetime counters (runs completed,
+//! tokens pushed, deadline misses) into "over the last N samples"
+//! rates, which is what a health check wants: a service that missed a
+//! thousand deadlines last week but none in the last minute is healthy
+//! *now*.
+//!
+//! Unlike the event ring this is a sampler-side structure with one
+//! writer on a cold path, so a plain mutex (not a seqlock) keeps it
+//! simple; readers take a point-in-time copy.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One sampled observation: a timestamp in nanoseconds (on whatever
+/// epoch the sampler uses consistently) and the sampled value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSample {
+    /// Sample time in nanoseconds since the sampler's epoch.
+    pub at_ns: u64,
+    /// The sampled value — a lifetime counter for rate views, or an
+    /// instantaneous level (queue depth) for gauge views.
+    pub value: f64,
+}
+
+/// A bounded, overwrite-oldest ring of [`SeriesSample`]s.
+#[derive(Debug)]
+pub struct SeriesRing {
+    inner: Mutex<VecDeque<SeriesSample>>,
+    capacity: usize,
+}
+
+impl SeriesRing {
+    /// Creates a ring holding at most `capacity` samples (minimum 2 —
+    /// a window needs two endpoints).
+    pub fn new(capacity: usize) -> SeriesRing {
+        let capacity = capacity.max(2);
+        SeriesRing {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Appends a sample, overwriting the oldest once full.
+    pub fn push(&self, at_ns: u64, value: f64) {
+        let mut inner = self.inner.lock().expect("series lock");
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(SeriesSample { at_ns, value });
+    }
+
+    /// The number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("series lock").len()
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<SeriesSample> {
+        self.inner.lock().expect("series lock").back().copied()
+    }
+
+    /// A point-in-time copy of the retained samples, oldest first.
+    pub fn snapshot(&self) -> Vec<SeriesSample> {
+        self.inner
+            .lock()
+            .expect("series lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The `(oldest, newest)` retained samples, when at least two
+    /// exist — the endpoints every windowed view derives from.
+    pub fn window(&self) -> Option<(SeriesSample, SeriesSample)> {
+        let inner = self.inner.lock().expect("series lock");
+        match (inner.front(), inner.back()) {
+            (Some(&first), Some(&last)) if inner.len() >= 2 => Some((first, last)),
+            _ => None,
+        }
+    }
+
+    /// Value change across the retained window (`None` until two
+    /// samples exist). For monotone counters this is "events within
+    /// the window".
+    pub fn window_delta(&self) -> Option<f64> {
+        self.window().map(|(first, last)| last.value - first.value)
+    }
+
+    /// Value change per second across the retained window — tokens/s,
+    /// runs/s, misses/s. `None` until two samples with distinct
+    /// timestamps exist.
+    pub fn window_rate(&self) -> Option<f64> {
+        let (first, last) = self.window()?;
+        let elapsed_ns = last.at_ns.saturating_sub(first.at_ns);
+        if elapsed_ns == 0 {
+            return None;
+        }
+        Some((last.value - first.value) / (elapsed_ns as f64 / 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_oldest_at_capacity() {
+        let ring = SeriesRing::new(3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.window_delta(), None);
+        for i in 0..5u64 {
+            ring.push(i * 1_000, i as f64);
+        }
+        assert_eq!(ring.len(), 3);
+        let samples = ring.snapshot();
+        assert_eq!(samples[0].value, 2.0);
+        assert_eq!(samples[2].value, 4.0);
+        assert_eq!(ring.last().unwrap().at_ns, 4_000);
+    }
+
+    #[test]
+    fn windowed_rates_span_the_retained_samples() {
+        let ring = SeriesRing::new(8);
+        // A counter climbing 10 per half second.
+        for i in 0..4u64 {
+            ring.push(i * 500_000_000, (i * 10) as f64);
+        }
+        assert_eq!(ring.window_delta(), Some(30.0));
+        let rate = ring.window_rate().unwrap();
+        assert!((rate - 20.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn degenerate_windows_yield_none() {
+        let ring = SeriesRing::new(4);
+        ring.push(7, 1.0);
+        assert_eq!(ring.window_delta(), None, "one sample is no window");
+        ring.push(7, 5.0);
+        assert_eq!(ring.window_delta(), Some(4.0));
+        assert_eq!(ring.window_rate(), None, "zero elapsed time");
+    }
+}

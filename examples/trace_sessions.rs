@@ -19,16 +19,18 @@
 //! Run with: `cargo run --release --example trace_sessions`
 //!
 //! Pass `--serve [addr]` (default `127.0.0.1:9100`) to additionally
-//! serve the exposition over HTTP — `curl http://127.0.0.1:9100/metrics`
-//! — until the process is interrupted.
+//! keep the `tpdf-ops` admin surface up after the runs —
+//! `curl http://127.0.0.1:9100/metrics` (also `/healthz`, `/sessions`,
+//! `/incidents`, `/trace.json`) answers with *live* sampler state, not
+//! a frozen snapshot, until the process is interrupted.
 
-use std::io::{Read, Write};
 use std::sync::Arc;
 use tpdf_suite::core::examples::figure2_graph;
+use tpdf_suite::ops::{OpsConfig, OpsPlane};
 use tpdf_suite::runtime::{KernelRegistry, RuntimeConfig, Tracer};
 use tpdf_suite::service::{ServiceConfig, TpdfService};
 use tpdf_suite::symexpr::Binding;
-use tpdf_suite::trace::{ChromeLabels, EventKind, Exposition};
+use tpdf_suite::trace::{ChromeLabels, EventKind};
 
 const THREADS: usize = 4;
 const RUNS_PER_SESSION: usize = 3;
@@ -44,11 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One tracer shared by the whole pool: `THREADS` worker lanes plus
     // a control lane, each a bounded overwrite-oldest ring.
     let tracer = Tracer::flight_recorder(THREADS, 1 << 14);
-    let service = TpdfService::new(
+    let service = Arc::new(TpdfService::new(
         ServiceConfig::default()
             .with_threads(THREADS)
             .with_tracer(Arc::clone(&tracer)),
-    );
+    ));
+    // The operations plane samples the service for the whole run; with
+    // `--serve` its admin listener is the scrape endpoint.
+    let mut ops_config = OpsConfig::default();
+    if let Some(addr) = &serve {
+        ops_config = ops_config.with_http_addr(addr);
+    }
+    let plane = OpsPlane::start(Arc::clone(&service), ops_config)?;
 
     let graph = figure2_graph();
     let mut sessions = Vec::new();
@@ -127,51 +136,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- Prometheus text exposition. --------------------------------
-    let mut exposition = report.to_prometheus();
-    let mut histograms = Exposition::new();
-    histograms.histogram(
-        "tpdf_trace_firing_ns",
-        "Sampled firing duration.",
-        &h.firing_ns.snapshot(),
+    // --- Prometheus text exposition + health, via the ops plane. ----
+    plane.sample_now();
+    let health = plane.health();
+    println!(
+        "\nhealth: {} over {} session(s), {} incident(s), {} sample(s)",
+        health.health.as_str(),
+        health.sessions.len(),
+        plane.incidents_total(),
+        health.samples,
     );
-    histograms.histogram(
-        "tpdf_trace_queue_wait_ns",
-        "Ingress-queue wait before dispatch.",
-        &h.queue_wait_ns.snapshot(),
-    );
-    histograms.histogram(
-        "tpdf_trace_run_latency_ns",
-        "Dispatch-to-completion run latency.",
-        &h.run_latency_ns.snapshot(),
-    );
-    exposition.push_str(&histograms.finish());
-
     match serve {
-        None => println!("\n--- /metrics ---\n{exposition}"),
-        Some(addr) => serve_metrics(&addr, &exposition)?,
-    }
-    Ok(())
-}
-
-/// A deliberately tiny scrape endpoint: answers every request on
-/// `addr` with the exposition, one connection at a time, forever.
-fn serve_metrics(addr: &str, exposition: &str) -> std::io::Result<()> {
-    let listener = std::net::TcpListener::bind(addr)?;
-    println!("\nserving http://{addr}/metrics — Ctrl-C to stop");
-    let body = exposition.as_bytes();
-    let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len(),
-    );
-    for stream in listener.incoming() {
-        let mut stream = stream?;
-        // Drain whatever request line arrived; the answer is the same.
-        let mut buf = [0u8; 1024];
-        let _ = stream.read(&mut buf);
-        stream.write_all(header.as_bytes())?;
-        stream.write_all(body)?;
+        None => println!("\n--- /metrics ---\n{}", plane.metrics_text()),
+        Some(_) => {
+            let addr = plane.http_addr().expect("admin listener bound");
+            println!(
+                "\nadmin surface live at http://{addr} — \
+                 /metrics /healthz /sessions /incidents /trace.json — Ctrl-C to stop"
+            );
+            // The plane's own sampler and listener do the serving; the
+            // responses track live state, not a frozen snapshot.
+            loop {
+                std::thread::park();
+            }
+        }
     }
     Ok(())
 }

@@ -30,6 +30,10 @@
 //! * [`trace`] — low-overhead structured tracing: per-worker
 //!   flight-recorder rings, Chrome trace-event JSON and Prometheus
 //!   text exposition, shared by runtime, pool and service.
+//! * [`ops`] — the live operations plane: continuous health sampling,
+//!   per-session SLO tracking, a stall watchdog filing flight-recorder
+//!   incident dumps, and an HTTP admin surface (`/metrics`, `/healthz`,
+//!   `/sessions`, `/incidents`, `/trace.json`).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub use tpdf_core as core;
 pub use tpdf_csdf as csdf;
 pub use tpdf_manycore as manycore;
 pub use tpdf_net as net;
+pub use tpdf_ops as ops;
 pub use tpdf_runtime as runtime;
 pub use tpdf_service as service;
 pub use tpdf_sim as sim;
